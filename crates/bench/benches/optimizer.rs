@@ -1,0 +1,37 @@
+//! Criterion benches for Algorithm 2 (`TAM_Optimization`) and the
+//! TR-Architect baseline at the paper's width range.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use soctam::{Benchmark, Objective, TamOptimizer};
+use soctam_bench::bench_groups;
+
+fn bench_tam_optimization(c: &mut Criterion) {
+    let soc = Benchmark::P93791.soc();
+    let groups = bench_groups(&soc);
+    let mut group = c.benchmark_group("tam_optimization_p93791");
+    group.sample_size(10);
+    for width in [8u32, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("si_aware", width), &width, |b, &w| {
+            b.iter(|| {
+                TamOptimizer::new(&soc, w, groups.clone())
+                    .expect("valid")
+                    .optimize()
+                    .expect("optimizes")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", width), &width, |b, &w| {
+            b.iter(|| {
+                TamOptimizer::new(&soc, w, groups.clone())
+                    .expect("valid")
+                    .objective(Objective::InTestOnly)
+                    .optimize()
+                    .expect("optimizes")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tam_optimization);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Ablation study of the design choices DESIGN.md calls out:
+//!
+//! * (a) no compaction vs 1-D vs 2-D compaction;
+//! * (b) SI-aware optimization vs the SI-oblivious TR-Architect baseline;
+//! * (c) Algorithm 1's parallel SI schedule vs a fully serial schedule;
+//! * (d) single-run Algorithm 2 vs multi-start (4 perturbed restarts).
+//!
+//! ```sh
+//! cargo run --release -p soctam-bench --bin ablation
+//! ```
+
+use soctam::compaction::{compact_two_dimensional, CompactionConfig};
+use soctam::{Benchmark, Objective, RandomPatternConfig, SiGroupSpec, SiPatternSet, TamOptimizer};
+use soctam_bench::TABLE_SEED;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_r = 20_000usize;
+    let w_max = 32u32;
+    for bench in [Benchmark::P34392, Benchmark::P93791] {
+        let soc = bench.soc();
+        let raw = SiPatternSet::random(&soc, &RandomPatternConfig::new(n_r).with_seed(TABLE_SEED))?;
+        println!("== {} (N_r = {n_r}, W_max = {w_max}) ==", soc.name());
+
+        // (a) Compaction ablation.
+        let uncompacted = vec![SiGroupSpec::new(soc.core_ids().collect(), n_r as u64)];
+        let one_d: Vec<SiGroupSpec> =
+            compact_two_dimensional(&soc, &raw, &CompactionConfig::new(1))?
+                .groups()
+                .iter()
+                .map(SiGroupSpec::from)
+                .collect();
+        let two_d: Vec<SiGroupSpec> =
+            compact_two_dimensional(&soc, &raw, &CompactionConfig::new(4))?
+                .groups()
+                .iter()
+                .map(SiGroupSpec::from)
+                .collect();
+        for (label, groups) in [
+            ("no compaction", &uncompacted),
+            ("1-D compaction", &one_d),
+            ("2-D compaction (i=4)", &two_d),
+        ] {
+            let result = TamOptimizer::new(&soc, w_max, groups.clone())?.optimize()?;
+            println!(
+                "  (a) {label:<22} T_soc = {:>9} cc (SI {:>9})",
+                result.evaluation().t_total(),
+                result.evaluation().t_si
+            );
+        }
+
+        // (b) Objective ablation on the 2-D groups.
+        for (label, objective) in [
+            ("SI-aware (Alg. 2)", Objective::Total),
+            ("SI-oblivious (TR-Arch)", Objective::InTestOnly),
+        ] {
+            let result = TamOptimizer::new(&soc, w_max, two_d.clone())?
+                .objective(objective)
+                .optimize()?;
+            println!(
+                "  (b) {label:<22} T_soc = {:>9} cc (T_in {:>9}, T_si {:>9})",
+                result.evaluation().t_total(),
+                result.evaluation().t_in,
+                result.evaluation().t_si
+            );
+        }
+
+        // (d) Multi-start ablation.
+        let single = TamOptimizer::new(&soc, w_max, two_d.clone())?.optimize()?;
+        let multi = TamOptimizer::new(&soc, w_max, two_d.clone())?.optimize_multi(4)?;
+        println!(
+            "  (d) multi-start (4):       T_soc = {:>9} cc vs single {:>9} cc",
+            multi.evaluation().t_total(),
+            single.evaluation().t_total()
+        );
+
+        // (c) Scheduling ablation: Algorithm 1 vs fully serial.
+        let result = TamOptimizer::new(&soc, w_max, two_d.clone())?.optimize()?;
+        let eval = result.evaluation();
+        let serial: u64 = eval.group_times.iter().map(|g| g.time).sum();
+        println!(
+            "  (c) SI schedule: Alg. 1 = {} cc vs serial = {} cc ({:.1}% saved)",
+            eval.t_si,
+            serial,
+            (serial - eval.t_si) as f64 / serial.max(1) as f64 * 100.0
+        );
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Sweeps the whole embedded ITC'02 suite: for every SOC, the SI-aware
+//! total time vs the SI-oblivious baseline at three TAM widths, plus the
+//! lower-bound gap (optimizer quality).
+//!
+//! The paper evaluates only p34392 and p93791; this binary shows the same
+//! machinery holds across the full benchmark family.
+//!
+//! ```sh
+//! cargo run --release -p soctam-bench --bin suite
+//! ```
+
+use soctam::compaction::{compact_two_dimensional, CompactionConfig};
+use soctam::tam::bounds::total_lower_bound;
+use soctam::{Benchmark, Objective, RandomPatternConfig, SiGroupSpec, SiPatternSet, TamOptimizer};
+use soctam_bench::TABLE_SEED;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_r = 10_000usize;
+    println!(
+        "{:>9} {:>5} {:>12} {:>12} {:>8} {:>12} {:>7}",
+        "soc", "Wmax", "T_soc", "T_[8]", "gain%", "LB(T_soc)", "T/LB"
+    );
+    for bench in Benchmark::ALL {
+        let soc = bench.soc();
+        let raw = SiPatternSet::random(&soc, &RandomPatternConfig::new(n_r).with_seed(TABLE_SEED))?;
+        let parts = 4u32.min(soc.num_cores() as u32);
+        let groups: Vec<SiGroupSpec> =
+            compact_two_dimensional(&soc, &raw, &CompactionConfig::new(parts))?
+                .groups()
+                .iter()
+                .map(SiGroupSpec::from)
+                .collect();
+        for w_max in [16u32, 32, 64] {
+            let aware = TamOptimizer::new(&soc, w_max, groups.clone())?
+                .optimize()?
+                .evaluation()
+                .t_total();
+            let baseline = TamOptimizer::new(&soc, w_max, groups.clone())?
+                .objective(Objective::InTestOnly)
+                .optimize()?
+                .evaluation()
+                .t_total();
+            let lb = total_lower_bound(&soc, &groups, w_max)?;
+            println!(
+                "{:>9} {:>5} {:>12} {:>12} {:>7.2} {:>12} {:>6.2}x",
+                soc.name(),
+                w_max,
+                aware,
+                baseline,
+                (baseline as f64 - aware as f64) / baseline as f64 * 100.0,
+                lb,
+                aware as f64 / lb as f64
+            );
+        }
+    }
+    Ok(())
+}

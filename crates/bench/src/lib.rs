@@ -1,0 +1,115 @@
+//! Shared helpers for the table-regeneration binaries and Criterion
+//! benches. Everything here is deterministic: the paper tables are
+//! reproducible bit-for-bit with the default seed.
+
+use soctam::experiment::{run_table, ExperimentConfig, ExperimentTable};
+use soctam::{Benchmark, RandomPatternConfig, SiGroupSpec, SiPatternSet, Soc, SoctamError};
+
+/// The seed used by every shipped table (chosen once, never tuned).
+pub const TABLE_SEED: u64 = 2007;
+
+/// Runs one full paper table (all widths, all partition counts) for a
+/// benchmark and raw pattern count.
+///
+/// # Errors
+///
+/// Forwards pipeline errors.
+pub fn paper_table(bench: Benchmark, pattern_count: usize) -> Result<ExperimentTable, SoctamError> {
+    let soc = bench.soc();
+    let mut config = ExperimentConfig::paper_sweep(pattern_count);
+    config.seed = TABLE_SEED;
+    run_table(&soc, &config)
+}
+
+/// Renders a table in Markdown (for `EXPERIMENTS.md`).
+pub fn to_markdown(table: &ExperimentTable) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let parts: Vec<u32> = table
+        .rows
+        .first()
+        .map(|r| r.t_partitioned.iter().map(|&(i, _)| i).collect())
+        .unwrap_or_default();
+    let _ = writeln!(
+        out,
+        "**{} — N_r = {}** (compacted: {})\n",
+        table.soc_name,
+        table.pattern_count,
+        table
+            .compacted_counts
+            .iter()
+            .map(|(i, c)| format!("g{i}={c}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = write!(out, "| Wmax | T_[8] (cc) |");
+    for i in &parts {
+        let _ = write!(out, " T_g{i} (cc) |");
+    }
+    let _ = writeln!(out, " T_min (cc) | ΔT_[8] (%) | ΔT_g (%) |");
+    let _ = write!(out, "|---|---|");
+    for _ in &parts {
+        let _ = write!(out, "---|");
+    }
+    let _ = writeln!(out, "---|---|---|");
+    for row in &table.rows {
+        let _ = write!(out, "| {} | {} |", row.w_max, row.t_baseline);
+        for &(_, t) in &row.t_partitioned {
+            let _ = write!(out, " {t} |");
+        }
+        let _ = writeln!(
+            out,
+            " {} | {:.2} | {:.2} |",
+            row.t_min(),
+            row.delta_baseline_pct(),
+            row.delta_g_pct()
+        );
+    }
+    out
+}
+
+/// Deterministic pattern set for micro-benchmarks.
+pub fn bench_patterns(soc: &Soc, count: usize) -> SiPatternSet {
+    SiPatternSet::random(soc, &RandomPatternConfig::new(count).with_seed(TABLE_SEED))
+        .expect("benchmark pattern generation succeeds")
+}
+
+/// A fixed mid-size SI group set for optimizer micro-benchmarks.
+pub fn bench_groups(soc: &Soc) -> Vec<SiGroupSpec> {
+    let cores: Vec<_> = soc.core_ids().collect();
+    let quarter = (cores.len() / 4).max(1);
+    let mut groups = vec![SiGroupSpec::new(cores.clone(), 2_000)];
+    for (i, chunk) in cores.chunks(quarter).enumerate() {
+        groups.push(SiGroupSpec::new(chunk.to_vec(), 500 + 100 * i as u64));
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_has_header_and_rows() {
+        let soc = Benchmark::D695.soc();
+        let config = ExperimentConfig {
+            pattern_count: 150,
+            widths: vec![8],
+            partitions: vec![1, 2],
+            seed: TABLE_SEED,
+        };
+        let table = run_table(&soc, &config).expect("runs");
+        let md = to_markdown(&table);
+        assert!(md.contains("| Wmax |"));
+        assert!(md.contains("T_g2"));
+        assert_eq!(md.matches("| 8 |").count(), 1);
+    }
+
+    #[test]
+    fn bench_helpers_are_deterministic() {
+        let soc = Benchmark::D695.soc();
+        assert_eq!(bench_patterns(&soc, 50), bench_patterns(&soc, 50));
+        assert_eq!(bench_groups(&soc), bench_groups(&soc));
+    }
+}

@@ -1,0 +1,625 @@
+//! Implementation of the `soctam` command-line tool.
+//!
+//! The CLI wraps the [`soctam`] facade:
+//!
+//! ```text
+//! soctam info     <soc>                     SOC summary (cores, terminals, volume)
+//! soctam optimize <soc> [options]           compaction + SI-aware TAM optimization
+//! soctam table    <soc> [options]           the paper's table sweep
+//! soctam compact  <soc> [options]           compaction statistics only
+//! ```
+//!
+//! `<soc>` is either an embedded benchmark name (`d695`, `p34392`,
+//! `p93791`) or a path to an ITC'02 `.soc` file. Argument parsing is
+//! dependency-free; every command accepts `--help`.
+
+use std::fmt::Write as _;
+
+use soctam::experiment::{run_table, ExperimentConfig};
+use soctam::model::parser::parse_soc;
+use soctam::tam::render_schedule;
+use soctam::{
+    compact_two_dimensional, Benchmark, CompactionConfig, Objective, RandomPatternConfig,
+    SiOptimizer, SiPatternSet, Soc,
+};
+
+/// A CLI failure: a message and the exit code to report.
+#[derive(Debug)]
+pub struct CliError {
+    /// Message printed to stderr.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
+    }
+
+    fn runtime(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 1,
+        }
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+soctam — SOC test architecture optimization for signal-integrity faults
+
+USAGE:
+    soctam <COMMAND> <SOC> [OPTIONS]
+
+COMMANDS:
+    info      print an SOC summary
+    optimize  run 2-D compaction + SI-aware TAM optimization
+    table     run the paper's Table 2/3 sweep
+    compact   run compaction only and report statistics
+    export    write the SOC back out in ITC'02 .soc format
+    bounds    print architecture-independent lower bounds per width
+    simulate  cross-check the timing model against the bit-level simulator
+
+SOC:
+    d695 | p34392 | p93791 | path/to/file.soc
+
+OPTIONS (optimize / table / compact):
+    --patterns <N>     raw SI pattern count N_r        [default: 10000]
+    --width <W>        TAM width budget W_max          [default: 32]
+    --partitions <I>   SI partition count i            [default: 4]
+    --seed <S>         RNG seed                        [default: 2007]
+    --baseline         optimize for InTest only (TR-Architect)
+    --svg <file>       write the schedule as SVG (optimize)
+    --widths <list>    comma list of widths (table)    [default: 8,16,..,64]
+    --parts <list>     comma list of partitions (table)[default: 1,2,4,8]
+";
+
+/// Parsed command-line options.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Options {
+    /// Raw pattern count `N_r`.
+    pub patterns: usize,
+    /// TAM width budget.
+    pub width: u32,
+    /// Partition count.
+    pub partitions: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// InTest-only objective.
+    pub baseline: bool,
+    /// Optional SVG output path for `optimize`.
+    pub svg: Option<String>,
+    /// Width sweep for `table`.
+    pub widths: Vec<u32>,
+    /// Partition sweep for `table`.
+    pub parts: Vec<u32>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            patterns: 10_000,
+            width: 32,
+            partitions: 4,
+            seed: 2007,
+            baseline: false,
+            svg: None,
+            widths: (1..=8).map(|i| i * 8).collect(),
+            parts: vec![1, 2, 4, 8],
+        }
+    }
+}
+
+fn parse_list(value: &str, flag: &str) -> Result<Vec<u32>, CliError> {
+    value
+        .split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<u32>()
+                .map_err(|_| CliError::usage(format!("invalid value `{part}` for {flag}")))
+        })
+        .collect()
+}
+
+/// Parses options from arguments following the command and SOC.
+///
+/// # Errors
+///
+/// [`CliError`] with a usage message on unknown flags or bad values.
+pub fn parse_options(args: &[String]) -> Result<Options, CliError> {
+    let mut options = Options::default();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value_for = |flag: &str| -> Result<&String, CliError> {
+            iter.next()
+                .ok_or_else(|| CliError::usage(format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--patterns" => {
+                options.patterns = value_for("--patterns")?
+                    .parse()
+                    .map_err(|_| CliError::usage("invalid --patterns value"))?;
+            }
+            "--width" => {
+                options.width = value_for("--width")?
+                    .parse()
+                    .map_err(|_| CliError::usage("invalid --width value"))?;
+            }
+            "--partitions" => {
+                options.partitions = value_for("--partitions")?
+                    .parse()
+                    .map_err(|_| CliError::usage("invalid --partitions value"))?;
+            }
+            "--seed" => {
+                options.seed = value_for("--seed")?
+                    .parse()
+                    .map_err(|_| CliError::usage("invalid --seed value"))?;
+            }
+            "--baseline" => options.baseline = true,
+            "--svg" => options.svg = Some(value_for("--svg")?.clone()),
+            "--widths" => options.widths = parse_list(value_for("--widths")?, "--widths")?,
+            "--parts" => options.parts = parse_list(value_for("--parts")?, "--parts")?,
+            "--help" | "-h" => {
+                return Err(CliError {
+                    message: USAGE.into(),
+                    code: 0,
+                })
+            }
+            other => {
+                return Err(CliError::usage(format!(
+                    "unknown option `{other}` (try --help)"
+                )))
+            }
+        }
+    }
+    Ok(options)
+}
+
+/// Resolves a benchmark name or `.soc` path into an SOC.
+///
+/// # Errors
+///
+/// [`CliError`] when the name is unknown or the file does not parse.
+pub fn load_soc(spec: &str) -> Result<Soc, CliError> {
+    if let Ok(bench) = spec.parse::<Benchmark>() {
+        return Ok(bench.soc());
+    }
+    let text = std::fs::read_to_string(spec)
+        .map_err(|e| CliError::runtime(format!("cannot read `{spec}`: {e}")))?;
+    parse_soc(&text)
+        .and_then(|f| f.into_soc())
+        .map_err(|e| CliError::runtime(format!("cannot parse `{spec}`: {e}")))
+}
+
+/// Runs the CLI; returns the text to print on success.
+///
+/// # Errors
+///
+/// [`CliError`] carrying the message and exit code.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::usage(USAGE));
+    };
+    if command == "--help" || command == "-h" {
+        return Ok(USAGE.to_owned());
+    }
+    let Some(soc_spec) = args.get(1) else {
+        return Err(CliError::usage(format!(
+            "`{command}` needs an SOC argument (try --help)"
+        )));
+    };
+    let soc = load_soc(soc_spec)?;
+    let options = parse_options(&args[2..])?;
+
+    match command.as_str() {
+        "info" => Ok(info(&soc)),
+        "optimize" => optimize(&soc, &options),
+        "table" => table(&soc, &options),
+        "compact" => compact(&soc, &options),
+        "export" => Ok(soctam::model::parser::write_soc(&soc)),
+        "bounds" => bounds(&soc, &options),
+        "simulate" => simulate_cmd(&soc, &options),
+        other => Err(CliError::usage(format!(
+            "unknown command `{other}` (try --help)"
+        ))),
+    }
+}
+
+fn info(soc: &Soc) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{soc}");
+    let _ = writeln!(
+        out,
+        "total InTest data volume: {} bits; total I/O: {}",
+        soc.total_test_data_volume(),
+        soc.total_io()
+    );
+    let _ = writeln!(
+        out,
+        "{:>4} {:>14} {:>7} {:>7} {:>7} {:>7} {:>9} {:>10}",
+        "id", "name", "in", "out", "bidir", "chains", "cells", "patterns"
+    );
+    for (id, core) in soc.iter() {
+        let _ = writeln!(
+            out,
+            "{:>4} {:>14} {:>7} {:>7} {:>7} {:>7} {:>9} {:>10}",
+            id.raw(),
+            core.name(),
+            core.inputs(),
+            core.outputs(),
+            core.bidirs(),
+            core.scan_chains().len(),
+            core.scan_cells(),
+            core.patterns()
+        );
+    }
+    out
+}
+
+fn optimize(soc: &Soc, options: &Options) -> Result<String, CliError> {
+    let patterns = SiPatternSet::random(
+        soc,
+        &RandomPatternConfig::new(options.patterns).with_seed(options.seed),
+    )
+    .map_err(|e| CliError::runtime(e.to_string()))?;
+    let objective = if options.baseline {
+        Objective::InTestOnly
+    } else {
+        Objective::Total
+    };
+    let result = SiOptimizer::new(soc)
+        .max_tam_width(options.width)
+        .partitions(options.partitions)
+        .seed(options.seed)
+        .objective(objective)
+        .optimize(&patterns)
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: N_r={} -> {} compacted patterns in {} groups",
+        soc.name(),
+        options.patterns,
+        result.compacted().total_patterns(),
+        result.compacted().groups().len()
+    );
+    let _ = writeln!(out, "{}", result.architecture());
+    let _ = writeln!(
+        out,
+        "{}",
+        render_schedule(result.architecture(), result.evaluation())
+    );
+    if let Some(path) = &options.svg {
+        let svg = soctam::tam::render_schedule_svg(result.architecture(), result.evaluation());
+        std::fs::write(path, svg)
+            .map_err(|e| CliError::runtime(format!("cannot write `{path}`: {e}")))?;
+        let _ = writeln!(out, "schedule SVG written to {path}");
+    }
+    Ok(out)
+}
+
+fn table(soc: &Soc, options: &Options) -> Result<String, CliError> {
+    let config = ExperimentConfig {
+        pattern_count: options.patterns,
+        widths: options.widths.clone(),
+        partitions: options.parts.clone(),
+        seed: options.seed,
+    };
+    let table = run_table(soc, &config).map_err(|e| CliError::runtime(e.to_string()))?;
+    Ok(table.to_string())
+}
+
+fn compact(soc: &Soc, options: &Options) -> Result<String, CliError> {
+    let patterns = SiPatternSet::random(
+        soc,
+        &RandomPatternConfig::new(options.patterns).with_seed(options.seed),
+    )
+    .map_err(|e| CliError::runtime(e.to_string()))?;
+    let compacted = compact_two_dimensional(
+        soc,
+        &patterns,
+        &CompactionConfig::new(options.partitions).with_seed(options.seed),
+    )
+    .map_err(|e| CliError::runtime(e.to_string()))?;
+    let stats = compacted.stats();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} raw -> {} compacted (ratio {:.1}x), {} groups, cut weight {}",
+        soc.name(),
+        stats.raw_patterns,
+        compacted.total_patterns(),
+        stats.compaction_ratio(),
+        compacted.groups().len(),
+        stats.cut_weight
+    );
+    for (i, group) in compacted.groups().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  group {i}: {} cores, {} patterns",
+            group.cores().len(),
+            group.pattern_count()
+        );
+    }
+    let _ = writeln!(out, "SI data volume: {} bits", compacted.data_volume(soc));
+    Ok(out)
+}
+
+fn bounds(soc: &Soc, options: &Options) -> Result<String, CliError> {
+    use soctam::tam::bounds::{intest_lower_bound, si_lower_bound};
+    let patterns = SiPatternSet::random(
+        soc,
+        &RandomPatternConfig::new(options.patterns).with_seed(options.seed),
+    )
+    .map_err(|e| CliError::runtime(e.to_string()))?;
+    let compacted = compact_two_dimensional(
+        soc,
+        &patterns,
+        &CompactionConfig::new(options.partitions).with_seed(options.seed),
+    )
+    .map_err(|e| CliError::runtime(e.to_string()))?;
+    let groups: Vec<soctam::SiGroupSpec> = compacted
+        .groups()
+        .iter()
+        .map(soctam::SiGroupSpec::from)
+        .collect();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: lower bounds (N_r = {}, i = {})",
+        soc.name(),
+        options.patterns,
+        options.partitions
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} {:>12} {:>12} {:>12}",
+        "Wmax", "LB(T_in)", "LB(T_si)", "LB(T_soc)"
+    );
+    for &w in &options.widths {
+        let lb_in = intest_lower_bound(soc, w).map_err(|e| CliError::runtime(e.to_string()))?;
+        let lb_si =
+            si_lower_bound(soc, &groups, w).map_err(|e| CliError::runtime(e.to_string()))?;
+        let _ = writeln!(
+            out,
+            "{:>6} {:>12} {:>12} {:>12}",
+            w,
+            lb_in,
+            lb_si,
+            lb_in + lb_si
+        );
+    }
+    Ok(out)
+}
+
+fn simulate_cmd(soc: &Soc, options: &Options) -> Result<String, CliError> {
+    let patterns = SiPatternSet::random(
+        soc,
+        &RandomPatternConfig::new(options.patterns).with_seed(options.seed),
+    )
+    .map_err(|e| CliError::runtime(e.to_string()))?;
+    let result = SiOptimizer::new(soc)
+        .max_tam_width(options.width)
+        .partitions(options.partitions)
+        .seed(options.seed)
+        .optimize(&patterns)
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+    let sim = soctam::tester::simulate(
+        soc,
+        result.architecture(),
+        result.compacted().groups(),
+        false,
+    )
+    .map_err(|e| CliError::runtime(e.to_string()))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "analytic : T_in = {} cc, T_si = {} cc",
+        result.intest_time(),
+        result.si_time()
+    );
+    let _ = writeln!(
+        out,
+        "simulated: T_in = {} cc, T_si = {} cc",
+        sim.t_in, sim.t_si
+    );
+    let agree = sim.t_in == result.intest_time() && sim.t_si == result.si_time();
+    let _ = writeln!(
+        out,
+        "{} ({} stimulus bits driven)",
+        if agree {
+            "model and bit-level simulation agree exactly"
+        } else {
+            "MISMATCH between model and simulation"
+        },
+        sim.bits_driven
+    );
+    if !agree {
+        return Err(CliError::runtime(out));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn info_runs_on_benchmarks() {
+        let out = run(&args(&["info", "d695"])).expect("runs");
+        assert!(out.contains("d695"));
+        assert!(out.contains("s38584"));
+    }
+
+    #[test]
+    fn optimize_runs_small() {
+        let out = run(&args(&[
+            "optimize",
+            "d695",
+            "--patterns",
+            "200",
+            "--width",
+            "8",
+            "--partitions",
+            "2",
+        ]))
+        .expect("runs");
+        assert!(out.contains("T_soc"));
+        assert!(out.contains("TAM0"));
+    }
+
+    #[test]
+    fn table_runs_reduced_sweep() {
+        let out = run(&args(&[
+            "table",
+            "d695",
+            "--patterns",
+            "150",
+            "--widths",
+            "8,16",
+            "--parts",
+            "1,2",
+        ]))
+        .expect("runs");
+        assert!(out.contains("T_[8]"));
+        assert!(out.contains("T_g2"));
+    }
+
+    #[test]
+    fn compact_reports_stats() {
+        let out = run(&args(&["compact", "d695", "--patterns", "300"])).expect("runs");
+        assert!(out.contains("ratio"));
+        assert!(out.contains("SI data volume"));
+    }
+
+    #[test]
+    fn svg_output_is_written() {
+        let dir = std::env::temp_dir().join("soctam_cli_svg_test.svg");
+        let path = dir.to_string_lossy().to_string();
+        let out = run(&args(&[
+            "optimize",
+            "d695",
+            "--patterns",
+            "100",
+            "--width",
+            "8",
+            "--svg",
+            &path,
+        ]))
+        .expect("runs");
+        assert!(out.contains("SVG written"));
+        let svg = std::fs::read_to_string(&path).expect("file exists");
+        assert!(svg.starts_with("<svg"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bounds_prints_one_row_per_width() {
+        let out = run(&args(&[
+            "bounds",
+            "d695",
+            "--patterns",
+            "100",
+            "--widths",
+            "8,16,32",
+        ]))
+        .expect("runs");
+        assert!(out.contains("LB(T_in)"));
+        assert_eq!(out.lines().count(), 2 + 3);
+    }
+
+    #[test]
+    fn simulate_confirms_model_agreement() {
+        let out = run(&args(&[
+            "simulate",
+            "d695",
+            "--patterns",
+            "150",
+            "--width",
+            "8",
+        ]))
+        .expect("runs");
+        assert!(out.contains("agree exactly"));
+    }
+
+    #[test]
+    fn export_roundtrips_through_the_parser() {
+        let text = run(&args(&["export", "p34392"])).expect("runs");
+        let soc = soctam::model::parser::parse_soc(&text)
+            .expect("parses")
+            .into_soc()
+            .expect("valid");
+        assert_eq!(soc.num_cores(), 19);
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        let err = run(&args(&["frobnicate", "d695"])).unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn unknown_flag_is_usage_error() {
+        let err = run(&args(&["info", "d695"])); // no flags: fine
+        assert!(err.is_ok());
+        let err = run(&args(&["optimize", "d695", "--bogus"])).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--bogus"));
+    }
+
+    #[test]
+    fn missing_soc_is_usage_error() {
+        let err = run(&args(&["info"])).unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn bad_file_is_runtime_error() {
+        let err = run(&args(&["info", "/nonexistent/x.soc"])).unwrap_err();
+        assert_eq!(err.code, 1);
+    }
+
+    #[test]
+    fn help_exits_cleanly() {
+        let out = run(&args(&["--help"])).expect("help is success");
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn option_parsing_roundtrip() {
+        let opts = parse_options(&args(&[
+            "--patterns",
+            "123",
+            "--width",
+            "9",
+            "--partitions",
+            "3",
+            "--seed",
+            "7",
+            "--baseline",
+            "--widths",
+            "8,9",
+            "--parts",
+            "1,3",
+        ]))
+        .expect("parses");
+        assert_eq!(opts.patterns, 123);
+        assert_eq!(opts.width, 9);
+        assert_eq!(opts.partitions, 3);
+        assert_eq!(opts.seed, 7);
+        assert!(opts.baseline);
+        assert_eq!(opts.widths, vec![8, 9]);
+        assert_eq!(opts.parts, vec![1, 3]);
+    }
+}

@@ -1,0 +1,23 @@
+//! The `soctam` command-line binary. All logic lives in the library so it
+//! can be tested; this file only handles process I/O.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match soctam_cli::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            if err.code == 0 {
+                print!("{}", err.message);
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("error: {}", err.message);
+                ExitCode::from(err.code as u8)
+            }
+        }
+    }
+}

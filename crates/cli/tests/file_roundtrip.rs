@@ -1,0 +1,58 @@
+//! File-based end-to-end flow: export a benchmark to a real `.soc` file,
+//! reload it through the CLI path, and run every command against it.
+
+use std::fs;
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn exported_file_drives_every_command() {
+    let path = std::env::temp_dir().join("soctam_cli_roundtrip_p34392.soc");
+    let path_str = path.to_string_lossy().to_string();
+
+    // Export.
+    let text = soctam_cli::run(&args(&["export", "p34392"])).expect("export runs");
+    fs::write(&path, &text).expect("file written");
+
+    // info: identical structure to the embedded SOC.
+    let info = soctam_cli::run(&args(&["info", &path_str])).expect("info runs");
+    assert!(info.contains("19 cores"));
+
+    // compact / bounds / optimize on the file.
+    let compact = soctam_cli::run(&args(&[
+        "compact", &path_str, "--patterns", "400", "--partitions", "2",
+    ]))
+    .expect("compact runs");
+    assert!(compact.contains("ratio"));
+
+    let bounds = soctam_cli::run(&args(&[
+        "bounds", &path_str, "--patterns", "200", "--widths", "16",
+    ]))
+    .expect("bounds runs");
+    assert!(bounds.contains("LB(T_soc)"));
+
+    let optimize = soctam_cli::run(&args(&[
+        "optimize", &path_str, "--patterns", "300", "--width", "16",
+    ]))
+    .expect("optimize runs");
+    assert!(optimize.contains("T_soc"));
+
+    // The file-loaded SOC must optimize to the same result as the
+    // embedded one (the export is lossless for the fields that matter).
+    let embedded = soctam_cli::run(&args(&[
+        "optimize", "p34392", "--patterns", "300", "--width", "16",
+    ]))
+    .expect("optimize runs");
+    // Names differ (module1 vs p34392_c1) but every number matches.
+    let digits = |s: &str| {
+        s.lines()
+            .filter(|l| l.contains("T_soc"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(digits(&optimize), digits(&embedded));
+
+    let _ = fs::remove_file(&path);
+}

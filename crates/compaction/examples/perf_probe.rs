@@ -1,0 +1,35 @@
+//! Wall-clock profiling helper for the compaction pipeline on the paper benchmarks.
+//!
+//! Run with `cargo run --release -p <crate> --example perf_probe`.
+use soctam_compaction::{compact_two_dimensional, CompactionConfig};
+use soctam_model::Benchmark;
+use soctam_patterns::{RandomPatternConfig, SiPatternSet};
+
+fn main() {
+    for bench in [Benchmark::P34392, Benchmark::P93791] {
+        let soc = bench.soc();
+        for count in [10_000usize, 100_000] {
+            let gen_start = std::time::Instant::now();
+            let raw =
+                SiPatternSet::random(&soc, &RandomPatternConfig::new(count).with_seed(42)).unwrap();
+            let gen_time = gen_start.elapsed();
+            for parts in [1u32, 2, 4, 8] {
+                let start = std::time::Instant::now();
+                let result =
+                    compact_two_dimensional(&soc, &raw, &CompactionConfig::new(parts)).unwrap();
+                println!(
+                    "{} Nr={} i={}: {} -> {} patterns (ratio {:.1}) cut={} gen={:?} compact={:?}",
+                    soc.name(),
+                    count,
+                    parts,
+                    count,
+                    result.total_patterns(),
+                    result.stats().compaction_ratio(),
+                    result.stats().cut_weight,
+                    gen_time,
+                    start.elapsed()
+                );
+            }
+        }
+    }
+}

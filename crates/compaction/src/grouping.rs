@@ -1,0 +1,262 @@
+//! Horizontal compaction: core grouping via hypergraph partitioning
+//! (Fig. 2 of the paper).
+
+use std::collections::HashMap;
+
+use soctam_hypergraph::{Hypergraph, HypergraphBuilder, Partition, PartitionConfig};
+use soctam_model::{CoreId, Soc};
+use soctam_patterns::SiPattern;
+
+use crate::CompactionError;
+
+/// Builds the core hypergraph of Section 3: one vertex per core (weight =
+/// its wrapper output cell count), one hyperedge per *distinct care-core
+/// set* occurring in `patterns` (weight = how many patterns share it).
+///
+/// Single-core care sets become single-pin edges, which the partitioner
+/// ignores (they can never be cut).
+///
+/// # Panics
+///
+/// Panics if a pattern references a terminal outside `soc`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use soctam_compaction::build_core_hypergraph;
+/// use soctam_model::Benchmark;
+/// use soctam_patterns::{RandomPatternConfig, SiPatternSet};
+///
+/// let soc = Benchmark::D695.soc();
+/// let set = SiPatternSet::random(&soc, &RandomPatternConfig::new(200))?;
+/// let hg = build_core_hypergraph(&soc, set.as_slice());
+/// assert_eq!(hg.num_vertices(), soc.num_cores());
+/// # Ok(())
+/// # }
+/// ```
+pub fn build_core_hypergraph(soc: &Soc, patterns: &[SiPattern]) -> Hypergraph {
+    let mut builder = HypergraphBuilder::new();
+    for (_, core) in soc.iter() {
+        builder.add_vertex(u64::from(core.woc_count()));
+    }
+    let mut edge_counts: HashMap<Vec<u32>, u64> = HashMap::new();
+    for pattern in patterns {
+        let cores: Vec<u32> = pattern
+            .care_cores(soc)
+            .into_iter()
+            .map(|c| c.raw())
+            .collect();
+        if !cores.is_empty() {
+            *edge_counts.entry(cores).or_insert(0) += 1;
+        }
+    }
+    let mut edges: Vec<(Vec<u32>, u64)> = edge_counts.into_iter().collect();
+    edges.sort_unstable(); // deterministic edge order
+    for (pins, weight) in edges {
+        builder
+            .add_edge(weight, &pins)
+            .expect("care cores are valid vertices");
+    }
+    builder.build()
+}
+
+/// The assignment of raw patterns to partition buckets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatternGrouping {
+    /// Core partition: `core_part[core] = part`.
+    pub core_part: Vec<u32>,
+    /// Number of parts.
+    pub parts: u32,
+    /// `bucket[i]` holds the indices of patterns whose care cores all lie
+    /// in part `i`.
+    pub buckets: Vec<Vec<usize>>,
+    /// Indices of patterns whose care cores span multiple parts.
+    pub remainder: Vec<usize>,
+    /// Weight of cut hyperedges in the chosen partition.
+    pub cut_weight: u64,
+}
+
+impl PatternGrouping {
+    /// The cores assigned to part `p`.
+    pub fn part_cores(&self, p: u32) -> Vec<CoreId> {
+        self.core_part
+            .iter()
+            .enumerate()
+            .filter_map(|(c, &q)| (q == p).then_some(CoreId::new(c as u32)))
+            .collect()
+    }
+}
+
+/// Partitions the cores into `parts` groups (minimizing the weighted
+/// pattern cut) and buckets every pattern: patterns whose care cores all
+/// fall into one part go to that part's bucket, the rest to the remainder.
+///
+/// With `parts == 1` everything lands in bucket 0 and the remainder is
+/// empty.
+///
+/// # Errors
+///
+/// [`CompactionError::TooManyPartitions`] when `parts` exceeds the core
+/// count, or a forwarded partitioning error.
+///
+/// # Panics
+///
+/// Panics if a pattern references a terminal outside `soc`.
+pub fn group_patterns(
+    soc: &Soc,
+    patterns: &[SiPattern],
+    parts: u32,
+    partition_config: &PartitionConfig,
+) -> Result<PatternGrouping, CompactionError> {
+    if parts as usize > soc.num_cores() {
+        return Err(CompactionError::TooManyPartitions {
+            partitions: parts,
+            cores: soc.num_cores(),
+        });
+    }
+    let (core_part, cut_weight) = if parts <= 1 {
+        (vec![0u32; soc.num_cores()], 0)
+    } else {
+        let hg = build_core_hypergraph(soc, patterns);
+        let config = PartitionConfig {
+            parts,
+            ..partition_config.clone()
+        };
+        let partition: Partition = hg.partition(&config)?;
+        let cut = partition.cut_weight(&hg);
+        (partition.assignment().to_vec(), cut)
+    };
+
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); parts.max(1) as usize];
+    let mut remainder = Vec::new();
+    for (index, pattern) in patterns.iter().enumerate() {
+        let cores = pattern.care_cores(soc);
+        match single_part(&core_part, &cores) {
+            Some(part) => buckets[part as usize].push(index),
+            None => remainder.push(index),
+        }
+    }
+
+    Ok(PatternGrouping {
+        core_part,
+        parts: parts.max(1),
+        buckets,
+        remainder,
+        cut_weight,
+    })
+}
+
+/// `Some(part)` when all cores lie in one part, else `None`. Patterns with
+/// no care cores go to part 0.
+fn single_part(core_part: &[u32], cores: &[CoreId]) -> Option<u32> {
+    let mut iter = cores.iter();
+    let first = match iter.next() {
+        Some(c) => core_part[c.index()],
+        None => return Some(0),
+    };
+    iter.all(|c| core_part[c.index()] == first).then_some(first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctam_model::Benchmark;
+    use soctam_patterns::{RandomPatternConfig, SiPatternSet};
+
+    fn setup(n: usize) -> (Soc, SiPatternSet) {
+        let soc = Benchmark::D695.soc();
+        let set =
+            SiPatternSet::random(&soc, &RandomPatternConfig::new(n).with_seed(6)).expect("valid");
+        (soc, set)
+    }
+
+    #[test]
+    fn hypergraph_vertices_are_cores() {
+        let (soc, set) = setup(300);
+        let hg = build_core_hypergraph(&soc, set.as_slice());
+        assert_eq!(hg.num_vertices(), soc.num_cores());
+        for (id, core) in soc.iter() {
+            assert_eq!(hg.vertex_weight(id.raw()), u64::from(core.woc_count()));
+        }
+    }
+
+    #[test]
+    fn hyperedge_weights_sum_to_pattern_count() {
+        let (soc, set) = setup(250);
+        let hg = build_core_hypergraph(&soc, set.as_slice());
+        assert_eq!(hg.total_edge_weight(), 250);
+    }
+
+    #[test]
+    fn single_partition_buckets_everything_together() {
+        let (soc, set) = setup(100);
+        let grouping =
+            group_patterns(&soc, set.as_slice(), 1, &PartitionConfig::new(1)).expect("valid");
+        assert_eq!(grouping.buckets.len(), 1);
+        assert_eq!(grouping.buckets[0].len(), 100);
+        assert!(grouping.remainder.is_empty());
+        assert_eq!(grouping.cut_weight, 0);
+    }
+
+    #[test]
+    fn buckets_and_remainder_partition_the_indices() {
+        let (soc, set) = setup(400);
+        for parts in [2u32, 4] {
+            let grouping =
+                group_patterns(&soc, set.as_slice(), parts, &PartitionConfig::new(parts))
+                    .expect("valid");
+            let mut seen: Vec<usize> = grouping
+                .buckets
+                .iter()
+                .flatten()
+                .chain(&grouping.remainder)
+                .copied()
+                .collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..400).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn bucketed_patterns_stay_within_their_part() {
+        let (soc, set) = setup(400);
+        let grouping =
+            group_patterns(&soc, set.as_slice(), 4, &PartitionConfig::new(4)).expect("valid");
+        for (part, bucket) in grouping.buckets.iter().enumerate() {
+            for &index in bucket {
+                for core in set.as_slice()[index].care_cores(&soc) {
+                    assert_eq!(grouping.core_part[core.index()], part as u32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remainder_matches_cut_weight() {
+        let (soc, set) = setup(500);
+        let grouping =
+            group_patterns(&soc, set.as_slice(), 2, &PartitionConfig::new(2)).expect("valid");
+        // Every remainder pattern's care-core set is a cut hyperedge; the
+        // cut weight counts exactly those patterns.
+        assert_eq!(grouping.cut_weight as usize, grouping.remainder.len());
+    }
+
+    #[test]
+    fn too_many_partitions_rejected() {
+        let (soc, set) = setup(10);
+        assert!(matches!(
+            group_patterns(&soc, set.as_slice(), 11, &PartitionConfig::new(11)),
+            Err(CompactionError::TooManyPartitions { .. })
+        ));
+    }
+
+    #[test]
+    fn part_cores_cover_all_cores() {
+        let (soc, set) = setup(200);
+        let grouping =
+            group_patterns(&soc, set.as_slice(), 4, &PartitionConfig::new(4)).expect("valid");
+        let total: usize = (0..4).map(|p| grouping.part_cores(p).len()).sum();
+        assert_eq!(total, soc.num_cores());
+    }
+}

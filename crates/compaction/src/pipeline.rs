@@ -1,0 +1,237 @@
+//! The full two-dimensional compaction pipeline.
+
+use soctam_hypergraph::PartitionConfig;
+use soctam_model::Soc;
+use soctam_patterns::SiPatternSet;
+
+use crate::{
+    compact_greedy_ordered, group_patterns, CompactedSiTests, CompactionError, CompactionStats,
+    MergeOrder, SiTestGroup,
+};
+
+/// Configuration for [`compact_two_dimensional`].
+///
+/// # Example
+///
+/// ```
+/// use soctam_compaction::CompactionConfig;
+///
+/// let config = CompactionConfig::new(4).with_seed(7);
+/// assert_eq!(config.partitions, 4);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompactionConfig {
+    /// Number of core partitions `i` (the paper sweeps 1, 2, 4, 8).
+    pub partitions: u32,
+    /// Hypergraph partitioner settings (imbalance, seed, FM effort).
+    pub partition_config: PartitionConfig,
+    /// Visit order of the greedy clique cover. The default is the paper's
+    /// input order; [`MergeOrder::MostCareBitsFirst`] typically compacts
+    /// ~20 % further (see the `compaction_report` bench binary).
+    pub merge_order: MergeOrder,
+}
+
+impl CompactionConfig {
+    /// Creates a configuration for `partitions` core groups with default
+    /// partitioner settings.
+    pub fn new(partitions: u32) -> Self {
+        CompactionConfig {
+            partitions,
+            partition_config: PartitionConfig::new(partitions.max(1)),
+            merge_order: MergeOrder::InputOrder,
+        }
+    }
+
+    /// Sets the greedy clique-cover visit order.
+    pub fn with_merge_order(mut self, order: MergeOrder) -> Self {
+        self.merge_order = order;
+        self
+    }
+
+    /// Sets the partitioner RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.partition_config.seed = seed;
+        self
+    }
+}
+
+/// Runs two-dimensional compaction: partitions the cores into
+/// `config.partitions` groups, buckets the raw patterns (patterns whose
+/// care cores straddle groups go to the cross-partition remainder), and
+/// vertically compacts **each bucket separately**.
+///
+/// The result contains at most `partitions + 1` [`SiTestGroup`]s: one per
+/// non-empty part (involving that part's cores) plus, if any pattern was
+/// cut, the remainder group involving *all* cores. With `partitions == 1`
+/// this degenerates to the one-dimensional (count-only) compaction the
+/// paper calls `T_g1`.
+///
+/// # Errors
+///
+/// * forwarded pattern validation errors;
+/// * [`CompactionError::TooManyPartitions`] / partitioning failures.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use soctam_compaction::{compact_two_dimensional, CompactionConfig};
+/// use soctam_model::Benchmark;
+/// use soctam_patterns::{RandomPatternConfig, SiPatternSet};
+///
+/// let soc = Benchmark::D695.soc();
+/// let raw = SiPatternSet::random(&soc, &RandomPatternConfig::new(1000).with_seed(2))?;
+/// let one_dim = compact_two_dimensional(&soc, &raw, &CompactionConfig::new(1))?;
+/// let two_dim = compact_two_dimensional(&soc, &raw, &CompactionConfig::new(4))?;
+/// // 1-D compaction merges across everything, so it needs no remainder.
+/// assert_eq!(one_dim.groups().len(), 1);
+/// assert!(two_dim.groups().len() > 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn compact_two_dimensional(
+    soc: &Soc,
+    raw: &SiPatternSet,
+    config: &CompactionConfig,
+) -> Result<CompactedSiTests, CompactionError> {
+    raw.validate_for(soc)?;
+    let grouping = group_patterns(
+        soc,
+        raw.as_slice(),
+        config.partitions,
+        &config.partition_config,
+    )?;
+
+    let mut groups = Vec::new();
+    let mut stats = CompactionStats {
+        raw_patterns: raw.len(),
+        partitions: config.partitions.max(1),
+        cut_weight: grouping.cut_weight,
+        raw_remainder_patterns: grouping.remainder.len(),
+        ..CompactionStats::default()
+    };
+
+    for (part, bucket) in grouping.buckets.iter().enumerate() {
+        if bucket.is_empty() {
+            stats.group_patterns.push(0);
+            continue;
+        }
+        let bucket_patterns: Vec<_> = bucket.iter().map(|&i| raw.as_slice()[i].clone()).collect();
+        let compacted = compact_greedy_ordered(soc, &bucket_patterns, config.merge_order);
+        stats.group_patterns.push(compacted.len());
+        groups.push(SiTestGroup::new(
+            grouping.part_cores(part as u32),
+            compacted,
+        ));
+    }
+
+    if !grouping.remainder.is_empty() {
+        let remainder_patterns: Vec<_> = grouping
+            .remainder
+            .iter()
+            .map(|&i| raw.as_slice()[i].clone())
+            .collect();
+        let compacted = compact_greedy_ordered(soc, &remainder_patterns, config.merge_order);
+        stats.remainder_patterns = compacted.len();
+        groups.push(SiTestGroup::new(soc.core_ids().collect(), compacted));
+    }
+
+    Ok(CompactedSiTests::new(groups, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctam_model::Benchmark;
+    use soctam_patterns::RandomPatternConfig;
+
+    fn setup(n: usize) -> (Soc, SiPatternSet) {
+        let soc = Benchmark::D695.soc();
+        let set =
+            SiPatternSet::random(&soc, &RandomPatternConfig::new(n).with_seed(17)).expect("valid");
+        (soc, set)
+    }
+
+    #[test]
+    fn one_dimensional_compaction_has_single_group_over_all_cores() {
+        let (soc, raw) = setup(800);
+        let result = compact_two_dimensional(&soc, &raw, &CompactionConfig::new(1)).expect("valid");
+        assert_eq!(result.groups().len(), 1);
+        assert_eq!(result.groups()[0].cores().len(), soc.num_cores());
+        assert!(result.total_patterns() < 800);
+    }
+
+    #[test]
+    fn group_count_bounded_by_partitions_plus_one() {
+        let (soc, raw) = setup(600);
+        for parts in [2u32, 4, 8] {
+            let result =
+                compact_two_dimensional(&soc, &raw, &CompactionConfig::new(parts)).expect("valid");
+            assert!(result.groups().len() <= parts as usize + 1);
+        }
+    }
+
+    #[test]
+    fn pattern_counts_are_consistent_with_stats() {
+        let (soc, raw) = setup(500);
+        let result = compact_two_dimensional(&soc, &raw, &CompactionConfig::new(4)).expect("valid");
+        let stats = result.stats();
+        let from_stats: u64 =
+            stats.group_patterns.iter().sum::<usize>() as u64 + stats.remainder_patterns as u64;
+        assert_eq!(result.total_patterns(), from_stats);
+        assert!(stats.compaction_ratio() > 1.0);
+    }
+
+    #[test]
+    fn partitioning_reduces_data_volume() {
+        let (soc, raw) = setup(2_000);
+        let one = compact_two_dimensional(&soc, &raw, &CompactionConfig::new(1)).expect("valid");
+        let four = compact_two_dimensional(&soc, &raw, &CompactionConfig::new(4)).expect("valid");
+        // The whole point of horizontal compaction: shorter patterns,
+        // smaller total volume (pattern *count* may grow).
+        assert!(
+            four.data_volume(&soc) < one.data_volume(&soc),
+            "4-part volume {} !< 1-part volume {}",
+            four.data_volume(&soc),
+            one.data_volume(&soc)
+        );
+    }
+
+    #[test]
+    fn empty_input_produces_no_groups() {
+        let soc = Benchmark::D695.soc();
+        let result = compact_two_dimensional(&soc, &SiPatternSet::new(), &CompactionConfig::new(2))
+            .expect("valid");
+        assert!(result.groups().is_empty());
+        assert_eq!(result.total_patterns(), 0);
+        assert_eq!(result.data_volume(&soc), 0);
+    }
+
+    #[test]
+    fn most_care_bits_first_compacts_harder() {
+        let (soc, raw) = setup(2_000);
+        let base = compact_two_dimensional(&soc, &raw, &CompactionConfig::new(1)).expect("valid");
+        let better = compact_two_dimensional(
+            &soc,
+            &raw,
+            &CompactionConfig::new(1).with_merge_order(crate::MergeOrder::MostCareBitsFirst),
+        )
+        .expect("valid");
+        assert!(
+            better.total_patterns() <= base.total_patterns(),
+            "largest-first {} > input-order {}",
+            better.total_patterns(),
+            base.total_patterns()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (soc, raw) = setup(400);
+        let a = compact_two_dimensional(&soc, &raw, &CompactionConfig::new(4).with_seed(3))
+            .expect("valid");
+        let b = compact_two_dimensional(&soc, &raw, &CompactionConfig::new(4).with_seed(3))
+            .expect("valid");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,471 @@
+//! Vertical compaction: merging compatible patterns to reduce the pattern
+//! count (greedy clique cover, plus an exact cover for small oracles).
+
+use soctam_model::{BusLineId, CoreId, Soc, TerminalId};
+use soctam_patterns::{SiPattern, Symbol};
+
+use crate::CompactionError;
+
+/// Greedy first-fit clique-cover compaction (the paper's heuristic).
+///
+/// In each cycle the first uncompacted pattern seeds a clique; every
+/// following pattern compatible with the *accumulated* clique is absorbed.
+/// The result is a set of merged patterns covering the input; its size is
+/// the compacted pattern count.
+///
+/// Runs in `O(cliques × patterns × care-bits)` with flat per-terminal
+/// symbol buffers, which keeps 100 000-pattern sets in the seconds range.
+///
+/// # Panics
+///
+/// Panics if a pattern references a terminal outside `soc`'s terminal
+/// space; validate untrusted sets with
+/// [`SiPatternSet::validate_for`](soctam_patterns::SiPatternSet::validate_for)
+/// first.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use soctam_compaction::compact_greedy;
+/// use soctam_model::{Benchmark, TerminalId};
+/// use soctam_patterns::{SiPattern, Symbol};
+///
+/// let soc = Benchmark::D695.soc();
+/// let a = SiPattern::new(vec![(TerminalId::new(0), Symbol::Rise)], vec![])?;
+/// let b = SiPattern::new(vec![(TerminalId::new(1), Symbol::Fall)], vec![])?;
+/// let c = SiPattern::new(vec![(TerminalId::new(0), Symbol::Fall)], vec![])?;
+/// let compacted = compact_greedy(&soc, &[a, b, c]);
+/// assert_eq!(compacted.len(), 2); // {a, b} merge; c conflicts on t0
+/// # Ok(())
+/// # }
+/// ```
+pub fn compact_greedy(soc: &Soc, patterns: &[SiPattern]) -> Vec<SiPattern> {
+    compact_greedy_ordered(soc, patterns, MergeOrder::InputOrder)
+}
+
+/// The order in which the greedy clique cover visits patterns. The paper
+/// merges "the first uncompacted pattern with its following compatible
+/// patterns"; the visit order is therefore a free heuristic choice.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum MergeOrder {
+    /// Visit patterns in input order (the paper's formulation).
+    #[default]
+    InputOrder,
+    /// Seed cliques with the most constrained (most care bits) patterns
+    /// first — the classic largest-first colouring heuristic.
+    MostCareBitsFirst,
+    /// Seed cliques with the least constrained patterns first.
+    FewestCareBitsFirst,
+}
+
+/// [`compact_greedy`] with an explicit pattern visit order.
+///
+/// # Panics
+///
+/// Same contract as [`compact_greedy`].
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use soctam_compaction::{compact_greedy_ordered, MergeOrder};
+/// use soctam_model::Benchmark;
+/// use soctam_patterns::{RandomPatternConfig, SiPatternSet};
+///
+/// let soc = Benchmark::D695.soc();
+/// let raw = SiPatternSet::random(&soc, &RandomPatternConfig::new(500))?;
+/// let a = compact_greedy_ordered(&soc, raw.as_slice(), MergeOrder::InputOrder);
+/// let b = compact_greedy_ordered(&soc, raw.as_slice(), MergeOrder::MostCareBitsFirst);
+/// assert!(!a.is_empty() && !b.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn compact_greedy_ordered(
+    soc: &Soc,
+    patterns: &[SiPattern],
+    order: MergeOrder,
+) -> Vec<SiPattern> {
+    match order {
+        MergeOrder::InputOrder => compact_greedy_inner(soc, patterns.iter().collect()),
+        MergeOrder::MostCareBitsFirst => {
+            let mut refs: Vec<&SiPattern> = patterns.iter().collect();
+            refs.sort_by_key(|p| std::cmp::Reverse(p.care_bits().len() + p.bus_lines().len()));
+            compact_greedy_inner(soc, refs)
+        }
+        MergeOrder::FewestCareBitsFirst => {
+            let mut refs: Vec<&SiPattern> = patterns.iter().collect();
+            refs.sort_by_key(|p| p.care_bits().len() + p.bus_lines().len());
+            compact_greedy_inner(soc, refs)
+        }
+    }
+}
+
+fn compact_greedy_inner(soc: &Soc, patterns: Vec<&SiPattern>) -> Vec<SiPattern> {
+    let total_terminals = soc.total_wocs() as usize;
+    // Flat per-terminal and per-bus-line state with epoch stamping: no
+    // clearing between cliques.
+    let mut term_epoch = vec![0u32; total_terminals];
+    let mut term_sym = vec![Symbol::Zero; total_terminals];
+    let mut bus_epoch = vec![0u32; 256];
+    let mut bus_driver = vec![CoreId::new(0); 256];
+    let mut epoch = 0u32;
+
+    let mut alive: Vec<&SiPattern> = patterns;
+    let mut result = Vec::new();
+
+    while !alive.is_empty() {
+        epoch += 1;
+        let mut clique_care: Vec<(TerminalId, Symbol)> = Vec::new();
+        let mut clique_bus: Vec<(BusLineId, CoreId)> = Vec::new();
+
+        let absorb = |p: &SiPattern,
+                      term_epoch: &mut [u32],
+                      term_sym: &mut [Symbol],
+                      bus_epoch: &mut [u32],
+                      bus_driver: &mut [CoreId],
+                      clique_care: &mut Vec<(TerminalId, Symbol)>,
+                      clique_bus: &mut Vec<(BusLineId, CoreId)>| {
+            for &(t, s) in p.care_bits() {
+                let idx = t.index();
+                if term_epoch[idx] != epoch {
+                    term_epoch[idx] = epoch;
+                    term_sym[idx] = s;
+                    clique_care.push((t, s));
+                }
+            }
+            for &(l, d) in p.bus_lines() {
+                let idx = l.index();
+                if bus_epoch[idx] != epoch {
+                    bus_epoch[idx] = epoch;
+                    bus_driver[idx] = d;
+                    clique_bus.push((l, d));
+                }
+            }
+        };
+
+        let is_compatible = |p: &SiPattern,
+                             term_epoch: &[u32],
+                             term_sym: &[Symbol],
+                             bus_epoch: &[u32],
+                             bus_driver: &[CoreId]| {
+            p.care_bits().iter().all(|&(t, s)| {
+                let idx = t.index();
+                term_epoch[idx] != epoch || term_sym[idx] == s
+            }) && p.bus_lines().iter().all(|&(l, d)| {
+                let idx = l.index();
+                bus_epoch[idx] != epoch || bus_driver[idx] == d
+            })
+        };
+
+        let mut iter = alive.into_iter();
+        let seed = iter.next().expect("alive is non-empty");
+        assert!(
+            seed.care_bits()
+                .iter()
+                .all(|&(t, _)| t.index() < total_terminals),
+            "pattern references terminal outside the soc"
+        );
+        absorb(
+            seed,
+            &mut term_epoch,
+            &mut term_sym,
+            &mut bus_epoch,
+            &mut bus_driver,
+            &mut clique_care,
+            &mut clique_bus,
+        );
+
+        let mut next_alive = Vec::new();
+        for p in iter {
+            if is_compatible(p, &term_epoch, &term_sym, &bus_epoch, &bus_driver) {
+                assert!(
+                    p.care_bits()
+                        .iter()
+                        .all(|&(t, _)| t.index() < total_terminals),
+                    "pattern references terminal outside the soc"
+                );
+                absorb(
+                    p,
+                    &mut term_epoch,
+                    &mut term_sym,
+                    &mut bus_epoch,
+                    &mut bus_driver,
+                    &mut clique_care,
+                    &mut clique_bus,
+                );
+            } else {
+                next_alive.push(p);
+            }
+        }
+        alive = next_alive;
+        result.push(
+            SiPattern::new(clique_care, clique_bus).expect("clique accumulation cannot conflict"),
+        );
+    }
+    result
+}
+
+/// Maximum input size accepted by [`compact_optimal`].
+pub const EXACT_COVER_LIMIT: usize = 16;
+
+/// Exact minimum clique cover by exhaustive branch-and-bound — the
+/// reference the paper compares its greedy heuristic against. Only
+/// feasible for tiny sets; use it as a quality oracle.
+///
+/// # Errors
+///
+/// Returns [`CompactionError::SetTooLargeForExactCover`] for more than
+/// [`EXACT_COVER_LIMIT`] patterns.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use soctam_compaction::{compact_greedy, compact_optimal};
+/// use soctam_model::{Benchmark, TerminalId};
+/// use soctam_patterns::{SiPattern, Symbol};
+///
+/// let soc = Benchmark::D695.soc();
+/// let patterns: Vec<SiPattern> = (0..6)
+///     .map(|i| {
+///         SiPattern::new(vec![(TerminalId::new(i), Symbol::Rise)], vec![])
+///     })
+///     .collect::<Result<_, _>>()?;
+/// let exact = compact_optimal(&patterns)?;
+/// assert_eq!(exact.len(), 1); // all six are mutually compatible
+/// # Ok(())
+/// # }
+/// ```
+pub fn compact_optimal(patterns: &[SiPattern]) -> Result<Vec<SiPattern>, CompactionError> {
+    if patterns.len() > EXACT_COVER_LIMIT {
+        return Err(CompactionError::SetTooLargeForExactCover {
+            patterns: patterns.len(),
+            limit: EXACT_COVER_LIMIT,
+        });
+    }
+    if patterns.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    // Branch and bound: assign patterns in order to an existing compatible
+    // clique or open a new one; prune branches that cannot beat the best.
+    struct Search<'a> {
+        patterns: &'a [SiPattern],
+        best: Vec<SiPattern>,
+    }
+
+    impl Search<'_> {
+        fn recurse(&mut self, index: usize, cliques: &mut Vec<SiPattern>) {
+            if cliques.len() >= self.best.len() && !self.best.is_empty() {
+                return; // cannot improve
+            }
+            if index == self.patterns.len() {
+                if self.best.is_empty() || cliques.len() < self.best.len() {
+                    self.best = cliques.clone();
+                }
+                return;
+            }
+            let p = &self.patterns[index];
+            for i in 0..cliques.len() {
+                if let Ok(merged) = cliques[i].merged(p) {
+                    let saved = std::mem::replace(&mut cliques[i], merged);
+                    self.recurse(index + 1, cliques);
+                    cliques[i] = saved;
+                }
+            }
+            cliques.push(p.clone());
+            self.recurse(index + 1, cliques);
+            cliques.pop();
+        }
+    }
+
+    let mut search = Search {
+        patterns,
+        best: Vec::new(),
+    };
+    let mut cliques = Vec::new();
+    search.recurse(0, &mut cliques);
+    Ok(search.best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctam_model::Benchmark;
+    use soctam_patterns::{RandomPatternConfig, SiPatternSet};
+
+    fn t(i: u32) -> TerminalId {
+        TerminalId::new(i)
+    }
+
+    fn p(bits: &[(u32, Symbol)]) -> SiPattern {
+        SiPattern::new(bits.iter().map(|&(i, s)| (t(i), s)).collect(), vec![])
+            .expect("valid pattern")
+    }
+
+    #[test]
+    fn disjoint_patterns_merge_into_one() {
+        let soc = Benchmark::D695.soc();
+        let patterns: Vec<SiPattern> = (0..10).map(|i| p(&[(i, Symbol::Rise)])).collect();
+        assert_eq!(compact_greedy(&soc, &patterns).len(), 1);
+    }
+
+    #[test]
+    fn conflicting_victims_stay_separate() {
+        let soc = Benchmark::D695.soc();
+        let patterns = vec![
+            p(&[(0, Symbol::Rise)]),
+            p(&[(0, Symbol::Fall)]),
+            p(&[(0, Symbol::Zero)]),
+            p(&[(0, Symbol::One)]),
+        ];
+        assert_eq!(compact_greedy(&soc, &patterns).len(), 4);
+    }
+
+    #[test]
+    fn bus_conflicts_prevent_merging() {
+        let soc = Benchmark::D695.soc();
+        let a = SiPattern::new(
+            vec![(t(0), Symbol::Rise)],
+            vec![(BusLineId::new(2), CoreId::new(0))],
+        )
+        .expect("valid");
+        let b = SiPattern::new(
+            vec![(t(50), Symbol::Fall)],
+            vec![(BusLineId::new(2), CoreId::new(1))],
+        )
+        .expect("valid");
+        assert_eq!(compact_greedy(&soc, &[a, b]).len(), 2);
+    }
+
+    #[test]
+    fn merged_patterns_cover_all_care_bits() {
+        let soc = Benchmark::D695.soc();
+        let raw =
+            SiPatternSet::random(&soc, &RandomPatternConfig::new(500).with_seed(8)).expect("valid");
+        let compacted = compact_greedy(&soc, raw.as_slice());
+        let total_before: usize = raw.iter().map(|p| p.care_bits().len()).sum();
+        let total_after: usize = compacted.iter().map(|p| p.care_bits().len()).sum();
+        // Merging only removes duplicate (terminal, symbol) pairs.
+        assert!(total_after <= total_before);
+        // Every raw pattern must be *covered*: compatible with at least one
+        // compacted pattern that contains all its care bits.
+        for pattern in &raw {
+            let covered = compacted.iter().any(|c| {
+                pattern
+                    .care_bits()
+                    .iter()
+                    .all(|&(t, s)| c.symbol_at(t) == Some(s))
+            });
+            assert!(covered, "pattern not covered by any clique");
+        }
+    }
+
+    #[test]
+    fn compaction_reduces_random_sets_substantially() {
+        let soc = Benchmark::P34392.soc();
+        let raw = SiPatternSet::random(&soc, &RandomPatternConfig::new(5_000).with_seed(3))
+            .expect("valid");
+        let compacted = compact_greedy(&soc, raw.as_slice());
+        assert!(
+            compacted.len() * 2 < raw.len(),
+            "only {} -> {}",
+            raw.len(),
+            compacted.len()
+        );
+    }
+
+    #[test]
+    fn greedy_is_idempotent() {
+        let soc = Benchmark::D695.soc();
+        let raw =
+            SiPatternSet::random(&soc, &RandomPatternConfig::new(300).with_seed(5)).expect("valid");
+        let once = compact_greedy(&soc, raw.as_slice());
+        let twice = compact_greedy(&soc, &once);
+        // Patterns that survived one pass can still merge across cliques in
+        // pathological cases, but a second pass must never grow the set.
+        assert!(twice.len() <= once.len());
+    }
+
+    #[test]
+    fn optimal_matches_hand_computed_cover() {
+        // Patterns: a & b compatible, c conflicts with both; optimal = 2.
+        let a = p(&[(0, Symbol::Rise)]);
+        let b = p(&[(1, Symbol::Fall)]);
+        let c = p(&[(0, Symbol::Fall), (1, Symbol::Rise)]);
+        let exact = compact_optimal(&[a, b, c]).expect("small set");
+        assert_eq!(exact.len(), 2);
+    }
+
+    #[test]
+    fn greedy_close_to_optimal_small() {
+        let soc = Benchmark::D695.soc();
+        // Confined terminal space forces conflicts.
+        let cfg = RandomPatternConfig {
+            max_aggressors: 3,
+            ..RandomPatternConfig::new(12).with_seed(21)
+        };
+        let raw = SiPatternSet::random(&soc, &cfg).expect("valid");
+        let greedy = compact_greedy(&soc, raw.as_slice());
+        let exact = compact_optimal(raw.as_slice()).expect("small set");
+        assert!(greedy.len() >= exact.len());
+        assert!(
+            greedy.len() <= exact.len() + 2,
+            "greedy {} vs optimal {}",
+            greedy.len(),
+            exact.len()
+        );
+    }
+
+    #[test]
+    fn merge_orders_cover_the_same_input() {
+        let soc = Benchmark::D695.soc();
+        let raw = SiPatternSet::random(&soc, &RandomPatternConfig::new(400).with_seed(12))
+            .expect("valid");
+        for order in [
+            MergeOrder::InputOrder,
+            MergeOrder::MostCareBitsFirst,
+            MergeOrder::FewestCareBitsFirst,
+        ] {
+            let compacted = compact_greedy_ordered(&soc, raw.as_slice(), order);
+            assert!(compacted.len() < raw.len());
+            for pattern in &raw {
+                let covered = compacted.iter().any(|c| {
+                    pattern
+                        .care_bits()
+                        .iter()
+                        .all(|&(t, s)| c.symbol_at(t) == Some(s))
+                });
+                assert!(covered, "{order:?}: pattern not covered");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_cover_rejects_large_sets() {
+        let patterns: Vec<SiPattern> = (0..EXACT_COVER_LIMIT as u32 + 1)
+            .map(|i| p(&[(i, Symbol::Rise)]))
+            .collect();
+        assert!(matches!(
+            compact_optimal(&patterns),
+            Err(CompactionError::SetTooLargeForExactCover { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let soc = Benchmark::D695.soc();
+        assert!(compact_greedy(&soc, &[]).is_empty());
+        assert!(compact_optimal(&[]).expect("empty ok").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the soc")]
+    fn out_of_range_terminal_panics() {
+        let soc = Benchmark::D695.soc();
+        let bogus = p(&[(10_000_000, Symbol::Rise)]);
+        let _ = compact_greedy(&soc, &[bogus]);
+    }
+}

@@ -1,0 +1,43 @@
+use soctam::{Benchmark, Objective, SiGroupSpec, TamOptimizer};
+fn main() {
+    let soc = Benchmark::F2126.soc();
+    let groups = vec![SiGroupSpec::new(soc.core_ids().collect(), 300)];
+    for obj in [Objective::Total, Objective::InTestOnly] {
+        let r = TamOptimizer::new(&soc, 64, groups.clone())
+            .unwrap()
+            .objective(obj)
+            .optimize()
+            .unwrap();
+        println!(
+            "{obj:?}: T={} in={} si={}",
+            r.evaluation().t_total(),
+            r.evaluation().t_in,
+            r.evaluation().t_si
+        );
+        println!("{}", r.architecture());
+        for (i, t) in r.evaluation().rail_time_in.iter().enumerate() {
+            println!("  rail{i} t_in={t}");
+        }
+    }
+    // manual 4-rail allocation
+    use soctam::{CoreId, Evaluator, TestRail, TestRailArchitecture};
+    let arch = TestRailArchitecture::new(
+        &soc,
+        vec![
+            TestRail::new(vec![CoreId::new(0)], 16).unwrap(),
+            TestRail::new(vec![CoreId::new(1)], 14).unwrap(),
+            TestRail::new(vec![CoreId::new(2)], 18).unwrap(),
+            TestRail::new(vec![CoreId::new(3)], 16).unwrap(),
+        ],
+    )
+    .unwrap();
+    let ev = Evaluator::new(&soc, 64, groups.clone()).unwrap();
+    let e = ev.evaluate(&arch);
+    println!(
+        "manual (16,14,18,16): T={} in={} si={} rails_in={:?}",
+        e.t_total(),
+        e.t_in,
+        e.t_si,
+        e.rail_time_in
+    );
+}

@@ -1,0 +1,83 @@
+//! The top-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+use soctam_compaction::CompactionError;
+use soctam_model::ModelError;
+use soctam_patterns::PatternError;
+use soctam_tam::TamError;
+
+/// Any error produced by the `soctam` pipeline.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum SoctamError {
+    /// SOC model construction or parsing failed.
+    Model(ModelError),
+    /// Pattern construction or generation failed.
+    Pattern(PatternError),
+    /// Test-set compaction failed.
+    Compaction(CompactionError),
+    /// TAM construction or optimization failed.
+    Tam(TamError),
+}
+
+impl fmt::Display for SoctamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoctamError::Model(e) => write!(f, "model error: {e}"),
+            SoctamError::Pattern(e) => write!(f, "pattern error: {e}"),
+            SoctamError::Compaction(e) => write!(f, "compaction error: {e}"),
+            SoctamError::Tam(e) => write!(f, "tam error: {e}"),
+        }
+    }
+}
+
+impl Error for SoctamError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SoctamError::Model(e) => Some(e),
+            SoctamError::Pattern(e) => Some(e),
+            SoctamError::Compaction(e) => Some(e),
+            SoctamError::Tam(e) => Some(e),
+        }
+    }
+}
+
+impl From<ModelError> for SoctamError {
+    fn from(e: ModelError) -> Self {
+        SoctamError::Model(e)
+    }
+}
+
+impl From<PatternError> for SoctamError {
+    fn from(e: PatternError) -> Self {
+        SoctamError::Pattern(e)
+    }
+}
+
+impl From<CompactionError> for SoctamError {
+    fn from(e: CompactionError) -> Self {
+        SoctamError::Compaction(e)
+    }
+}
+
+impl From<TamError> for SoctamError {
+    fn from(e: TamError) -> Self {
+        SoctamError::Tam(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources_work() {
+        let err: SoctamError = ModelError::EmptySoc.into();
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("model error"));
+        let err: SoctamError = TamError::ZeroWidthBudget.into();
+        assert!(err.to_string().contains("tam error"));
+    }
+}

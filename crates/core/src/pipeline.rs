@@ -1,0 +1,239 @@
+//! The one-stop optimization pipeline.
+
+use soctam_compaction::{compact_two_dimensional, CompactedSiTests, CompactionConfig};
+use soctam_model::Soc;
+use soctam_patterns::SiPatternSet;
+use soctam_tam::{
+    Evaluation, Objective, OptimizedArchitecture, SiGroupSpec, TamOptimizer, TestRailArchitecture,
+};
+
+use crate::SoctamError;
+
+/// The full Problem `P_SI_opt` pipeline: two-dimensional compaction of the
+/// SI test set followed by SI-aware TAM optimization.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use soctam::{Benchmark, RandomPatternConfig, SiOptimizer, SiPatternSet};
+///
+/// let soc = Benchmark::D695.soc();
+/// let patterns = SiPatternSet::random(&soc, &RandomPatternConfig::new(1_000))?;
+/// let result = SiOptimizer::new(&soc)
+///     .max_tam_width(24)
+///     .partitions(2)
+///     .optimize(&patterns)?;
+/// assert!(result.architecture().total_width() <= 24);
+/// assert_eq!(
+///     result.total_time(),
+///     result.intest_time() + result.si_time()
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SiOptimizer<'a> {
+    soc: &'a Soc,
+    max_tam_width: u32,
+    partitions: u32,
+    seed: u64,
+    objective: Objective,
+    restarts: u32,
+}
+
+impl<'a> SiOptimizer<'a> {
+    /// Creates a pipeline for `soc` with defaults matching the paper's
+    /// setup: a 32-wire TAM, 4 SI partitions, seed 0, total-time objective.
+    pub fn new(soc: &'a Soc) -> Self {
+        SiOptimizer {
+            soc,
+            max_tam_width: 32,
+            partitions: 4,
+            seed: 0,
+            objective: Objective::Total,
+            restarts: 1,
+        }
+    }
+
+    /// Sets the SOC-level TAM width budget `W_max`.
+    pub fn max_tam_width(mut self, width: u32) -> Self {
+        self.max_tam_width = width;
+        self
+    }
+
+    /// Sets the SI partition count `i` (1 disables horizontal compaction).
+    pub fn partitions(mut self, partitions: u32) -> Self {
+        self.partitions = partitions;
+        self
+    }
+
+    /// Sets the seed for the hypergraph partitioner.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the optimization objective ([`Objective::InTestOnly`]
+    /// reproduces the TR-Architect / `T_[8]` baseline).
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Sets the number of multi-start restarts for the TAM optimizer
+    /// (1 = the paper's single deterministic run).
+    pub fn restarts(mut self, restarts: u32) -> Self {
+        self.restarts = restarts.max(1);
+        self
+    }
+
+    /// Runs compaction and optimization on `patterns`.
+    ///
+    /// # Errors
+    ///
+    /// Forwards compaction and TAM errors ([`SoctamError`]).
+    pub fn optimize(&self, patterns: &SiPatternSet) -> Result<SiOptimizationResult, SoctamError> {
+        let compacted = compact_two_dimensional(
+            self.soc,
+            patterns,
+            &CompactionConfig::new(self.partitions).with_seed(self.seed),
+        )?;
+        self.optimize_compacted(compacted)
+    }
+
+    /// Runs only the TAM-optimization half on already-compacted groups.
+    ///
+    /// # Errors
+    ///
+    /// Forwards TAM errors ([`SoctamError`]).
+    pub fn optimize_compacted(
+        &self,
+        compacted: CompactedSiTests,
+    ) -> Result<SiOptimizationResult, SoctamError> {
+        let groups: Vec<SiGroupSpec> = compacted.groups().iter().map(SiGroupSpec::from).collect();
+        let optimizer =
+            TamOptimizer::new(self.soc, self.max_tam_width, groups)?.objective(self.objective);
+        let optimized = if self.restarts > 1 {
+            optimizer.optimize_multi(self.restarts)?
+        } else {
+            optimizer.optimize()?
+        };
+        Ok(SiOptimizationResult {
+            compacted,
+            optimized,
+        })
+    }
+}
+
+/// The outcome of [`SiOptimizer::optimize`].
+#[derive(Clone, Debug)]
+pub struct SiOptimizationResult {
+    compacted: CompactedSiTests,
+    optimized: OptimizedArchitecture,
+}
+
+impl SiOptimizationResult {
+    /// The compacted SI test set.
+    pub fn compacted(&self) -> &CompactedSiTests {
+        &self.compacted
+    }
+
+    /// The optimized TestRail architecture.
+    pub fn architecture(&self) -> &TestRailArchitecture {
+        self.optimized.architecture()
+    }
+
+    /// The full timing evaluation (rails, groups, schedule).
+    pub fn evaluation(&self) -> &Evaluation {
+        self.optimized.evaluation()
+    }
+
+    /// `T_soc = T_soc^in + T_soc^si` in clock cycles.
+    pub fn total_time(&self) -> u64 {
+        self.evaluation().t_total()
+    }
+
+    /// `T_soc^in` in clock cycles.
+    pub fn intest_time(&self) -> u64 {
+        self.evaluation().t_in
+    }
+
+    /// `T_soc^si` in clock cycles.
+    pub fn si_time(&self) -> u64 {
+        self.evaluation().t_si
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctam_model::Benchmark;
+    use soctam_patterns::RandomPatternConfig;
+
+    #[test]
+    fn pipeline_runs_on_every_benchmark() {
+        for bench in Benchmark::ALL {
+            let soc = bench.soc();
+            let patterns = SiPatternSet::random(&soc, &RandomPatternConfig::new(500).with_seed(1))
+                .expect("valid");
+            let result = SiOptimizer::new(&soc)
+                .max_tam_width(16)
+                .partitions(2)
+                .optimize(&patterns)
+                .expect("optimizes");
+            assert!(result.total_time() > 0, "{bench}");
+            assert!(result.architecture().total_width() <= 16);
+        }
+    }
+
+    #[test]
+    fn baseline_objective_reports_si_too() {
+        let soc = Benchmark::D695.soc();
+        let patterns = SiPatternSet::random(&soc, &RandomPatternConfig::new(400)).expect("valid");
+        let result = SiOptimizer::new(&soc)
+            .max_tam_width(8)
+            .partitions(1)
+            .objective(Objective::InTestOnly)
+            .optimize(&patterns)
+            .expect("optimizes");
+        // Even the InTest-only baseline schedules the SI tests afterwards.
+        assert!(result.si_time() > 0);
+    }
+
+    #[test]
+    fn restarts_never_worsen_the_result() {
+        let soc = Benchmark::D695.soc();
+        let patterns =
+            SiPatternSet::random(&soc, &RandomPatternConfig::new(800).with_seed(2)).expect("valid");
+        let single = SiOptimizer::new(&soc)
+            .max_tam_width(16)
+            .optimize(&patterns)
+            .expect("optimizes")
+            .total_time();
+        let multi = SiOptimizer::new(&soc)
+            .max_tam_width(16)
+            .restarts(4)
+            .optimize(&patterns)
+            .expect("optimizes")
+            .total_time();
+        assert!(multi <= single);
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let soc = Benchmark::D695.soc();
+        let patterns =
+            SiPatternSet::random(&soc, &RandomPatternConfig::new(600).with_seed(5)).expect("valid");
+        let run = || {
+            SiOptimizer::new(&soc)
+                .max_tam_width(16)
+                .partitions(4)
+                .seed(9)
+                .optimize(&patterns)
+                .expect("optimizes")
+                .total_time()
+        };
+        assert_eq!(run(), run());
+    }
+}

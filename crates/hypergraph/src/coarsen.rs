@@ -1,0 +1,183 @@
+//! Heavy-edge coarsening.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use std::collections::HashMap;
+
+use crate::graph::{Hypergraph, HypergraphBuilder};
+
+/// One coarsening level: the contracted hypergraph plus the fine→coarse
+/// vertex map.
+#[derive(Debug)]
+pub(crate) struct CoarseLevel {
+    pub graph: Hypergraph,
+    pub map: Vec<u32>,
+}
+
+/// Contracts a maximal heavy-edge matching. Returns `None` when matching
+/// achieves less than a 5 % reduction (coarsening has converged).
+pub(crate) fn coarsen_once(hg: &Hypergraph, rng: &mut StdRng) -> Option<CoarseLevel> {
+    let n = hg.num_vertices();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+
+    let mut mate: Vec<Option<u32>> = vec![None; n];
+    // Heavy-edge matching: connect v to the unmatched neighbour with the
+    // largest total connectivity sum(w(e) / (|e| - 1)) over shared edges.
+    let mut score: HashMap<u32, f64> = HashMap::new();
+    for &v in &order {
+        if mate[v as usize].is_some() {
+            continue;
+        }
+        score.clear();
+        for &e in hg.incident_edges(v) {
+            let pins = hg.pins(e);
+            if pins.len() < 2 {
+                continue;
+            }
+            let contribution = hg.edge_weight(e) as f64 / (pins.len() - 1) as f64;
+            for &u in pins {
+                if u != v && mate[u as usize].is_none() {
+                    *score.entry(u).or_insert(0.0) += contribution;
+                }
+            }
+        }
+        let best = score
+            .iter()
+            .max_by(|a, b| {
+                a.1.partial_cmp(b.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.0.cmp(a.0))
+            })
+            .map(|(&u, _)| u);
+        if let Some(u) = best {
+            mate[v as usize] = Some(u);
+            mate[u as usize] = Some(v);
+        }
+    }
+
+    // Assign coarse ids (matched pairs share one id).
+    let mut coarse_of = vec![u32::MAX; n];
+    let mut coarse_weights: Vec<u64> = Vec::new();
+    for v in 0..n as u32 {
+        if coarse_of[v as usize] != u32::MAX {
+            continue;
+        }
+        let id = coarse_weights.len() as u32;
+        coarse_of[v as usize] = id;
+        let mut weight = hg.vertex_weight(v);
+        if let Some(u) = mate[v as usize] {
+            coarse_of[u as usize] = id;
+            weight += hg.vertex_weight(u);
+        }
+        coarse_weights.push(weight);
+    }
+
+    let coarse_n = coarse_weights.len();
+    if coarse_n as f64 > n as f64 * 0.95 {
+        return None;
+    }
+
+    // Project edges, dropping single-pin edges and merging identical pin
+    // sets (summing weights).
+    let mut merged: HashMap<Vec<u32>, u64> = HashMap::new();
+    for e in 0..hg.num_edges() as u32 {
+        let mut pins: Vec<u32> = hg.pins(e).iter().map(|&v| coarse_of[v as usize]).collect();
+        pins.sort_unstable();
+        pins.dedup();
+        if pins.len() < 2 {
+            continue;
+        }
+        *merged.entry(pins).or_insert(0) += hg.edge_weight(e);
+    }
+
+    let mut builder = HypergraphBuilder::new();
+    for &w in &coarse_weights {
+        builder.add_vertex(w);
+    }
+    // Deterministic edge order: sort by pin list.
+    let mut edges: Vec<(Vec<u32>, u64)> = merged.into_iter().collect();
+    edges.sort_unstable();
+    for (pins, weight) in edges {
+        builder
+            .add_edge(weight, &pins)
+            .expect("projected pins are in range");
+    }
+
+    Some(CoarseLevel {
+        graph: builder.build(),
+        map: coarse_of,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn chain_graph(n: u32) -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for _ in 0..n {
+            b.add_vertex(1);
+        }
+        for v in 0..n - 1 {
+            b.add_edge(1, &[v, v + 1]).expect("valid");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn coarsening_reduces_vertices_and_preserves_weight() {
+        let hg = chain_graph(32);
+        let mut rng = StdRng::seed_from_u64(1);
+        let level = coarsen_once(&hg, &mut rng).expect("chain coarsens");
+        assert!(level.graph.num_vertices() < 32);
+        assert_eq!(level.graph.total_vertex_weight(), 32);
+        assert_eq!(level.map.len(), 32);
+    }
+
+    #[test]
+    fn map_targets_are_valid_coarse_vertices() {
+        let hg = chain_graph(17);
+        let mut rng = StdRng::seed_from_u64(2);
+        let level = coarsen_once(&hg, &mut rng).expect("chain coarsens");
+        let coarse_n = level.graph.num_vertices() as u32;
+        assert!(level.map.iter().all(|&c| c < coarse_n));
+    }
+
+    #[test]
+    fn edgeless_graph_does_not_coarsen() {
+        let mut b = HypergraphBuilder::new();
+        for _ in 0..8 {
+            b.add_vertex(1);
+        }
+        let hg = b.build();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(coarsen_once(&hg, &mut rng).is_none());
+    }
+
+    #[test]
+    fn parallel_edges_merge() {
+        let mut b = HypergraphBuilder::new();
+        for _ in 0..4 {
+            b.add_vertex(1);
+        }
+        // v0-v1 matched together will collapse the {0,1} edges away and the
+        // two {0,2} and {1,2} edges may merge; total edge weight across cut
+        // structure is preserved or reduced only by internal edges.
+        b.add_edge(3, &[0, 1]).expect("valid");
+        b.add_edge(2, &[0, 1]).expect("valid");
+        b.add_edge(1, &[0, 2]).expect("valid");
+        b.add_edge(1, &[1, 2]).expect("valid");
+        b.add_edge(1, &[2, 3]).expect("valid");
+        let hg = b.build();
+        let mut rng = StdRng::seed_from_u64(4);
+        let level = coarsen_once(&hg, &mut rng).expect("coarsens");
+        // No coarse edge may have duplicate pins.
+        for e in 0..level.graph.num_edges() as u32 {
+            let pins = level.graph.pins(e);
+            assert!(pins.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

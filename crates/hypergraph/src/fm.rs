@@ -1,0 +1,193 @@
+//! Fiduccia–Mattheyses bisection refinement with best-prefix rollback.
+
+use crate::Hypergraph;
+
+/// Refines a bisection in place. `caps = [cap0, cap1]` bound the part
+/// weights; moves that worsen an already-satisfied cap are inadmissible,
+/// while moves that shrink an overweight side are always admissible.
+/// Runs up to `max_passes` FM passes, stopping early when a pass yields no
+/// improvement. Returns the final cut weight.
+pub(crate) fn refine(hg: &Hypergraph, side: &mut [bool], caps: [u64; 2], max_passes: u32) -> u64 {
+    debug_assert_eq!(side.len(), hg.num_vertices());
+    let mut cut = cut_weight(hg, side);
+    for _ in 0..max_passes {
+        let improvement = fm_pass(hg, side, caps, cut);
+        if improvement == 0 {
+            break;
+        }
+        cut -= improvement;
+        debug_assert_eq!(cut, cut_weight(hg, side));
+    }
+    cut
+}
+
+/// The weighted cut of a bisection.
+pub(crate) fn cut_weight(hg: &Hypergraph, side: &[bool]) -> u64 {
+    let mut cut = 0;
+    for e in 0..hg.num_edges() as u32 {
+        let pins = hg.pins(e);
+        if let Some((&first, rest)) = pins.split_first() {
+            let s = side[first as usize];
+            if rest.iter().any(|&v| side[v as usize] != s) {
+                cut += hg.edge_weight(e);
+            }
+        }
+    }
+    cut
+}
+
+/// One FM pass: tentatively moves every vertex once (highest gain first,
+/// balance permitting), then rolls back to the best prefix. Returns the cut
+/// improvement achieved (0 when the pass failed to improve).
+fn fm_pass(hg: &Hypergraph, side: &mut [bool], caps: [u64; 2], initial_cut: u64) -> u64 {
+    let n = hg.num_vertices();
+    let num_edges = hg.num_edges();
+
+    // Pin counts per edge per side.
+    let mut counts = vec![[0u32; 2]; num_edges];
+    for e in 0..num_edges as u32 {
+        for &v in hg.pins(e) {
+            counts[e as usize][usize::from(side[v as usize])] += 1;
+        }
+    }
+    let mut weights = [0u64; 2];
+    for v in 0..n {
+        weights[usize::from(side[v])] += hg.vertex_weight(v as u32);
+    }
+
+    let gain_of = |v: u32, side: &[bool], counts: &[[u32; 2]]| -> i64 {
+        let s = usize::from(side[v as usize]);
+        let mut gain = 0i64;
+        for &e in hg.incident_edges(v) {
+            let c = counts[e as usize];
+            if c[s] + c[1 - s] < 2 {
+                continue; // single-pin edge
+            }
+            if c[s] == 1 {
+                gain += hg.edge_weight(e) as i64; // move uncuts the edge
+            } else if c[1 - s] == 0 {
+                gain -= hg.edge_weight(e) as i64; // move cuts the edge
+            }
+        }
+        gain
+    };
+
+    let mut gains: Vec<i64> = (0..n as u32).map(|v| gain_of(v, side, &counts)).collect();
+    let mut moved = vec![false; n];
+    let mut sequence: Vec<u32> = Vec::with_capacity(n);
+    let mut cumulative: i64 = 0;
+    let mut best_cumulative: i64 = 0;
+    let mut best_prefix: usize = 0;
+
+    for _ in 0..n {
+        // Select the admissible unmoved vertex with the highest gain.
+        let mut chosen: Option<u32> = None;
+        let mut chosen_gain = i64::MIN;
+        for v in 0..n as u32 {
+            if moved[v as usize] {
+                continue;
+            }
+            let s = usize::from(side[v as usize]);
+            let w = hg.vertex_weight(v);
+            let admissible = weights[1 - s] + w <= caps[1 - s] || weights[s] > caps[s];
+            if admissible && gains[v as usize] > chosen_gain {
+                chosen = Some(v);
+                chosen_gain = gains[v as usize];
+            }
+        }
+        let Some(v) = chosen else { break };
+
+        // Apply the move and update edge counts + neighbour gains.
+        let s = usize::from(side[v as usize]);
+        moved[v as usize] = true;
+        side[v as usize] = !side[v as usize];
+        weights[s] -= hg.vertex_weight(v);
+        weights[1 - s] += hg.vertex_weight(v);
+        for &e in hg.incident_edges(v) {
+            counts[e as usize][s] -= 1;
+            counts[e as usize][1 - s] += 1;
+        }
+        for &e in hg.incident_edges(v) {
+            for &u in hg.pins(e) {
+                if !moved[u as usize] {
+                    gains[u as usize] = gain_of(u, side, &counts);
+                }
+            }
+        }
+
+        cumulative += chosen_gain;
+        sequence.push(v);
+        if cumulative > best_cumulative {
+            best_cumulative = cumulative;
+            best_prefix = sequence.len();
+        }
+    }
+
+    // Roll back every move after the best prefix.
+    for &v in &sequence[best_prefix..] {
+        side[v as usize] = !side[v as usize];
+    }
+    debug_assert!(best_cumulative >= 0);
+    debug_assert_eq!(
+        initial_cut as i64 - best_cumulative,
+        cut_weight(hg, side) as i64
+    );
+    best_cumulative as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HypergraphBuilder;
+
+    fn clusters() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for _ in 0..8 {
+            b.add_vertex(1);
+        }
+        b.add_edge(5, &[0, 1, 2, 3]).expect("valid");
+        b.add_edge(5, &[4, 5, 6, 7]).expect("valid");
+        b.add_edge(1, &[3, 4]).expect("valid");
+        b.build()
+    }
+
+    #[test]
+    fn refine_recovers_natural_cut_from_bad_start() {
+        let hg = clusters();
+        // Interleaved start: both big edges cut. Caps mirror what `bisect`
+        // would compute: ceil(4 * 1.1) + max vertex weight = 6 — the one
+        // unit of slack is what lets FM climb through intermediate states.
+        let mut side = vec![false, true, false, true, false, true, false, true];
+        let cut = refine(&hg, &mut side, [6, 6], 16);
+        assert_eq!(cut, 1);
+        // The two clusters are separated.
+        assert_eq!(side[0], side[1]);
+        assert_eq!(side[1], side[2]);
+        assert_eq!(side[2], side[3]);
+        assert_eq!(side[4], side[5]);
+    }
+
+    #[test]
+    fn refine_respects_caps() {
+        let hg = clusters();
+        let mut side = vec![false, true, false, true, false, true, false, true];
+        let _ = refine(&hg, &mut side, [6, 6], 16);
+        let w0 = side.iter().filter(|&&s| !s).count();
+        assert!(w0 <= 6 && 8 - w0 <= 6, "weights {w0}/{}", 8 - w0);
+    }
+
+    #[test]
+    fn refine_never_worsens_cut() {
+        let hg = clusters();
+        let mut side = vec![false, false, false, false, true, true, true, true];
+        let before = cut_weight(&hg, &side);
+        let after = refine(&hg, &mut side, [5, 5], 16);
+        assert!(after <= before);
+    }
+
+    #[test]
+    fn cut_weight_on_uniform_side_is_zero() {
+        let hg = clusters();
+        assert_eq!(cut_weight(&hg, &[false; 8]), 0);
+    }
+}

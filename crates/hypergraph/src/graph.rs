@@ -1,0 +1,267 @@
+//! The hypergraph data structure (CSR pins plus vertex incidence).
+
+use crate::HypergraphError;
+
+/// An immutable weighted hypergraph.
+///
+/// Build one with [`HypergraphBuilder`]; vertices and hyperedges are dense
+/// indices. Pin lists and vertex incidence are stored in CSR form.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use soctam_hypergraph::HypergraphBuilder;
+///
+/// let mut b = HypergraphBuilder::new();
+/// let v0 = b.add_vertex(3);
+/// let v1 = b.add_vertex(5);
+/// b.add_edge(2, &[v0, v1])?;
+/// let hg = b.build();
+/// assert_eq!(hg.num_vertices(), 2);
+/// assert_eq!(hg.total_vertex_weight(), 8);
+/// assert_eq!(hg.pins(0), &[0, 1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Hypergraph {
+    vertex_weights: Vec<u64>,
+    edge_weights: Vec<u64>,
+    /// CSR offsets into `pins`; length `edges + 1`.
+    edge_offsets: Vec<usize>,
+    pins: Vec<u32>,
+    /// CSR offsets into `incident`; length `vertices + 1`.
+    vertex_offsets: Vec<usize>,
+    /// Edge indices incident to each vertex.
+    incident: Vec<u32>,
+}
+
+impl Hypergraph {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_weights.len()
+    }
+
+    /// Number of hyperedges.
+    pub fn num_edges(&self) -> usize {
+        self.edge_weights.len()
+    }
+
+    /// Weight of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn vertex_weight(&self, v: u32) -> u64 {
+        self.vertex_weights[v as usize]
+    }
+
+    /// Weight of hyperedge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn edge_weight(&self, e: u32) -> u64 {
+        self.edge_weights[e as usize]
+    }
+
+    /// The pin (vertex) list of hyperedge `e`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn pins(&self, e: u32) -> &[u32] {
+        &self.pins[self.edge_offsets[e as usize]..self.edge_offsets[e as usize + 1]]
+    }
+
+    /// The hyperedges incident to vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn incident_edges(&self, v: u32) -> &[u32] {
+        &self.incident[self.vertex_offsets[v as usize]..self.vertex_offsets[v as usize + 1]]
+    }
+
+    /// Sum of all vertex weights.
+    pub fn total_vertex_weight(&self) -> u64 {
+        self.vertex_weights.iter().sum()
+    }
+
+    /// Sum of all hyperedge weights.
+    pub fn total_edge_weight(&self) -> u64 {
+        self.edge_weights.iter().sum()
+    }
+}
+
+/// Incremental builder for [`Hypergraph`].
+#[derive(Clone, Debug, Default)]
+pub struct HypergraphBuilder {
+    vertex_weights: Vec<u64>,
+    edge_weights: Vec<u64>,
+    edge_pins: Vec<Vec<u32>>,
+}
+
+impl HypergraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        HypergraphBuilder::default()
+    }
+
+    /// Adds a vertex with the given weight; returns its index.
+    pub fn add_vertex(&mut self, weight: u64) -> u32 {
+        self.vertex_weights.push(weight);
+        (self.vertex_weights.len() - 1) as u32
+    }
+
+    /// Adds a hyperedge with the given weight over `pins`.
+    ///
+    /// Pins are sorted and deduplicated; a single-pin edge is accepted (it
+    /// can never be cut and is ignored by partitioning).
+    ///
+    /// # Errors
+    ///
+    /// [`HypergraphError::EmptyEdge`] when `pins` is empty and
+    /// [`HypergraphError::PinOutOfRange`] when a pin references a vertex
+    /// that has not been added.
+    pub fn add_edge(&mut self, weight: u64, pins: &[u32]) -> Result<u32, HypergraphError> {
+        if pins.is_empty() {
+            return Err(HypergraphError::EmptyEdge);
+        }
+        for &pin in pins {
+            if pin as usize >= self.vertex_weights.len() {
+                return Err(HypergraphError::PinOutOfRange {
+                    vertex: pin,
+                    vertices: self.vertex_weights.len(),
+                });
+            }
+        }
+        let mut sorted = pins.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        self.edge_weights.push(weight);
+        self.edge_pins.push(sorted);
+        Ok((self.edge_weights.len() - 1) as u32)
+    }
+
+    /// Current number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_weights.len()
+    }
+
+    /// Finalizes the hypergraph (computes CSR layouts).
+    pub fn build(self) -> Hypergraph {
+        let num_vertices = self.vertex_weights.len();
+        let mut edge_offsets = Vec::with_capacity(self.edge_pins.len() + 1);
+        edge_offsets.push(0usize);
+        let mut pins = Vec::new();
+        for edge in &self.edge_pins {
+            pins.extend_from_slice(edge);
+            edge_offsets.push(pins.len());
+        }
+
+        let mut degree = vec![0usize; num_vertices];
+        for &pin in &pins {
+            degree[pin as usize] += 1;
+        }
+        let mut vertex_offsets = Vec::with_capacity(num_vertices + 1);
+        vertex_offsets.push(0usize);
+        for v in 0..num_vertices {
+            vertex_offsets.push(vertex_offsets[v] + degree[v]);
+        }
+        let mut cursor = vertex_offsets.clone();
+        let mut incident = vec![0u32; pins.len()];
+        for (e, window) in edge_offsets.windows(2).enumerate() {
+            for &pin in &pins[window[0]..window[1]] {
+                incident[cursor[pin as usize]] = e as u32;
+                cursor[pin as usize] += 1;
+            }
+        }
+
+        Hypergraph {
+            vertex_weights: self.vertex_weights,
+            edge_weights: self.edge_weights,
+            edge_offsets,
+            pins,
+            vertex_offsets,
+            incident,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for w in [1u64, 2, 3, 4] {
+            b.add_vertex(w);
+        }
+        b.add_edge(5, &[0, 1]).expect("valid edge");
+        b.add_edge(7, &[1, 2, 3]).expect("valid edge");
+        b.add_edge(1, &[3]).expect("valid edge");
+        b.build()
+    }
+
+    #[test]
+    fn csr_layout_is_consistent() {
+        let hg = sample();
+        assert_eq!(hg.num_vertices(), 4);
+        assert_eq!(hg.num_edges(), 3);
+        assert_eq!(hg.pins(0), &[0, 1]);
+        assert_eq!(hg.pins(1), &[1, 2, 3]);
+        assert_eq!(hg.pins(2), &[3]);
+    }
+
+    #[test]
+    fn incidence_inverts_pins() {
+        let hg = sample();
+        for e in 0..hg.num_edges() as u32 {
+            for &v in hg.pins(e) {
+                assert!(hg.incident_edges(v).contains(&e));
+            }
+        }
+        assert_eq!(hg.incident_edges(1), &[0, 1]);
+        assert_eq!(hg.incident_edges(3), &[1, 2]);
+    }
+
+    #[test]
+    fn duplicate_pins_are_removed() {
+        let mut b = HypergraphBuilder::new();
+        b.add_vertex(1);
+        b.add_vertex(1);
+        let e = b.add_edge(1, &[1, 0, 1]).expect("valid edge");
+        let hg = b.build();
+        assert_eq!(hg.pins(e), &[0, 1]);
+    }
+
+    #[test]
+    fn pin_out_of_range_rejected() {
+        let mut b = HypergraphBuilder::new();
+        b.add_vertex(1);
+        assert!(matches!(
+            b.add_edge(1, &[0, 1]),
+            Err(HypergraphError::PinOutOfRange { vertex: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_edge_rejected() {
+        let mut b = HypergraphBuilder::new();
+        b.add_vertex(1);
+        assert!(matches!(
+            b.add_edge(1, &[]),
+            Err(HypergraphError::EmptyEdge)
+        ));
+    }
+
+    #[test]
+    fn totals_sum_weights() {
+        let hg = sample();
+        assert_eq!(hg.total_vertex_weight(), 10);
+        assert_eq!(hg.total_edge_weight(), 13);
+    }
+}

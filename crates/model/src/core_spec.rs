@@ -1,0 +1,186 @@
+//! Per-core test-set parameters.
+
+use crate::ModelError;
+
+/// Test-set parameters of one wrapped core, as carried by the ITC'02 `.soc`
+/// benchmark format: functional terminal counts, internal scan chains and
+/// the InTest pattern count.
+///
+/// The wrapper crate derives wrapper scan chains and test times from these
+/// numbers; the pattern crate derives the SI terminal space
+/// (`outputs + bidirs` wrapper output cells per core).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), soctam_model::ModelError> {
+/// use soctam_model::CoreSpec;
+///
+/// let core = CoreSpec::new("s38584", 38, 304, 0, vec![44; 32], 110)?;
+/// assert_eq!(core.woc_count(), 304);
+/// assert_eq!(core.scan_cells(), 44 * 32);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CoreSpec {
+    name: String,
+    inputs: u32,
+    outputs: u32,
+    bidirs: u32,
+    scan_chains: Vec<u32>,
+    patterns: u64,
+}
+
+impl CoreSpec {
+    /// Creates a core specification.
+    ///
+    /// * `inputs`, `outputs`, `bidirs` — functional terminal counts;
+    /// * `scan_chains` — lengths of the internal scan chains (empty for a
+    ///   combinational core);
+    /// * `patterns` — number of InTest (core-internal logic) test patterns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyScanChain`] if any scan chain has length
+    /// zero, and [`ModelError::ScanWithoutPatterns`] if the core has scan
+    /// chains but `patterns == 0`.
+    pub fn new(
+        name: impl Into<String>,
+        inputs: u32,
+        outputs: u32,
+        bidirs: u32,
+        scan_chains: Vec<u32>,
+        patterns: u64,
+    ) -> Result<Self, ModelError> {
+        let name = name.into();
+        if scan_chains.contains(&0) {
+            return Err(ModelError::EmptyScanChain { core: name });
+        }
+        if !scan_chains.is_empty() && patterns == 0 {
+            return Err(ModelError::ScanWithoutPatterns { core: name });
+        }
+        Ok(CoreSpec {
+            name,
+            inputs,
+            outputs,
+            bidirs,
+            scan_chains,
+            patterns,
+        })
+    }
+
+    /// The core's name (e.g. the ITC'02 module name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of functional input terminals.
+    pub fn inputs(&self) -> u32 {
+        self.inputs
+    }
+
+    /// Number of functional output terminals.
+    pub fn outputs(&self) -> u32 {
+        self.outputs
+    }
+
+    /// Number of functional bidirectional terminals.
+    pub fn bidirs(&self) -> u32 {
+        self.bidirs
+    }
+
+    /// Lengths of the internal scan chains.
+    pub fn scan_chains(&self) -> &[u32] {
+        &self.scan_chains
+    }
+
+    /// Number of InTest patterns for the core-internal logic.
+    pub fn patterns(&self) -> u64 {
+        self.patterns
+    }
+
+    /// Number of wrapper *input* cells: one per input plus one per bidir.
+    ///
+    /// In SI test mode these cells host the integrity-loss sensors (ILS) of
+    /// the receiving core.
+    pub fn wic_count(&self) -> u32 {
+        self.inputs + self.bidirs
+    }
+
+    /// Number of wrapper *output* cells (WOCs): one per output plus one per
+    /// bidir.
+    ///
+    /// WOCs drive the core-external interconnects during SI test, so this is
+    /// the core's footprint in the global SI terminal space.
+    pub fn woc_count(&self) -> u32 {
+        self.outputs + self.bidirs
+    }
+
+    /// Total number of internal scan cells.
+    pub fn scan_cells(&self) -> u64 {
+        self.scan_chains.iter().map(|&len| u64::from(len)).sum()
+    }
+
+    /// `true` if the core has no internal scan chains.
+    pub fn is_combinational(&self) -> bool {
+        self.scan_chains.is_empty()
+    }
+
+    /// A lower bound on the core's test data volume in bits:
+    /// `patterns × (scan cells + max(inputs, outputs) + bidirs)`.
+    ///
+    /// Useful as a width-independent proxy for how much tester time the core
+    /// needs (`T(w) ≳ volume / w`).
+    pub fn test_data_volume(&self) -> u64 {
+        let io = u64::from(self.inputs.max(self.outputs) + self.bidirs);
+        self.patterns * (self.scan_cells() + io)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CoreSpec {
+        CoreSpec::new("c", 10, 20, 5, vec![8, 8, 4], 100).expect("valid core")
+    }
+
+    #[test]
+    fn counts_include_bidirs() {
+        let c = spec();
+        assert_eq!(c.wic_count(), 15);
+        assert_eq!(c.woc_count(), 25);
+    }
+
+    #[test]
+    fn scan_cells_sums_chain_lengths() {
+        assert_eq!(spec().scan_cells(), 20);
+    }
+
+    #[test]
+    fn combinational_core_has_no_scan() {
+        let c = CoreSpec::new("comb", 32, 32, 0, vec![], 12).expect("valid");
+        assert!(c.is_combinational());
+        assert_eq!(c.scan_cells(), 0);
+    }
+
+    #[test]
+    fn zero_length_chain_rejected() {
+        let err = CoreSpec::new("bad", 1, 1, 0, vec![4, 0], 10).unwrap_err();
+        assert!(matches!(err, ModelError::EmptyScanChain { .. }));
+    }
+
+    #[test]
+    fn scan_without_patterns_rejected() {
+        let err = CoreSpec::new("bad", 1, 1, 0, vec![4], 0).unwrap_err();
+        assert!(matches!(err, ModelError::ScanWithoutPatterns { .. }));
+    }
+
+    #[test]
+    fn volume_uses_max_io_side() {
+        let c = CoreSpec::new("v", 100, 10, 0, vec![50], 2).expect("valid");
+        assert_eq!(c.test_data_volume(), 2 * (50 + 100));
+    }
+}

@@ -1,0 +1,127 @@
+//! Error type for model construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or parsing SOC models.
+///
+/// # Example
+///
+/// ```
+/// use soctam_model::{ModelError, Soc};
+///
+/// let err = Soc::new("empty", Vec::new()).unwrap_err();
+/// assert!(matches!(err, ModelError::EmptySoc));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// An SOC must contain at least one wrapped core.
+    EmptySoc,
+    /// A core declared a scan chain of zero length.
+    EmptyScanChain {
+        /// Name of the offending core.
+        core: String,
+    },
+    /// A core with internal scan chains declared zero InTest patterns.
+    ///
+    /// Such a core would contribute zero InTest time while still occupying
+    /// TAM wires, which the optimization algorithms treat as a modelling
+    /// mistake.
+    ScanWithoutPatterns {
+        /// Name of the offending core.
+        core: String,
+    },
+    /// The global terminal space exceeded `u32::MAX` wrapper output cells.
+    TerminalSpaceOverflow,
+    /// An interconnect bundle needs at least two lines.
+    EmptyBundle {
+        /// Name of the offending bundle.
+        bundle: String,
+    },
+    /// A terminal appears twice within one bundle.
+    DuplicateBundleTerminal {
+        /// Name of the offending bundle.
+        bundle: String,
+    },
+    /// A bundle references a terminal outside the SOC's terminal space.
+    BundleTerminalOutOfRange {
+        /// Name of the offending bundle.
+        bundle: String,
+        /// The offending terminal.
+        terminal: crate::TerminalId,
+        /// Size of the terminal space.
+        total: u32,
+    },
+    /// A syntax error while parsing a `.soc` file.
+    ParseSoc {
+        /// 1-based line number of the offending token.
+        line: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptySoc => write!(f, "soc contains no wrapped cores"),
+            ModelError::EmptyScanChain { core } => {
+                write!(f, "core `{core}` declares a zero-length scan chain")
+            }
+            ModelError::ScanWithoutPatterns { core } => write!(
+                f,
+                "core `{core}` has internal scan chains but zero test patterns"
+            ),
+            ModelError::TerminalSpaceOverflow => {
+                write!(f, "total wrapper output cell count exceeds u32::MAX")
+            }
+            ModelError::EmptyBundle { bundle } => {
+                write!(f, "bundle `{bundle}` needs at least two interconnect lines")
+            }
+            ModelError::DuplicateBundleTerminal { bundle } => {
+                write!(f, "bundle `{bundle}` lists the same terminal twice")
+            }
+            ModelError::BundleTerminalOutOfRange {
+                bundle,
+                terminal,
+                total,
+            } => write!(
+                f,
+                "bundle `{bundle}` references {terminal} outside the {total}-terminal space"
+            ),
+            ModelError::ParseSoc { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let msg = ModelError::EmptySoc.to_string();
+        assert!(msg.starts_with("soc"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<ModelError>();
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let err = ModelError::ParseSoc {
+            line: 12,
+            message: "expected integer".into(),
+        };
+        assert!(err.to_string().contains("line 12"));
+    }
+}

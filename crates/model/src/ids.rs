@@ -1,0 +1,180 @@
+//! Strongly typed identifiers used across the workspace.
+
+use std::fmt;
+
+/// Index of a wrapped core within a [`Soc`](crate::Soc).
+///
+/// Core identifiers are dense: an SOC with `n` cores uses ids `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use soctam_model::CoreId;
+///
+/// let id = CoreId::new(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(id.to_string(), "core#3");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct CoreId(u32);
+
+impl CoreId {
+    /// Creates a core id from a dense index.
+    pub const fn new(index: u32) -> Self {
+        CoreId(index)
+    }
+
+    /// Returns the dense index as a `usize`, suitable for slice indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core#{}", self.0)
+    }
+}
+
+impl From<u32> for CoreId {
+    fn from(index: u32) -> Self {
+        CoreId(index)
+    }
+}
+
+/// Index of a wrapper output cell (WOC) in the *global terminal space* of a
+/// [`Soc`](crate::Soc).
+///
+/// Every core's WOCs occupy a contiguous range of terminal ids; the ranges
+/// are concatenated in core order. SI test patterns (Table 1 of the paper)
+/// are vectors over this space.
+///
+/// # Example
+///
+/// ```
+/// use soctam_model::TerminalId;
+///
+/// let t = TerminalId::new(17);
+/// assert_eq!(t.index(), 17);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct TerminalId(u32);
+
+impl TerminalId {
+    /// Creates a terminal id from its global index.
+    pub const fn new(index: u32) -> Self {
+        TerminalId(index)
+    }
+
+    /// Returns the global index as a `usize`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for TerminalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u32> for TerminalId {
+    fn from(index: u32) -> Self {
+        TerminalId(index)
+    }
+}
+
+/// A line of the shared functional bus (Section 3, pattern postfix).
+///
+/// The paper's experiments use a 32-bit bus; the type supports up to 256
+/// lines.
+///
+/// # Example
+///
+/// ```
+/// use soctam_model::BusLineId;
+///
+/// let b = BusLineId::new(31);
+/// assert_eq!(b.index(), 31);
+/// assert_eq!(b.to_string(), "bus[31]");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct BusLineId(u8);
+
+impl BusLineId {
+    /// Creates a bus line id.
+    pub const fn new(index: u8) -> Self {
+        BusLineId(index)
+    }
+
+    /// Returns the line index as a `usize`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u8` value.
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for BusLineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bus[{}]", self.0)
+    }
+}
+
+impl From<u8> for BusLineId {
+    fn from(index: u8) -> Self {
+        BusLineId(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_id_roundtrip() {
+        let id = CoreId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(CoreId::from(42u32), id);
+    }
+
+    #[test]
+    fn terminal_id_ordering_is_index_ordering() {
+        assert!(TerminalId::new(3) < TerminalId::new(4));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CoreId::new(7).to_string(), "core#7");
+        assert_eq!(TerminalId::new(9).to_string(), "t9");
+        assert_eq!(BusLineId::new(0).to_string(), "bus[0]");
+    }
+
+    #[test]
+    fn ids_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreId>();
+        assert_send_sync::<TerminalId>();
+        assert_send_sync::<BusLineId>();
+    }
+}

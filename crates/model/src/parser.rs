@@ -1,0 +1,507 @@
+//! Reader and writer for the ITC'02 SOC test benchmark exchange format
+//! (`.soc` files, Marinissen, Iyengar & Chakrabarty, ITC 2002).
+//!
+//! The parser is deliberately tolerant: it tokenizes the whole file (so the
+//! exact line layout does not matter), accepts `#` end-of-line comments,
+//! treats keywords case-insensitively, accepts both `TotalTests` and
+//! `Tests`, and accepts scan-chain length lists with or without the `:`
+//! separator.
+//!
+//! A parsed file is represented as a [`SocFile`] (all modules, including the
+//! unwrapped top level), which converts into a flat [`Soc`] of wrapped cores
+//! via [`SocFile::into_soc`]. Following the paper, hierarchy is ignored:
+//! every module with `Level >= 1` becomes a flat core.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), soctam_model::ModelError> {
+//! use soctam_model::parser::parse_soc;
+//!
+//! let text = "
+//! SocName tiny
+//! TotalModules 2
+//! Module 0 Level 0 Inputs 8 Outputs 8 Bidirs 0 ScanChains 0 TotalTests 0
+//! Module 1 Level 1 Inputs 4 Outputs 3 Bidirs 0 ScanChains 2 : 8 8 TotalTests 1
+//! Test 1 ScanUse 1 TamUse 1 Patterns 10
+//! ";
+//! let soc = parse_soc(text)?.into_soc()?;
+//! assert_eq!(soc.num_cores(), 1);
+//! assert_eq!(soc.core(soctam_model::CoreId::new(0)).patterns(), 10);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{CoreSpec, ModelError, Soc};
+
+/// One `Test` record of a module.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TestRecord {
+    /// 1-based test index within the module.
+    pub index: u32,
+    /// Whether the test uses the internal scan chains.
+    pub scan_use: bool,
+    /// Whether the test is delivered over the TAM.
+    pub tam_use: bool,
+    /// Number of test patterns.
+    pub patterns: u64,
+}
+
+/// One `Module` record of a `.soc` file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ModuleRecord {
+    /// Module id as written in the file.
+    pub id: u32,
+    /// Hierarchy level (0 is the unwrapped SOC top level).
+    pub level: u32,
+    /// Functional input count.
+    pub inputs: u32,
+    /// Functional output count.
+    pub outputs: u32,
+    /// Bidirectional terminal count.
+    pub bidirs: u32,
+    /// Internal scan chain lengths.
+    pub scan_chains: Vec<u32>,
+    /// Declared tests.
+    pub tests: Vec<TestRecord>,
+}
+
+impl ModuleRecord {
+    /// Total pattern count over all declared tests.
+    pub fn total_patterns(&self) -> u64 {
+        self.tests.iter().map(|t| t.patterns).sum()
+    }
+}
+
+/// A fully parsed `.soc` file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SocFile {
+    /// Value of the `SocName` directive.
+    pub name: String,
+    /// All module records, in file order.
+    pub modules: Vec<ModuleRecord>,
+}
+
+impl SocFile {
+    /// Flattens the file into a [`Soc`] of wrapped cores.
+    ///
+    /// Modules with `Level 0` (the unwrapped SOC top level) are skipped;
+    /// every other module becomes a core named `module<id>`, with its
+    /// pattern count the sum over its tests. If *no* module has a non-zero
+    /// level (some flat files omit levels entirely), all modules are kept.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from core/SOC validation.
+    pub fn into_soc(self) -> Result<Soc, ModelError> {
+        let any_wrapped = self.modules.iter().any(|m| m.level > 0);
+        let mut cores = Vec::new();
+        for module in &self.modules {
+            if any_wrapped && module.level == 0 {
+                continue;
+            }
+            cores.push(CoreSpec::new(
+                format!("module{}", module.id),
+                module.inputs,
+                module.outputs,
+                module.bidirs,
+                module.scan_chains.clone(),
+                module.total_patterns(),
+            )?);
+        }
+        Soc::new(self.name, cores)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Token<'a> {
+    text: &'a str,
+    line: usize,
+}
+
+fn tokenize(input: &str) -> Vec<Token<'_>> {
+    let mut tokens = Vec::new();
+    for (line_idx, line) in input.lines().enumerate() {
+        let line_no = line_idx + 1;
+        let content = line.split('#').next().unwrap_or("");
+        for word in content.split_whitespace() {
+            tokens.push(Token {
+                text: word,
+                line: line_no,
+            });
+        }
+    }
+    tokens
+}
+
+struct Cursor<'a> {
+    tokens: Vec<Token<'a>>,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<Token<'a>> {
+        self.tokens.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<Token<'a>> {
+        let t = self.peek();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn last_line(&self) -> usize {
+        self.tokens.last().map_or(1, |t| t.line)
+    }
+
+    fn err(&self, line: usize, message: impl Into<String>) -> ModelError {
+        ModelError::ParseSoc {
+            line,
+            message: message.into(),
+        }
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<(), ModelError> {
+        match self.next() {
+            Some(t) if t.text.eq_ignore_ascii_case(keyword) => Ok(()),
+            Some(t) => Err(self.err(
+                t.line,
+                format!("expected keyword `{keyword}`, found `{}`", t.text),
+            )),
+            None => Err(self.err(
+                self.last_line(),
+                format!("expected keyword `{keyword}`, found end of file"),
+            )),
+        }
+    }
+
+    fn peek_keyword(&self, keyword: &str) -> bool {
+        self.peek()
+            .is_some_and(|t| t.text.eq_ignore_ascii_case(keyword))
+    }
+
+    fn expect_u32(&mut self, what: &str) -> Result<u32, ModelError> {
+        match self.next() {
+            Some(t) => t.text.parse::<u32>().map_err(|_| {
+                self.err(
+                    t.line,
+                    format!("expected integer for {what}, found `{}`", t.text),
+                )
+            }),
+            None => Err(self.err(
+                self.last_line(),
+                format!("expected integer for {what}, found end of file"),
+            )),
+        }
+    }
+
+    fn expect_u64(&mut self, what: &str) -> Result<u64, ModelError> {
+        match self.next() {
+            Some(t) => t.text.parse::<u64>().map_err(|_| {
+                self.err(
+                    t.line,
+                    format!("expected integer for {what}, found `{}`", t.text),
+                )
+            }),
+            None => Err(self.err(
+                self.last_line(),
+                format!("expected integer for {what}, found end of file"),
+            )),
+        }
+    }
+}
+
+/// Parses `.soc` file text into a [`SocFile`].
+///
+/// # Errors
+///
+/// Returns [`ModelError::ParseSoc`] with the line number of the first
+/// offending token on any syntax error.
+pub fn parse_soc(input: &str) -> Result<SocFile, ModelError> {
+    let mut cur = Cursor {
+        tokens: tokenize(input),
+        pos: 0,
+    };
+
+    cur.expect_keyword("SocName")?;
+    let name = match cur.next() {
+        Some(t) => t.text.to_owned(),
+        None => {
+            return Err(ModelError::ParseSoc {
+                line: cur.last_line(),
+                message: "expected soc name, found end of file".into(),
+            })
+        }
+    };
+
+    let declared_modules = if cur.peek_keyword("TotalModules") {
+        cur.expect_keyword("TotalModules")?;
+        Some(cur.expect_u32("TotalModules")?)
+    } else {
+        None
+    };
+
+    let mut modules = Vec::new();
+    while let Some(tok) = cur.peek() {
+        if !tok.text.eq_ignore_ascii_case("Module") {
+            return Err(ModelError::ParseSoc {
+                line: tok.line,
+                message: format!("expected `Module`, found `{}`", tok.text),
+            });
+        }
+        modules.push(parse_module(&mut cur)?);
+    }
+
+    if let Some(expected) = declared_modules {
+        if modules.len() != expected as usize {
+            return Err(ModelError::ParseSoc {
+                line: cur.last_line(),
+                message: format!(
+                    "TotalModules declares {expected} modules but {} were found",
+                    modules.len()
+                ),
+            });
+        }
+    }
+
+    Ok(SocFile { name, modules })
+}
+
+fn parse_module(cur: &mut Cursor<'_>) -> Result<ModuleRecord, ModelError> {
+    cur.expect_keyword("Module")?;
+    let id = cur.expect_u32("module id")?;
+
+    let level = if cur.peek_keyword("Level") {
+        cur.expect_keyword("Level")?;
+        cur.expect_u32("Level")?
+    } else {
+        1
+    };
+
+    cur.expect_keyword("Inputs")?;
+    let inputs = cur.expect_u32("Inputs")?;
+    cur.expect_keyword("Outputs")?;
+    let outputs = cur.expect_u32("Outputs")?;
+
+    let bidirs = if cur.peek_keyword("Bidirs") {
+        cur.expect_keyword("Bidirs")?;
+        cur.expect_u32("Bidirs")?
+    } else {
+        0
+    };
+
+    cur.expect_keyword("ScanChains")?;
+    let num_chains = cur.expect_u32("ScanChains")?;
+    if cur.peek().is_some_and(|t| t.text == ":") {
+        cur.next();
+    }
+    let mut scan_chains = Vec::with_capacity(num_chains as usize);
+    for _ in 0..num_chains {
+        scan_chains.push(cur.expect_u32("scan chain length")?);
+    }
+
+    let num_tests = if cur.peek_keyword("TotalTests") {
+        cur.expect_keyword("TotalTests")?;
+        cur.expect_u32("TotalTests")?
+    } else if cur.peek_keyword("Tests") {
+        cur.expect_keyword("Tests")?;
+        cur.expect_u32("Tests")?
+    } else {
+        0
+    };
+
+    let mut tests = Vec::with_capacity(num_tests as usize);
+    for _ in 0..num_tests {
+        cur.expect_keyword("Test")?;
+        let index = cur.expect_u32("test index")?;
+        cur.expect_keyword("ScanUse")?;
+        let scan_use = cur.expect_u32("ScanUse")? != 0;
+        cur.expect_keyword("TamUse")?;
+        let tam_use = cur.expect_u32("TamUse")? != 0;
+        cur.expect_keyword("Patterns")?;
+        let patterns = cur.expect_u64("Patterns")?;
+        tests.push(TestRecord {
+            index,
+            scan_use,
+            tam_use,
+            patterns,
+        });
+    }
+
+    Ok(ModuleRecord {
+        id,
+        level,
+        inputs,
+        outputs,
+        bidirs,
+        scan_chains,
+        tests,
+    })
+}
+
+/// Serializes a [`Soc`] into canonical `.soc` text.
+///
+/// The output parses back (see [`parse_soc`]) into an equivalent flat SOC: a
+/// synthetic `Module 0` top level is emitted, followed by one `Level 1`
+/// module per core with a single scan test holding the core's pattern count.
+pub fn write_soc(soc: &Soc) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "SocName {}",
+        soc.name().replace(char::is_whitespace, "_")
+    );
+    let _ = writeln!(out, "TotalModules {}", soc.num_cores() + 1);
+    let _ = writeln!(
+        out,
+        "Module 0 Level 0 Inputs 0 Outputs 0 Bidirs 0 ScanChains 0 TotalTests 0"
+    );
+    for (id, core) in soc.iter() {
+        let _ = write!(
+            out,
+            "Module {} Level 1 Inputs {} Outputs {} Bidirs {} ScanChains {}",
+            id.raw() + 1,
+            core.inputs(),
+            core.outputs(),
+            core.bidirs(),
+            core.scan_chains().len()
+        );
+        if !core.scan_chains().is_empty() {
+            let _ = write!(out, " :");
+            for len in core.scan_chains() {
+                let _ = write!(out, " {len}");
+            }
+        }
+        let _ = writeln!(out, " TotalTests 1");
+        let _ = writeln!(
+            out,
+            "Test 1 ScanUse {} TamUse 1 Patterns {}",
+            u8::from(!core.is_combinational()),
+            core.patterns()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoreId;
+
+    const SAMPLE: &str = "
+# a comment
+SocName demo
+TotalModules 3
+Module 0 Level 0 Inputs 8 Outputs 8 Bidirs 2 ScanChains 0 TotalTests 0
+Module 1 Level 1 Inputs 4 Outputs 3 Bidirs 0 ScanChains 2 : 8 8 TotalTests 1
+Test 1 ScanUse 1 TamUse 1 Patterns 10
+Module 2 Level 1 Inputs 2 Outputs 2 Bidirs 1 ScanChains 0 TotalTests 2
+Test 1 ScanUse 0 TamUse 1 Patterns 5
+Test 2 ScanUse 0 TamUse 1 Patterns 7
+";
+
+    #[test]
+    fn parses_sample_file() {
+        let file = parse_soc(SAMPLE).expect("parses");
+        assert_eq!(file.name, "demo");
+        assert_eq!(file.modules.len(), 3);
+        assert_eq!(file.modules[1].scan_chains, vec![8, 8]);
+        assert_eq!(file.modules[2].total_patterns(), 12);
+    }
+
+    #[test]
+    fn level0_module_is_skipped() {
+        let soc = parse_soc(SAMPLE)
+            .expect("parses")
+            .into_soc()
+            .expect("valid");
+        assert_eq!(soc.num_cores(), 2);
+        assert_eq!(soc.core(CoreId::new(0)).name(), "module1");
+    }
+
+    #[test]
+    fn flat_file_without_levels_keeps_all_modules() {
+        let text = "
+SocName flat
+Module 1 Inputs 1 Outputs 1 ScanChains 0 TotalTests 1
+Test 1 ScanUse 0 TamUse 1 Patterns 3
+Module 2 Inputs 2 Outputs 2 ScanChains 1 4 TotalTests 1
+Test 1 ScanUse 1 TamUse 1 Patterns 2
+";
+        let soc = parse_soc(text).expect("parses").into_soc().expect("valid");
+        assert_eq!(soc.num_cores(), 2);
+    }
+
+    #[test]
+    fn scan_lengths_accepted_without_colon() {
+        let text = "
+SocName x
+Module 1 Level 1 Inputs 1 Outputs 1 Bidirs 0 ScanChains 3 5 6 7 TotalTests 0
+";
+        let file = parse_soc(text).expect("parses");
+        assert_eq!(file.modules[0].scan_chains, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let text = "socname y\nmodule 1 level 1 inputs 1 outputs 2 scanchains 0 totaltests 0\n";
+        let file = parse_soc(text).expect("parses");
+        assert_eq!(file.name, "y");
+        assert_eq!(file.modules[0].outputs, 2);
+    }
+
+    #[test]
+    fn module_count_mismatch_is_an_error() {
+        let text = "SocName z\nTotalModules 2\nModule 1 Inputs 1 Outputs 1 ScanChains 0\n";
+        let err = parse_soc(text).unwrap_err();
+        assert!(matches!(err, ModelError::ParseSoc { .. }));
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let text = "SocName w\nModule 1 Inputs oops Outputs 1 ScanChains 0\n";
+        match parse_soc(text).unwrap_err() {
+            ModelError::ParseSoc { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("oops"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_after_modules_rejected() {
+        let text = "SocName w\nModule 1 Inputs 1 Outputs 1 ScanChains 0 TotalTests 0\nbogus\n";
+        assert!(parse_soc(text).is_err());
+    }
+
+    #[test]
+    fn writer_roundtrips() {
+        let soc = parse_soc(SAMPLE)
+            .expect("parses")
+            .into_soc()
+            .expect("valid");
+        let text = write_soc(&soc);
+        let again = parse_soc(&text)
+            .expect("reparses")
+            .into_soc()
+            .expect("valid");
+        assert_eq!(again.num_cores(), soc.num_cores());
+        for id in soc.core_ids() {
+            let a = soc.core(id);
+            let b = again.core(id);
+            assert_eq!(a.inputs(), b.inputs());
+            assert_eq!(a.outputs(), b.outputs());
+            assert_eq!(a.bidirs(), b.bidirs());
+            assert_eq!(a.scan_chains(), b.scan_chains());
+            assert_eq!(a.patterns(), b.patterns());
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Seeded random SOC generator for stress and property tests.
+//!
+//! The generator produces structurally valid SOCs whose parameter
+//! distributions resemble the ITC'02 family: a mix of combinational and
+//! scan-heavy cores, terminal counts from tens to hundreds, and pattern
+//! counts from tens to a few thousand.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), soctam_model::ModelError> {
+//! use soctam_model::synth::{SynthConfig, synth_soc};
+//!
+//! let soc = synth_soc(&SynthConfig::new(12).with_seed(7))?;
+//! assert_eq!(soc.num_cores(), 12);
+//! // Same seed, same SOC.
+//! assert_eq!(soc, synth_soc(&SynthConfig::new(12).with_seed(7))?);
+//! # Ok(())
+//! # }
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{CoreSpec, ModelError, Soc};
+
+/// Configuration for [`synth_soc`].
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SynthConfig {
+    /// Number of cores to generate (must be ≥ 1 for a valid SOC).
+    pub num_cores: usize,
+    /// RNG seed; equal seeds produce equal SOCs.
+    pub seed: u64,
+    /// Probability that a core is combinational (no scan chains).
+    pub combinational_fraction: f64,
+    /// Inclusive range of functional inputs per core.
+    pub inputs: (u32, u32),
+    /// Inclusive range of functional outputs per core.
+    pub outputs: (u32, u32),
+    /// Inclusive range of scan-chain counts for sequential cores.
+    pub scan_chain_count: (u32, u32),
+    /// Inclusive range of scan-chain lengths.
+    pub scan_chain_len: (u32, u32),
+    /// Inclusive range of InTest pattern counts.
+    pub patterns: (u64, u64),
+}
+
+impl SynthConfig {
+    /// Creates a configuration with ITC'02-like default distributions.
+    pub fn new(num_cores: usize) -> Self {
+        SynthConfig {
+            num_cores,
+            seed: 0,
+            combinational_fraction: 0.15,
+            inputs: (8, 256),
+            outputs: (8, 256),
+            scan_chain_count: (1, 32),
+            scan_chain_len: (16, 600),
+            patterns: (10, 800),
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generates a random, structurally valid SOC.
+///
+/// # Errors
+///
+/// Returns [`ModelError::EmptySoc`] when `config.num_cores == 0`.
+pub fn synth_soc(config: &SynthConfig) -> Result<Soc, ModelError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut cores = Vec::with_capacity(config.num_cores);
+    for i in 0..config.num_cores {
+        let inputs = rng.gen_range(config.inputs.0..=config.inputs.1);
+        let outputs = rng.gen_range(config.outputs.0..=config.outputs.1);
+        let combinational = rng.gen_bool(config.combinational_fraction.clamp(0.0, 1.0));
+        let chains = if combinational {
+            Vec::new()
+        } else {
+            let count = rng.gen_range(config.scan_chain_count.0..=config.scan_chain_count.1);
+            // ITC'02-style cores have near-balanced internal chains; draw one
+            // nominal length and jitter each chain around it.
+            let nominal = rng.gen_range(config.scan_chain_len.0..=config.scan_chain_len.1);
+            (0..count)
+                .map(|_| {
+                    let jitter = rng.gen_range(0..=nominal / 8);
+                    (nominal - jitter).max(1)
+                })
+                .collect()
+        };
+        let patterns = rng.gen_range(config.patterns.0..=config.patterns.1).max(1);
+        cores.push(CoreSpec::new(
+            format!("synth{i}"),
+            inputs,
+            outputs,
+            0,
+            chains,
+            patterns,
+        )?);
+    }
+    Soc::new(
+        format!("synth-{}c-{}", config.num_cores, config.seed),
+        cores,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a = synth_soc(&SynthConfig::new(20).with_seed(99)).expect("valid");
+        let b = synth_soc(&SynthConfig::new(20).with_seed(99)).expect("valid");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = synth_soc(&SynthConfig::new(20).with_seed(1)).expect("valid");
+        let b = synth_soc(&SynthConfig::new(20).with_seed(2)).expect("valid");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_cores_is_an_error() {
+        assert!(synth_soc(&SynthConfig::new(0)).is_err());
+    }
+
+    #[test]
+    fn parameters_respect_ranges() {
+        let cfg = SynthConfig {
+            inputs: (5, 5),
+            outputs: (7, 7),
+            patterns: (3, 3),
+            combinational_fraction: 1.0,
+            ..SynthConfig::new(8)
+        };
+        let soc = synth_soc(&cfg).expect("valid");
+        for (_, core) in soc.iter() {
+            assert_eq!(core.inputs(), 5);
+            assert_eq!(core.outputs(), 7);
+            assert_eq!(core.patterns(), 3);
+            assert!(core.is_combinational());
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Interconnect topology: which wrapper output terminals route together.
+//!
+//! SOC interconnect topology is arbitrary (Fig. 1 of the paper):
+//! interconnects from several cores may share a routing channel and
+//! couple capacitively/inductively. A [`Bundle`] is one such channel — an
+//! *ordered* list of terminals whose order encodes physical adjacency
+//! (neighbouring entries couple most strongly). The MA and reduced-MT
+//! generators and the coverage analyzer operate per bundle.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use soctam_model::topology::{Bundle, InterconnectTopology};
+//! use soctam_model::{Benchmark, TerminalId};
+//!
+//! let soc = Benchmark::D695.soc();
+//! let bundle = Bundle::new("ch0", (0..16).map(TerminalId::new).collect())?;
+//! let topo = InterconnectTopology::new(&soc, vec![bundle])?;
+//! assert_eq!(topo.bundles().len(), 1);
+//! assert_eq!(topo.total_victims(), 16);
+//! # Ok(())
+//! # }
+//! ```
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::{ModelError, Soc, TerminalId};
+
+/// One routing channel: terminals ordered by physical adjacency.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Bundle {
+    name: String,
+    terminals: Vec<TerminalId>,
+}
+
+impl Bundle {
+    /// Creates a bundle from an adjacency-ordered terminal list.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::EmptyBundle`] for fewer than two terminals (a single
+    /// wire has no aggressors) and [`ModelError::DuplicateBundleTerminal`]
+    /// when a terminal repeats.
+    pub fn new(name: impl Into<String>, terminals: Vec<TerminalId>) -> Result<Self, ModelError> {
+        let name = name.into();
+        if terminals.len() < 2 {
+            return Err(ModelError::EmptyBundle { bundle: name });
+        }
+        let mut sorted = terminals.clone();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(ModelError::DuplicateBundleTerminal { bundle: name });
+        }
+        Ok(Bundle { name, terminals })
+    }
+
+    /// The bundle's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The terminals, in adjacency order.
+    pub fn terminals(&self) -> &[TerminalId] {
+        &self.terminals
+    }
+
+    /// Number of lines in the bundle.
+    pub fn len(&self) -> usize {
+        self.terminals.len()
+    }
+
+    /// Bundles are never empty (construction requires two lines), so this
+    /// always returns `false`; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.terminals.is_empty()
+    }
+
+    /// The aggressor neighbours of the line at `index`, within distance
+    /// `k` on either side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn neighbours(&self, index: usize, k: usize) -> Vec<TerminalId> {
+        let lo = index.saturating_sub(k);
+        let hi = (index + k).min(self.terminals.len() - 1);
+        (lo..=hi)
+            .filter(|&j| j != index)
+            .map(|j| self.terminals[j])
+            .collect()
+    }
+}
+
+/// The SOC's interconnect topology: a set of bundles.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct InterconnectTopology {
+    bundles: Vec<Bundle>,
+}
+
+impl InterconnectTopology {
+    /// Creates a topology, validating every terminal against `soc`.
+    ///
+    /// A terminal may appear in several bundles (an interconnect can run
+    /// through more than one congested channel), but never twice within
+    /// one bundle.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::BundleTerminalOutOfRange`] when a bundle references a
+    /// terminal outside the SOC.
+    pub fn new(soc: &Soc, bundles: Vec<Bundle>) -> Result<Self, ModelError> {
+        for bundle in &bundles {
+            for &terminal in bundle.terminals() {
+                if soc.owner(terminal).is_none() {
+                    return Err(ModelError::BundleTerminalOutOfRange {
+                        bundle: bundle.name().to_owned(),
+                        terminal,
+                        total: soc.total_wocs(),
+                    });
+                }
+            }
+        }
+        Ok(InterconnectTopology { bundles })
+    }
+
+    /// Synthesizes a random Fig.-1-style topology: `count` bundles of
+    /// `lines` terminals each. Each bundle draws most of its lines from a
+    /// randomly chosen "home" core (interconnects leaving one boundary
+    /// route together) plus a few lines from other cores (channels are
+    /// shared), then shuffles them into an adjacency order.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::EmptyBundle`] when `lines < 2` or the SOC has fewer
+    /// than two terminals.
+    pub fn synth(soc: &Soc, count: usize, lines: usize, seed: u64) -> Result<Self, ModelError> {
+        if lines < 2 || soc.total_wocs() < 2 {
+            return Err(ModelError::EmptyBundle {
+                bundle: "synth".into(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total = soc.total_wocs();
+        let mut bundles = Vec::with_capacity(count);
+        for b in 0..count {
+            let home = crate::CoreId::new(rng.gen_range(0..soc.num_cores() as u32));
+            let range = soc.terminal_range(home);
+            let mut pool: Vec<u32> = Vec::new();
+            // ~75% home-core lines, rest from anywhere.
+            let home_lines = ((lines * 3) / 4).min((range.end - range.start) as usize);
+            let mut home_terms: Vec<u32> = (range.start..range.end).collect();
+            home_terms.shuffle(&mut rng);
+            pool.extend(home_terms.into_iter().take(home_lines));
+            while pool.len() < lines {
+                let t = rng.gen_range(0..total);
+                if !pool.contains(&t) {
+                    pool.push(t);
+                }
+            }
+            pool.shuffle(&mut rng);
+            bundles.push(Bundle::new(
+                format!("synth{b}"),
+                pool.into_iter().map(TerminalId::new).collect(),
+            )?);
+        }
+        InterconnectTopology::new(soc, bundles)
+    }
+
+    /// The bundles.
+    pub fn bundles(&self) -> &[Bundle] {
+        &self.bundles
+    }
+
+    /// Total victim count: every line of every bundle is a victim once.
+    pub fn total_victims(&self) -> usize {
+        self.bundles.iter().map(Bundle::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Benchmark;
+
+    fn t(i: u32) -> TerminalId {
+        TerminalId::new(i)
+    }
+
+    #[test]
+    fn bundle_rejects_degenerate_inputs() {
+        assert!(matches!(
+            Bundle::new("x", vec![t(0)]),
+            Err(ModelError::EmptyBundle { .. })
+        ));
+        assert!(matches!(
+            Bundle::new("x", vec![t(0), t(1), t(0)]),
+            Err(ModelError::DuplicateBundleTerminal { .. })
+        ));
+    }
+
+    #[test]
+    fn neighbours_respect_edges_and_order() {
+        let b = Bundle::new("b", (0..6).map(t).collect()).expect("valid");
+        assert_eq!(b.neighbours(0, 2), vec![t(1), t(2)]);
+        assert_eq!(b.neighbours(3, 1), vec![t(2), t(4)]);
+        assert_eq!(b.neighbours(5, 2), vec![t(3), t(4)]);
+    }
+
+    #[test]
+    fn topology_validates_terminals() {
+        let soc = Benchmark::D695.soc();
+        let bad = Bundle::new("bad", vec![t(0), t(10_000_000)]).expect("structurally ok");
+        assert!(matches!(
+            InterconnectTopology::new(&soc, vec![bad]),
+            Err(ModelError::BundleTerminalOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn synth_topology_is_deterministic_and_valid() {
+        let soc = Benchmark::P34392.soc();
+        let a = InterconnectTopology::synth(&soc, 8, 24, 5).expect("valid");
+        let b = InterconnectTopology::synth(&soc, 8, 24, 5).expect("valid");
+        assert_eq!(a, b);
+        assert_eq!(a.bundles().len(), 8);
+        assert_eq!(a.total_victims(), 8 * 24);
+        for bundle in a.bundles() {
+            assert_eq!(bundle.len(), 24);
+        }
+    }
+
+    #[test]
+    fn synth_rejects_tiny_bundles() {
+        let soc = Benchmark::D695.soc();
+        assert!(InterconnectTopology::synth(&soc, 2, 1, 0).is_err());
+    }
+
+    #[test]
+    fn terminal_may_repeat_across_bundles() {
+        let soc = Benchmark::D695.soc();
+        let b1 = Bundle::new("a", vec![t(0), t(1)]).expect("valid");
+        let b2 = Bundle::new("b", vec![t(1), t(2)]).expect("valid");
+        assert!(InterconnectTopology::new(&soc, vec![b1, b2]).is_ok());
+    }
+}

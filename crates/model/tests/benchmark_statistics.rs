@@ -1,0 +1,87 @@
+//! Structural sanity of the embedded ITC'02 reconstructions.
+
+use soctam_model::{Benchmark, CoreId};
+
+#[test]
+fn every_benchmark_has_wrapped_cores_with_boundaries() {
+    for bench in Benchmark::ALL {
+        let soc = bench.soc();
+        assert!(soc.num_cores() >= 4, "{bench}");
+        assert!(soc.total_wocs() > 0, "{bench}");
+        for (id, core) in soc.iter() {
+            assert!(
+                core.inputs() + core.outputs() + core.bidirs() > 0,
+                "{bench}/{id}: a wrapped core needs functional terminals"
+            );
+            assert!(core.patterns() > 0, "{bench}/{id}: untested core");
+        }
+    }
+}
+
+#[test]
+fn suite_sizes_are_ordered_sensibly() {
+    // The big Philips/TI SOCs carry far more test data than the academic
+    // ones — the property every published ITC'02 summary table shows.
+    let volume = |b: Benchmark| b.soc().total_test_data_volume();
+    let small: u64 = [Benchmark::U226, Benchmark::D281, Benchmark::G1023]
+        .into_iter()
+        .map(volume)
+        .sum();
+    for big in [
+        Benchmark::P22810,
+        Benchmark::P34392,
+        Benchmark::P93791,
+        Benchmark::T512505,
+        Benchmark::A586710,
+    ] {
+        assert!(
+            volume(big) > small,
+            "{big} should dwarf the academic SOCs combined"
+        );
+    }
+}
+
+#[test]
+fn q12710_has_the_deepest_chains() {
+    let deepest = |b: Benchmark| {
+        b.soc()
+            .cores()
+            .iter()
+            .flat_map(|c| c.scan_chains().iter().copied())
+            .max()
+            .unwrap_or(0)
+    };
+    let q = deepest(Benchmark::Q12710);
+    for other in [Benchmark::D695, Benchmark::G1023, Benchmark::P22810] {
+        assert!(q > deepest(other), "q12710 vs {other}");
+    }
+}
+
+#[test]
+fn terminal_space_is_dense_and_owned() {
+    for bench in Benchmark::ALL {
+        let soc = bench.soc();
+        let mut counted = 0u32;
+        for id in soc.core_ids() {
+            let range = soc.terminal_range(id);
+            counted += range.end - range.start;
+            assert_eq!(
+                range.end - range.start,
+                soc.core(id).woc_count(),
+                "{bench}/{id}"
+            );
+        }
+        assert_eq!(counted, soc.total_wocs(), "{bench}");
+        // Spot-check ownership at the boundaries.
+        if soc.total_wocs() > 0 {
+            assert_eq!(
+                soc.owner(soctam_model::TerminalId::new(0)),
+                soc.core_ids().find(|&c| soc.core(c).woc_count() > 0)
+            );
+            assert!(soc
+                .owner(soctam_model::TerminalId::new(soc.total_wocs() - 1))
+                .is_some());
+        }
+    }
+    let _ = CoreId::new(0);
+}

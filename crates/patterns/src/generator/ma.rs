@@ -1,0 +1,149 @@
+//! The maximal-aggressor (MA) fault model of Cuviello et al. (ICCAD 1999).
+
+use soctam_model::TerminalId;
+
+use crate::{PatternError, SiPattern, Symbol};
+
+/// Generates the MA test set for one interconnect bundle: **6 vector pairs
+/// per victim**, `6·N` patterns in total.
+///
+/// In the MA model all aggressors make the same simultaneous transition
+/// while the victim is either quiescent (`0`/`1`, glitch faults) or makes
+/// the opposite transition (delay/speedup faults):
+///
+/// | # | victim | aggressors |
+/// |---|--------|------------|
+/// | 1 | `0`    | all `↑`    |
+/// | 2 | `0`    | all `↓`    |
+/// | 3 | `1`    | all `↑`    |
+/// | 4 | `1`    | all `↓`    |
+/// | 5 | `↑`    | all `↓`    |
+/// | 6 | `↓`    | all `↑`    |
+///
+/// # Errors
+///
+/// Returns [`PatternError::NotEnoughTerminals`] when the bundle has fewer
+/// than two lines and [`PatternError::InvalidConfig`] when it contains a
+/// duplicate terminal.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use soctam_model::TerminalId;
+/// use soctam_patterns::generator::maximal_aggressor;
+///
+/// let bundle: Vec<TerminalId> = (0..32).map(TerminalId::new).collect();
+/// let patterns = maximal_aggressor(&bundle)?;
+/// assert_eq!(patterns.len(), 6 * 32);
+/// # Ok(())
+/// # }
+/// ```
+pub fn maximal_aggressor(bundle: &[TerminalId]) -> Result<Vec<SiPattern>, PatternError> {
+    check_bundle(bundle)?;
+    let cases: [(Symbol, Symbol); 6] = [
+        (Symbol::Zero, Symbol::Rise),
+        (Symbol::Zero, Symbol::Fall),
+        (Symbol::One, Symbol::Rise),
+        (Symbol::One, Symbol::Fall),
+        (Symbol::Rise, Symbol::Fall),
+        (Symbol::Fall, Symbol::Rise),
+    ];
+    let mut patterns = Vec::with_capacity(6 * bundle.len());
+    for &victim in bundle {
+        for (victim_sym, aggressor_sym) in cases {
+            let mut care = Vec::with_capacity(bundle.len());
+            care.push((victim, victim_sym));
+            for &line in bundle {
+                if line != victim {
+                    care.push((line, aggressor_sym));
+                }
+            }
+            patterns.push(SiPattern::new(care, Vec::new())?);
+        }
+    }
+    Ok(patterns)
+}
+
+pub(crate) fn check_bundle(bundle: &[TerminalId]) -> Result<(), PatternError> {
+    if bundle.len() < 2 {
+        return Err(PatternError::NotEnoughTerminals {
+            required: 2,
+            available: bundle.len() as u32,
+        });
+    }
+    let mut sorted: Vec<TerminalId> = bundle.to_vec();
+    sorted.sort_unstable();
+    if sorted.windows(2).any(|w| w[0] == w[1]) {
+        return Err(PatternError::InvalidConfig {
+            message: "bundle contains a duplicate terminal".into(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bundle(n: u32) -> Vec<TerminalId> {
+        (0..n).map(TerminalId::new).collect()
+    }
+
+    #[test]
+    fn count_is_6n() {
+        for n in [2u32, 5, 32] {
+            assert_eq!(
+                maximal_aggressor(&bundle(n)).expect("valid").len(),
+                6 * n as usize
+            );
+        }
+    }
+
+    #[test]
+    fn every_pattern_is_fully_specified_on_the_bundle() {
+        let b = bundle(8);
+        for p in maximal_aggressor(&b).expect("valid") {
+            assert_eq!(p.care_bits().len(), 8);
+        }
+    }
+
+    #[test]
+    fn aggressors_all_transition_the_same_way() {
+        let b = bundle(4);
+        for p in maximal_aggressor(&b).expect("valid") {
+            let transitions: Vec<Symbol> = p
+                .care_bits()
+                .iter()
+                .map(|&(_, s)| s)
+                .filter(|s| s.is_transition())
+                .collect();
+            // Either all aggressors transition one way (victim quiescent),
+            // or the victim transitions opposite to all aggressors.
+            let rises = transitions.iter().filter(|&&s| s == Symbol::Rise).count();
+            let falls = transitions.len() - rises;
+            assert!(rises == 0 || falls == 0 || rises == 1 || falls == 1);
+        }
+    }
+
+    #[test]
+    fn motivation_example_from_section2() {
+        // 640 victim interconnects => 3840 MA vector pairs.
+        let b = bundle(640);
+        assert_eq!(maximal_aggressor(&b).expect("valid").len(), 3840);
+    }
+
+    #[test]
+    fn tiny_bundle_rejected() {
+        assert!(maximal_aggressor(&bundle(1)).is_err());
+    }
+
+    #[test]
+    fn duplicate_terminal_rejected() {
+        let b = vec![TerminalId::new(1), TerminalId::new(1), TerminalId::new(2)];
+        assert!(matches!(
+            maximal_aggressor(&b),
+            Err(PatternError::InvalidConfig { .. })
+        ));
+    }
+}

@@ -1,0 +1,162 @@
+//! The reduced multiple-transition (MT) fault model of Tehranipour et al.
+//! (IEEE TCAD 2004) with an empirical locality factor `k`.
+
+use soctam_model::TerminalId;
+
+use crate::{PatternError, SiPattern, Symbol};
+
+/// Largest accepted locality factor; `k = 8` already yields 2¹⁸ patterns
+/// per victim.
+pub const MAX_LOCALITY: u32 = 8;
+
+/// Generates the reduced-MT test set for one interconnect bundle with
+/// locality factor `k`.
+///
+/// The bundle is ordered by physical adjacency: the aggressors of victim
+/// `i` are the lines within distance `k` on either side. Every pattern
+/// assigns one of the four symbols to the victim and an independent
+/// transition (`↑`/`↓`) to each aggressor, so an interior victim yields
+/// `4 · 2^(2k) = 2^(2k+2)` patterns; victims near the bundle edge have
+/// fewer neighbours and proportionally fewer patterns.
+///
+/// # Errors
+///
+/// * [`PatternError::NotEnoughTerminals`] when the bundle has fewer than
+///   two lines;
+/// * [`PatternError::InvalidConfig`] when `k == 0`, `k > MAX_LOCALITY`, or
+///   the bundle contains a duplicate terminal.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use soctam_model::TerminalId;
+/// use soctam_patterns::generator::reduced_mt;
+///
+/// let bundle: Vec<TerminalId> = (0..10).map(TerminalId::new).collect();
+/// let patterns = reduced_mt(&bundle, 1)?;
+/// // Interior victims have 2 neighbours: 4 * 2^2 = 16 patterns each;
+/// // the two edge victims have 1 neighbour: 8 patterns each.
+/// assert_eq!(patterns.len(), 8 * 16 + 2 * 8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn reduced_mt(bundle: &[TerminalId], k: u32) -> Result<Vec<SiPattern>, PatternError> {
+    super::ma::check_bundle(bundle)?;
+    if k == 0 || k > MAX_LOCALITY {
+        return Err(PatternError::InvalidConfig {
+            message: format!("locality factor k={k} outside 1..={MAX_LOCALITY}"),
+        });
+    }
+    let mut patterns = Vec::new();
+    for (i, &victim) in bundle.iter().enumerate() {
+        let lo = i.saturating_sub(k as usize);
+        let hi = (i + k as usize).min(bundle.len() - 1);
+        let neighbours: Vec<TerminalId> =
+            (lo..=hi).filter(|&j| j != i).map(|j| bundle[j]).collect();
+        for victim_sym in Symbol::ALL {
+            for mask in 0u32..(1 << neighbours.len()) {
+                let mut care = Vec::with_capacity(neighbours.len() + 1);
+                care.push((victim, victim_sym));
+                for (bit, &agg) in neighbours.iter().enumerate() {
+                    let sym = if mask & (1 << bit) != 0 {
+                        Symbol::Rise
+                    } else {
+                        Symbol::Fall
+                    };
+                    care.push((agg, sym));
+                }
+                patterns.push(SiPattern::new(care, Vec::new())?);
+            }
+        }
+    }
+    Ok(patterns)
+}
+
+/// The paper's closed-form estimate of the reduced-MT pattern count for
+/// `n` victims with locality `k` (edge effects ignored): `n · 2^(2k+2)`.
+///
+/// # Example
+///
+/// ```
+/// use soctam_patterns::generator::reduced_mt_estimate;
+///
+/// // The Section 2 motivation: 640 victims, k = 3 => ~163 840 pairs.
+/// assert_eq!(reduced_mt_estimate(640, 3), 163_840);
+/// ```
+pub fn reduced_mt_estimate(victims: u64, k: u32) -> u64 {
+    victims << (2 * k + 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bundle(n: u32) -> Vec<TerminalId> {
+        (0..n).map(TerminalId::new).collect()
+    }
+
+    #[test]
+    fn interior_victims_have_full_count() {
+        let b = bundle(20);
+        let patterns = reduced_mt(&b, 2).expect("valid");
+        // Victim 10 is interior: 4 neighbours => 4 * 16 = 64 patterns.
+        let victim10 = TerminalId::new(10);
+        let count = patterns
+            .iter()
+            .filter(|p| {
+                // Victim is the line that may be non-transition, but all
+                // care sets for victim i contain terminal i; count patterns
+                // whose *lowest-distance structure* centres on 10: the care
+                // set spans exactly 8..=12.
+                let bits = p.care_bits();
+                bits.len() == 5
+                    && bits.first().map(|&(t, _)| t) == Some(TerminalId::new(8))
+                    && bits.last().map(|&(t, _)| t) == Some(TerminalId::new(12))
+                    && p.symbol_at(victim10).is_some()
+            })
+            .count();
+        assert_eq!(count, 64);
+    }
+
+    #[test]
+    fn total_count_matches_edge_adjusted_formula() {
+        let n = 10usize;
+        let k = 1usize;
+        let patterns = reduced_mt(&bundle(n as u32), k as u32).expect("valid");
+        let expected: usize = (0..n)
+            .map(|i| {
+                let neighbours = (i.min(k)) + (n - 1 - i).min(k);
+                4usize << neighbours
+            })
+            .sum();
+        assert_eq!(patterns.len(), expected);
+    }
+
+    #[test]
+    fn estimate_matches_paper_motivation() {
+        assert_eq!(reduced_mt_estimate(640, 3), 163_840);
+    }
+
+    #[test]
+    fn k_zero_rejected() {
+        assert!(reduced_mt(&bundle(4), 0).is_err());
+    }
+
+    #[test]
+    fn oversized_k_rejected() {
+        assert!(reduced_mt(&bundle(4), MAX_LOCALITY + 1).is_err());
+    }
+
+    #[test]
+    fn aggressors_are_transitions_only() {
+        for p in reduced_mt(&bundle(6), 2).expect("valid") {
+            let non_transitions = p
+                .care_bits()
+                .iter()
+                .filter(|&&(_, s)| !s.is_transition())
+                .count();
+            assert!(non_transitions <= 1, "only the victim may be quiescent");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Classic interconnect shorts/opens test: the modified counting sequence.
+//!
+//! This is the test the paper's premise is about: detecting *static*
+//! shorts and opens on `N` interconnects needs only
+//! `ceil(log2(N + 2))` parallel vectors (each wire carries its index in
+//! binary, shifted by one so no wire sees all-0s or all-1s), which is why
+//! prior TAM work could ignore ExTest time entirely. Generating it here
+//! lets the benchmarks *show* that premise: shorts/opens ExTest is orders
+//! of magnitude cheaper than SI ExTest.
+
+use soctam_model::TerminalId;
+
+use crate::{PatternError, SiPattern, Symbol};
+
+/// Generates the modified counting-sequence test for one bundle:
+/// `ceil(log2(N + 2))` static vectors. Wire `i` carries the bits of
+/// `i + 1`, so every wire sees both a `0` and a `1` somewhere in the
+/// sequence (open detection) and no two wires carry identical sequences
+/// (short detection).
+///
+/// The vectors are *static* (symbols `0`/`1` only) — there are no
+/// transitions to compact against SI patterns, but the type is shared so
+/// the same timing machinery applies.
+///
+/// # Errors
+///
+/// Same bundle validation as
+/// [`maximal_aggressor`](crate::generator::maximal_aggressor).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use soctam_model::TerminalId;
+/// use soctam_patterns::generator::shorts_opens;
+///
+/// let bundle: Vec<TerminalId> = (0..640).map(TerminalId::new).collect();
+/// let vectors = shorts_opens(&bundle)?;
+/// // ceil(log2(642)) = 10 vectors for the paper's 640-interconnect bus —
+/// // versus 3 840 MA vector pairs.
+/// assert_eq!(vectors.len(), 10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn shorts_opens(bundle: &[TerminalId]) -> Result<Vec<SiPattern>, PatternError> {
+    super::ma::check_bundle(bundle)?;
+    let n = bundle.len() as u64;
+    let bits = 64 - (n + 1).leading_zeros() as usize; // ceil(log2(n + 2))
+    let mut vectors = Vec::with_capacity(bits);
+    for bit in 0..bits {
+        let care = bundle
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let code = i as u64 + 1;
+                let symbol = if code & (1 << bit) != 0 {
+                    Symbol::One
+                } else {
+                    Symbol::Zero
+                };
+                (t, symbol)
+            })
+            .collect();
+        vectors.push(SiPattern::new(care, Vec::new())?);
+    }
+    Ok(vectors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bundle(n: u32) -> Vec<TerminalId> {
+        (0..n).map(TerminalId::new).collect()
+    }
+
+    /// The per-wire sequence across the vectors.
+    fn signature(vectors: &[SiPattern], t: TerminalId) -> Vec<Symbol> {
+        vectors
+            .iter()
+            .map(|v| v.symbol_at(t).expect("fully specified"))
+            .collect()
+    }
+
+    #[test]
+    fn count_is_log2() {
+        assert_eq!(shorts_opens(&bundle(2)).expect("valid").len(), 2);
+        assert_eq!(shorts_opens(&bundle(6)).expect("valid").len(), 3);
+        assert_eq!(shorts_opens(&bundle(640)).expect("valid").len(), 10);
+    }
+
+    #[test]
+    fn signatures_are_pairwise_distinct() {
+        let b = bundle(30);
+        let vectors = shorts_opens(&b).expect("valid");
+        let sigs: Vec<Vec<Symbol>> = b.iter().map(|&t| signature(&vectors, t)).collect();
+        for i in 0..sigs.len() {
+            for j in i + 1..sigs.len() {
+                assert_ne!(sigs[i], sigs[j], "wires {i} and {j} are indistinguishable");
+            }
+        }
+    }
+
+    #[test]
+    fn every_wire_sees_both_levels() {
+        let b = bundle(17);
+        let vectors = shorts_opens(&b).expect("valid");
+        for &t in &b {
+            let sig = signature(&vectors, t);
+            assert!(sig.contains(&Symbol::Zero), "{t} never low");
+            assert!(sig.contains(&Symbol::One), "{t} never high");
+        }
+    }
+
+    #[test]
+    fn vectors_are_static() {
+        for v in shorts_opens(&bundle(12)).expect("valid") {
+            assert!(v.care_bits().iter().all(|&(_, s)| !s.is_transition()));
+        }
+    }
+
+    #[test]
+    fn orders_of_magnitude_below_ma() {
+        // The paper's premise: for the 640-interconnect example, shorts/
+        // opens needs 10 vectors where MA needs 3 840 vector pairs.
+        let b = bundle(640);
+        let so = shorts_opens(&b).expect("valid").len();
+        let ma = crate::generator::maximal_aggressor(&b)
+            .expect("valid")
+            .len();
+        assert!(ma >= 300 * so, "ma {ma} vs shorts/opens {so}");
+    }
+}

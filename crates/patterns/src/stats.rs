@@ -1,0 +1,123 @@
+//! Summary statistics of SI pattern sets.
+
+use std::collections::HashSet;
+
+use soctam_model::Soc;
+
+use crate::SiPatternSet;
+
+/// Aggregate statistics of an [`SiPatternSet`] over one SOC.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use soctam_model::Benchmark;
+/// use soctam_patterns::{RandomPatternConfig, SiPatternSet};
+///
+/// let soc = Benchmark::D695.soc();
+/// let set = SiPatternSet::random(&soc, &RandomPatternConfig::new(1000))?;
+/// let stats = set.stats(&soc);
+/// assert_eq!(stats.pattern_count, 1000);
+/// assert!(stats.mean_care_bits() >= 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PatternSetStats {
+    /// Number of patterns.
+    pub pattern_count: usize,
+    /// Total care bits across all patterns.
+    pub total_care_bits: u64,
+    /// Patterns that occupy at least one bus line.
+    pub bus_using_patterns: usize,
+    /// Number of distinct care-core sets (the hyperedge count of the
+    /// horizontal-compaction hypergraph).
+    pub distinct_care_core_sets: usize,
+    /// Per-core count of patterns whose care set touches the core.
+    pub patterns_touching_core: Vec<u64>,
+}
+
+impl PatternSetStats {
+    /// Computes statistics for `set` over `soc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern references a terminal outside `soc`.
+    pub fn compute(set: &SiPatternSet, soc: &Soc) -> Self {
+        let mut stats = PatternSetStats {
+            pattern_count: set.len(),
+            patterns_touching_core: vec![0; soc.num_cores()],
+            ..PatternSetStats::default()
+        };
+        let mut core_sets: HashSet<Vec<u32>> = HashSet::new();
+        for pattern in set {
+            stats.total_care_bits += pattern.care_bits().len() as u64;
+            if !pattern.bus_lines().is_empty() {
+                stats.bus_using_patterns += 1;
+            }
+            let cores = pattern.care_cores(soc);
+            for &core in &cores {
+                stats.patterns_touching_core[core.index()] += 1;
+            }
+            core_sets.insert(cores.iter().map(|c| c.raw()).collect());
+        }
+        stats.distinct_care_core_sets = core_sets.len();
+        stats
+    }
+
+    /// Mean care bits per pattern (`0.0` for an empty set).
+    pub fn mean_care_bits(&self) -> f64 {
+        if self.pattern_count == 0 {
+            0.0
+        } else {
+            self.total_care_bits as f64 / self.pattern_count as f64
+        }
+    }
+
+    /// Fraction of patterns that occupy bus lines (`0.0` for an empty set).
+    pub fn bus_usage_fraction(&self) -> f64 {
+        if self.pattern_count == 0 {
+            0.0
+        } else {
+            self.bus_using_patterns as f64 / self.pattern_count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{RandomPatternConfig, SiPatternSet};
+    use soctam_model::Benchmark;
+
+    #[test]
+    fn empty_set_has_zero_stats() {
+        let soc = Benchmark::D695.soc();
+        let stats = SiPatternSet::new().stats(&soc);
+        assert_eq!(stats.pattern_count, 0);
+        assert_eq!(stats.mean_care_bits(), 0.0);
+        assert_eq!(stats.bus_usage_fraction(), 0.0);
+    }
+
+    #[test]
+    fn care_bits_bounded_by_config() {
+        let soc = Benchmark::D695.soc();
+        let cfg = RandomPatternConfig::new(500).with_seed(4);
+        let stats = SiPatternSet::random(&soc, &cfg).expect("valid").stats(&soc);
+        let mean = stats.mean_care_bits();
+        assert!(mean >= 1.0 + 1.0, "mean {mean}");
+        assert!(mean <= 1.0 + f64::from(cfg.max_aggressors), "mean {mean}");
+    }
+
+    #[test]
+    fn touch_counts_cover_all_patterns() {
+        let soc = Benchmark::D695.soc();
+        let set = SiPatternSet::random(&soc, &RandomPatternConfig::new(300)).expect("valid");
+        let stats = set.stats(&soc);
+        // Every pattern touches at least one core.
+        let max_touch = stats.patterns_touching_core.iter().copied().max().unwrap();
+        assert!(max_touch > 0);
+        assert!(stats.distinct_care_core_sets > 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! The SI pattern symbol alphabet.
+
+use std::fmt;
+
+/// A *care* symbol of an SI test pattern (Table 1 of the paper).
+///
+/// `x` (don't-care) is represented by the *absence* of a terminal from a
+/// pattern's sparse care map, so it has no variant here.
+///
+/// * [`Symbol::Zero`] / [`Symbol::One`] — the terminal holds `0`/`1` across
+///   both cycles of the vector pair (quiescent victim for glitch tests);
+/// * [`Symbol::Rise`] / [`Symbol::Fall`] — a positive/negative transition.
+///
+/// # Example
+///
+/// ```
+/// use soctam_patterns::Symbol;
+///
+/// assert!(Symbol::Rise.is_transition());
+/// assert!(!Symbol::Zero.is_transition());
+/// assert_eq!(Symbol::Fall.to_string(), "↓");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Symbol {
+    /// Steady `0` in consecutive cycles.
+    Zero,
+    /// Steady `1` in consecutive cycles.
+    One,
+    /// Positive transition (`↑`).
+    Rise,
+    /// Negative transition (`↓`).
+    Fall,
+}
+
+impl Symbol {
+    /// All four care symbols.
+    pub const ALL: [Symbol; 4] = [Symbol::Zero, Symbol::One, Symbol::Rise, Symbol::Fall];
+
+    /// The two transition symbols (aggressors always make transitions).
+    pub const TRANSITIONS: [Symbol; 2] = [Symbol::Rise, Symbol::Fall];
+
+    /// `true` for [`Symbol::Rise`] and [`Symbol::Fall`].
+    pub fn is_transition(self) -> bool {
+        matches!(self, Symbol::Rise | Symbol::Fall)
+    }
+
+    /// The symbol with the opposite transition direction or inverted level.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use soctam_patterns::Symbol;
+    ///
+    /// assert_eq!(Symbol::Rise.opposite(), Symbol::Fall);
+    /// assert_eq!(Symbol::Zero.opposite(), Symbol::One);
+    /// ```
+    pub fn opposite(self) -> Symbol {
+        match self {
+            Symbol::Zero => Symbol::One,
+            Symbol::One => Symbol::Zero,
+            Symbol::Rise => Symbol::Fall,
+            Symbol::Fall => Symbol::Rise,
+        }
+    }
+
+    /// The `(first, second)` cycle logic values of the vector pair.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use soctam_patterns::Symbol;
+    ///
+    /// assert_eq!(Symbol::Rise.vector_pair(), (false, true));
+    /// assert_eq!(Symbol::One.vector_pair(), (true, true));
+    /// ```
+    pub fn vector_pair(self) -> (bool, bool) {
+        match self {
+            Symbol::Zero => (false, false),
+            Symbol::One => (true, true),
+            Symbol::Rise => (false, true),
+            Symbol::Fall => (true, false),
+        }
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Symbol::Zero => "0",
+            Symbol::One => "1",
+            Symbol::Rise => "↑",
+            Symbol::Fall => "↓",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_involutive() {
+        for s in Symbol::ALL {
+            assert_eq!(s.opposite().opposite(), s);
+        }
+    }
+
+    #[test]
+    fn vector_pair_encodes_transitions() {
+        for s in Symbol::ALL {
+            let (a, b) = s.vector_pair();
+            assert_eq!(s.is_transition(), a != b);
+        }
+    }
+
+    #[test]
+    fn display_uses_table1_glyphs() {
+        let rendered: Vec<String> = Symbol::ALL.iter().map(|s| s.to_string()).collect();
+        assert_eq!(rendered, ["0", "1", "↑", "↓"]);
+    }
+}

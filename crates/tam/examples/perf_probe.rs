@@ -1,0 +1,32 @@
+//! Wall-clock profiling helper for the TAM optimizer on the paper benchmarks.
+//!
+//! Run with `cargo run --release -p <crate> --example perf_probe`.
+use soctam_model::Benchmark;
+use soctam_tam::{SiGroupSpec, TamOptimizer};
+
+fn main() {
+    let soc = Benchmark::P93791.soc();
+    let cores: Vec<_> = soc.core_ids().collect();
+    let groups = vec![
+        SiGroupSpec::new(cores.clone(), 2000),
+        SiGroupSpec::new(cores[0..8].to_vec(), 900),
+        SiGroupSpec::new(cores[8..16].to_vec(), 800),
+        SiGroupSpec::new(cores[16..24].to_vec(), 700),
+        SiGroupSpec::new(cores[24..32].to_vec(), 600),
+    ];
+    for w in [8u32, 32, 64] {
+        let start = std::time::Instant::now();
+        let result = TamOptimizer::new(&soc, w, groups.clone())
+            .unwrap()
+            .optimize()
+            .unwrap();
+        println!(
+            "w={w}: T={} (in {} si {}) rails={} elapsed={:?}",
+            result.evaluation().t_total(),
+            result.evaluation().t_in,
+            result.evaluation().t_si,
+            result.architecture().num_rails(),
+            start.elapsed()
+        );
+    }
+}

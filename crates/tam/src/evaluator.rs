@@ -1,0 +1,439 @@
+//! Architecture evaluation: InTest times, SI test times
+//! (`CalculateSITestTime`) and the combined objective.
+
+use soctam_model::{CoreId, Soc};
+use soctam_wrapper::TimeTable;
+
+use crate::schedule::{schedule_si_tests, SiSchedule};
+use crate::{TamError, TestRailArchitecture};
+
+/// A compacted SI test group as the TAM layer sees it: the involved cores
+/// and the compacted pattern count (`C(s)` and `pattern(s)` of Fig. 4).
+///
+/// # Example
+///
+/// ```
+/// use soctam_model::CoreId;
+/// use soctam_tam::SiGroupSpec;
+///
+/// let spec = SiGroupSpec::new(vec![CoreId::new(1), CoreId::new(0)], 250);
+/// assert_eq!(spec.cores(), &[CoreId::new(0), CoreId::new(1)]);
+/// assert_eq!(spec.patterns(), 250);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SiGroupSpec {
+    cores: Vec<CoreId>,
+    patterns: u64,
+}
+
+impl SiGroupSpec {
+    /// Creates a group spec; cores are sorted and deduplicated.
+    pub fn new(mut cores: Vec<CoreId>, patterns: u64) -> Self {
+        cores.sort_unstable();
+        cores.dedup();
+        SiGroupSpec { cores, patterns }
+    }
+
+    /// The involved cores, sorted.
+    pub fn cores(&self) -> &[CoreId] {
+        &self.cores
+    }
+
+    /// The compacted pattern count.
+    pub fn patterns(&self) -> u64 {
+        self.patterns
+    }
+}
+
+impl From<&soctam_compaction::SiTestGroup> for SiGroupSpec {
+    fn from(group: &soctam_compaction::SiTestGroup) -> Self {
+        SiGroupSpec::new(group.cores().to_vec(), group.pattern_count())
+    }
+}
+
+/// Timing of one SI test group under a concrete architecture (the output
+/// of `CalculateSITestTime`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SiGroupTime {
+    /// `time_si(s)`: the bottleneck rail's total shift time.
+    pub time: u64,
+    /// Indices of the rails involved (`R_tam(s)`), sorted.
+    pub rails: Vec<usize>,
+    /// Index of the bottleneck rail (`r_btn(s)`), or `usize::MAX` when the
+    /// group involves no rail (all cores have zero WOCs).
+    pub bottleneck_rail: usize,
+}
+
+/// Complete timing evaluation of one architecture.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Evaluation {
+    /// Per-rail InTest time (`time_in(r)`).
+    pub rail_time_in: Vec<u64>,
+    /// Per-rail utilized SI time (`time_si(r)`: the rail's own shift work
+    /// summed over all groups that involve it).
+    pub rail_time_si: Vec<u64>,
+    /// Per-group SI timing.
+    pub group_times: Vec<SiGroupTime>,
+    /// The SI schedule produced by Algorithm 1.
+    pub schedule: SiSchedule,
+    /// `T_soc^in`: the maximum per-rail InTest time.
+    pub t_in: u64,
+    /// `T_soc^si`: the SI schedule makespan.
+    pub t_si: u64,
+}
+
+impl Evaluation {
+    /// The combined objective `T_soc = T_soc^in + T_soc^si`.
+    pub fn t_total(&self) -> u64 {
+        self.t_in + self.t_si
+    }
+
+    /// `time_used(r) = time_in(r) + time_si(r)` for every rail.
+    pub fn rail_time_used(&self) -> Vec<u64> {
+        self.rail_time_in
+            .iter()
+            .zip(&self.rail_time_si)
+            .map(|(a, b)| a + b)
+            .collect()
+    }
+}
+
+/// Evaluates TestRail architectures for one SOC and one fixed set of SI
+/// test groups, with all wrapper designs memoized up front.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use soctam_model::Benchmark;
+/// use soctam_tam::{Evaluator, SiGroupSpec, TestRailArchitecture};
+///
+/// let soc = Benchmark::D695.soc();
+/// let groups = vec![SiGroupSpec::new(soc.core_ids().collect(), 100)];
+/// let evaluator = Evaluator::new(&soc, 16, groups)?;
+/// let arch = TestRailArchitecture::single_rail(&soc, 16)?;
+/// let eval = evaluator.evaluate(&arch);
+/// assert_eq!(eval.t_total(), eval.t_in + eval.t_si);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    soc: &'a Soc,
+    table: TimeTable,
+    max_width: u32,
+    groups: Vec<SiGroupSpec>,
+    /// Per core: `Σ_{s ∋ c} patterns(s)` — the total SI pattern load the
+    /// core's wrapper must shift across all groups.
+    core_si_weight: Vec<u64>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Builds an evaluator for architectures of rail width up to
+    /// `max_width`.
+    ///
+    /// # Errors
+    ///
+    /// [`TamError::ZeroWidthBudget`] when `max_width == 0`;
+    /// [`TamError::CoreOutOfRange`] when a group references a core the SOC
+    /// does not have.
+    pub fn new(soc: &'a Soc, max_width: u32, groups: Vec<SiGroupSpec>) -> Result<Self, TamError> {
+        if max_width == 0 {
+            return Err(TamError::ZeroWidthBudget);
+        }
+        for group in &groups {
+            for &core in group.cores() {
+                if core.index() >= soc.num_cores() {
+                    return Err(TamError::CoreOutOfRange {
+                        core,
+                        cores: soc.num_cores(),
+                    });
+                }
+            }
+        }
+        let mut core_si_weight = vec![0u64; soc.num_cores()];
+        for group in &groups {
+            for &core in group.cores() {
+                core_si_weight[core.index()] += group.patterns();
+            }
+        }
+        Ok(Evaluator {
+            soc,
+            table: TimeTable::new(soc, max_width),
+            max_width,
+            groups,
+            core_si_weight,
+        })
+    }
+
+    /// The utilized time `time_in + time_si` a rail hosting `cores` would
+    /// accumulate at `width` — without building an architecture. Used by
+    /// the optimizer's wire distribution to find the next width at which a
+    /// rail actually gets faster (its time is a non-increasing staircase
+    /// in width, flat on long plateaus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds the evaluator's budget, or a
+    /// core is out of range.
+    pub fn rail_time_used_at(&self, cores: &[CoreId], width: u32) -> u64 {
+        cores
+            .iter()
+            .map(|&c| {
+                self.table.intest(c, width)
+                    + self.core_si_weight[c.index()] * self.table.si_shift(c, width)
+            })
+            .sum()
+    }
+
+    /// The SOC under evaluation.
+    pub fn soc(&self) -> &Soc {
+        self.soc
+    }
+
+    /// The SI test groups.
+    pub fn groups(&self) -> &[SiGroupSpec] {
+        &self.groups
+    }
+
+    /// The width budget the evaluator was built for.
+    pub fn max_width(&self) -> u32 {
+        self.max_width
+    }
+
+    /// The memoized per-core time table.
+    pub fn time_table(&self) -> &TimeTable {
+        &self.table
+    }
+
+    /// `time_in(r)` for one rail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rail's width exceeds the evaluator's budget.
+    pub fn rail_intest_time(&self, rail: &crate::TestRail) -> u64 {
+        rail.cores()
+            .iter()
+            .map(|&c| self.table.intest(c, rail.width()))
+            .sum()
+    }
+
+    /// Full evaluation of `arch`: per-rail times, per-group SI times
+    /// (`CalculateSITestTime`), the Algorithm 1 schedule and the combined
+    /// objective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rail is wider than the evaluator's `max_width` or hosts
+    /// a core outside the SOC.
+    pub fn evaluate(&self, arch: &TestRailArchitecture) -> Evaluation {
+        let num_rails = arch.num_rails();
+        let mut rail_time_in = vec![0u64; num_rails];
+        for (i, rail) in arch.rails().iter().enumerate() {
+            rail_time_in[i] = self.rail_intest_time(rail);
+        }
+        let t_in = rail_time_in.iter().copied().max().unwrap_or(0);
+
+        let core_rail = arch.core_to_rail(self.soc.num_cores());
+        let mut rail_time_si = vec![0u64; num_rails];
+        let mut group_times = Vec::with_capacity(self.groups.len());
+        // Scratch: per-rail shift sums for the current group.
+        let mut shift = vec![0u64; num_rails];
+        for group in &self.groups {
+            let mut touched: Vec<usize> = Vec::new();
+            for &core in group.cores() {
+                let rail = core_rail[core.index()];
+                let width = arch.rails()[rail].width();
+                let cycles = group.patterns() * self.table.si_shift(core, width);
+                if cycles > 0 {
+                    if shift[rail] == 0 {
+                        touched.push(rail);
+                    }
+                    shift[rail] += cycles;
+                }
+            }
+            touched.sort_unstable();
+            let (mut best_rail, mut best_time) = (usize::MAX, 0u64);
+            for &rail in &touched {
+                rail_time_si[rail] += shift[rail];
+                if shift[rail] > best_time {
+                    best_time = shift[rail];
+                    best_rail = rail;
+                }
+                shift[rail] = 0;
+            }
+            group_times.push(SiGroupTime {
+                time: best_time,
+                rails: touched,
+                bottleneck_rail: best_rail,
+            });
+        }
+
+        let schedule = schedule_si_tests(&group_times);
+        let t_si = schedule.makespan();
+        Evaluation {
+            rail_time_in,
+            rail_time_si,
+            group_times,
+            schedule,
+            t_in,
+            t_si,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TestRail;
+    use soctam_model::Benchmark;
+
+    fn c(i: u32) -> CoreId {
+        CoreId::new(i)
+    }
+
+    #[test]
+    fn intest_time_is_max_over_rails() {
+        let soc = Benchmark::D695.soc();
+        let rails = vec![
+            TestRail::new((0..5).map(c).collect(), 8).expect("valid"),
+            TestRail::new((5..10).map(c).collect(), 8).expect("valid"),
+        ];
+        let arch = TestRailArchitecture::new(&soc, rails).expect("valid");
+        let evaluator = Evaluator::new(&soc, 16, vec![]).expect("valid");
+        let eval = evaluator.evaluate(&arch);
+        assert_eq!(eval.t_in, *eval.rail_time_in.iter().max().unwrap());
+        assert_eq!(eval.t_si, 0);
+        assert_eq!(eval.t_total(), eval.t_in);
+    }
+
+    #[test]
+    fn group_time_is_bottleneck_rail_sum() {
+        let soc = Benchmark::D695.soc();
+        let rails = vec![
+            TestRail::new((0..5).map(c).collect(), 4).expect("valid"),
+            TestRail::new((5..10).map(c).collect(), 4).expect("valid"),
+        ];
+        let arch = TestRailArchitecture::new(&soc, rails).expect("valid");
+        let groups = vec![SiGroupSpec::new(soc.core_ids().collect(), 10)];
+        let evaluator = Evaluator::new(&soc, 8, groups).expect("valid");
+        let eval = evaluator.evaluate(&arch);
+
+        // Recompute by hand.
+        let table = evaluator.time_table();
+        let rail_sum = |range: std::ops::Range<u32>| -> u64 {
+            range.map(|i| 10 * table.si_shift(c(i), 4)).sum()
+        };
+        let expected = rail_sum(0..5).max(rail_sum(5..10));
+        assert_eq!(eval.group_times[0].time, expected);
+        assert_eq!(eval.group_times[0].rails, vec![0, 1]);
+    }
+
+    #[test]
+    fn rail_time_si_sums_own_contributions() {
+        // Example 1 semantics: time_si(r) for TAM3 = core 5's own shifts.
+        let soc = Benchmark::D695.soc();
+        let rails = vec![
+            TestRail::new((0..9).map(c).collect(), 4).expect("valid"),
+            TestRail::new(vec![c(9)], 4).expect("valid"),
+        ];
+        let arch = TestRailArchitecture::new(&soc, rails).expect("valid");
+        let groups = vec![
+            SiGroupSpec::new(soc.core_ids().collect(), 7),
+            SiGroupSpec::new(vec![c(9)], 5),
+        ];
+        let evaluator = Evaluator::new(&soc, 8, groups).expect("valid");
+        let eval = evaluator.evaluate(&arch);
+        let table = evaluator.time_table();
+        let expected = 7 * table.si_shift(c(9), 4) + 5 * table.si_shift(c(9), 4);
+        assert_eq!(eval.rail_time_si[1], expected);
+    }
+
+    #[test]
+    fn boundary_less_cores_do_not_occupy_rails() {
+        use soctam_model::CoreSpec;
+        let soc = Soc::new(
+            "z",
+            vec![
+                CoreSpec::new("island", 0, 0, 0, vec![4], 5).expect("valid"),
+                CoreSpec::new("drv", 2, 6, 0, vec![4], 5).expect("valid"),
+            ],
+        )
+        .expect("valid");
+        let rails = vec![
+            TestRail::new(vec![c(0)], 1).expect("valid"),
+            TestRail::new(vec![c(1)], 1).expect("valid"),
+        ];
+        let arch = TestRailArchitecture::new(&soc, rails).expect("valid");
+        let groups = vec![SiGroupSpec::new(vec![c(0), c(1)], 3)];
+        let evaluator = Evaluator::new(&soc, 2, groups).expect("valid");
+        let eval = evaluator.evaluate(&arch);
+        // A core with no functional terminals has nothing to shift during
+        // SI test, so only rail 1 is involved.
+        assert_eq!(eval.group_times[0].rails, vec![1]);
+        assert_eq!(eval.rail_time_si[0], 0);
+        // The driver rail pays the vector pair plus its own ILS readout.
+        let table = evaluator.time_table();
+        assert_eq!(table.si_shift(c(1), 1), 2 * 6 + 2);
+    }
+
+    #[test]
+    fn sink_cores_pay_ils_flag_readout() {
+        use soctam_model::CoreSpec;
+        let soc = Soc::new(
+            "z",
+            vec![
+                CoreSpec::new("sink", 8, 0, 0, vec![4], 5).expect("valid"),
+                CoreSpec::new("drv", 2, 6, 0, vec![4], 5).expect("valid"),
+            ],
+        )
+        .expect("valid");
+        let rails = vec![
+            TestRail::new(vec![c(0)], 1).expect("valid"),
+            TestRail::new(vec![c(1)], 1).expect("valid"),
+        ];
+        let arch = TestRailArchitecture::new(&soc, rails).expect("valid");
+        let groups = vec![SiGroupSpec::new(vec![c(0), c(1)], 3)];
+        let evaluator = Evaluator::new(&soc, 2, groups).expect("valid");
+        let eval = evaluator.evaluate(&arch);
+        // The sink core loads no vectors but unloads 8 ILS flags per
+        // pattern, so its rail participates.
+        assert_eq!(eval.group_times[0].rails, vec![0, 1]);
+        assert_eq!(eval.rail_time_si[0], 3 * 8);
+    }
+
+    #[test]
+    fn group_with_out_of_range_core_rejected() {
+        let soc = Benchmark::D695.soc();
+        let groups = vec![SiGroupSpec::new(vec![c(10)], 1)];
+        assert!(matches!(
+            Evaluator::new(&soc, 8, groups),
+            Err(TamError::CoreOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        let soc = Benchmark::D695.soc();
+        assert!(matches!(
+            Evaluator::new(&soc, 0, vec![]),
+            Err(TamError::ZeroWidthBudget)
+        ));
+    }
+
+    #[test]
+    fn time_used_adds_in_and_si() {
+        let soc = Benchmark::D695.soc();
+        let arch = TestRailArchitecture::single_rail(&soc, 8).expect("valid");
+        let groups = vec![SiGroupSpec::new(soc.core_ids().collect(), 20)];
+        let evaluator = Evaluator::new(&soc, 8, groups).expect("valid");
+        let eval = evaluator.evaluate(&arch);
+        assert_eq!(
+            eval.rail_time_used()[0],
+            eval.rail_time_in[0] + eval.rail_time_si[0]
+        );
+    }
+}

@@ -1,0 +1,766 @@
+//! `TAM_Optimization` — Algorithm 2 of the paper (Fig. 6), plus the
+//! TR-Architect baseline as the [`Objective::InTestOnly`] special case.
+
+use std::collections::BTreeSet;
+
+use soctam_model::{CoreId, Soc};
+
+use crate::{Evaluation, Evaluator, SiGroupSpec, TamError, TestRail, TestRailArchitecture};
+
+/// What the optimizer minimizes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Objective {
+    /// `T_soc = T_soc^in + T_soc^si` — the paper's `TAM_Optimization`.
+    #[default]
+    Total,
+    /// `T_soc^in` only — the TR-Architect baseline. The SI tests are still
+    /// *scheduled* on the resulting architecture when reporting the final
+    /// evaluation (this is exactly how the paper computes `T_[8]`), they
+    /// just do not steer the optimization.
+    InTestOnly,
+}
+
+/// The result of a TAM optimization run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OptimizedArchitecture {
+    architecture: TestRailArchitecture,
+    evaluation: Evaluation,
+}
+
+impl OptimizedArchitecture {
+    /// The optimized TestRail architecture.
+    pub fn architecture(&self) -> &TestRailArchitecture {
+        &self.architecture
+    }
+
+    /// The full timing evaluation (always includes the SI schedule,
+    /// regardless of the optimization objective).
+    pub fn evaluation(&self) -> &Evaluation {
+        &self.evaluation
+    }
+}
+
+/// SI-aware TestRail architecture optimizer (Algorithm 2).
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Debug)]
+pub struct TamOptimizer<'a> {
+    evaluator: Evaluator<'a>,
+    max_width: u32,
+    objective: Objective,
+}
+
+impl<'a> TamOptimizer<'a> {
+    /// Creates an optimizer for `soc` with a TAM wire budget of
+    /// `max_width` and the given compacted SI test groups.
+    ///
+    /// # Errors
+    ///
+    /// [`TamError::ZeroWidthBudget`] when `max_width == 0`;
+    /// [`TamError::CoreOutOfRange`] for groups referencing unknown cores.
+    pub fn new(soc: &'a Soc, max_width: u32, groups: Vec<SiGroupSpec>) -> Result<Self, TamError> {
+        Ok(TamOptimizer {
+            evaluator: Evaluator::new(soc, max_width, groups)?,
+            max_width,
+            objective: Objective::Total,
+        })
+    }
+
+    /// Sets the optimization objective (builder style).
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// The evaluator (exposes the SOC, groups and time table).
+    pub fn evaluator(&self) -> &Evaluator<'a> {
+        &self.evaluator
+    }
+
+    fn soc(&self) -> &Soc {
+        self.evaluator.soc()
+    }
+
+    fn eval(&self, rails: &[TestRail]) -> Evaluation {
+        let arch = TestRailArchitecture::new(self.soc(), rails.to_vec())
+            .expect("optimizer maintains a consistent core assignment");
+        self.evaluator.evaluate(&arch)
+    }
+
+    fn cost_of(&self, eval: &Evaluation) -> u64 {
+        match self.objective {
+            Objective::Total => eval.t_total(),
+            Objective::InTestOnly => eval.t_in,
+        }
+    }
+
+    fn cost(&self, rails: &[TestRail]) -> u64 {
+        self.cost_of(&self.eval(rails))
+    }
+
+    /// The rails whose time bounds the objective: all rails achieving
+    /// `T_soc^in`, plus (for the total objective) the bottleneck rail of
+    /// every SI group. Free wires go only to these (Section 4.2).
+    fn bottleneck_rails(&self, eval: &Evaluation) -> Vec<usize> {
+        let mut set = BTreeSet::new();
+        for (i, &t) in eval.rail_time_in.iter().enumerate() {
+            if t == eval.t_in {
+                set.insert(i);
+            }
+        }
+        if self.objective == Objective::Total {
+            for group in &eval.group_times {
+                if group.bottleneck_rail != usize::MAX {
+                    set.insert(group.bottleneck_rail);
+                }
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// `distributeFreeWires`: assigns `wires` extra TAM wires, favouring
+    /// bottleneck rails (Section 4.2).
+    ///
+    /// A rail's time is a non-increasing *staircase* in width: adding one
+    /// wire frequently changes nothing (the longest wrapper chain is fixed
+    /// by a scan-chain plateau), so a one-wire-at-a-time greedy stalls and
+    /// dumps the whole budget on one rail. Instead each step jumps a rail
+    /// directly to its next Pareto width — the smallest width at which its
+    /// utilized time actually drops — and picks the jump that minimizes
+    /// `(T_soc, Σ_r time_used(r), wires spent)`. Wires that cannot improve
+    /// any rail are spread one per widest-gap rail at the end.
+    fn distribute_free_wires(&self, mut rails: Vec<TestRail>, wires: u32) -> Vec<TestRail> {
+        let mut remaining = wires;
+        while remaining > 0 {
+            // Water-filling over the staircases: among every strict drop
+            // point of every rail (not just the nearest one — a tiny SI
+            // gain at +1 must not mask a large InTest cliff at +6), pick
+            // the steepest descent: lowest resulting cost first, then the
+            // highest time reduction *per wire spent*, then fewest wires.
+            let mut best: Option<(usize, u32)> = None;
+            let mut best_key: Option<(u64, u128, u32)> = None;
+            for (i, rail) in rails.iter().enumerate() {
+                let before = self.evaluator.rail_time_used_at(rail.cores(), rail.width());
+                for d in self.drop_points(rail, remaining) {
+                    let after = self
+                        .evaluator
+                        .rail_time_used_at(rail.cores(), rail.width() + d);
+                    let gain = before - after;
+                    let mut cand = rails.clone();
+                    cand[i] = cand[i].with_width(cand[i].width() + d).expect("width > 0");
+                    let cost = self.cost(&cand);
+                    // Rate comparison without floats: encode gain/d as a
+                    // scaled fixed-point value (negated so smaller = better).
+                    let neg_rate = u128::MAX - (u128::from(gain) << 32) / u128::from(d);
+                    let key = (cost, neg_rate, d);
+                    if best_key.map_or(true, |b| key < b) {
+                        best_key = Some(key);
+                        best = Some((i, d));
+                    }
+                }
+            }
+            match best {
+                Some((i, d)) => {
+                    rails[i] = rails[i]
+                        .with_width(rails[i].width() + d)
+                        .expect("width > 0");
+                    remaining -= d;
+                }
+                None => break, // no affordable jump improves any rail
+            }
+        }
+        // Leftover wires that cannot improve anything on their own: park
+        // them on bottleneck rails (they may enable future merges).
+        while remaining > 0 {
+            let eval = self.eval(&rails);
+            let target = self
+                .bottleneck_rails(&eval)
+                .into_iter()
+                .chain(0..rails.len())
+                .find(|&i| rails[i].width() < self.max_width);
+            let Some(i) = target else { break };
+            rails[i] = rails[i]
+                .with_width(rails[i].width() + 1)
+                .expect("width > 0");
+            remaining -= 1;
+        }
+        rails
+    }
+
+    /// `mergeTAMs`: merges `rails[r1]` with the partner and merged width
+    /// that minimize the objective (redistributing freed wires), or keeps
+    /// the architecture when no merge improves it. Returns the new rails
+    /// and whether an improvement was found.
+    fn merge_tams(&self, rails: Vec<TestRail>, r1: usize) -> (Vec<TestRail>, bool) {
+        let current = self.cost(&rails);
+        let mut best: Option<(Vec<TestRail>, u64)> = None;
+        for i in 0..rails.len() {
+            if i == r1 {
+                continue;
+            }
+            let w1 = rails[r1].width();
+            let wi = rails[i].width();
+            let w_min = w1.max(wi);
+            let w_max = w1 + wi;
+            for w in w_min..=w_max {
+                let merged = rails[r1].merged(&rails[i], w).expect("merged width >= 1");
+                let mut cand: Vec<TestRail> = rails
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != r1 && j != i)
+                    .map(|(_, r)| r.clone())
+                    .collect();
+                cand.push(merged);
+                let leftover = w_max - w;
+                if leftover > 0 {
+                    cand = self.distribute_free_wires(cand, leftover);
+                }
+                let cost = self.cost(&cand);
+                if best.as_ref().map_or(true, |&(_, b)| cost < b) {
+                    best = Some((cand, cost));
+                }
+            }
+        }
+        match best {
+            Some((cand, cost)) if cost < current => (cand, true),
+            _ => (rails, false),
+        }
+    }
+
+    /// The strict drop points of a rail's time staircase: the jump sizes
+    /// `d ≤ budget` (with `width + d ≤ max_width`) at which
+    /// `rail_time_used_at(width + d)` falls below every smaller width.
+    fn drop_points(&self, rail: &TestRail, budget: u32) -> Vec<u32> {
+        let mut points = Vec::new();
+        let mut best = self.evaluator.rail_time_used_at(rail.cores(), rail.width());
+        let limit = budget.min(self.max_width.saturating_sub(rail.width()));
+        for d in 1..=limit {
+            let t = self
+                .evaluator
+                .rail_time_used_at(rail.cores(), rail.width() + d);
+            if t < best {
+                best = t;
+                points.push(d);
+            }
+        }
+        points
+    }
+
+    /// Wire rebalancing (a polish pass beyond the paper): funds a Pareto
+    /// jump of a slow rail by taxing one wire at a time from the donors
+    /// whose *marginal* slowdown is smallest, accepting the move only when
+    /// `(T_soc, Σ time_used)` strictly improves. This recovers allocations
+    /// the one-directional `distributeFreeWires` cannot reach (e.g. a
+    /// starved many-scan-chain core behind a long width plateau).
+    fn rebalance_wires(&self, mut rails: Vec<TestRail>) -> Vec<TestRail> {
+        for _ in 0..1_000 {
+            let eval = self.eval(&rails);
+            let key = (
+                self.cost_of(&eval),
+                eval.rail_time_used().iter().sum::<u64>(),
+            );
+            let mut best: Option<(Vec<TestRail>, (u64, u64))> = None;
+            for b in 0..rails.len() {
+                let donor_budget: u32 =
+                    rails.iter().map(|r| r.width() - 1).sum::<u32>() - (rails[b].width() - 1);
+                for delta in self.drop_points(&rails[b], donor_budget) {
+                    // Collect `delta` wires, one at a time, from the donors
+                    // whose marginal slowdown for giving up a wire is
+                    // smallest (zero on a width plateau).
+                    let mut cand = rails.clone();
+                    let mut funded = 0;
+                    while funded < delta {
+                        let donor = (0..cand.len())
+                            .filter(|&o| o != b && cand[o].width() > 1)
+                            .min_by_key(|&o| {
+                                let at = |w| self.evaluator.rail_time_used_at(cand[o].cores(), w);
+                                at(cand[o].width() - 1) - at(cand[o].width())
+                            });
+                        let Some(o) = donor else { break };
+                        cand[o] = cand[o].with_width(cand[o].width() - 1).expect("width > 1");
+                        funded += 1;
+                    }
+                    if funded < delta {
+                        continue; // not enough donor wires
+                    }
+                    cand[b] = cand[b]
+                        .with_width(cand[b].width() + delta)
+                        .expect("width > 0");
+                    let cand_eval = self.eval(&cand);
+                    let cand_key = (
+                        self.cost_of(&cand_eval),
+                        cand_eval.rail_time_used().iter().sum::<u64>(),
+                    );
+                    if cand_key < key && best.as_ref().map_or(true, |&(_, k)| cand_key < k) {
+                        best = Some((cand, cand_key));
+                    }
+                }
+            }
+            match best {
+                Some((cand, _)) => rails = cand,
+                None => break,
+            }
+        }
+        rails
+    }
+
+    /// Sorts rails by `time_used` in non-increasing order (the ordering
+    /// Algorithm 2 uses throughout).
+    fn sort_by_time_used(&self, rails: &mut Vec<TestRail>) {
+        let eval = self.eval(rails);
+        let used = eval.rail_time_used();
+        let mut order: Vec<usize> = (0..rails.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(used[i]));
+        let mut sorted = Vec::with_capacity(rails.len());
+        for &i in &order {
+            sorted.push(rails[i].clone());
+        }
+        *rails = sorted;
+    }
+
+    /// `coreReshuffle`: repeatedly moves one core off a bottleneck rail to
+    /// whichever other rail minimizes the objective, while it improves.
+    fn core_reshuffle(&self, mut rails: Vec<TestRail>) -> Vec<TestRail> {
+        loop {
+            let eval = self.eval(&rails);
+            let current = self.cost_of(&eval);
+            let bottlenecks = self.bottleneck_rails(&eval);
+            let mut best: Option<(Vec<TestRail>, u64)> = None;
+            for &b in &bottlenecks {
+                if rails[b].cores().len() < 2 {
+                    continue;
+                }
+                for &core in rails[b].cores() {
+                    for t in 0..rails.len() {
+                        if t == b {
+                            continue;
+                        }
+                        let mut cand = rails.clone();
+                        let remaining: Vec<CoreId> = cand[b]
+                            .cores()
+                            .iter()
+                            .copied()
+                            .filter(|&c| c != core)
+                            .collect();
+                        cand[b] = TestRail::new(remaining, cand[b].width())
+                            .expect("source keeps at least one core");
+                        let mut target_cores = cand[t].cores().to_vec();
+                        target_cores.push(core);
+                        cand[t] = TestRail::new(target_cores, cand[t].width())
+                            .expect("target keeps its width");
+                        let cost = self.cost(&cand);
+                        if best.as_ref().map_or(true, |&(_, c)| cost < c) {
+                            best = Some((cand, cost));
+                        }
+                    }
+                }
+            }
+            match best {
+                Some((cand, cost)) if cost < current => rails = cand,
+                _ => return rails,
+            }
+        }
+    }
+
+    /// Runs Algorithm 2 and returns the optimized architecture with its
+    /// full evaluation.
+    ///
+    /// For the [`Objective::Total`] objective this runs a two-leg
+    /// portfolio (beyond the paper): the SI-aware trajectory *and* the
+    /// InTest-steered trajectory, judged on total time. The two greedy
+    /// searches explore different basins and either can win; taking the
+    /// better of the two on the true objective is strictly stronger than
+    /// either alone.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction, but reserved for future
+    /// budget constraints; the signature matches the other fallible APIs.
+    pub fn optimize(&self) -> Result<OptimizedArchitecture, TamError> {
+        let primary = self.optimize_perturbed(0)?;
+        if self.objective != Objective::Total {
+            return Ok(primary);
+        }
+        let alt = TamOptimizer {
+            evaluator: Evaluator::new(
+                self.soc(),
+                self.max_width,
+                self.evaluator.groups().to_vec(),
+            )?,
+            max_width: self.max_width,
+            objective: Objective::InTestOnly,
+        };
+        let secondary = alt.optimize_perturbed(0)?;
+        if secondary.evaluation().t_total() < primary.evaluation().t_total() {
+            Ok(secondary)
+        } else {
+            Ok(primary)
+        }
+    }
+
+    /// Multi-start optimization: runs Algorithm 2 from `restarts`
+    /// deterministically perturbed start solutions (the base order plus
+    /// `restarts − 1` shuffles) and keeps the best result. Ties in the
+    /// greedy merge loops break differently per start order, which is
+    /// often enough to escape a bad local minimum.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`TamOptimizer::optimize`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// use soctam_model::Benchmark;
+    /// use soctam_tam::{SiGroupSpec, TamOptimizer};
+    ///
+    /// let soc = Benchmark::D695.soc();
+    /// let groups = vec![SiGroupSpec::new(soc.core_ids().collect(), 100)];
+    /// let optimizer = TamOptimizer::new(&soc, 16, groups)?;
+    /// let single = optimizer.optimize()?;
+    /// let multi = optimizer.optimize_multi(4)?;
+    /// assert!(multi.evaluation().t_total() <= single.evaluation().t_total());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn optimize_multi(&self, restarts: u32) -> Result<OptimizedArchitecture, TamError> {
+        let mut best = self.optimize()?;
+        for perturbation in 1..restarts.max(1) {
+            let candidate = self.optimize_perturbed(u64::from(perturbation))?;
+            if self.cost_of(candidate.evaluation()) < self.cost_of(best.evaluation()) {
+                best = candidate;
+            }
+        }
+        Ok(best)
+    }
+
+    /// One Algorithm 2 run. `perturbation == 0` uses the paper's start
+    /// solution (one one-wire rail per core, lines 1-16); other values
+    /// start from a structurally different architecture (a deterministic
+    /// round-robin packing into `2..` rails) so multi-start explores
+    /// different basins.
+    fn optimize_perturbed(&self, perturbation: u64) -> Result<OptimizedArchitecture, TamError> {
+        let n = self.soc().num_cores();
+        let w_max = self.max_width as usize;
+
+        // --- Create a start solution (lines 1-16). ---
+        let mut rails: Vec<TestRail>;
+        if perturbation == 0 {
+            rails = TestRailArchitecture::one_rail_per_core(self.soc())
+                .rails()
+                .to_vec();
+            if w_max < n {
+                for _ in 0..(n - w_max) {
+                    self.sort_by_time_used(&mut rails);
+                    // Merge r_{Wmax+1} with the first-Wmax rail minimizing
+                    // the objective (the merge is mandatory: the budget is
+                    // short).
+                    let victim = rails.remove(w_max);
+                    let mut best: Option<(usize, u64)> = None;
+                    for i in 0..w_max.min(rails.len()) {
+                        let mut cand = rails.clone();
+                        let w = cand[i].width().max(victim.width());
+                        cand[i] = cand[i].merged(&victim, w).expect("width >= 1");
+                        let cost = self.cost(&cand);
+                        if best.map_or(true, |(_, b)| cost < b) {
+                            best = Some((i, cost));
+                        }
+                    }
+                    let (i, _) = best.expect("at least one merge partner exists");
+                    let w = rails[i].width().max(victim.width());
+                    rails[i] = rails[i].merged(&victim, w).expect("width >= 1");
+                }
+            } else if n < w_max {
+                rails = self.distribute_free_wires(rails, (w_max - n) as u32);
+            }
+        } else {
+            rails = self.packed_start(perturbation);
+        }
+
+        // --- Optimize bottom-up (lines 17-23): merge the least-used rail.
+        while rails.len() > 1 {
+            let init = self.cost(&rails);
+            self.sort_by_time_used(&mut rails);
+            let last = rails.len() - 1;
+            let (new_rails, improved) = self.merge_tams(rails, last);
+            rails = new_rails;
+            if !improved || self.cost(&rails) == init {
+                break;
+            }
+        }
+
+        // --- Optimize top-down (lines 24-30): merge the most-used rail.
+        let mut skip: BTreeSet<Vec<CoreId>> = BTreeSet::new();
+        while rails.len() > 1 {
+            let init = self.cost(&rails);
+            self.sort_by_time_used(&mut rails);
+            let (new_rails, improved) = self.merge_tams(rails, 0);
+            rails = new_rails;
+            if !improved || self.cost(&rails) == init {
+                skip.insert(rails_key(&rails, 0));
+                break;
+            }
+        }
+
+        // --- Merge the remaining rails (lines 31-36). ---
+        loop {
+            self.sort_by_time_used(&mut rails);
+            let candidate = (0..rails.len()).find(|&i| !skip.contains(&rails_key(&rails, i)));
+            let Some(r_star) = candidate else { break };
+            if rails.len() < 2 {
+                break;
+            }
+            let (new_rails, improved) = self.merge_tams(rails, r_star);
+            rails = new_rails;
+            if !improved {
+                skip.insert(rails_key(&rails, r_star));
+            }
+        }
+
+        // --- Reshuffle cores off bottleneck rails (line 37). ---
+        rails = self.core_reshuffle(rails);
+
+        // --- Wire rebalance polish (beyond the paper; see rebalance_wires).
+        rails = self.rebalance_wires(rails);
+
+        // Safety net beyond the paper: the trivial single-rail architecture
+        // (every core daisy-chained on all W_max wires) is always feasible
+        // and occasionally beats a stuck merge trajectory; never return
+        // anything worse than it.
+        let single = TestRailArchitecture::single_rail(self.soc(), self.max_width)
+            .expect("max_width >= 1")
+            .rails()
+            .to_vec();
+        if self.cost(&single) < self.cost(&rails) {
+            rails = single;
+        }
+
+        let architecture = TestRailArchitecture::new(self.soc(), rails)
+            .expect("optimizer maintains a consistent core assignment");
+        debug_assert!(architecture.check_width(self.max_width).is_ok());
+        let evaluation = self.evaluator.evaluate(&architecture);
+        Ok(OptimizedArchitecture {
+            architecture,
+            evaluation,
+        })
+    }
+
+    /// An alternative start solution for multi-start runs: cores shuffled
+    /// by `salt`, packed round-robin into `k` rails (with `k` varying per
+    /// salt) and the width budget split evenly. Structurally different
+    /// from the paper's start, so the merge loops explore another basin.
+    fn packed_start(&self, salt: u64) -> Vec<TestRail> {
+        let n = self.soc().num_cores();
+        let w_max = self.max_width;
+        let max_rails = (w_max as usize).min(n);
+        // k cycles through 2..=max_rails as the salt grows.
+        let k = if max_rails <= 1 {
+            1
+        } else {
+            2 + (salt as usize - 1) % (max_rails - 1)
+        };
+
+        let mut ids: Vec<CoreId> = self.soc().core_ids().collect();
+        shuffle_cores(&mut ids, salt);
+
+        let mut buckets: Vec<Vec<CoreId>> = vec![Vec::new(); k];
+        for (i, core) in ids.into_iter().enumerate() {
+            buckets[i % k].push(core);
+        }
+        let base = w_max / k as u32;
+        let extra = (w_max % k as u32) as usize;
+        buckets
+            .into_iter()
+            .enumerate()
+            .map(|(i, cores)| {
+                let width = base + u32::from(i < extra);
+                TestRail::new(cores, width.max(1)).expect("bucket is non-empty")
+            })
+            .collect()
+    }
+}
+
+/// Stable identity of a rail for the skip set: its (sorted) core list.
+fn rails_key(rails: &[TestRail], i: usize) -> Vec<CoreId> {
+    rails[i].cores().to_vec()
+}
+
+/// Deterministic Fisher–Yates shuffle driven by a splitmix64 stream (the
+/// crate has no RNG dependency; reproducibility matters more than
+/// statistical quality here).
+fn shuffle_cores(cores: &mut [CoreId], seed: u64) {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..cores.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        cores.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctam_model::Benchmark;
+
+    fn groups_for(soc: &Soc, patterns: u64) -> Vec<SiGroupSpec> {
+        vec![SiGroupSpec::new(soc.core_ids().collect(), patterns)]
+    }
+
+    #[test]
+    fn optimize_respects_width_budget() {
+        let soc = Benchmark::D695.soc();
+        for w in [4u32, 8, 16] {
+            let result = TamOptimizer::new(&soc, w, groups_for(&soc, 100))
+                .expect("valid")
+                .optimize()
+                .expect("optimizes");
+            assert!(result.architecture().total_width() <= w);
+            // Every core hosted exactly once is enforced by construction.
+            assert_eq!(
+                result
+                    .architecture()
+                    .rails()
+                    .iter()
+                    .map(|r| r.cores().len())
+                    .sum::<usize>(),
+                soc.num_cores()
+            );
+        }
+    }
+
+    #[test]
+    fn wider_budget_never_hurts() {
+        let soc = Benchmark::D695.soc();
+        let t8 = TamOptimizer::new(&soc, 8, groups_for(&soc, 200))
+            .expect("valid")
+            .optimize()
+            .expect("optimizes")
+            .evaluation()
+            .t_total();
+        let t32 = TamOptimizer::new(&soc, 32, groups_for(&soc, 200))
+            .expect("valid")
+            .optimize()
+            .expect("optimizes")
+            .evaluation()
+            .t_total();
+        assert!(t32 <= t8, "t32={t32} > t8={t8}");
+    }
+
+    #[test]
+    fn intest_only_matches_or_beats_total_on_t_in() {
+        let soc = Benchmark::D695.soc();
+        let groups = groups_for(&soc, 500);
+        let baseline = TamOptimizer::new(&soc, 16, groups.clone())
+            .expect("valid")
+            .objective(Objective::InTestOnly)
+            .optimize()
+            .expect("optimizes");
+        let si_aware = TamOptimizer::new(&soc, 16, groups)
+            .expect("valid")
+            .optimize()
+            .expect("optimizes");
+        // The baseline optimizes T_in, so its T_in should not be worse
+        // (both are heuristics, so allow a small slack).
+        let slack = baseline.evaluation().t_in / 10;
+        assert!(
+            baseline.evaluation().t_in <= si_aware.evaluation().t_in + slack,
+            "baseline t_in {} vs si-aware {}",
+            baseline.evaluation().t_in,
+            si_aware.evaluation().t_in
+        );
+    }
+
+    #[test]
+    fn si_aware_beats_baseline_on_total_under_heavy_si_load() {
+        let soc = Benchmark::D695.soc();
+        // Heavy SI load: two groups with large pattern counts.
+        let half: Vec<CoreId> = (0..5).map(CoreId::new).collect();
+        let rest: Vec<CoreId> = (5..10).map(CoreId::new).collect();
+        let groups = vec![
+            SiGroupSpec::new(half, 3_000),
+            SiGroupSpec::new(rest, 3_000),
+            SiGroupSpec::new(soc.core_ids().collect(), 1_000),
+        ];
+        let baseline = TamOptimizer::new(&soc, 24, groups.clone())
+            .expect("valid")
+            .objective(Objective::InTestOnly)
+            .optimize()
+            .expect("optimizes");
+        let si_aware = TamOptimizer::new(&soc, 24, groups)
+            .expect("valid")
+            .optimize()
+            .expect("optimizes");
+        assert!(
+            si_aware.evaluation().t_total() <= baseline.evaluation().t_total(),
+            "si-aware {} > baseline {}",
+            si_aware.evaluation().t_total(),
+            baseline.evaluation().t_total()
+        );
+    }
+
+    #[test]
+    fn single_core_soc_optimizes_trivially() {
+        use soctam_model::CoreSpec;
+        let soc = Soc::new(
+            "one",
+            vec![CoreSpec::new("c", 4, 4, 0, vec![16, 16], 10).expect("valid")],
+        )
+        .expect("valid");
+        let result = TamOptimizer::new(&soc, 8, vec![])
+            .expect("valid")
+            .optimize()
+            .expect("optimizes");
+        assert_eq!(result.architecture().num_rails(), 1);
+        assert!(result.architecture().total_width() <= 8);
+        assert_eq!(result.evaluation().t_si, 0);
+    }
+
+    #[test]
+    fn budget_below_core_count_forces_merging() {
+        let soc = Benchmark::P34392.soc(); // 19 cores
+        let result = TamOptimizer::new(&soc, 8, groups_for(&soc, 50))
+            .expect("valid")
+            .optimize()
+            .expect("optimizes");
+        assert!(result.architecture().total_width() <= 8);
+        assert!(result.architecture().num_rails() <= 8);
+    }
+}
+
+#[cfg(test)]
+mod rebalance_tests {
+    use super::*;
+    use soctam_model::{Benchmark, CoreId};
+
+    #[test]
+    fn rebalance_rescues_starved_many_chain_core() {
+        let soc = Benchmark::F2126.soc();
+        let groups = vec![SiGroupSpec::new(soc.core_ids().collect(), 300)];
+        let optimizer = TamOptimizer::new(&soc, 64, groups)
+            .expect("valid")
+            .objective(Objective::InTestOnly);
+        // The allocation the one-directional distribution gets stuck in:
+        // core 2 (18 scan chains) starved at 12 wires.
+        let rails = vec![
+            TestRail::new(vec![CoreId::new(2)], 12).expect("valid"),
+            TestRail::new(vec![CoreId::new(1)], 18).expect("valid"),
+            TestRail::new(vec![CoreId::new(3)], 17).expect("valid"),
+            TestRail::new(vec![CoreId::new(0)], 17).expect("valid"),
+        ];
+        let before = optimizer.cost(&rails);
+        let rebalanced = optimizer.rebalance_wires(rails);
+        let after = optimizer.cost(&rebalanced);
+        assert!(
+            after < before * 7 / 10,
+            "rebalance only improved {before} -> {after}"
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Power-constrained SI test scheduling — an extension of Algorithm 1.
+//!
+//! Simultaneous wrapper shifting across many rails can exceed the chip's
+//! test power envelope (the classic constraint of Chou/Saluja/Agrawal and
+//! of power-constrained SOC scheduling). This module extends the paper's
+//! Algorithm 1 with a peak-power budget: an SI test may start only when
+//! its rails are free **and** the sum of the power ratings of all running
+//! tests stays within the budget.
+//!
+//! Power ratings are abstract units (commonly mW or a normalized toggle
+//! count); only their sums are compared against the budget.
+
+use crate::evaluator::SiGroupTime;
+use crate::schedule::{ScheduledSiTest, SiSchedule};
+
+/// An SI test group annotated with its peak power rating.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PoweredSiTest {
+    /// The group's timing (rails + duration), as produced by the
+    /// evaluator's `CalculateSITestTime`.
+    pub timing: SiGroupTime,
+    /// Peak power drawn while the test runs.
+    pub power: u64,
+}
+
+/// Error returned when a single test alone exceeds the power budget (it
+/// could never be scheduled).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExceedsPowerBudget {
+    /// Index of the offending test.
+    pub group: usize,
+    /// Its power rating.
+    pub power: u64,
+    /// The budget it exceeds.
+    pub budget: u64,
+}
+
+impl std::fmt::Display for ExceedsPowerBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "si test group {} draws {} power units, over the budget of {}",
+            self.group, self.power, self.budget
+        )
+    }
+}
+
+impl std::error::Error for ExceedsPowerBudget {}
+
+/// Algorithm 1 with a peak-power budget: first-fit over the input order,
+/// starting a test only when its rails are free and the running power sum
+/// plus its rating stays within `budget`.
+///
+/// With `budget = u64::MAX` this degenerates to plain Algorithm 1.
+///
+/// # Errors
+///
+/// [`ExceedsPowerBudget`] if any single test's rating exceeds the budget.
+///
+/// # Example
+///
+/// ```
+/// use soctam_tam::power::{schedule_si_tests_power, PoweredSiTest};
+/// use soctam_tam::SiGroupTime;
+///
+/// let tests = vec![
+///     PoweredSiTest {
+///         timing: SiGroupTime { time: 10, rails: vec![0], bottleneck_rail: 0 },
+///         power: 6,
+///     },
+///     PoweredSiTest {
+///         timing: SiGroupTime { time: 10, rails: vec![1], bottleneck_rail: 1 },
+///         power: 6,
+///     },
+/// ];
+/// // Rail-disjoint, but 6 + 6 exceeds a budget of 10: they serialize.
+/// let schedule = schedule_si_tests_power(&tests, 10)?;
+/// assert_eq!(schedule.makespan(), 20);
+/// # Ok::<(), soctam_tam::power::ExceedsPowerBudget>(())
+/// ```
+pub fn schedule_si_tests_power(
+    tests: &[PoweredSiTest],
+    budget: u64,
+) -> Result<SiSchedule, ExceedsPowerBudget> {
+    for (group, test) in tests.iter().enumerate() {
+        if test.power > budget {
+            return Err(ExceedsPowerBudget {
+                group,
+                power: test.power,
+                budget,
+            });
+        }
+    }
+
+    let mut unscheduled: Vec<usize> = (0..tests.len()).collect();
+    let mut running: Vec<(ScheduledSiTest, u64)> = Vec::new();
+    let mut done: Vec<ScheduledSiTest> = Vec::new();
+    let mut curr_time = 0u64;
+    let mut makespan = 0u64;
+
+    while !unscheduled.is_empty() {
+        let (finished, still): (Vec<_>, Vec<_>) =
+            running.into_iter().partition(|(t, _)| t.end <= curr_time);
+        done.extend(finished.into_iter().map(|(t, _)| t));
+        running = still;
+
+        let used_power: u64 = running.iter().map(|&(_, p)| p).sum();
+        let slot = unscheduled.iter().position(|&g| {
+            let rails_free = tests[g]
+                .timing
+                .rails
+                .iter()
+                .all(|r| running.iter().all(|(t, _)| !t.rails.contains(r)));
+            rails_free && used_power + tests[g].power <= budget
+        });
+        match slot {
+            Some(pos) => {
+                let g = unscheduled.remove(pos);
+                let test = ScheduledSiTest {
+                    group: g,
+                    begin: curr_time,
+                    end: curr_time + tests[g].timing.time,
+                    rails: tests[g].timing.rails.clone(),
+                };
+                makespan = makespan.max(test.end);
+                running.push((test, tests[g].power));
+            }
+            None => {
+                curr_time = running
+                    .iter()
+                    .map(|(t, _)| t.end)
+                    .min()
+                    .expect("a blocked test implies a running test");
+            }
+        }
+    }
+    done.extend(running.into_iter().map(|(t, _)| t));
+    done.sort_by_key(|t| (t.begin, t.group));
+    let tests_sorted = done;
+    Ok(SiSchedule::from_serial(tests_sorted, makespan))
+}
+
+/// `true` when no instant of the schedule draws more than `budget` power
+/// (verification helper for tests and reports).
+pub fn respects_power_budget(schedule: &SiSchedule, tests: &[PoweredSiTest], budget: u64) -> bool {
+    let mut events: Vec<u64> = schedule
+        .tests()
+        .iter()
+        .flat_map(|t| [t.begin, t.end])
+        .collect();
+    events.sort_unstable();
+    events.dedup();
+    events.into_iter().all(|instant| {
+        let draw: u64 = schedule
+            .tests()
+            .iter()
+            .filter(|t| t.begin <= instant && instant < t.end)
+            .map(|t| tests[t.group].power)
+            .sum();
+        draw <= budget
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(time: u64, rails: &[usize], power: u64) -> PoweredSiTest {
+        PoweredSiTest {
+            timing: SiGroupTime {
+                time,
+                rails: rails.to_vec(),
+                bottleneck_rail: rails.first().copied().unwrap_or(usize::MAX),
+            },
+            power,
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_matches_algorithm1() {
+        let tests = vec![t(10, &[0], 5), t(8, &[1], 5), t(6, &[0, 1], 5)];
+        let powered = schedule_si_tests_power(&tests, u64::MAX).expect("fits");
+        let timings: Vec<SiGroupTime> = tests.iter().map(|p| p.timing.clone()).collect();
+        let plain = crate::schedule_si_tests(&timings);
+        assert_eq!(powered.makespan(), plain.makespan());
+    }
+
+    #[test]
+    fn power_budget_serializes_disjoint_tests() {
+        let tests = vec![t(10, &[0], 6), t(10, &[1], 6)];
+        let s = schedule_si_tests_power(&tests, 10).expect("fits");
+        assert_eq!(s.makespan(), 20);
+        assert!(respects_power_budget(&s, &tests, 10));
+        let relaxed = schedule_si_tests_power(&tests, 12).expect("fits");
+        assert_eq!(relaxed.makespan(), 10);
+    }
+
+    #[test]
+    fn partial_parallelism_under_budget() {
+        // Three rail-disjoint tests of power 4 under a budget of 8: two at
+        // a time.
+        let tests = vec![t(10, &[0], 4), t(10, &[1], 4), t(10, &[2], 4)];
+        let s = schedule_si_tests_power(&tests, 8).expect("fits");
+        assert_eq!(s.makespan(), 20);
+        assert!(respects_power_budget(&s, &tests, 8));
+        assert!(!respects_power_budget(&s, &tests, 7));
+    }
+
+    #[test]
+    fn oversized_test_is_rejected() {
+        let tests = vec![t(5, &[0], 20)];
+        let err = schedule_si_tests_power(&tests, 10).unwrap_err();
+        assert_eq!(err.group, 0);
+        assert!(err.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn rail_conflicts_still_apply() {
+        let tests = vec![t(10, &[0], 1), t(10, &[0], 1)];
+        let s = schedule_si_tests_power(&tests, 100).expect("fits");
+        assert_eq!(s.makespan(), 20);
+    }
+
+    #[test]
+    fn zero_power_tests_always_fit() {
+        let tests = vec![t(4, &[0], 0), t(4, &[1], 0), t(4, &[2], 0)];
+        let s = schedule_si_tests_power(&tests, 0).expect("fits");
+        assert_eq!(s.makespan(), 4);
+    }
+}

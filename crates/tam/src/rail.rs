@@ -1,0 +1,341 @@
+//! TestRails and TestRail architectures.
+
+use std::fmt;
+
+use soctam_model::{CoreId, Soc};
+
+use crate::TamError;
+
+/// One TestRail: a bundle of TAM wires shared by a set of daisy-chained
+/// cores (`C(r)` and `width(r)` of the paper's Fig. 4 data structure).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use soctam_model::CoreId;
+/// use soctam_tam::TestRail;
+///
+/// let rail = TestRail::new(vec![CoreId::new(0), CoreId::new(2)], 4)?;
+/// assert_eq!(rail.width(), 4);
+/// assert!(rail.hosts(CoreId::new(2)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TestRail {
+    cores: Vec<CoreId>,
+    width: u32,
+}
+
+impl TestRail {
+    /// Creates a rail hosting `cores` on `width` TAM wires.
+    ///
+    /// Cores are sorted and deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// [`TamError::ZeroWidthRail`] when `width == 0`,
+    /// [`TamError::EmptyRail`] when `cores` is empty.
+    pub fn new(mut cores: Vec<CoreId>, width: u32) -> Result<Self, TamError> {
+        if width == 0 {
+            return Err(TamError::ZeroWidthRail);
+        }
+        cores.sort_unstable();
+        cores.dedup();
+        if cores.is_empty() {
+            return Err(TamError::EmptyRail);
+        }
+        Ok(TestRail { cores, width })
+    }
+
+    /// The cores on this rail, sorted.
+    pub fn cores(&self) -> &[CoreId] {
+        &self.cores
+    }
+
+    /// The rail's TAM width in wires.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// `true` when `core` is daisy-chained on this rail.
+    pub fn hosts(&self, core: CoreId) -> bool {
+        self.cores.binary_search(&core).is_ok()
+    }
+
+    /// A copy of this rail with a different width.
+    ///
+    /// # Errors
+    ///
+    /// [`TamError::ZeroWidthRail`] when `width == 0`.
+    pub fn with_width(&self, width: u32) -> Result<TestRail, TamError> {
+        TestRail::new(self.cores.clone(), width)
+    }
+
+    /// The rail obtained by merging `self` and `other` at `width`.
+    ///
+    /// # Errors
+    ///
+    /// [`TamError::ZeroWidthRail`] when `width == 0`.
+    pub fn merged(&self, other: &TestRail, width: u32) -> Result<TestRail, TamError> {
+        let mut cores = self.cores.clone();
+        cores.extend_from_slice(&other.cores);
+        TestRail::new(cores, width)
+    }
+}
+
+impl fmt::Display for TestRail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rail[w={}] {{", self.width)?;
+        for (i, core) in self.cores.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{core}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A complete TestRail architecture: a set of rails that together host
+/// every core of the SOC exactly once.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use soctam_model::{Benchmark, CoreId};
+/// use soctam_tam::{TestRail, TestRailArchitecture};
+///
+/// let soc = Benchmark::D695.soc();
+/// let arch = TestRailArchitecture::single_rail(&soc, 8)?;
+/// assert_eq!(arch.num_rails(), 1);
+/// assert_eq!(arch.rail_of(CoreId::new(3)), Some(0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TestRailArchitecture {
+    rails: Vec<TestRail>,
+}
+
+impl TestRailArchitecture {
+    /// Creates an architecture from rails, checking that every core of
+    /// `soc` is hosted exactly once.
+    ///
+    /// # Errors
+    ///
+    /// [`TamError::DuplicateCore`], [`TamError::UnassignedCore`] or
+    /// [`TamError::CoreOutOfRange`] on an inconsistent assignment.
+    pub fn new(soc: &Soc, rails: Vec<TestRail>) -> Result<Self, TamError> {
+        let mut seen = vec![false; soc.num_cores()];
+        for rail in &rails {
+            for &core in rail.cores() {
+                if core.index() >= soc.num_cores() {
+                    return Err(TamError::CoreOutOfRange {
+                        core,
+                        cores: soc.num_cores(),
+                    });
+                }
+                if std::mem::replace(&mut seen[core.index()], true) {
+                    return Err(TamError::DuplicateCore { core });
+                }
+            }
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(TamError::UnassignedCore {
+                core: CoreId::new(missing as u32),
+            });
+        }
+        Ok(TestRailArchitecture { rails })
+    }
+
+    /// The trivial architecture: every core daisy-chained on one rail of
+    /// the given width.
+    ///
+    /// # Errors
+    ///
+    /// [`TamError::ZeroWidthRail`] when `width == 0`.
+    pub fn single_rail(soc: &Soc, width: u32) -> Result<Self, TamError> {
+        let rail = TestRail::new(soc.core_ids().collect(), width)?;
+        TestRailArchitecture::new(soc, vec![rail])
+    }
+
+    /// The widest start solution: one one-wire rail per core.
+    pub fn one_rail_per_core(soc: &Soc) -> Self {
+        let rails = soc
+            .core_ids()
+            .map(|c| TestRail::new(vec![c], 1).expect("single core, width 1"))
+            .collect();
+        TestRailArchitecture { rails }
+    }
+
+    /// The rails, in index order.
+    pub fn rails(&self) -> &[TestRail] {
+        &self.rails
+    }
+
+    /// Number of rails.
+    pub fn num_rails(&self) -> usize {
+        self.rails.len()
+    }
+
+    /// Sum of rail widths (the architecture's TAM wire usage).
+    pub fn total_width(&self) -> u32 {
+        self.rails.iter().map(TestRail::width).sum()
+    }
+
+    /// Index of the rail hosting `core`, or `None`.
+    pub fn rail_of(&self, core: CoreId) -> Option<usize> {
+        self.rails.iter().position(|r| r.hosts(core))
+    }
+
+    /// The per-core rail index lookup table (`usize::MAX` for unhosted
+    /// cores, which a validated architecture never has).
+    pub fn core_to_rail(&self, num_cores: usize) -> Vec<usize> {
+        let mut map = vec![usize::MAX; num_cores];
+        for (i, rail) in self.rails.iter().enumerate() {
+            for &core in rail.cores() {
+                if core.index() < num_cores {
+                    map[core.index()] = i;
+                }
+            }
+        }
+        map
+    }
+
+    /// Validates the architecture against a width budget.
+    ///
+    /// # Errors
+    ///
+    /// [`TamError::WidthExceeded`] when the rails use more than
+    /// `max_width` wires.
+    pub fn check_width(&self, max_width: u32) -> Result<(), TamError> {
+        let used = self.total_width();
+        if used > max_width {
+            return Err(TamError::WidthExceeded {
+                used,
+                max: max_width,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TestRailArchitecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "architecture ({} rails, {} wires):",
+            self.num_rails(),
+            self.total_width()
+        )?;
+        for (i, rail) in self.rails.iter().enumerate() {
+            writeln!(f, "  TAM{i}: {rail}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctam_model::Benchmark;
+
+    fn c(i: u32) -> CoreId {
+        CoreId::new(i)
+    }
+
+    #[test]
+    fn rail_sorts_and_dedups() {
+        let rail = TestRail::new(vec![c(2), c(0), c(2)], 3).expect("valid");
+        assert_eq!(rail.cores(), &[c(0), c(2)]);
+    }
+
+    #[test]
+    fn zero_width_and_empty_rails_rejected() {
+        assert_eq!(
+            TestRail::new(vec![c(0)], 0).unwrap_err(),
+            TamError::ZeroWidthRail
+        );
+        assert_eq!(TestRail::new(vec![], 1).unwrap_err(), TamError::EmptyRail);
+    }
+
+    #[test]
+    fn merged_unions_cores() {
+        let a = TestRail::new(vec![c(0), c(1)], 2).expect("valid");
+        let b = TestRail::new(vec![c(2)], 3).expect("valid");
+        let m = a.merged(&b, 4).expect("valid");
+        assert_eq!(m.cores(), &[c(0), c(1), c(2)]);
+        assert_eq!(m.width(), 4);
+    }
+
+    #[test]
+    fn architecture_validates_coverage() {
+        let soc = Benchmark::D695.soc();
+        // Missing core 9.
+        let rails = vec![TestRail::new((0..9).map(c).collect(), 4).expect("valid")];
+        assert!(matches!(
+            TestRailArchitecture::new(&soc, rails),
+            Err(TamError::UnassignedCore { .. })
+        ));
+        // Duplicate core 0.
+        let rails = vec![
+            TestRail::new((0..10).map(c).collect(), 4).expect("valid"),
+            TestRail::new(vec![c(0)], 1).expect("valid"),
+        ];
+        assert!(matches!(
+            TestRailArchitecture::new(&soc, rails),
+            Err(TamError::DuplicateCore { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_core_rejected() {
+        let soc = Benchmark::D695.soc();
+        let rails = vec![TestRail::new((0..11).map(c).collect(), 4).expect("valid")];
+        assert!(matches!(
+            TestRailArchitecture::new(&soc, rails),
+            Err(TamError::CoreOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn one_rail_per_core_covers_soc() {
+        let soc = Benchmark::P34392.soc();
+        let arch = TestRailArchitecture::one_rail_per_core(&soc);
+        assert_eq!(arch.num_rails(), soc.num_cores());
+        assert_eq!(arch.total_width(), soc.num_cores() as u32);
+        for core in soc.core_ids() {
+            assert!(arch.rail_of(core).is_some());
+        }
+    }
+
+    #[test]
+    fn core_to_rail_matches_rail_of() {
+        let soc = Benchmark::D695.soc();
+        let rails = vec![
+            TestRail::new((0..5).map(c).collect(), 3).expect("valid"),
+            TestRail::new((5..10).map(c).collect(), 5).expect("valid"),
+        ];
+        let arch = TestRailArchitecture::new(&soc, rails).expect("valid");
+        let map = arch.core_to_rail(soc.num_cores());
+        for core in soc.core_ids() {
+            assert_eq!(map[core.index()], arch.rail_of(core).expect("hosted"));
+        }
+    }
+
+    #[test]
+    fn width_budget_checked() {
+        let soc = Benchmark::D695.soc();
+        let arch = TestRailArchitecture::single_rail(&soc, 8).expect("valid");
+        assert!(arch.check_width(8).is_ok());
+        assert!(matches!(
+            arch.check_width(7),
+            Err(TamError::WidthExceeded { used: 8, max: 7 })
+        ));
+    }
+}

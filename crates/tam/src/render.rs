@@ -1,0 +1,245 @@
+//! Text rendering of test schedules (the style of the paper's Fig. 3).
+
+use crate::{Evaluation, TestRailArchitecture};
+
+/// Renders an architecture evaluation as an ASCII Gantt chart: one row per
+/// rail showing its InTest block followed by the SI tests that occupy it.
+///
+/// Intended for examples and debugging output.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use soctam_model::Benchmark;
+/// use soctam_tam::{render_schedule, Evaluator, SiGroupSpec, TestRailArchitecture};
+///
+/// let soc = Benchmark::D695.soc();
+/// let groups = vec![SiGroupSpec::new(soc.core_ids().collect(), 50)];
+/// let evaluator = Evaluator::new(&soc, 8, groups)?;
+/// let arch = TestRailArchitecture::single_rail(&soc, 8)?;
+/// let eval = evaluator.evaluate(&arch);
+/// let chart = render_schedule(&arch, &eval);
+/// assert!(chart.contains("TAM0"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render_schedule(arch: &TestRailArchitecture, eval: &Evaluation) -> String {
+    use std::fmt::Write as _;
+
+    const CHART_WIDTH: usize = 60;
+    let t_total = eval.t_total().max(1);
+    let scale = |t: u64| -> usize { ((t as f64 / t_total as f64) * CHART_WIDTH as f64) as usize };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "T_soc = {} cc  (T_in = {}, T_si = {})",
+        eval.t_total(),
+        eval.t_in,
+        eval.t_si
+    );
+    for (i, rail) in arch.rails().iter().enumerate() {
+        let _ = write!(out, "TAM{i:<2} [w={:>2}] |", rail.width());
+        // InTest block (rails run InTest in parallel, starting at 0).
+        let in_cols = scale(eval.rail_time_in[i]);
+        for _ in 0..in_cols {
+            out.push('#');
+        }
+        // SI tests on this rail, in schedule order (SI phase starts after
+        // the global InTest phase, i.e. at t_in).
+        let mut cursor = eval.t_in;
+        let mut cursor_cols = in_cols.max(scale(eval.t_in));
+        for test in eval.schedule.tests() {
+            if !test.rails.contains(&i) {
+                continue;
+            }
+            let begin = eval.t_in + test.begin;
+            let end = eval.t_in + test.end;
+            let begin_cols = scale(begin).max(cursor_cols);
+            for _ in cursor_cols..begin_cols {
+                out.push(' ');
+            }
+            let end_cols = scale(end).max(begin_cols + 1);
+            let label = format!("s{}", test.group);
+            let span = end_cols - begin_cols;
+            if span >= label.len() {
+                out.push_str(&label);
+                for _ in label.len()..span {
+                    out.push('=');
+                }
+            } else {
+                for _ in 0..span {
+                    out.push('=');
+                }
+            }
+            cursor_cols = end_cols;
+            cursor = end;
+        }
+        let _ = cursor;
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an architecture evaluation as a standalone SVG Gantt chart:
+/// one lane per rail, the InTest phase as a solid block, each SI test as
+/// a labelled block in the SI phase. No external dependencies — the SVG
+/// is assembled by hand and viewable in any browser.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use soctam_model::Benchmark;
+/// use soctam_tam::{render_schedule_svg, Evaluator, SiGroupSpec, TestRailArchitecture};
+///
+/// let soc = Benchmark::D695.soc();
+/// let groups = vec![SiGroupSpec::new(soc.core_ids().collect(), 50)];
+/// let evaluator = Evaluator::new(&soc, 8, groups)?;
+/// let arch = TestRailArchitecture::single_rail(&soc, 8)?;
+/// let eval = evaluator.evaluate(&arch);
+/// let svg = render_schedule_svg(&arch, &eval);
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.ends_with("</svg>\n"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render_schedule_svg(arch: &TestRailArchitecture, eval: &Evaluation) -> String {
+    use std::fmt::Write as _;
+
+    const WIDTH: f64 = 900.0;
+    const LANE: f64 = 34.0;
+    const LANE_GAP: f64 = 8.0;
+    const LEFT: f64 = 90.0;
+    const TOP: f64 = 40.0;
+
+    let rails = arch.num_rails();
+    let t_total = eval.t_total().max(1) as f64;
+    let x = |t: f64| LEFT + (t / t_total) * (WIDTH - LEFT - 20.0);
+    let y = |lane: usize| TOP + lane as f64 * (LANE + LANE_GAP);
+    let height = TOP + rails as f64 * (LANE + LANE_GAP) + 30.0;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{height}" font-family="monospace" font-size="12">"#
+    );
+    let _ = writeln!(
+        svg,
+        r#"<text x="{LEFT}" y="20">T_soc = {} cc (InTest {} + SI {})</text>"#,
+        eval.t_total(),
+        eval.t_in,
+        eval.t_si
+    );
+
+    for (lane, rail) in arch.rails().iter().enumerate() {
+        let ly = y(lane);
+        let _ = writeln!(
+            svg,
+            r#"<text x="4" y="{:.1}">TAM{} w={}</text>"#,
+            ly + LANE * 0.65,
+            lane,
+            rail.width()
+        );
+        // InTest block.
+        let in_w = x(eval.rail_time_in[lane] as f64) - x(0.0);
+        if in_w > 0.0 {
+            let _ = writeln!(
+                svg,
+                r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{LANE}" fill="#4477aa"><title>InTest: {} cc</title></rect>"##,
+                x(0.0),
+                ly,
+                in_w,
+                eval.rail_time_in[lane]
+            );
+        }
+        // SI tests on this lane.
+        for test in eval.schedule.tests() {
+            if !test.rails.contains(&lane) || test.end == test.begin {
+                continue;
+            }
+            let bx = x((eval.t_in + test.begin) as f64);
+            let bw = (x((eval.t_in + test.end) as f64) - bx).max(1.5);
+            let _ = writeln!(
+                svg,
+                r##"<rect x="{bx:.1}" y="{ly:.1}" width="{bw:.1}" height="{LANE}" fill="#cc6644"><title>SI group {}: {}..{} cc</title></rect>"##,
+                test.group, test.begin, test.end
+            );
+            if bw > 24.0 {
+                let _ = writeln!(
+                    svg,
+                    r#"<text x="{:.1}" y="{:.1}" fill="white">s{}</text>"#,
+                    bx + 3.0,
+                    ly + LANE * 0.65,
+                    test.group
+                );
+            }
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Evaluator, SiGroupSpec};
+    use soctam_model::{Benchmark, CoreId};
+
+    #[test]
+    fn chart_has_one_row_per_rail() {
+        let soc = Benchmark::D695.soc();
+        let groups = vec![
+            SiGroupSpec::new(soc.core_ids().collect(), 20),
+            SiGroupSpec::new(vec![CoreId::new(0), CoreId::new(1)], 10),
+        ];
+        let evaluator = Evaluator::new(&soc, 8, groups).expect("valid");
+        let rails = vec![
+            crate::TestRail::new((0..5).map(CoreId::new).collect(), 4).expect("valid"),
+            crate::TestRail::new((5..10).map(CoreId::new).collect(), 4).expect("valid"),
+        ];
+        let arch = TestRailArchitecture::new(&soc, rails).expect("valid");
+        let eval = evaluator.evaluate(&arch);
+        let chart = render_schedule(&arch, &eval);
+        assert_eq!(chart.lines().count(), 1 + 2);
+        assert!(chart.contains("T_soc"));
+    }
+}
+
+#[cfg(test)]
+mod svg_tests {
+    use super::*;
+    use crate::{Evaluator, SiGroupSpec, TestRail};
+    use soctam_model::{Benchmark, CoreId};
+
+    #[test]
+    fn svg_contains_a_lane_per_rail_and_si_blocks() {
+        let soc = Benchmark::D695.soc();
+        let groups = vec![
+            SiGroupSpec::new(soc.core_ids().collect(), 20),
+            SiGroupSpec::new(vec![CoreId::new(0), CoreId::new(1)], 10),
+        ];
+        let evaluator = Evaluator::new(&soc, 8, groups).expect("valid");
+        let rails = vec![
+            TestRail::new((0..5).map(CoreId::new).collect(), 4).expect("valid"),
+            TestRail::new((5..10).map(CoreId::new).collect(), 4).expect("valid"),
+        ];
+        let arch = TestRailArchitecture::new(&soc, rails).expect("valid");
+        let eval = evaluator.evaluate(&arch);
+        let svg = render_schedule_svg(&arch, &eval);
+        assert_eq!(svg.matches("TAM").count(), 2);
+        assert!(svg.matches("<rect").count() >= 3, "two InTest + SI blocks");
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn svg_handles_zero_si_load() {
+        let soc = Benchmark::D695.soc();
+        let evaluator = Evaluator::new(&soc, 8, vec![]).expect("valid");
+        let arch = TestRailArchitecture::single_rail(&soc, 8).expect("valid");
+        let eval = evaluator.evaluate(&arch);
+        let svg = render_schedule_svg(&arch, &eval);
+        assert!(svg.starts_with("<svg"));
+    }
+}

@@ -1,0 +1,188 @@
+//! TAM utilization analysis.
+//!
+//! A TestRail architecture wastes tester bandwidth whenever a rail idles
+//! while another still works (`T_soc` is a max over rails in the InTest
+//! phase and a makespan in the SI phase). This module quantifies that
+//! waste — the same `time_used(r)` bookkeeping Algorithm 2 sorts by, made
+//! inspectable.
+
+use std::fmt;
+
+use crate::{Evaluation, TestRailArchitecture};
+
+/// Per-rail utilization figures.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RailUtilization {
+    /// Rail index.
+    pub rail: usize,
+    /// Rail width in wires.
+    pub width: u32,
+    /// `time_in(r)` in cycles.
+    pub time_in: u64,
+    /// `time_si(r)` in cycles.
+    pub time_si: u64,
+    /// `time_used(r) = time_in + time_si`.
+    pub time_used: u64,
+    /// Busy fraction of the rail over the whole test (`time_used / T_soc`).
+    pub busy_fraction: f64,
+}
+
+/// Whole-architecture utilization report.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use soctam_model::Benchmark;
+/// use soctam_tam::report::UtilizationReport;
+/// use soctam_tam::{Evaluator, SiGroupSpec, TestRailArchitecture};
+///
+/// let soc = Benchmark::D695.soc();
+/// let groups = vec![SiGroupSpec::new(soc.core_ids().collect(), 100)];
+/// let evaluator = Evaluator::new(&soc, 16, groups)?;
+/// let arch = TestRailArchitecture::single_rail(&soc, 16)?;
+/// let eval = evaluator.evaluate(&arch);
+/// let report = UtilizationReport::new(&arch, &eval);
+/// assert!(report.wire_utilization() > 0.9); // one rail never idles
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct UtilizationReport {
+    rails: Vec<RailUtilization>,
+    total_width: u32,
+    t_total: u64,
+}
+
+impl UtilizationReport {
+    /// Computes the report for one evaluated architecture.
+    pub fn new(arch: &TestRailArchitecture, eval: &Evaluation) -> Self {
+        let t_total = eval.t_total().max(1);
+        let rails = arch
+            .rails()
+            .iter()
+            .enumerate()
+            .map(|(i, rail)| {
+                let time_in = eval.rail_time_in[i];
+                let time_si = eval.rail_time_si[i];
+                RailUtilization {
+                    rail: i,
+                    width: rail.width(),
+                    time_in,
+                    time_si,
+                    time_used: time_in + time_si,
+                    busy_fraction: (time_in + time_si) as f64 / t_total as f64,
+                }
+            })
+            .collect();
+        UtilizationReport {
+            rails,
+            total_width: arch.total_width(),
+            t_total: eval.t_total(),
+        }
+    }
+
+    /// The per-rail figures.
+    pub fn rails(&self) -> &[RailUtilization] {
+        &self.rails
+    }
+
+    /// Fraction of total wire-cycles actually used:
+    /// `Σ_r width(r) · time_used(r) / (total width · T_soc)`.
+    pub fn wire_utilization(&self) -> f64 {
+        if self.t_total == 0 || self.total_width == 0 {
+            return 0.0;
+        }
+        let used: f64 = self
+            .rails
+            .iter()
+            .map(|r| f64::from(r.width) * r.time_used as f64)
+            .sum();
+        used / (f64::from(self.total_width) * self.t_total as f64)
+    }
+
+    /// The rail with the lowest busy fraction (a merge candidate), if any.
+    pub fn least_utilized(&self) -> Option<&RailUtilization> {
+        self.rails.iter().min_by(|a, b| {
+            a.busy_fraction
+                .partial_cmp(&b.busy_fraction)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+}
+
+impl fmt::Display for UtilizationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "wire utilization {:.1}% over {} cycles on {} wires",
+            self.wire_utilization() * 100.0,
+            self.t_total,
+            self.total_width
+        )?;
+        for r in &self.rails {
+            writeln!(
+                f,
+                "  TAM{:<2} w={:<2} in={:<9} si={:<9} used={:<9} busy={:>5.1}%",
+                r.rail,
+                r.width,
+                r.time_in,
+                r.time_si,
+                r.time_used,
+                r.busy_fraction * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Evaluator, SiGroupSpec, TestRail};
+    use soctam_model::{Benchmark, CoreId};
+
+    fn c(i: u32) -> CoreId {
+        CoreId::new(i)
+    }
+
+    #[test]
+    fn single_rail_is_fully_utilized() {
+        let soc = Benchmark::D695.soc();
+        let groups = vec![SiGroupSpec::new(soc.core_ids().collect(), 50)];
+        let evaluator = Evaluator::new(&soc, 8, groups).expect("valid");
+        let arch = TestRailArchitecture::single_rail(&soc, 8).expect("valid");
+        let eval = evaluator.evaluate(&arch);
+        let report = UtilizationReport::new(&arch, &eval);
+        assert!((report.wire_utilization() - 1.0).abs() < 1e-9);
+        assert_eq!(report.rails().len(), 1);
+    }
+
+    #[test]
+    fn unbalanced_rails_show_idle_time() {
+        let soc = Benchmark::D695.soc();
+        // Rail 1 hosts only the tiny c6288 core: mostly idle.
+        let rails = vec![
+            TestRail::new((1..10).map(c).collect(), 8).expect("valid"),
+            TestRail::new(vec![c(0)], 8).expect("valid"),
+        ];
+        let arch = TestRailArchitecture::new(&soc, rails).expect("valid");
+        let evaluator = Evaluator::new(&soc, 16, vec![]).expect("valid");
+        let eval = evaluator.evaluate(&arch);
+        let report = UtilizationReport::new(&arch, &eval);
+        assert!(report.wire_utilization() < 0.6);
+        assert_eq!(report.least_utilized().expect("rails exist").rail, 1);
+    }
+
+    #[test]
+    fn display_lists_every_rail() {
+        let soc = Benchmark::D695.soc();
+        let arch = TestRailArchitecture::one_rail_per_core(&soc);
+        let evaluator = Evaluator::new(&soc, 16, vec![]).expect("valid");
+        let eval = evaluator.evaluate(&arch);
+        let text = UtilizationReport::new(&arch, &eval).to_string();
+        assert_eq!(text.lines().count(), 1 + soc.num_cores());
+    }
+}

@@ -1,0 +1,136 @@
+//! Exhaustive reference for Algorithm 2 on tiny instances: enumerate
+//! every TestRail architecture (all set partitions of the cores × all
+//! width compositions) and verify the heuristic optimizer lands close to
+//! the true optimum.
+
+use soctam_model::synth::{synth_soc, SynthConfig};
+use soctam_model::{CoreId, Soc};
+use soctam_tam::{Evaluator, SiGroupSpec, TamOptimizer, TestRail, TestRailArchitecture};
+
+/// All set partitions of `0..n` (Bell-number many — keep `n` tiny).
+fn set_partitions(n: usize) -> Vec<Vec<Vec<u32>>> {
+    let mut all = Vec::new();
+    let mut current: Vec<Vec<u32>> = Vec::new();
+    fn recurse(item: u32, n: u32, current: &mut Vec<Vec<u32>>, all: &mut Vec<Vec<Vec<u32>>>) {
+        if item == n {
+            all.push(current.clone());
+            return;
+        }
+        for i in 0..current.len() {
+            current[i].push(item);
+            recurse(item + 1, n, current, all);
+            current[i].pop();
+        }
+        current.push(vec![item]);
+        recurse(item + 1, n, current, all);
+        current.pop();
+    }
+    recurse(0, n as u32, &mut current, &mut all);
+    all
+}
+
+/// All compositions of `total` into `parts` positive integers.
+fn compositions(total: u32, parts: usize) -> Vec<Vec<u32>> {
+    let mut all = Vec::new();
+    let mut current = Vec::new();
+    fn recurse(remaining: u32, parts: usize, current: &mut Vec<u32>, all: &mut Vec<Vec<u32>>) {
+        if parts == 1 {
+            current.push(remaining);
+            all.push(current.clone());
+            current.pop();
+            return;
+        }
+        for w in 1..=(remaining - parts as u32 + 1) {
+            current.push(w);
+            recurse(remaining - w, parts - 1, current, all);
+            current.pop();
+        }
+    }
+    if total >= parts as u32 {
+        recurse(total, parts, &mut current, &mut all);
+    }
+    all
+}
+
+/// The true optimum `T_soc` over every architecture using **exactly** or
+/// fewer than `w_max` wires (fewer wires never help, so exactly is
+/// sufficient — widening any rail never hurts).
+fn exhaustive_optimum(soc: &Soc, evaluator: &Evaluator<'_>, w_max: u32) -> u64 {
+    let mut best = u64::MAX;
+    for partition in set_partitions(soc.num_cores()) {
+        for widths in compositions(w_max, partition.len()) {
+            let rails: Vec<TestRail> = partition
+                .iter()
+                .zip(&widths)
+                .map(|(cores, &w)| {
+                    TestRail::new(cores.iter().map(|&c| CoreId::new(c)).collect(), w)
+                        .expect("non-empty, positive width")
+                })
+                .collect();
+            let arch = TestRailArchitecture::new(soc, rails).expect("valid");
+            best = best.min(evaluator.evaluate(&arch).t_total());
+        }
+    }
+    best
+}
+
+#[test]
+fn optimizer_is_near_exhaustive_optimum_on_tiny_socs() {
+    let mut worst_ratio = 1.0f64;
+    for seed in 0..12u64 {
+        let soc = synth_soc(
+            &SynthConfig {
+                inputs: (2, 20),
+                outputs: (2, 20),
+                scan_chain_count: (1, 4),
+                scan_chain_len: (4, 60),
+                patterns: (5, 60),
+                ..SynthConfig::new(4)
+            }
+            .with_seed(seed),
+        )
+        .expect("valid soc");
+        let groups = vec![
+            SiGroupSpec::new(soc.core_ids().collect(), 60),
+            SiGroupSpec::new(vec![CoreId::new(0), CoreId::new(1)], 40),
+        ];
+        let w_max = 6u32;
+        let evaluator = Evaluator::new(&soc, w_max, groups.clone()).expect("valid");
+        let optimum = exhaustive_optimum(&soc, &evaluator, w_max);
+        let heuristic = TamOptimizer::new(&soc, w_max, groups)
+            .expect("valid")
+            .optimize_multi(3)
+            .expect("optimizes")
+            .evaluation()
+            .t_total();
+        assert!(
+            heuristic >= optimum,
+            "seed {seed}: heuristic {heuristic} beat the exhaustive optimum {optimum}"
+        );
+        let ratio = heuristic as f64 / optimum as f64;
+        worst_ratio = worst_ratio.max(ratio);
+        assert!(
+            ratio <= 1.25,
+            "seed {seed}: heuristic {heuristic} vs optimum {optimum} ({ratio:.3}x)"
+        );
+    }
+    // Aggregate quality: typically exact or near-exact.
+    assert!(worst_ratio <= 1.25, "worst ratio {worst_ratio:.3}");
+}
+
+#[test]
+fn partition_and_composition_enumerators_are_correct() {
+    // Bell numbers: B(1)=1, B(2)=2, B(3)=5, B(4)=15.
+    assert_eq!(set_partitions(1).len(), 1);
+    assert_eq!(set_partitions(2).len(), 2);
+    assert_eq!(set_partitions(3).len(), 5);
+    assert_eq!(set_partitions(4).len(), 15);
+    // Compositions of 5 into 2 parts: 4; into 3 parts: C(4,2)=6.
+    assert_eq!(compositions(5, 2).len(), 4);
+    assert_eq!(compositions(5, 3).len(), 6);
+    // Every composition sums to the total.
+    for c in compositions(7, 3) {
+        assert_eq!(c.iter().sum::<u32>(), 7);
+        assert!(c.iter().all(|&w| w >= 1));
+    }
+}

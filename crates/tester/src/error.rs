@@ -1,0 +1,55 @@
+//! Error type for tester-program generation.
+
+use std::error::Error;
+use std::fmt;
+
+use soctam_model::CoreId;
+
+/// Errors produced while building or simulating a tester program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TesterError {
+    /// The architecture does not host a core an SI group needs.
+    CoreNotHosted {
+        /// The missing core.
+        core: CoreId,
+    },
+    /// A group pattern references a terminal outside the SOC.
+    PatternOutOfRange,
+    /// The architecture hosts a core the SOC does not have.
+    CoreOutOfRange {
+        /// The offending core.
+        core: CoreId,
+    },
+}
+
+impl fmt::Display for TesterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TesterError::CoreNotHosted { core } => {
+                write!(f, "{core} is not hosted by any testrail")
+            }
+            TesterError::PatternOutOfRange => {
+                write!(f, "si pattern references a terminal outside the soc")
+            }
+            TesterError::CoreOutOfRange { core } => {
+                write!(f, "{core} out of range for the soc")
+            }
+        }
+    }
+}
+
+impl Error for TesterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TesterError::CoreNotHosted {
+            core: CoreId::new(3),
+        };
+        assert!(err.to_string().contains("core#3"));
+    }
+}

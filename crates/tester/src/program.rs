@@ -1,0 +1,432 @@
+//! The cycle-accurate simulator.
+
+use soctam_compaction::SiTestGroup;
+use soctam_model::{Soc, TerminalId};
+use soctam_patterns::Symbol;
+use soctam_tam::{schedule_si_tests, SiGroupTime, TestRailArchitecture};
+use soctam_wrapper::WrapperDesign;
+
+use crate::TesterError;
+
+/// The bit stream one rail sees during one phase (all wires interleaved:
+/// `width` bits per cycle, cycle-major).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RailStream {
+    /// Rail index.
+    pub rail: usize,
+    /// Cycles simulated on this rail in this phase.
+    pub cycles: u64,
+    /// Driven stimulus bits (only populated when bit recording is on;
+    /// `cycles × width` bits, don't-cares driven low).
+    pub bits: Vec<bool>,
+}
+
+/// The outcome of [`simulate`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimulationReport {
+    /// Simulated InTest cycles per rail.
+    pub rail_intest_cycles: Vec<u64>,
+    /// `T_soc^in`: the longest rail (rails shift in parallel).
+    pub t_in: u64,
+    /// Simulated duration per SI group (its bottleneck rail).
+    pub si_group_cycles: Vec<u64>,
+    /// `T_soc^si`: the Algorithm-1 makespan over the simulated durations.
+    pub t_si: u64,
+    /// Total stimulus bits driven over all rails and phases (including
+    /// padding on wires idled by short wrapper chains).
+    pub bits_driven: u64,
+    /// Recorded InTest streams (empty unless bit recording was on).
+    pub intest_streams: Vec<RailStream>,
+    /// Recorded SI streams per `(group, rail)` (empty unless recording).
+    pub si_streams: Vec<(usize, RailStream)>,
+}
+
+impl SimulationReport {
+    /// `T_soc = T_soc^in + T_soc^si`.
+    pub fn t_total(&self) -> u64 {
+        self.t_in + self.t_si
+    }
+}
+
+/// Builds the tester program for `arch` and the compacted SI test groups,
+/// simulating every shift cycle. With `record_bits` the actual per-rail
+/// stimulus streams are returned (don't-cares driven low); without it only
+/// the counts are kept, which is enough for the model cross-check.
+///
+/// # Errors
+///
+/// * [`TesterError::CoreOutOfRange`] / [`TesterError::CoreNotHosted`] on
+///   architecture/SOC/group mismatches;
+/// * [`TesterError::PatternOutOfRange`] when a pattern references a
+///   terminal outside the SOC.
+pub fn simulate(
+    soc: &Soc,
+    arch: &TestRailArchitecture,
+    groups: &[SiTestGroup],
+    record_bits: bool,
+) -> Result<SimulationReport, TesterError> {
+    for rail in arch.rails() {
+        for &core in rail.cores() {
+            if core.index() >= soc.num_cores() {
+                return Err(TesterError::CoreOutOfRange { core });
+            }
+        }
+    }
+    let core_rail = arch.core_to_rail(soc.num_cores());
+
+    let mut report = SimulationReport::default();
+
+    // --- InTest phase: every rail shifts its cores back to back. ---
+    for (rail_index, rail) in arch.rails().iter().enumerate() {
+        let mut stream = RailStream {
+            rail: rail_index,
+            ..RailStream::default()
+        };
+        for &core_id in rail.cores() {
+            let core = soc.core(core_id);
+            simulate_core_intest(core, rail.width(), &mut stream, record_bits);
+        }
+        report.bits_driven += stream.cycles * u64::from(rail.width());
+        report.rail_intest_cycles.push(stream.cycles);
+        if record_bits {
+            report.intest_streams.push(stream);
+        }
+    }
+    report.t_in = report.rail_intest_cycles.iter().copied().max().unwrap_or(0);
+
+    // --- SI phase: per group, per involved rail. ---
+    let mut group_times: Vec<SiGroupTime> = Vec::with_capacity(groups.len());
+    for (group_index, group) in groups.iter().enumerate() {
+        for pattern in group.patterns() {
+            if pattern.validate_for(soc).is_err() {
+                return Err(TesterError::PatternOutOfRange);
+            }
+        }
+        // Which rails does this group occupy, and for how long?
+        let mut rail_cycles: Vec<(usize, u64)> = Vec::new();
+        for &core_id in group.cores() {
+            if core_id.index() >= soc.num_cores() {
+                return Err(TesterError::CoreOutOfRange { core: core_id });
+            }
+            if core_rail[core_id.index()] == usize::MAX {
+                return Err(TesterError::CoreNotHosted { core: core_id });
+            }
+        }
+        let mut involved: Vec<usize> = group
+            .cores()
+            .iter()
+            .map(|&c| core_rail[c.index()])
+            .collect();
+        involved.sort_unstable();
+        involved.dedup();
+
+        for &rail_index in &involved {
+            let rail = &arch.rails()[rail_index];
+            let mut stream = RailStream {
+                rail: rail_index,
+                ..RailStream::default()
+            };
+            // Shift every pattern's slice for every member core of this
+            // rail that belongs to the group.
+            for pattern in group.patterns() {
+                for &core_id in group.cores() {
+                    if core_rail[core_id.index()] != rail_index {
+                        continue;
+                    }
+                    simulate_core_si_pattern(
+                        soc,
+                        core_id,
+                        pattern,
+                        rail.width(),
+                        &mut stream,
+                        record_bits,
+                    );
+                }
+            }
+            report.bits_driven += stream.cycles * u64::from(rail.width());
+            if stream.cycles > 0 {
+                rail_cycles.push((rail_index, stream.cycles));
+                if record_bits {
+                    report.si_streams.push((group_index, stream));
+                }
+            }
+        }
+
+        let time = rail_cycles.iter().map(|&(_, c)| c).max().unwrap_or(0);
+        let (rails, bottleneck) = {
+            let rails: Vec<usize> = rail_cycles.iter().map(|&(r, _)| r).collect();
+            let bottleneck = rail_cycles
+                .iter()
+                .max_by_key(|&&(_, c)| c)
+                .map_or(usize::MAX, |&(r, _)| r);
+            (rails, bottleneck)
+        };
+        report.si_group_cycles.push(time);
+        group_times.push(SiGroupTime {
+            time,
+            rails,
+            bottleneck_rail: bottleneck,
+        });
+    }
+    report.t_si = schedule_si_tests(&group_times).makespan();
+
+    Ok(report)
+}
+
+/// One core's InTest: `p` patterns through its balanced wrapper chains.
+/// Cycle loop: per pattern `max(si, so)` shift cycles (scan-in of the next
+/// pattern overlaps scan-out of the previous response) plus one capture
+/// cycle; after the last capture, `min(si, so)` drain cycles.
+fn simulate_core_intest(
+    core: &soctam_model::CoreSpec,
+    width: u32,
+    stream: &mut RailStream,
+    record_bits: bool,
+) {
+    let design = WrapperDesign::design(core, width).expect("rail width >= 1");
+    let si = design.max_scan_in();
+    let so = design.max_scan_out();
+    let shift = si.max(so);
+    if !record_bits {
+        // Counting-only fast path: identical cycle accounting, batched.
+        stream.cycles += core.patterns() * (shift + 1) + si.min(so);
+        return;
+    }
+    for _pattern in 0..core.patterns() {
+        for _cycle in 0..shift {
+            stream.cycles += 1;
+            // InTest stimulus content is ATPG data the model does not
+            // carry; drive a deterministic padding pattern.
+            stream
+                .bits
+                .extend(std::iter::repeat(false).take(width as usize));
+        }
+        stream.cycles += 1; // capture
+        stream
+            .bits
+            .extend(std::iter::repeat(false).take(width as usize));
+    }
+    for _cycle in 0..si.min(so) {
+        stream.cycles += 1; // drain the last response
+        stream
+            .bits
+            .extend(std::iter::repeat(false).take(width as usize));
+    }
+}
+
+/// One core's share of one SI pattern: shift vector 1 and vector 2 into
+/// the wrapper output cells (balanced over `width` wires), then shift the
+/// integrity-loss-sensor flags out of the wrapper input cells.
+fn simulate_core_si_pattern(
+    soc: &Soc,
+    core_id: soctam_model::CoreId,
+    pattern: &soctam_patterns::SiPattern,
+    width: u32,
+    stream: &mut RailStream,
+    record_bits: bool,
+) {
+    let core = soc.core(core_id);
+    let range = soc.terminal_range(core_id);
+
+    if !record_bits {
+        // Counting-only fast path: two WOC loads plus one WIC readout.
+        let w = u64::from(width);
+        stream.cycles +=
+            2 * u64::from(core.woc_count()).div_ceil(w) + u64::from(core.wic_count()).div_ceil(w);
+        return;
+    }
+
+    // Vector 1 then vector 2 over the WOCs.
+    for vector in 0..2 {
+        let mut remaining = u64::from(core.woc_count());
+        let mut local = 0u32;
+        while remaining > 0 {
+            stream.cycles += 1;
+            let lanes = u64::from(width).min(remaining);
+            for lane in 0..u64::from(width) {
+                let bit = if lane < lanes {
+                    let terminal = TerminalId::new(range.start + local + lane as u32);
+                    symbol_bit(pattern.symbol_at(terminal), vector)
+                } else {
+                    false
+                };
+                stream.bits.push(bit);
+            }
+            local += lanes as u32;
+            remaining -= lanes;
+        }
+    }
+
+    // ILS flag readout over the WICs (tester drives don't-care).
+    let mut remaining = u64::from(core.wic_count());
+    while remaining > 0 {
+        stream.cycles += 1;
+        remaining -= u64::from(width).min(remaining);
+        stream
+            .bits
+            .extend(std::iter::repeat(false).take(width as usize));
+    }
+}
+
+fn symbol_bit(symbol: Option<Symbol>, vector: usize) -> bool {
+    match symbol {
+        None => false, // don't-care driven low
+        Some(s) => {
+            let (v1, v2) = s.vector_pair();
+            if vector == 0 {
+                v1
+            } else {
+                v2
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctam_compaction::{compact_two_dimensional, CompactionConfig};
+    use soctam_model::{Benchmark, CoreId};
+    use soctam_patterns::{RandomPatternConfig, SiPatternSet};
+    use soctam_tam::{Evaluator, SiGroupSpec, TestRail};
+
+    fn compacted(soc: &Soc, n: usize, parts: u32) -> Vec<SiTestGroup> {
+        let raw =
+            SiPatternSet::random(soc, &RandomPatternConfig::new(n).with_seed(9)).expect("valid");
+        compact_two_dimensional(soc, &raw, &CompactionConfig::new(parts))
+            .expect("valid")
+            .into_groups()
+    }
+
+    /// The headline invariant: bit-level simulation reproduces the
+    /// analytic evaluator exactly.
+    #[test]
+    fn simulation_matches_analytic_evaluator_exactly() {
+        for bench in Benchmark::ALL {
+            let soc = bench.soc();
+            let groups = compacted(&soc, 400, 2);
+            let rails = {
+                let ids: Vec<CoreId> = soc.core_ids().collect();
+                let half = ids.len() / 2;
+                vec![
+                    TestRail::new(ids[..half].to_vec(), 5).expect("valid"),
+                    TestRail::new(ids[half..].to_vec(), 11).expect("valid"),
+                ]
+            };
+            let arch = TestRailArchitecture::new(&soc, rails).expect("valid");
+
+            let specs: Vec<SiGroupSpec> = groups.iter().map(SiGroupSpec::from).collect();
+            let eval = Evaluator::new(&soc, 16, specs)
+                .expect("valid")
+                .evaluate(&arch);
+            let sim = simulate(&soc, &arch, &groups, false).expect("simulates");
+
+            assert_eq!(sim.rail_intest_cycles, eval.rail_time_in, "{bench}: InTest");
+            assert_eq!(sim.t_in, eval.t_in, "{bench}");
+            for (g, group_time) in eval.group_times.iter().enumerate() {
+                assert_eq!(
+                    sim.si_group_cycles[g], group_time.time,
+                    "{bench}: SI group {g}"
+                );
+            }
+            assert_eq!(sim.t_si, eval.t_si, "{bench}");
+        }
+    }
+
+    #[test]
+    fn recorded_streams_have_width_times_cycles_bits() {
+        let soc = Benchmark::D695.soc();
+        let groups = compacted(&soc, 200, 1);
+        let arch = TestRailArchitecture::single_rail(&soc, 8).expect("valid");
+        let sim = simulate(&soc, &arch, &groups, true).expect("simulates");
+        for stream in &sim.intest_streams {
+            assert_eq!(stream.bits.len() as u64, stream.cycles * 8);
+        }
+        for (_, stream) in &sim.si_streams {
+            assert_eq!(stream.bits.len() as u64, stream.cycles * 8);
+        }
+    }
+
+    /// The counting fast path and the bit-pushing loop agree cycle for
+    /// cycle, so the analytic formula is validated transitively by the
+    /// honest per-cycle simulation.
+    #[test]
+    fn fast_path_matches_bit_level_loop() {
+        let soc = Benchmark::D695.soc();
+        let groups = compacted(&soc, 300, 2);
+        let ids: Vec<CoreId> = soc.core_ids().collect();
+        let rails = vec![
+            TestRail::new(ids[..4].to_vec(), 3).expect("valid"),
+            TestRail::new(ids[4..].to_vec(), 7).expect("valid"),
+        ];
+        let arch = TestRailArchitecture::new(&soc, rails).expect("valid");
+        let counted = simulate(&soc, &arch, &groups, false).expect("simulates");
+        let recorded = simulate(&soc, &arch, &groups, true).expect("simulates");
+        assert_eq!(counted.rail_intest_cycles, recorded.rail_intest_cycles);
+        assert_eq!(counted.si_group_cycles, recorded.si_group_cycles);
+        assert_eq!(counted.t_si, recorded.t_si);
+        assert_eq!(counted.bits_driven, recorded.bits_driven);
+    }
+
+    #[test]
+    fn si_stream_bits_encode_the_vector_pair() {
+        use soctam_model::CoreSpec;
+        use soctam_patterns::SiPattern;
+        // One core, 4 WOCs, width 4: one cycle per vector, bits legible.
+        let soc = Soc::new(
+            "bits",
+            vec![CoreSpec::new("c", 0, 4, 0, vec![], 1).expect("valid")],
+        )
+        .expect("valid");
+        let pattern = SiPattern::new(
+            vec![
+                (TerminalId::new(0), Symbol::Rise), // 0 -> 1
+                (TerminalId::new(1), Symbol::One),  // 1 -> 1
+                (TerminalId::new(2), Symbol::Fall), // 1 -> 0
+                                                    // terminal 3 is x -> 0, 0
+            ],
+            vec![],
+        )
+        .expect("valid");
+        let groups = vec![SiTestGroup::new(vec![CoreId::new(0)], vec![pattern])];
+        let arch = TestRailArchitecture::single_rail(&soc, 4).expect("valid");
+        let sim = simulate(&soc, &arch, &groups, true).expect("simulates");
+        let (_, stream) = &sim.si_streams[0];
+        // V1 cycle: [0, 1, 1, 0]; V2 cycle: [1, 1, 0, 0]; no WICs.
+        assert_eq!(
+            stream.bits,
+            vec![false, true, true, false, true, true, false, false]
+        );
+        assert_eq!(stream.cycles, 2);
+    }
+
+    #[test]
+    fn group_with_unhosted_core_is_rejected() {
+        use soctam_model::CoreSpec;
+        let soc = Soc::new(
+            "two",
+            vec![
+                CoreSpec::new("a", 1, 1, 0, vec![], 1).expect("valid"),
+                CoreSpec::new("b", 1, 1, 0, vec![], 1).expect("valid"),
+            ],
+        )
+        .expect("valid");
+        let arch = TestRailArchitecture::single_rail(&soc, 2).expect("valid");
+        // A group core outside the SOC entirely.
+        let groups = vec![SiTestGroup::with_pattern_count(vec![CoreId::new(5)], 1)];
+        assert!(matches!(
+            simulate(&soc, &arch, &groups, false),
+            Err(TesterError::CoreOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn bits_driven_counts_all_phases() {
+        let soc = Benchmark::D695.soc();
+        let groups = compacted(&soc, 100, 1);
+        let arch = TestRailArchitecture::single_rail(&soc, 8).expect("valid");
+        let sim = simulate(&soc, &arch, &groups, false).expect("simulates");
+        let expected = (sim.rail_intest_cycles[0] + sim.si_group_cycles.iter().sum::<u64>()) * 8;
+        assert_eq!(sim.bits_driven, expected);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property test: the bit-level simulator and the analytic evaluator agree
+//! on arbitrary SOCs, architectures and SI workloads.
+
+use proptest::prelude::*;
+
+use soctam_compaction::{compact_two_dimensional, CompactionConfig};
+use soctam_model::synth::{synth_soc, SynthConfig};
+use soctam_model::{CoreId, Soc};
+use soctam_patterns::{RandomPatternConfig, SiPatternSet};
+use soctam_tam::{Evaluator, SiGroupSpec, TestRail, TestRailArchitecture};
+use soctam_tester::simulate;
+
+fn small_soc(cores: usize, seed: u64) -> Soc {
+    synth_soc(
+        &SynthConfig {
+            inputs: (2, 40),
+            outputs: (2, 40),
+            scan_chain_count: (1, 5),
+            scan_chain_len: (2, 80),
+            patterns: (1, 80),
+            ..SynthConfig::new(cores)
+        }
+        .with_seed(seed),
+    )
+    .expect("synth soc is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn simulation_equals_evaluation(
+        cores in 2usize..9,
+        soc_seed in 0u64..400,
+        pattern_count in 1usize..120,
+        parts in 1u32..3,
+        split in 1usize..8,
+        w0 in 1u32..7,
+        w1 in 1u32..7,
+    ) {
+        let soc = small_soc(cores, soc_seed);
+        prop_assume!(soc.total_wocs() >= 3);
+        let raw = SiPatternSet::random(
+            &soc,
+            &RandomPatternConfig::new(pattern_count).with_seed(soc_seed),
+        ).expect("generation succeeds");
+        let parts = parts.min(soc.num_cores() as u32);
+        let compacted = compact_two_dimensional(&soc, &raw, &CompactionConfig::new(parts))
+            .expect("compaction succeeds");
+
+        let split = split.min(soc.num_cores() - 1).max(1);
+        let ids: Vec<CoreId> = soc.core_ids().collect();
+        let rails = vec![
+            TestRail::new(ids[..split].to_vec(), w0).expect("valid"),
+            TestRail::new(ids[split..].to_vec(), w1).expect("valid"),
+        ];
+        let arch = TestRailArchitecture::new(&soc, rails).expect("valid");
+
+        let specs: Vec<SiGroupSpec> =
+            compacted.groups().iter().map(SiGroupSpec::from).collect();
+        let eval = Evaluator::new(&soc, 8, specs).expect("valid").evaluate(&arch);
+        let sim = simulate(&soc, &arch, compacted.groups(), false).expect("simulates");
+
+        prop_assert_eq!(&sim.rail_intest_cycles, &eval.rail_time_in);
+        prop_assert_eq!(sim.t_in, eval.t_in);
+        for (g, group_time) in eval.group_times.iter().enumerate() {
+            prop_assert_eq!(sim.si_group_cycles[g], group_time.time, "group {}", g);
+        }
+        prop_assert_eq!(sim.t_si, eval.t_si);
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type for wrapper design.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by wrapper design and test-time computation.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use soctam_model::CoreSpec;
+/// use soctam_wrapper::{WrapperDesign, WrapperError};
+///
+/// let core = CoreSpec::new("c", 1, 1, 0, vec![], 1)?;
+/// assert_eq!(
+///     WrapperDesign::design(&core, 0).unwrap_err(),
+///     WrapperError::ZeroWidth
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WrapperError {
+    /// A wrapper cannot be designed for a zero-width TAM.
+    ZeroWidth,
+}
+
+impl fmt::Display for WrapperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WrapperError::ZeroWidth => write!(f, "tam width must be at least 1"),
+        }
+    }
+}
+
+impl Error for WrapperError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        assert!(WrapperError::ZeroWidth.to_string().contains("width"));
+    }
+}

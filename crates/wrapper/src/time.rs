@@ -1,0 +1,221 @@
+//! Test-time functions and the memoized per-SOC time table.
+
+use soctam_model::{CoreId, CoreSpec, Soc};
+
+use crate::{WrapperDesign, WrapperError};
+
+/// InTest application time of `core` on a `width`-bit TAM, in clock cycles.
+///
+/// Designs the wrapper with [`WrapperDesign::design`] and applies
+/// `(1 + max(si, so)) · p + min(si, so)`.
+///
+/// # Errors
+///
+/// Returns [`WrapperError::ZeroWidth`] when `width == 0`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use soctam_model::CoreSpec;
+/// use soctam_wrapper::intest_time;
+///
+/// let core = CoreSpec::new("c", 0, 0, 0, vec![10], 4)?;
+/// assert_eq!(intest_time(&core, 1)?, (1 + 10) * 4 + 10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn intest_time(core: &CoreSpec, width: u32) -> Result<u64, WrapperError> {
+    Ok(WrapperDesign::design(core, width)?.intest_time(core.patterns()))
+}
+
+/// Cycles one SI pattern costs at `core`'s boundary over a `width`-bit
+/// TAM: `2 · ceil(woc / width) + ceil(wic / width)`.
+///
+/// An SI test pattern is a *vector pair*: the wrapper output cells must be
+/// loaded with both the launch and the follow-up vector (two shift
+/// sessions of `ceil(woc / width)` cycles, as in the extended-JTAG SI test
+/// scheme of Tehranipour et al.), and afterwards the integrity-loss-sensor
+/// flags captured in the wrapper *input* cells are shifted out
+/// (`ceil(wic / width)` cycles). A core with neither WOCs nor WICs costs
+/// nothing.
+///
+/// # Errors
+///
+/// Returns [`WrapperError::ZeroWidth`] when `width == 0`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use soctam_model::CoreSpec;
+/// use soctam_wrapper::si_shift_cycles;
+///
+/// let core = CoreSpec::new("c", 2, 33, 0, vec![], 1)?;
+/// assert_eq!(si_shift_cycles(&core, 8)?, 2 * 5 + 1); // 2·ceil(33/8) + ceil(2/8)
+/// # Ok(())
+/// # }
+/// ```
+pub fn si_shift_cycles(core: &CoreSpec, width: u32) -> Result<u64, WrapperError> {
+    if width == 0 {
+        return Err(WrapperError::ZeroWidth);
+    }
+    let w = u64::from(width);
+    Ok(2 * u64::from(core.woc_count()).div_ceil(w) + u64::from(core.wic_count()).div_ceil(w))
+}
+
+/// SI ExTest time contributed by `core` for an SI test group with
+/// `patterns` patterns, on a `width`-bit TAM:
+/// `patterns · si_shift_cycles(core, width)` clock cycles.
+///
+/// This is the quantity the paper writes `T_core^si_j`; rail and group
+/// times are composed from it by the `soctam-tam` crate (Example 1).
+///
+/// # Errors
+///
+/// Returns [`WrapperError::ZeroWidth`] when `width == 0`.
+pub fn si_time(core: &CoreSpec, width: u32, patterns: u64) -> Result<u64, WrapperError> {
+    Ok(patterns * si_shift_cycles(core, width)?)
+}
+
+/// Memoized `T_in(core, width)` and `ceil(woc/width)` tables for one SOC.
+///
+/// The TAM optimizer evaluates thousands of candidate architectures; this
+/// table computes each `(core, width)` wrapper design exactly once.
+///
+/// # Example
+///
+/// ```
+/// use soctam_model::{Benchmark, CoreId};
+/// use soctam_wrapper::TimeTable;
+///
+/// let soc = Benchmark::D695.soc();
+/// let table = TimeTable::new(&soc, 16);
+/// let c0 = CoreId::new(0);
+/// assert_eq!(table.intest(c0, 1), table.intest(c0, 1)); // cached
+/// assert!(table.intest(c0, 16) <= table.intest(c0, 1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TimeTable {
+    max_width: u32,
+    /// `intest[core][width - 1]`.
+    intest: Vec<Vec<u64>>,
+    /// `si_shift[core][width - 1]`.
+    si_shift: Vec<Vec<u64>>,
+}
+
+impl TimeTable {
+    /// Precomputes times for every core of `soc` at every width
+    /// `1..=max_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_width == 0`.
+    pub fn new(soc: &Soc, max_width: u32) -> Self {
+        assert!(max_width > 0, "max_width must be at least 1");
+        let mut intest = Vec::with_capacity(soc.num_cores());
+        let mut si_shift = Vec::with_capacity(soc.num_cores());
+        for (_, core) in soc.iter() {
+            let mut row_in = Vec::with_capacity(max_width as usize);
+            let mut row_si = Vec::with_capacity(max_width as usize);
+            for width in 1..=max_width {
+                row_in.push(intest_time(core, width).expect("width >= 1 by construction"));
+                row_si.push(si_shift_cycles(core, width).expect("width >= 1 by construction"));
+            }
+            intest.push(row_in);
+            si_shift.push(row_si);
+        }
+        TimeTable {
+            max_width,
+            intest,
+            si_shift,
+        }
+    }
+
+    /// The largest width the table covers.
+    pub fn max_width(&self) -> u32 {
+        self.max_width
+    }
+
+    /// Cached InTest time of `core` at `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`TimeTable::max_width`], or if
+    /// `core` is out of range.
+    pub fn intest(&self, core: CoreId, width: u32) -> u64 {
+        assert!(
+            width >= 1 && width <= self.max_width,
+            "width {width} outside 1..={}",
+            self.max_width
+        );
+        self.intest[core.index()][(width - 1) as usize]
+    }
+
+    /// Cached per-pattern SI shift cycles of `core` at `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`TimeTable::max_width`], or if
+    /// `core` is out of range.
+    pub fn si_shift(&self, core: CoreId, width: u32) -> u64 {
+        assert!(
+            width >= 1 && width <= self.max_width,
+            "width {width} outside 1..={}",
+            self.max_width
+        );
+        self.si_shift[core.index()][(width - 1) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctam_model::Benchmark;
+
+    #[test]
+    fn si_time_scales_linearly_in_patterns() {
+        let core = CoreSpec::new("c", 0, 10, 0, vec![], 1).expect("valid");
+        // 2 * ceil(10/4) + ceil(0/4) = 6 cycles per pattern.
+        assert_eq!(si_time(&core, 4, 7).expect("width ok"), 7 * 6);
+        assert_eq!(si_time(&core, 4, 14).expect("width ok"), 14 * 6);
+    }
+
+    #[test]
+    fn si_shift_for_sink_core_is_flag_readout_only() {
+        let core = CoreSpec::new("sink", 12, 0, 0, vec![], 1).expect("valid");
+        // No WOCs to load, but 12 ILS flags to shift out.
+        assert_eq!(si_shift_cycles(&core, 3).expect("width ok"), 4);
+    }
+
+    #[test]
+    fn zero_width_errors() {
+        let core = CoreSpec::new("c", 1, 1, 0, vec![], 1).expect("valid");
+        assert!(intest_time(&core, 0).is_err());
+        assert!(si_shift_cycles(&core, 0).is_err());
+        assert!(si_time(&core, 0, 5).is_err());
+    }
+
+    #[test]
+    fn table_matches_direct_computation() {
+        let soc = Benchmark::D695.soc();
+        let table = TimeTable::new(&soc, 8);
+        for (id, core) in soc.iter() {
+            for width in 1..=8 {
+                assert_eq!(table.intest(id, width), intest_time(core, width).unwrap());
+                assert_eq!(
+                    table.si_shift(id, width),
+                    si_shift_cycles(core, width).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn table_rejects_width_beyond_max() {
+        let soc = Benchmark::D695.soc();
+        let table = TimeTable::new(&soc, 4);
+        let _ = table.intest(CoreId::new(0), 5);
+    }
+}

@@ -1,0 +1,72 @@
+//! Fault models over a realistic interconnect topology (Fig. 1): generate
+//! MA and reduced-MT test sets per routing bundle, grade what the paper's
+//! *random* recipe actually covers, and push an MA set through the full
+//! compaction + TAM-optimization pipeline.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example fault_models
+//! ```
+
+use soctam::model::topology::InterconnectTopology;
+use soctam::patterns::coverage::ma_coverage;
+use soctam::patterns::generator::{maximal_aggressor, reduced_mt};
+use soctam::{Benchmark, RandomPatternConfig, SiOptimizer, SiPattern, SiPatternSet};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let soc = Benchmark::P34392.soc();
+    // A Fig.-1-style topology: 12 routing channels of 24 coupled lines,
+    // each dominated by one core boundary plus a few foreign lines.
+    let topo = InterconnectTopology::synth(&soc, 12, 24, 7)?;
+    println!(
+        "{}: {} bundles, {} victim lines, {} MA faults",
+        soc.name(),
+        topo.bundles().len(),
+        topo.total_victims(),
+        6 * topo.total_victims()
+    );
+
+    // MA test set: 6 vector pairs per victim, per bundle.
+    let mut ma_set: Vec<SiPattern> = Vec::new();
+    for bundle in topo.bundles() {
+        ma_set.extend(maximal_aggressor(bundle.terminals())?);
+    }
+    println!("MA set: {} patterns (6 per victim)", ma_set.len());
+
+    // Reduced-MT with k = 2 on the first bundle, for scale.
+    let mt = reduced_mt(topo.bundles()[0].terminals(), 2)?;
+    println!(
+        "reduced-MT (k=2) on one 24-line bundle alone: {} patterns",
+        mt.len()
+    );
+
+    // How much strict-MA coverage does the paper's random recipe reach?
+    let random = SiPatternSet::random(&soc, &RandomPatternConfig::new(50_000).with_seed(1))?;
+    for (label, locality) in [("strict", None), ("k=1", Some(1)), ("k=2", Some(2))] {
+        let report = ma_coverage(&topo, random.as_slice(), locality);
+        println!(
+            "random 50k patterns, {label:>6} MA coverage: {:5.1}% ({}/{})",
+            report.fraction() * 100.0,
+            report.covered_faults,
+            report.total_faults
+        );
+    }
+    let full = ma_coverage(&topo, &ma_set, None);
+    assert_eq!(full.fraction(), 1.0);
+
+    // The MA set is a real workload: compact it and optimize the TAM.
+    let result = SiOptimizer::new(&soc)
+        .max_tam_width(32)
+        .partitions(4)
+        .optimize(&SiPatternSet::from_patterns(ma_set.clone()))?;
+    println!(
+        "MA workload: {} raw -> {} compacted patterns; T_soc = {} cc (InTest {}, SI {})",
+        ma_set.len(),
+        result.compacted().total_patterns(),
+        result.total_time(),
+        result.intest_time(),
+        result.si_time()
+    );
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Example 1 / Figure 3 of the paper: the same SOC and the same SI test
+//! groups under two different TAM designs give different SI testing times
+//! and schedules.
+//!
+//! Five cores, three SI groups:
+//!   * `SI1` involves all five cores,
+//!   * `SI2` involves cores 1, 4, 5,
+//!   * `SI3` involves cores 2, 3.
+//!
+//! Architecture (a): TAM1 = {1, 2}, TAM2 = {3, 4}, TAM3 = {5} — every SI
+//! group touches several rails, so all three serialize.
+//! Architecture (b): TAM1 = {1, 4, 5}, TAM2 = {2, 3} — now SI2 and SI3
+//! touch disjoint rails and run in parallel.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example fig3_schedules
+//! ```
+
+use soctam::tam::render_schedule;
+use soctam::{CoreId, CoreSpec, Evaluator, SiGroupSpec, Soc, TestRail, TestRailArchitecture};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Five identical cores keep the arithmetic easy to follow.
+    let cores = (1..=5)
+        .map(|i| CoreSpec::new(format!("core{i}"), 16, 16, 0, vec![64, 64], 50))
+        .collect::<Result<Vec<_>, _>>()?;
+    let soc = Soc::new("example1", cores)?;
+
+    let c = CoreId::new;
+    let groups = vec![
+        SiGroupSpec::new(vec![c(0), c(1), c(2), c(3), c(4)], 40), // SI1
+        SiGroupSpec::new(vec![c(0), c(3), c(4)], 30),             // SI2
+        SiGroupSpec::new(vec![c(1), c(2)], 25),                   // SI3
+    ];
+    let evaluator = Evaluator::new(&soc, 12, groups)?;
+
+    // --- Figure 3(a): three rails. ---
+    let arch_a = TestRailArchitecture::new(
+        &soc,
+        vec![
+            TestRail::new(vec![c(0), c(1)], 4)?,
+            TestRail::new(vec![c(2), c(3)], 4)?,
+            TestRail::new(vec![c(4)], 4)?,
+        ],
+    )?;
+    let eval_a = evaluator.evaluate(&arch_a);
+
+    // T_si1 = max over rails of the rail's member contributions.
+    let shift = evaluator.time_table().si_shift(c(0), 4); // identical cores
+    let t_si1_by_hand = (2 * 40 * shift).max(2 * 40 * shift).max(40 * shift);
+    println!("architecture (a):");
+    println!("{arch_a}");
+    println!(
+        "T_si1 = max(T1+T2, T3+T4, T5) = {} (evaluator: {})",
+        t_si1_by_hand, eval_a.group_times[0].time
+    );
+    assert_eq!(eval_a.group_times[0].time, t_si1_by_hand);
+    println!("{}", render_schedule(&arch_a, &eval_a));
+
+    // --- Figure 3(b): two rails. ---
+    let arch_b = TestRailArchitecture::new(
+        &soc,
+        vec![
+            TestRail::new(vec![c(0), c(3), c(4)], 6)?,
+            TestRail::new(vec![c(1), c(2)], 6)?,
+        ],
+    )?;
+    let eval_b = evaluator.evaluate(&arch_b);
+    let shift6 = evaluator.time_table().si_shift(c(0), 6);
+    let t_si1_b = (3 * 40 * shift6).max(2 * 40 * shift6);
+    println!("architecture (b):");
+    println!("{arch_b}");
+    println!(
+        "T_si1 = max(T1+T4+T5, T2+T3) = {} (evaluator: {})",
+        t_si1_b, eval_b.group_times[0].time
+    );
+    assert_eq!(eval_b.group_times[0].time, t_si1_b);
+
+    // In (b), SI2 (rail 0 only) and SI3 (rail 1 only) run in parallel.
+    let t2 = &eval_b.schedule.tests()[1];
+    let t3 = &eval_b.schedule.tests()[2];
+    assert_eq!(t2.begin, t3.begin, "SI2 and SI3 start together in (b)");
+    println!("{}", render_schedule(&arch_b, &eval_b));
+
+    println!(
+        "same SI groups, same cores: T_si = {} cc on (a) vs {} cc on (b)",
+        eval_a.t_si, eval_b.t_si
+    );
+    Ok(())
+}

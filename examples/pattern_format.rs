@@ -1,0 +1,79 @@
+//! Table 1 of the paper: the SI test pattern format, its bus postfix and
+//! the compatibility rules that drive vertical compaction.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example pattern_format
+//! ```
+
+use soctam::model::BusLineId;
+use soctam::patterns::Symbol;
+use soctam::{compaction, CoreId, CoreSpec, SiPattern, Soc, TerminalId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three small cores; their wrapper output cells form the global
+    // terminal space t0..t8.
+    let soc = Soc::new(
+        "table1",
+        vec![
+            CoreSpec::new("core1", 2, 3, 0, vec![], 1)?,
+            CoreSpec::new("core2", 2, 3, 0, vec![], 1)?,
+            CoreSpec::new("core3", 2, 3, 0, vec![], 1)?,
+        ],
+    )?;
+    let t = TerminalId::new;
+    let c = CoreId::new;
+
+    // p1: victim rises on core1's first output, two aggressors nearby,
+    //     occupying bus line 1 from core1's boundary.
+    let p1 = SiPattern::new(
+        vec![
+            (t(0), Symbol::Rise),
+            (t(1), Symbol::Zero),
+            (t(2), Symbol::Fall),
+        ],
+        vec![(BusLineId::new(1), c(0))],
+    )?;
+    // p2: activity on core2 only, no bus usage.
+    let p2 = SiPattern::new(vec![(t(3), Symbol::One), (t(4), Symbol::Rise)], vec![])?;
+    // p3: conflicts with p1 — same victim, opposite transition.
+    let p3 = SiPattern::new(vec![(t(0), Symbol::Fall)], vec![])?;
+    // p4: compatible care bits, but triggers bus line 1 from core3's
+    //     boundary — the bus rule forbids merging it with p1.
+    let p4 = SiPattern::new(vec![(t(7), Symbol::Rise)], vec![(BusLineId::new(1), c(2))])?;
+
+    println!("Table-1 rendering (x = don't care, ‖ separates the bus postfix):");
+    for (name, p) in [("p1", &p1), ("p2", &p2), ("p3", &p3), ("p4", &p4)] {
+        println!("  {name}: {}", p.render(&soc, 4));
+    }
+
+    println!();
+    println!("compatibility:");
+    println!("  p1 ~ p2: {} (disjoint care bits)", p1.is_compatible(&p2));
+    println!(
+        "  p1 ~ p3: {} (same victim, opposite edge)",
+        p1.is_compatible(&p3)
+    );
+    println!(
+        "  p1 ~ p4: {} (same bus line, different driver)",
+        p1.is_compatible(&p4)
+    );
+
+    let merged = p1.merged(&p2)?;
+    println!();
+    println!("merged p1+p2: {}", merged.render(&soc, 4));
+
+    let compacted = compaction::compact_greedy(&soc, &[p1, p2, p3, p4]);
+    println!(
+        "greedy clique cover of {{p1..p4}}: {} compacted patterns",
+        compacted.len()
+    );
+    // p1 absorbs p2; p3 conflicts with p1 (victim edge) and p4 conflicts
+    // with p1 (bus driver), but p3 and p4 are mutually compatible.
+    assert_eq!(compacted.len(), 2);
+    for (i, p) in compacted.iter().enumerate() {
+        println!("  q{i}: {}", p.render(&soc, 4));
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: optimize the test architecture of a benchmark SOC for both
+//! core-internal logic and core-external interconnect SI faults.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use soctam::tam::render_schedule;
+use soctam::{Benchmark, RandomPatternConfig, SiOptimizer, SiPatternSet};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick an SOC. `d695` is the small ITC'02 benchmark; `p34392` and
+    //    `p93791` are the two the paper evaluates.
+    let soc = Benchmark::D695.soc();
+    println!("SOC: {soc}");
+
+    // 2. Generate an SI test set with the paper's randomized recipe:
+    //    1 victim + 2..6 aggressors per pattern, 50 % shared-bus usage.
+    let patterns = SiPatternSet::random(&soc, &RandomPatternConfig::new(5_000).with_seed(42))?;
+    let stats = patterns.stats(&soc);
+    println!(
+        "generated {} SI patterns ({:.1} care bits each, {:.0}% use the bus)",
+        patterns.len(),
+        stats.mean_care_bits(),
+        stats.bus_usage_fraction() * 100.0
+    );
+
+    // 3. Compact (two-dimensionally) and optimize the TAM in one call.
+    let result = SiOptimizer::new(&soc)
+        .max_tam_width(24)
+        .partitions(4)
+        .optimize(&patterns)?;
+
+    println!(
+        "compacted to {} patterns in {} groups (ratio {:.1}x)",
+        result.compacted().total_patterns(),
+        result.compacted().groups().len(),
+        result.compacted().stats().compaction_ratio()
+    );
+    println!();
+    println!("{}", result.architecture());
+    println!(
+        "{}",
+        render_schedule(result.architecture(), result.evaluation())
+    );
+    println!(
+        "T_soc = {} clock cycles (InTest {} + SI {})",
+        result.total_time(),
+        result.intest_time(),
+        result.si_time()
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Generate the actual tester program for an optimized architecture and
+//! cross-check the analytic timing model against the bit-level simulation.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example tester_program
+//! ```
+
+use soctam::tester::simulate;
+use soctam::{Benchmark, RandomPatternConfig, SiOptimizer, SiPatternSet};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let soc = Benchmark::D695.soc();
+    let patterns = SiPatternSet::random(&soc, &RandomPatternConfig::new(2_000).with_seed(3))?;
+    let result = SiOptimizer::new(&soc)
+        .max_tam_width(16)
+        .partitions(2)
+        .optimize(&patterns)?;
+
+    // The analytic model (what the optimizer reasoned with)...
+    println!(
+        "analytic:  T_in = {:>7} cc, T_si = {:>6} cc",
+        result.intest_time(),
+        result.si_time()
+    );
+
+    // ...and the bit-level tester program, simulated cycle by cycle.
+    let sim = simulate(
+        &soc,
+        result.architecture(),
+        result.compacted().groups(),
+        true, // record the stimulus streams
+    )?;
+    println!(
+        "simulated: T_in = {:>7} cc, T_si = {:>6} cc",
+        sim.t_in, sim.t_si
+    );
+    assert_eq!(sim.t_in, result.intest_time());
+    assert_eq!(sim.t_si, result.si_time());
+    println!("model and bit-level machine agree exactly ✓");
+
+    println!(
+        "\ntester program: {} stimulus bits over {} wires",
+        sim.bits_driven,
+        result.architecture().total_width()
+    );
+    for (group, stream) in sim.si_streams.iter().take(2) {
+        let preview: String = stream
+            .bits
+            .iter()
+            .take(48)
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
+        println!(
+            "  SI group {group} on TAM{}: {} cycles, stream starts {preview}…",
+            stream.rail, stream.cycles
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,4 @@
+//! Root package: thin re-export of the soctam facade so integration
+//! tests and examples can use one import path.
+#![forbid(unsafe_code)]
+pub use soctam::*;

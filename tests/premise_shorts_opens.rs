@@ -1,0 +1,78 @@
+//! The paper's premise, checked end-to-end: core-external shorts/opens
+//! testing is negligible next to SI testing, which in turn rivals
+//! core-internal testing — hence TAM optimization must consider SI.
+
+use soctam::model::topology::InterconnectTopology;
+use soctam::patterns::generator::{maximal_aggressor, reduced_mt_estimate, shorts_opens};
+use soctam::{Benchmark, Evaluator, SiGroupSpec, SiPattern, Soc, TestRailArchitecture};
+
+/// Builds one SI group per bundle from a per-bundle pattern list.
+fn groups_from(
+    soc: &Soc,
+    topo: &InterconnectTopology,
+    patterns_per_bundle: &[Vec<SiPattern>],
+) -> Vec<SiGroupSpec> {
+    topo.bundles()
+        .iter()
+        .zip(patterns_per_bundle)
+        .map(|(bundle, patterns)| {
+            let mut cores: Vec<_> = bundle
+                .terminals()
+                .iter()
+                .map(|&t| soc.owner(t).expect("terminal in range"))
+                .collect();
+            cores.sort_unstable();
+            cores.dedup();
+            SiGroupSpec::new(cores, patterns.len() as u64)
+        })
+        .collect()
+}
+
+#[test]
+fn shorts_opens_time_is_negligible_next_to_si_time() {
+    let soc = Benchmark::P93791.soc();
+    let topo = InterconnectTopology::synth(&soc, 10, 32, 11).expect("valid topology");
+
+    let so_sets: Vec<Vec<SiPattern>> = topo
+        .bundles()
+        .iter()
+        .map(|b| shorts_opens(b.terminals()).expect("valid bundle"))
+        .collect();
+    let ma_sets: Vec<Vec<SiPattern>> = topo
+        .bundles()
+        .iter()
+        .map(|b| maximal_aggressor(b.terminals()).expect("valid bundle"))
+        .collect();
+
+    let arch = TestRailArchitecture::single_rail(&soc, 32).expect("valid");
+    let so_eval = Evaluator::new(&soc, 32, groups_from(&soc, &topo, &so_sets))
+        .expect("valid")
+        .evaluate(&arch);
+    let ma_eval = Evaluator::new(&soc, 32, groups_from(&soc, &topo, &ma_sets))
+        .expect("valid")
+        .evaluate(&arch);
+
+    // Shorts/opens: tens of vectors. MA: thousands of vector pairs.
+    assert!(
+        so_eval.t_si * 20 < ma_eval.t_si,
+        "shorts/opens {} not negligible next to MA {}",
+        so_eval.t_si,
+        ma_eval.t_si
+    );
+
+    // And MA SI time is itself within an order of magnitude of InTest —
+    // the reason the paper optimizes for both.
+    assert!(
+        ma_eval.t_si * 100 > ma_eval.t_in,
+        "MA SI time {} unexpectedly negligible next to InTest {}",
+        ma_eval.t_si,
+        ma_eval.t_in
+    );
+
+    // The reduced-MT estimate dwarfs both (two orders of magnitude over
+    // MA at k = 3, per Section 2).
+    let victims = topo.total_victims() as u64;
+    let ma_count: u64 = ma_sets.iter().map(|s| s.len() as u64).sum();
+    assert_eq!(ma_count, 6 * victims);
+    assert!(reduced_mt_estimate(victims, 3) > 20 * ma_count);
+}

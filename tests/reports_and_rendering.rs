@@ -1,0 +1,68 @@
+//! Integration coverage for the reporting surfaces: utilization reports,
+//! ASCII and SVG schedule rendering on real optimized results.
+
+use soctam::tam::report::UtilizationReport;
+use soctam::tam::{render_schedule, render_schedule_svg};
+use soctam::{Benchmark, RandomPatternConfig, SiOptimizer, SiPatternSet};
+
+fn optimized() -> (soctam::Soc, soctam::SiOptimizationResult) {
+    let soc = Benchmark::P22810.soc();
+    let patterns =
+        SiPatternSet::random(&soc, &RandomPatternConfig::new(1_500).with_seed(8)).expect("valid");
+    let result = SiOptimizer::new(&soc)
+        .max_tam_width(32)
+        .partitions(4)
+        .optimize(&patterns)
+        .expect("optimizes");
+    (soc, result)
+}
+
+#[test]
+fn utilization_report_is_consistent_with_evaluation() {
+    let (_, result) = optimized();
+    let report = UtilizationReport::new(result.architecture(), result.evaluation());
+    assert_eq!(report.rails().len(), result.architecture().num_rails());
+    let used = result.evaluation().rail_time_used();
+    for rail in report.rails() {
+        assert_eq!(rail.time_used, used[rail.rail]);
+        assert!(rail.busy_fraction <= 1.0 + 1e-9);
+        assert!(rail.busy_fraction >= 0.0);
+    }
+    let u = report.wire_utilization();
+    assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+    // A competently optimized architecture is reasonably busy.
+    assert!(u > 0.5, "utilization only {u}");
+    // The textual report mentions every rail.
+    let text = report.to_string();
+    assert_eq!(text.lines().count(), 1 + report.rails().len());
+}
+
+#[test]
+fn ascii_and_svg_renderings_cover_all_rails_and_groups() {
+    let (_, result) = optimized();
+    let arch = result.architecture();
+    let eval = result.evaluation();
+
+    let ascii = render_schedule(arch, eval);
+    assert_eq!(ascii.lines().count(), 1 + arch.num_rails());
+    assert!(ascii.contains(&format!("T_soc = {}", eval.t_total())));
+
+    let svg = render_schedule_svg(arch, eval);
+    assert!(svg.starts_with("<svg"));
+    assert!(svg.ends_with("</svg>\n"));
+    // One InTest rect per rail with nonzero time, plus SI rects.
+    let nonzero_intest = eval.rail_time_in.iter().filter(|&&t| t > 0).count();
+    assert!(svg.matches("InTest:").count() == nonzero_intest);
+    for (i, _) in arch.rails().iter().enumerate() {
+        assert!(svg.contains(&format!("TAM{i} ")), "lane {i} labelled");
+    }
+}
+
+#[test]
+fn svg_is_structurally_balanced() {
+    let (_, result) = optimized();
+    let svg = render_schedule_svg(result.architecture(), result.evaluation());
+    assert_eq!(svg.matches("<rect").count(), svg.matches("</rect>").count());
+    assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    assert_eq!(svg.matches("<svg").count(), 1);
+}

@@ -1,0 +1,51 @@
+//! Suite-wide invariants: the optimizer behaves sanely on every embedded
+//! ITC'02 reconstruction, not just the paper's two SOCs.
+
+use soctam::compaction::{compact_two_dimensional, CompactionConfig};
+use soctam::tam::bounds::total_lower_bound;
+use soctam::{Benchmark, Objective, RandomPatternConfig, SiGroupSpec, SiPatternSet, TamOptimizer};
+
+#[test]
+fn si_aware_flow_never_loses_and_stays_near_bounds() {
+    for bench in Benchmark::ALL {
+        let soc = bench.soc();
+        let raw = SiPatternSet::random(&soc, &RandomPatternConfig::new(2_000).with_seed(2007))
+            .expect("valid");
+        let parts = 4u32.min(soc.num_cores() as u32);
+        let groups: Vec<SiGroupSpec> =
+            compact_two_dimensional(&soc, &raw, &CompactionConfig::new(parts))
+                .expect("valid")
+                .groups()
+                .iter()
+                .map(SiGroupSpec::from)
+                .collect();
+        let w_max = 32u32;
+        let aware = TamOptimizer::new(&soc, w_max, groups.clone())
+            .expect("valid")
+            .optimize()
+            .expect("optimizes")
+            .evaluation()
+            .t_total();
+        let baseline = TamOptimizer::new(&soc, w_max, groups.clone())
+            .expect("valid")
+            .objective(Objective::InTestOnly)
+            .optimize()
+            .expect("optimizes")
+            .evaluation()
+            .t_total();
+        // The portfolio guarantees the SI-aware flow never loses.
+        assert!(
+            aware <= baseline,
+            "{bench}: aware {aware} > baseline {baseline}"
+        );
+
+        // Heuristic-quality regression guard: within 1.5x of the
+        // architecture-independent lower bound on every benchmark.
+        let lb = total_lower_bound(&soc, &groups, w_max).expect("valid");
+        assert!(aware >= lb, "{bench}: beat the lower bound?!");
+        assert!(
+            aware <= lb + lb / 2,
+            "{bench}: {aware} more than 1.5x the bound {lb}"
+        );
+    }
+}

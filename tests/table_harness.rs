@@ -1,0 +1,56 @@
+//! Smoke tests of the Table 2/3 experiment harness on reduced sweeps.
+
+use soctam::experiment::{run_table, ExperimentConfig};
+use soctam::Benchmark;
+
+#[test]
+fn reduced_table2_sweep_is_sane() {
+    let soc = Benchmark::P34392.soc();
+    let config = ExperimentConfig {
+        pattern_count: 2_000,
+        widths: vec![8, 32, 64],
+        partitions: vec![1, 4],
+        seed: 2007,
+    };
+    let table = run_table(&soc, &config).expect("sweep runs");
+    assert_eq!(table.rows.len(), 3);
+
+    // Times decrease (modulo heuristic noise) as the TAM widens.
+    let mins: Vec<u64> = table.rows.iter().map(|r| r.t_min()).collect();
+    assert!(mins[1] < mins[0]);
+    assert!(mins[2] <= mins[1] + mins[1] / 20);
+
+    // p34392 saturates at its bottleneck core for wide TAMs.
+    assert!(mins[2] >= 540_000, "floor violated: {}", mins[2]);
+
+    // The compacted counts grow with the partition count (per-bucket
+    // compaction is less effective) but stay far below N_r.
+    let g1 = table.compacted_counts[0].1;
+    let g4 = table.compacted_counts[1].1;
+    assert!(g1 <= g4);
+    assert!(g4 < 2_000);
+}
+
+#[test]
+fn reduced_table3_sweep_shows_si_aware_benefit() {
+    let soc = Benchmark::P93791.soc();
+    let config = ExperimentConfig {
+        pattern_count: 5_000,
+        widths: vec![16, 48],
+        partitions: vec![1, 2, 4],
+        seed: 2007,
+    };
+    let table = run_table(&soc, &config).expect("sweep runs");
+    for row in &table.rows {
+        // T_min should essentially never lose to the SI-oblivious
+        // baseline by more than heuristic noise (the paper sees small
+        // losses only at W_max = 8).
+        assert!(
+            row.t_min() <= row.t_baseline + row.t_baseline / 20,
+            "W={}: t_min {} vs baseline {}",
+            row.w_max,
+            row.t_min(),
+            row.t_baseline
+        );
+    }
+}
