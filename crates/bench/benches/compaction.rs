@@ -1,39 +1,25 @@
-//! Criterion benches for the Section 3 compaction machinery: the greedy
+//! Timing benches for the Section 3 compaction machinery: the greedy
 //! clique cover and the full two-dimensional pipeline.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use soctam::compaction::{compact_greedy, compact_two_dimensional, CompactionConfig};
 use soctam::Benchmark;
 use soctam_bench::bench_patterns;
+use soctam_bench::harness::{bench, samples};
 
-fn bench_greedy(c: &mut Criterion) {
+fn main() {
     let soc = Benchmark::P93791.soc();
-    let mut group = c.benchmark_group("compact_greedy");
+    let samples = samples(10);
     for n in [1_000usize, 5_000, 20_000] {
         let raw = bench_patterns(&soc, n);
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &raw, |b, raw| {
-            b.iter(|| compact_greedy(&soc, raw.as_slice()));
+        bench(&format!("compact_greedy/{n}"), samples, || {
+            compact_greedy(&soc, raw.as_slice())
         });
     }
-    group.finish();
-}
-
-fn bench_two_dimensional(c: &mut Criterion) {
-    let soc = Benchmark::P93791.soc();
     let raw = bench_patterns(&soc, 5_000);
-    let mut group = c.benchmark_group("compact_two_dimensional");
     for parts in [1u32, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(parts), &parts, |b, &parts| {
-            b.iter(|| {
-                compact_two_dimensional(&soc, &raw, &CompactionConfig::new(parts))
-                    .expect("compaction succeeds")
-            });
+        bench(&format!("compact_two_dimensional/{parts}"), samples, || {
+            compact_two_dimensional(&soc, &raw, &CompactionConfig::new(parts))
+                .expect("compaction succeeds")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_greedy, bench_two_dimensional);
-criterion_main!(benches);

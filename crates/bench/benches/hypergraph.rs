@@ -1,47 +1,39 @@
-//! Criterion benches for the multilevel hypergraph partitioner (the
-//! hMetis substitute) on ring and random hypergraphs.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! Timing benches for the multilevel hypergraph partitioner (the
+//! hMetis substitute) on random hypergraphs.
 
 use soctam::hypergraph::{Hypergraph, HypergraphBuilder, PartitionConfig};
+use soctam_bench::harness::{bench, samples};
+use soctam_exec::Rng;
 
 fn random_hypergraph(vertices: u32, edges: u32, seed: u64) -> Hypergraph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut builder = HypergraphBuilder::new();
     for _ in 0..vertices {
-        builder.add_vertex(rng.gen_range(1..=40));
+        builder.add_vertex(rng.range_u64_inclusive(1, 40));
     }
     for _ in 0..edges {
-        let len = rng.gen_range(2..=5usize);
-        let pins: Vec<u32> = (0..len).map(|_| rng.gen_range(0..vertices)).collect();
+        let len = rng.range_usize_inclusive(2, 5);
+        let pins: Vec<u32> = (0..len).map(|_| rng.range_u32(0, vertices)).collect();
         if pins.iter().collect::<std::collections::HashSet<_>>().len() >= 2 {
             builder
-                .add_edge(rng.gen_range(1..=20), &pins)
+                .add_edge(rng.range_u64_inclusive(1, 20), &pins)
                 .expect("pins in range");
         }
     }
     builder.build()
 }
 
-fn bench_partition(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hypergraph_partition");
+fn main() {
+    let samples = samples(10);
     for (vertices, edges) in [(32u32, 200u32), (128, 1_000), (512, 4_000)] {
         let hg = random_hypergraph(vertices, edges, 7);
         for parts in [2u32, 8] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("v{vertices}_e{edges}"), parts),
-                &parts,
-                |b, &k| {
-                    let config = PartitionConfig::new(k).with_seed(3);
-                    b.iter(|| hg.partition(&config).expect("partitions"));
-                },
+            let config = PartitionConfig::new(parts).with_seed(3);
+            bench(
+                &format!("hypergraph_partition/v{vertices}_e{edges}/{parts}"),
+                samples,
+                || hg.partition(&config).expect("partitions"),
             );
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_partition);
-criterion_main!(benches);

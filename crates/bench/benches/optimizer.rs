@@ -1,37 +1,35 @@
-//! Criterion benches for Algorithm 2 (`TAM_Optimization`) and the
+//! Timing benches for Algorithm 2 (`TAM_Optimization`) and the
 //! TR-Architect baseline at the paper's width range.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use soctam::{Benchmark, Objective, TamOptimizer};
 use soctam_bench::bench_groups;
+use soctam_bench::harness::{bench, samples};
 
-fn bench_tam_optimization(c: &mut Criterion) {
+fn main() {
     let soc = Benchmark::P93791.soc();
     let groups = bench_groups(&soc);
-    let mut group = c.benchmark_group("tam_optimization_p93791");
-    group.sample_size(10);
+    let samples = samples(10);
     for width in [8u32, 32, 64] {
-        group.bench_with_input(BenchmarkId::new("si_aware", width), &width, |b, &w| {
-            b.iter(|| {
-                TamOptimizer::new(&soc, w, groups.clone())
+        bench(
+            &format!("tam_optimization_p93791/si_aware/{width}"),
+            samples,
+            || {
+                TamOptimizer::new(&soc, width, groups.clone())
                     .expect("valid")
                     .optimize()
                     .expect("optimizes")
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("baseline", width), &width, |b, &w| {
-            b.iter(|| {
-                TamOptimizer::new(&soc, w, groups.clone())
+            },
+        );
+        bench(
+            &format!("tam_optimization_p93791/baseline/{width}"),
+            samples,
+            || {
+                TamOptimizer::new(&soc, width, groups.clone())
                     .expect("valid")
                     .objective(Objective::InTestOnly)
                     .optimize()
                     .expect("optimizes")
-            });
-        });
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_tam_optimization);
-criterion_main!(benches);

@@ -1,22 +1,20 @@
-//! Criterion bench for Algorithm 1 (`ScheduleSITest`) with growing group
+//! Timing bench for Algorithm 1 (`ScheduleSITest`) with growing group
 //! counts and rail contention.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use soctam::tam::{schedule_si_tests, SiGroupTime};
+use soctam_bench::harness::{bench, samples};
+use soctam_exec::Rng;
 
 fn random_groups(count: usize, rails: usize, seed: u64) -> Vec<SiGroupTime> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..count)
         .map(|_| {
-            let span = rng.gen_range(1..=rails.min(4));
-            let mut set: Vec<usize> = (0..span).map(|_| rng.gen_range(0..rails)).collect();
+            let span = rng.range_usize_inclusive(1, rails.min(4));
+            let mut set: Vec<usize> = (0..span).map(|_| rng.range_usize(0, rails)).collect();
             set.sort_unstable();
             set.dedup();
             SiGroupTime {
-                time: rng.gen_range(1..=10_000),
+                time: rng.range_u64_inclusive(1, 10_000),
                 bottleneck_rail: set[0],
                 rails: set,
             }
@@ -24,16 +22,12 @@ fn random_groups(count: usize, rails: usize, seed: u64) -> Vec<SiGroupTime> {
         .collect()
 }
 
-fn bench_schedule(c: &mut Criterion) {
-    let mut group = c.benchmark_group("schedule_si_tests");
+fn main() {
+    let samples = samples(50);
     for count in [8usize, 64, 256] {
         let groups = random_groups(count, 16, 5);
-        group.bench_with_input(BenchmarkId::from_parameter(count), &groups, |b, groups| {
-            b.iter(|| schedule_si_tests(groups));
+        bench(&format!("schedule_si_tests/{count}"), samples, || {
+            schedule_si_tests(&groups)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_schedule);
-criterion_main!(benches);

@@ -1,11 +1,10 @@
-//! Criterion benches for wrapper design (the `Combine` procedure) and the
+//! Timing benches for wrapper design (the `Combine` procedure) and the
 //! memoized time table.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
 use soctam::{Benchmark, TimeTable, WrapperDesign};
+use soctam_bench::harness::{bench, samples};
 
-fn bench_wrapper_design(c: &mut Criterion) {
+fn main() {
     let soc = Benchmark::P93791.soc();
     // The scan-heaviest core dominates wrapper-design cost.
     let core = soc
@@ -13,26 +12,16 @@ fn bench_wrapper_design(c: &mut Criterion) {
         .iter()
         .max_by_key(|core| core.scan_cells())
         .expect("cores exist");
-    let mut group = c.benchmark_group("wrapper_design");
+    let samples = samples(50);
     for width in [1u32, 8, 32, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &w| {
-            b.iter(|| WrapperDesign::design(core, w).expect("width >= 1"));
+        bench(&format!("wrapper_design/{width}"), samples, || {
+            WrapperDesign::design(core, width).expect("width >= 1")
         });
     }
-    group.finish();
-}
-
-fn bench_time_table(c: &mut Criterion) {
-    let mut group = c.benchmark_group("time_table");
-    group.sample_size(20);
-    for bench in [Benchmark::D695, Benchmark::P93791] {
-        let soc = bench.soc();
-        group.bench_with_input(BenchmarkId::from_parameter(bench.name()), &soc, |b, soc| {
-            b.iter(|| TimeTable::new(soc, 64));
+    for benchmark in [Benchmark::D695, Benchmark::P93791] {
+        let soc = benchmark.soc();
+        bench(&format!("time_table/{}", benchmark.name()), samples, || {
+            TimeTable::new(&soc, 64)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_wrapper_design, bench_time_table);
-criterion_main!(benches);

@@ -1,9 +1,51 @@
-//! Shared helpers for the table-regeneration binaries and Criterion
+//! Shared helpers for the table-regeneration binaries and the timing
 //! benches. Everything here is deterministic: the paper tables are
 //! reproducible bit-for-bit with the default seed.
 
 use soctam::experiment::{run_table, ExperimentConfig, ExperimentTable};
 use soctam::{Benchmark, RandomPatternConfig, SiGroupSpec, SiPatternSet, Soc, SoctamError};
+
+pub mod harness {
+    //! Minimal wall-clock timing harness for the `[[bench]]` binaries
+    //! (all declared `harness = false`). Dependency-free stand-in for
+    //! Criterion: each benchmark runs one discarded warm-up iteration
+    //! plus a fixed number of timed samples and prints min / median /
+    //! mean on one line.
+
+    use std::time::{Duration, Instant};
+
+    /// Sample count for a bench binary: `default` unless the
+    /// `SOCTAM_BENCH_SAMPLES` environment variable overrides it.
+    #[must_use]
+    pub fn samples(default: usize) -> usize {
+        std::env::var("SOCTAM_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(default)
+    }
+
+    /// Times `samples` runs of `f` (after one warm-up run) and prints a
+    /// summary line. The result goes through `black_box` so the work
+    /// cannot be optimised away.
+    pub fn bench<R>(label: &str, samples: usize, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f());
+        let mut times: Vec<Duration> = (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(f());
+                start.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "{label:<48} min {min:>11.3?}  median {median:>11.3?}  mean {mean:>11.3?}  ({samples} samples)"
+        );
+    }
+}
 
 /// The seed used by every shipped table (chosen once, never tuned).
 pub const TABLE_SEED: u64 = 2007;

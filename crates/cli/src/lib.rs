@@ -15,12 +15,12 @@
 
 use std::fmt::Write as _;
 
-use soctam::experiment::{run_table, ExperimentConfig};
+use soctam::experiment::{run_table_with, ExperimentConfig};
 use soctam::model::parser::parse_soc;
 use soctam::tam::render_schedule;
 use soctam::{
-    compact_two_dimensional, Benchmark, CompactionConfig, Objective, RandomPatternConfig,
-    SiOptimizer, SiPatternSet, Soc,
+    compact_two_dimensional_with, Benchmark, CompactionConfig, Objective, Pool,
+    RandomPatternConfig, SiOptimizer, SiPatternSet, Soc,
 };
 
 /// A CLI failure: a message and the exit code to report.
@@ -72,10 +72,15 @@ OPTIONS (optimize / table / compact):
     --width <W>        TAM width budget W_max          [default: 32]
     --partitions <I>   SI partition count i            [default: 4]
     --seed <S>         RNG seed                        [default: 2007]
+    --jobs <N>         worker threads (0 = all cores)  [default: 1]
+    --stats            print runtime statistics (tasks, steals, cache)
     --baseline         optimize for InTest only (TR-Architect)
     --svg <file>       write the schedule as SVG (optimize)
     --widths <list>    comma list of widths (table)    [default: 8,16,..,64]
     --parts <list>     comma list of partitions (table)[default: 1,2,4,8]
+
+Results are bit-identical for every --jobs value; threads only change
+the wall-clock time.
 ";
 
 /// Parsed command-line options.
@@ -97,6 +102,10 @@ pub struct Options {
     pub widths: Vec<u32>,
     /// Partition sweep for `table`.
     pub parts: Vec<u32>,
+    /// Worker thread count (1 = serial, 0 = all available cores).
+    pub jobs: usize,
+    /// Print runtime statistics after the command.
+    pub stats: bool,
 }
 
 impl Default for Options {
@@ -110,6 +119,8 @@ impl Default for Options {
             svg: None,
             widths: (1..=8).map(|i| i * 8).collect(),
             parts: vec![1, 2, 4, 8],
+            jobs: 1,
+            stats: false,
         }
     }
 }
@@ -159,6 +170,12 @@ pub fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     .parse()
                     .map_err(|_| CliError::usage("invalid --seed value"))?;
             }
+            "--jobs" => {
+                options.jobs = value_for("--jobs")?
+                    .parse()
+                    .map_err(|_| CliError::usage("invalid --jobs value"))?;
+            }
+            "--stats" => options.stats = true,
             "--baseline" => options.baseline = true,
             "--svg" => options.svg = Some(value_for("--svg")?.clone()),
             "--widths" => options.widths = parse_list(value_for("--widths")?, "--widths")?,
@@ -260,12 +277,30 @@ fn info(soc: &Soc) -> String {
     out
 }
 
+/// The worker pool a command runs on (`--jobs`).
+fn pool_for(options: &Options) -> Pool {
+    Pool::new(options.jobs)
+}
+
+/// Appends the pool's runtime statistics when `--stats` was given.
+fn append_stats(out: &mut String, pool: &Pool, options: &Options) {
+    if options.stats {
+        let _ = writeln!(out, "{}", pool.metrics().snapshot());
+    }
+}
+
 fn optimize(soc: &Soc, options: &Options) -> Result<String, CliError> {
-    let patterns = SiPatternSet::random(
-        soc,
-        &RandomPatternConfig::new(options.patterns).with_seed(options.seed),
-    )
-    .map_err(|e| CliError::runtime(e.to_string()))?;
+    let pool = pool_for(options);
+    let patterns = pool
+        .metrics()
+        .time("generate", || {
+            SiPatternSet::random_with(
+                soc,
+                &RandomPatternConfig::new(options.patterns).with_seed(options.seed),
+                &pool,
+            )
+        })
+        .map_err(|e| CliError::runtime(e.to_string()))?;
     let objective = if options.baseline {
         Objective::InTestOnly
     } else {
@@ -276,6 +311,7 @@ fn optimize(soc: &Soc, options: &Options) -> Result<String, CliError> {
         .partitions(options.partitions)
         .seed(options.seed)
         .objective(objective)
+        .pool(pool.clone())
         .optimize(&patterns)
         .map_err(|e| CliError::runtime(e.to_string()))?;
 
@@ -300,32 +336,48 @@ fn optimize(soc: &Soc, options: &Options) -> Result<String, CliError> {
             .map_err(|e| CliError::runtime(format!("cannot write `{path}`: {e}")))?;
         let _ = writeln!(out, "schedule SVG written to {path}");
     }
+    append_stats(&mut out, &pool, options);
     Ok(out)
 }
 
 fn table(soc: &Soc, options: &Options) -> Result<String, CliError> {
+    let pool = pool_for(options);
     let config = ExperimentConfig {
         pattern_count: options.patterns,
         widths: options.widths.clone(),
         partitions: options.parts.clone(),
         seed: options.seed,
     };
-    let table = run_table(soc, &config).map_err(|e| CliError::runtime(e.to_string()))?;
-    Ok(table.to_string())
+    let table =
+        run_table_with(soc, &config, &pool).map_err(|e| CliError::runtime(e.to_string()))?;
+    let mut out = table.to_string();
+    append_stats(&mut out, &pool, options);
+    Ok(out)
 }
 
 fn compact(soc: &Soc, options: &Options) -> Result<String, CliError> {
-    let patterns = SiPatternSet::random(
-        soc,
-        &RandomPatternConfig::new(options.patterns).with_seed(options.seed),
-    )
-    .map_err(|e| CliError::runtime(e.to_string()))?;
-    let compacted = compact_two_dimensional(
-        soc,
-        &patterns,
-        &CompactionConfig::new(options.partitions).with_seed(options.seed),
-    )
-    .map_err(|e| CliError::runtime(e.to_string()))?;
+    let pool = pool_for(options);
+    let patterns = pool
+        .metrics()
+        .time("generate", || {
+            SiPatternSet::random_with(
+                soc,
+                &RandomPatternConfig::new(options.patterns).with_seed(options.seed),
+                &pool,
+            )
+        })
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+    let compacted = pool
+        .metrics()
+        .time("compact", || {
+            compact_two_dimensional_with(
+                soc,
+                &patterns,
+                &CompactionConfig::new(options.partitions).with_seed(options.seed),
+                &pool,
+            )
+        })
+        .map_err(|e| CliError::runtime(e.to_string()))?;
     let stats = compacted.stats();
     let mut out = String::new();
     let _ = writeln!(
@@ -347,20 +399,24 @@ fn compact(soc: &Soc, options: &Options) -> Result<String, CliError> {
         );
     }
     let _ = writeln!(out, "SI data volume: {} bits", compacted.data_volume(soc));
+    append_stats(&mut out, &pool, options);
     Ok(out)
 }
 
 fn bounds(soc: &Soc, options: &Options) -> Result<String, CliError> {
     use soctam::tam::bounds::{intest_lower_bound, si_lower_bound};
-    let patterns = SiPatternSet::random(
+    let pool = pool_for(options);
+    let patterns = SiPatternSet::random_with(
         soc,
         &RandomPatternConfig::new(options.patterns).with_seed(options.seed),
+        &pool,
     )
     .map_err(|e| CliError::runtime(e.to_string()))?;
-    let compacted = compact_two_dimensional(
+    let compacted = compact_two_dimensional_with(
         soc,
         &patterns,
         &CompactionConfig::new(options.partitions).with_seed(options.seed),
+        &pool,
     )
     .map_err(|e| CliError::runtime(e.to_string()))?;
     let groups: Vec<soctam::SiGroupSpec> = compacted
@@ -399,15 +455,18 @@ fn bounds(soc: &Soc, options: &Options) -> Result<String, CliError> {
 }
 
 fn simulate_cmd(soc: &Soc, options: &Options) -> Result<String, CliError> {
-    let patterns = SiPatternSet::random(
+    let pool = pool_for(options);
+    let patterns = SiPatternSet::random_with(
         soc,
         &RandomPatternConfig::new(options.patterns).with_seed(options.seed),
+        &pool,
     )
     .map_err(|e| CliError::runtime(e.to_string()))?;
     let result = SiOptimizer::new(soc)
         .max_tam_width(options.width)
         .partitions(options.partitions)
         .seed(options.seed)
+        .pool(pool.clone())
         .optimize(&patterns)
         .map_err(|e| CliError::runtime(e.to_string()))?;
     let sim = soctam::tester::simulate(
@@ -594,6 +653,45 @@ mod tests {
     fn help_exits_cleanly() {
         let out = run(&args(&["--help"])).expect("help is success");
         assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn jobs_values_produce_identical_output() {
+        let base = args(&[
+            "optimize",
+            "d695",
+            "--patterns",
+            "300",
+            "--width",
+            "8",
+            "--partitions",
+            "2",
+        ]);
+        let serial = run(&base).expect("runs");
+        for jobs in ["2", "4"] {
+            let mut parallel = base.clone();
+            parallel.extend(args(&["--jobs", jobs]));
+            assert_eq!(run(&parallel).expect("runs"), serial, "--jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn stats_flag_reports_runtime_stats() {
+        let out = run(&args(&[
+            "optimize",
+            "d695",
+            "--patterns",
+            "150",
+            "--width",
+            "8",
+            "--jobs",
+            "2",
+            "--stats",
+        ]))
+        .expect("runs");
+        assert!(out.contains("runtime stats:"));
+        assert!(out.contains("cache"));
+        assert!(out.contains("phase"));
     }
 
     #[test]

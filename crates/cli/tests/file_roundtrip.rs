@@ -22,19 +22,34 @@ fn exported_file_drives_every_command() {
 
     // compact / bounds / optimize on the file.
     let compact = soctam_cli::run(&args(&[
-        "compact", &path_str, "--patterns", "400", "--partitions", "2",
+        "compact",
+        &path_str,
+        "--patterns",
+        "400",
+        "--partitions",
+        "2",
     ]))
     .expect("compact runs");
     assert!(compact.contains("ratio"));
 
     let bounds = soctam_cli::run(&args(&[
-        "bounds", &path_str, "--patterns", "200", "--widths", "16",
+        "bounds",
+        &path_str,
+        "--patterns",
+        "200",
+        "--widths",
+        "16",
     ]))
     .expect("bounds runs");
     assert!(bounds.contains("LB(T_soc)"));
 
     let optimize = soctam_cli::run(&args(&[
-        "optimize", &path_str, "--patterns", "300", "--width", "16",
+        "optimize",
+        &path_str,
+        "--patterns",
+        "300",
+        "--width",
+        "16",
     ]))
     .expect("optimize runs");
     assert!(optimize.contains("T_soc"));
@@ -42,7 +57,12 @@ fn exported_file_drives_every_command() {
     // The file-loaded SOC must optimize to the same result as the
     // embedded one (the export is lossless for the fields that matter).
     let embedded = soctam_cli::run(&args(&[
-        "optimize", "p34392", "--patterns", "300", "--width", "16",
+        "optimize",
+        "p34392",
+        "--patterns",
+        "300",
+        "--width",
+        "16",
     ]))
     .expect("optimize runs");
     // Names differ (module1 vs p34392_c1) but every number matches.

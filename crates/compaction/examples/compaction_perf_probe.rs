@@ -1,6 +1,6 @@
 //! Wall-clock profiling helper for the compaction pipeline on the paper benchmarks.
 //!
-//! Run with `cargo run --release -p <crate> --example perf_probe`.
+//! Run with `cargo run --release -p soctam-compaction --example compaction_perf_probe`.
 use soctam_compaction::{compact_two_dimensional, CompactionConfig};
 use soctam_model::Benchmark;
 use soctam_patterns::{RandomPatternConfig, SiPatternSet};

@@ -45,7 +45,7 @@ mod vertical;
 
 pub use error::CompactionError;
 pub use grouping::{build_core_hypergraph, group_patterns, PatternGrouping};
-pub use pipeline::{compact_two_dimensional, CompactionConfig};
+pub use pipeline::{compact_two_dimensional, compact_two_dimensional_with, CompactionConfig};
 pub use types::{CompactedSiTests, CompactionStats, SiTestGroup};
 pub use vertical::{
     compact_greedy, compact_greedy_ordered, compact_optimal, MergeOrder, EXACT_COVER_LIMIT,

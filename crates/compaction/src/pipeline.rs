@@ -1,8 +1,9 @@
 //! The full two-dimensional compaction pipeline.
 
+use soctam_exec::Pool;
 use soctam_hypergraph::PartitionConfig;
 use soctam_model::Soc;
-use soctam_patterns::SiPatternSet;
+use soctam_patterns::{SiPattern, SiPatternSet};
 
 use crate::{
     compact_greedy_ordered, group_patterns, CompactedSiTests, CompactionError, CompactionStats,
@@ -94,6 +95,23 @@ pub fn compact_two_dimensional(
     raw: &SiPatternSet,
     config: &CompactionConfig,
 ) -> Result<CompactedSiTests, CompactionError> {
+    compact_two_dimensional_with(soc, raw, config, &Pool::serial())
+}
+
+/// [`compact_two_dimensional`] with the per-bucket vertical compactions
+/// run on `pool`. Buckets never share patterns, so each greedy cover is
+/// independent; results are collected in bucket order and are
+/// bit-identical to the serial pipeline for any pool size.
+///
+/// # Errors
+///
+/// Same contract as [`compact_two_dimensional`].
+pub fn compact_two_dimensional_with(
+    soc: &Soc,
+    raw: &SiPatternSet,
+    config: &CompactionConfig,
+    pool: &Pool,
+) -> Result<CompactedSiTests, CompactionError> {
     raw.validate_for(soc)?;
     let grouping = group_patterns(
         soc,
@@ -102,7 +120,6 @@ pub fn compact_two_dimensional(
         &config.partition_config,
     )?;
 
-    let mut groups = Vec::new();
     let mut stats = CompactionStats {
         raw_patterns: raw.len(),
         partitions: config.partitions.max(1),
@@ -111,27 +128,47 @@ pub fn compact_two_dimensional(
         ..CompactionStats::default()
     };
 
-    for (part, bucket) in grouping.buckets.iter().enumerate() {
-        if bucket.is_empty() {
+    // One work item per part bucket, plus the cross-partition remainder
+    // (when any pattern was cut) as the final item.
+    let mut work: Vec<Vec<SiPattern>> = grouping
+        .buckets
+        .iter()
+        .map(|bucket| bucket.iter().map(|&i| raw.as_slice()[i].clone()).collect())
+        .collect();
+    let has_remainder = !grouping.remainder.is_empty();
+    if has_remainder {
+        work.push(
+            grouping
+                .remainder
+                .iter()
+                .map(|&i| raw.as_slice()[i].clone())
+                .collect(),
+        );
+    }
+    let compacted_buckets = pool.par_map(&work, |patterns| {
+        if patterns.is_empty() {
+            Vec::new()
+        } else {
+            compact_greedy_ordered(soc, patterns, config.merge_order)
+        }
+    });
+
+    let mut groups = Vec::new();
+    let mut iter = compacted_buckets.into_iter();
+    for part in 0..grouping.buckets.len() {
+        let compacted = iter.next().expect("one result per bucket");
+        if compacted.is_empty() {
             stats.group_patterns.push(0);
             continue;
         }
-        let bucket_patterns: Vec<_> = bucket.iter().map(|&i| raw.as_slice()[i].clone()).collect();
-        let compacted = compact_greedy_ordered(soc, &bucket_patterns, config.merge_order);
         stats.group_patterns.push(compacted.len());
         groups.push(SiTestGroup::new(
             grouping.part_cores(part as u32),
             compacted,
         ));
     }
-
-    if !grouping.remainder.is_empty() {
-        let remainder_patterns: Vec<_> = grouping
-            .remainder
-            .iter()
-            .map(|&i| raw.as_slice()[i].clone())
-            .collect();
-        let compacted = compact_greedy_ordered(soc, &remainder_patterns, config.merge_order);
+    if has_remainder {
+        let compacted = iter.next().expect("remainder result present");
         stats.remainder_patterns = compacted.len();
         groups.push(SiTestGroup::new(soc.core_ids().collect(), compacted));
     }
@@ -184,7 +221,9 @@ mod tests {
 
     #[test]
     fn partitioning_reduces_data_volume() {
-        let (soc, raw) = setup(2_000);
+        // Large enough that the 2-D advantage dominates sampling noise:
+        // at N_r = 2 000 a handful of seeds land within ±1 % of parity.
+        let (soc, raw) = setup(4_000);
         let one = compact_two_dimensional(&soc, &raw, &CompactionConfig::new(1)).expect("valid");
         let four = compact_two_dimensional(&soc, &raw, &CompactionConfig::new(4)).expect("valid");
         // The whole point of horizontal compaction: shorter patterns,

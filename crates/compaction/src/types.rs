@@ -9,7 +9,6 @@ use soctam_patterns::SiPattern;
 /// This is the paper's `SI test` record (`C(s)`, `pattern(s)` in Fig. 4);
 /// the scheduling fields live in `soctam-tam`.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SiTestGroup {
     cores: Vec<CoreId>,
     patterns: Vec<SiPattern>,
@@ -57,7 +56,6 @@ impl SiTestGroup {
 
 /// Result of the two-dimensional compaction pipeline.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CompactedSiTests {
     groups: Vec<SiTestGroup>,
     stats: CompactionStats,
@@ -107,7 +105,6 @@ impl CompactedSiTests {
 
 /// Statistics collected by [`compact_two_dimensional`](crate::compact_two_dimensional).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CompactionStats {
     /// Raw input pattern count (the paper's `N_r`).
     pub raw_patterns: usize,

@@ -48,7 +48,6 @@ pub fn compact_greedy(soc: &Soc, patterns: &[SiPattern]) -> Vec<SiPattern> {
 /// merges "the first uncompacted pattern with its following compatible
 /// patterns"; the visit order is therefore a free heuristic choice.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MergeOrder {
     /// Visit patterns in input order (the paper's formulation).
     #[default]

@@ -34,7 +34,8 @@
 
 use std::fmt;
 
-use soctam_compaction::{compact_two_dimensional, CompactionConfig};
+use soctam_compaction::{compact_two_dimensional_with, CompactionConfig};
+use soctam_exec::Pool;
 use soctam_model::Soc;
 use soctam_patterns::{RandomPatternConfig, SiPatternSet};
 use soctam_tam::{Objective, SiGroupSpec, TamOptimizer};
@@ -164,26 +165,56 @@ impl fmt::Display for ExperimentTable {
 ///
 /// Forwards generation, compaction and optimization errors.
 pub fn run_table(soc: &Soc, config: &ExperimentConfig) -> Result<ExperimentTable, SoctamError> {
-    let raw = SiPatternSet::random(
-        soc,
-        &RandomPatternConfig::new(config.pattern_count).with_seed(config.seed),
-    )?;
+    run_table_with(soc, config, &Pool::serial())
+}
+
+/// [`run_table`] with every stage on `pool`: pattern generation fans out
+/// per pattern, compaction per partition count and the
+/// `widths × (baseline + partitions)` optimization grid per cell. The
+/// grid is reduced in sweep order, so the table is bit-identical to the
+/// serial run for any pool size.
+///
+/// # Errors
+///
+/// Same contract as [`run_table`].
+pub fn run_table_with(
+    soc: &Soc,
+    config: &ExperimentConfig,
+    pool: &Pool,
+) -> Result<ExperimentTable, SoctamError> {
+    let metrics = pool.metrics();
+    let raw = metrics.time("generate", || {
+        SiPatternSet::random_with(
+            soc,
+            &RandomPatternConfig::new(config.pattern_count).with_seed(config.seed),
+            pool,
+        )
+    })?;
 
     // Compaction is width-independent: do it once per partition count.
-    let mut compacted_groups: Vec<(u32, Vec<SiGroupSpec>)> = Vec::new();
-    let mut compacted_counts = Vec::new();
-    for &parts in &config.partitions {
-        let compacted = compact_two_dimensional(
-            soc,
-            &raw,
-            &CompactionConfig::new(parts).with_seed(config.seed),
-        )?;
-        compacted_counts.push((parts, compacted.total_patterns()));
-        compacted_groups.push((
-            parts,
-            compacted.groups().iter().map(SiGroupSpec::from).collect(),
-        ));
-    }
+    let compacted: Result<Vec<_>, _> = metrics.time("compact", || {
+        pool.par_map(&config.partitions, |&parts| {
+            compact_two_dimensional_with(
+                soc,
+                &raw,
+                &CompactionConfig::new(parts).with_seed(config.seed),
+                pool,
+            )
+            .map(|c| {
+                let groups: Vec<SiGroupSpec> = c.groups().iter().map(SiGroupSpec::from).collect();
+                (parts, c.total_patterns(), groups)
+            })
+        })
+        .into_iter()
+        .collect()
+    });
+    let compacted = compacted?;
+    let compacted_counts: Vec<(u32, u64)> =
+        compacted.iter().map(|&(i, count, _)| (i, count)).collect();
+    let compacted_groups: Vec<(u32, Vec<SiGroupSpec>)> = compacted
+        .into_iter()
+        .map(|(i, _, groups)| (i, groups))
+        .collect();
     // The baseline schedules the 1-D-compacted tests (or the first sweep
     // entry when 1 is not swept).
     let baseline_groups: Vec<SiGroupSpec> = compacted_groups
@@ -193,28 +224,50 @@ pub fn run_table(soc: &Soc, config: &ExperimentConfig) -> Result<ExperimentTable
         .map(|(_, g)| g.clone())
         .unwrap_or_default();
 
-    let mut rows = Vec::with_capacity(config.widths.len());
-    for &w_max in &config.widths {
-        let t_baseline = TamOptimizer::new(soc, w_max, baseline_groups.clone())?
-            .objective(Objective::InTestOnly)
-            .optimize()?
-            .evaluation()
-            .t_total();
-        let mut t_partitioned = Vec::with_capacity(compacted_groups.len());
-        for (parts, groups) in &compacted_groups {
-            let t = TamOptimizer::new(soc, w_max, groups.clone())?
-                .objective(Objective::Total)
+    // One grid point per (width, column): column 0 is the baseline,
+    // column j > 0 the (j-1)-th partition sweep entry.
+    let columns = 1 + compacted_groups.len();
+    let grid: Vec<(u32, usize)> = config
+        .widths
+        .iter()
+        .flat_map(|&w| (0..columns).map(move |col| (w, col)))
+        .collect();
+    let times: Result<Vec<u64>, SoctamError> = metrics.time("optimize", || {
+        pool.par_map(&grid, |&(w_max, col)| {
+            let (groups, objective) = if col == 0 {
+                (&baseline_groups, Objective::InTestOnly)
+            } else {
+                (&compacted_groups[col - 1].1, Objective::Total)
+            };
+            Ok(TamOptimizer::new(soc, w_max, groups.clone())?
+                .objective(objective)
+                .pool(pool.clone())
                 .optimize()?
                 .evaluation()
-                .t_total();
-            t_partitioned.push((*parts, t));
-        }
-        rows.push(TableRow {
-            w_max,
-            t_baseline,
-            t_partitioned,
-        });
-    }
+                .t_total())
+        })
+        .into_iter()
+        .collect()
+    });
+    let times = times?;
+
+    let rows = config
+        .widths
+        .iter()
+        .enumerate()
+        .map(|(wi, &w_max)| {
+            let cell = |col: usize| times[wi * columns + col];
+            TableRow {
+                w_max,
+                t_baseline: cell(0),
+                t_partitioned: compacted_groups
+                    .iter()
+                    .enumerate()
+                    .map(|(j, (parts, _))| (*parts, cell(j + 1)))
+                    .collect(),
+            }
+        })
+        .collect();
 
     Ok(ExperimentTable {
         soc_name: soc.name().to_owned(),

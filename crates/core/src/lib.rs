@@ -55,6 +55,7 @@ pub use error::SoctamError;
 pub use pipeline::{SiOptimizationResult, SiOptimizer};
 
 pub use soctam_compaction as compaction;
+pub use soctam_exec as exec;
 pub use soctam_hypergraph as hypergraph;
 pub use soctam_model as model;
 pub use soctam_patterns as patterns;
@@ -64,8 +65,10 @@ pub use soctam_wrapper as wrapper;
 
 // The workhorse types, flattened for convenience.
 pub use soctam_compaction::{
-    compact_two_dimensional, CompactedSiTests, CompactionConfig, SiTestGroup,
+    compact_two_dimensional, compact_two_dimensional_with, CompactedSiTests, CompactionConfig,
+    SiTestGroup,
 };
+pub use soctam_exec::{Metrics, MetricsSnapshot, Pool};
 pub use soctam_model::{Benchmark, CoreId, CoreSpec, Soc, TerminalId};
 pub use soctam_patterns::{RandomPatternConfig, SiPattern, SiPatternSet, Symbol};
 pub use soctam_tam::{

@@ -1,6 +1,9 @@
 //! The one-stop optimization pipeline.
 
-use soctam_compaction::{compact_two_dimensional, CompactedSiTests, CompactionConfig};
+use std::sync::Arc;
+
+use soctam_compaction::{compact_two_dimensional_with, CompactedSiTests, CompactionConfig};
+use soctam_exec::{Metrics, Pool};
 use soctam_model::Soc;
 use soctam_patterns::SiPatternSet;
 use soctam_tam::{
@@ -40,6 +43,7 @@ pub struct SiOptimizer<'a> {
     seed: u64,
     objective: Objective,
     restarts: u32,
+    pool: Pool,
 }
 
 impl<'a> SiOptimizer<'a> {
@@ -53,7 +57,29 @@ impl<'a> SiOptimizer<'a> {
             seed: 0,
             objective: Objective::Total,
             restarts: 1,
+            pool: Pool::serial(),
         }
+    }
+
+    /// Runs the pipeline on `jobs` threads (0 = all available cores).
+    /// Results are bit-identical for every job count; only wall-clock
+    /// changes. Shorthand for [`SiOptimizer::pool`] with a fresh pool.
+    pub fn jobs(self, jobs: usize) -> Self {
+        self.pool(Pool::new(jobs))
+    }
+
+    /// Runs the pipeline on an existing [`Pool`] (shared across runs,
+    /// metrics accumulate in the pool's [`Metrics`]).
+    pub fn pool(mut self, pool: Pool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// The metrics of the pipeline's pool: task/steal counters, cache
+    /// hits and misses, per-phase wall-clock. Snapshot after
+    /// [`SiOptimizer::optimize`] to report runtime statistics.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        self.pool.metrics()
     }
 
     /// Sets the SOC-level TAM width budget `W_max`.
@@ -94,11 +120,14 @@ impl<'a> SiOptimizer<'a> {
     ///
     /// Forwards compaction and TAM errors ([`SoctamError`]).
     pub fn optimize(&self, patterns: &SiPatternSet) -> Result<SiOptimizationResult, SoctamError> {
-        let compacted = compact_two_dimensional(
-            self.soc,
-            patterns,
-            &CompactionConfig::new(self.partitions).with_seed(self.seed),
-        )?;
+        let compacted = self.pool.metrics().time("compact", || {
+            compact_two_dimensional_with(
+                self.soc,
+                patterns,
+                &CompactionConfig::new(self.partitions).with_seed(self.seed),
+                &self.pool,
+            )
+        })?;
         self.optimize_compacted(compacted)
     }
 
@@ -112,13 +141,16 @@ impl<'a> SiOptimizer<'a> {
         compacted: CompactedSiTests,
     ) -> Result<SiOptimizationResult, SoctamError> {
         let groups: Vec<SiGroupSpec> = compacted.groups().iter().map(SiGroupSpec::from).collect();
-        let optimizer =
-            TamOptimizer::new(self.soc, self.max_tam_width, groups)?.objective(self.objective);
-        let optimized = if self.restarts > 1 {
-            optimizer.optimize_multi(self.restarts)?
-        } else {
-            optimizer.optimize()?
-        };
+        let optimizer = TamOptimizer::new(self.soc, self.max_tam_width, groups)?
+            .objective(self.objective)
+            .pool(self.pool.clone());
+        let optimized = self.pool.metrics().time("optimize", || {
+            if self.restarts > 1 {
+                optimizer.optimize_multi(self.restarts)
+            } else {
+                optimizer.optimize()
+            }
+        })?;
         Ok(SiOptimizationResult {
             compacted,
             optimized,

@@ -1,0 +1,164 @@
+//! Sharded memoization cache for expensive, pure evaluations.
+//!
+//! The TAM optimizer re-evaluates the same candidate architecture many
+//! times across merge rounds, wire redistribution and multi-start
+//! restarts; [`MemoCache`] keyed by an architecture fingerprint turns
+//! those repeats into lookups.
+//!
+//! Correctness note: shard and bucket selection use the in-crate
+//! FxHash, but identity is decided by full-key `Eq` — a hash collision
+//! can never return the wrong value, so cached and uncached runs are
+//! indistinguishable (determinism is preserved).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Mutex};
+
+use crate::hash::{fx_hash_one, FxBuildHasher};
+use crate::metrics::Metrics;
+
+/// A concurrent map from full keys to cloneable values, sharded to keep
+/// lock contention off the parallel hot path.
+#[derive(Debug)]
+pub struct MemoCache<K, V> {
+    shards: Box<[Mutex<HashMap<K, V, FxBuildHasher>>]>,
+    metrics: Option<Arc<Metrics>>,
+}
+
+impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
+    /// Creates a cache with `shards` independent lock domains (rounded
+    /// up to at least 1).
+    pub fn new(shards: usize) -> Self {
+        Self::build(shards, None)
+    }
+
+    /// As [`MemoCache::new`], reporting hits and misses to `metrics`.
+    pub fn with_metrics(shards: usize, metrics: Arc<Metrics>) -> Self {
+        Self::build(shards, Some(metrics))
+    }
+
+    fn build(shards: usize, metrics: Option<Arc<Metrics>>) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(HashMap::default()))
+                .collect(),
+            metrics,
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V, FxBuildHasher>> {
+        let fingerprint = fx_hash_one(key);
+        &self.shards[(fingerprint as usize) % self.shards.len()]
+    }
+
+    /// Returns the cached value for `key`, or computes, stores and
+    /// returns it. The shard lock is *not* held while `compute` runs,
+    /// so concurrent misses on the same key may compute twice — for a
+    /// pure `compute` that is only duplicated work, never divergence
+    /// (first insert wins).
+    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        let shard = self.shard(&key);
+        if let Some(value) = shard.lock().expect("cache shard poisoned").get(&key) {
+            if let Some(m) = &self.metrics {
+                m.count_cache_hit();
+            }
+            return value.clone();
+        }
+        if let Some(m) = &self.metrics {
+            m.count_cache_miss();
+        }
+        let value = compute();
+        let mut guard = shard.lock().expect("cache shard poisoned");
+        guard.entry(key).or_insert_with(|| value.clone()).clone()
+    }
+
+    /// Returns the cached value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached entry.
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn caches_computed_values() {
+        let cache: MemoCache<u64, u64> = MemoCache::new(8);
+        let calls = AtomicU32::new(0);
+        for _ in 0..3 {
+            let v = cache.get_or_insert_with(7, || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                49
+            });
+            assert_eq!(v, 49);
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&7), Some(49));
+        assert_eq!(cache.get(&8), None);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_alias() {
+        let cache: MemoCache<Vec<u32>, usize> = MemoCache::new(4);
+        for i in 0..200 {
+            cache.get_or_insert_with(vec![i], || i as usize);
+        }
+        assert_eq!(cache.len(), 200);
+        for i in 0..200 {
+            assert_eq!(cache.get(&vec![i]), Some(i as usize));
+        }
+    }
+
+    #[test]
+    fn reports_hits_and_misses() {
+        let metrics = Arc::new(Metrics::new());
+        let cache: MemoCache<u32, u32> = MemoCache::with_metrics(2, Arc::clone(&metrics));
+        cache.get_or_insert_with(1, || 10);
+        cache.get_or_insert_with(1, || 10);
+        cache.get_or_insert_with(2, || 20);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 2);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let pool = crate::pool::Pool::new(4);
+        let cache: MemoCache<usize, usize> = MemoCache::new(8);
+        let results = pool.par_map_index(400, |i| cache.get_or_insert_with(i % 10, || i % 10));
+        for (i, v) in results.into_iter().enumerate() {
+            assert_eq!(v, i % 10);
+        }
+        assert_eq!(cache.len(), 10);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! A miniature property-test harness.
+//!
+//! The workspace's randomized suites used to depend on `proptest`;
+//! offline builds require zero external dependencies, so this module
+//! provides the small subset actually used: run a property over many
+//! pseudo-random cases and report the failing case reproducibly.
+//!
+//! Case inputs derive from a seed computed from the property name, so
+//! runs are stable across machines and thread counts. On failure the
+//! harness reports the property name, case number and case seed before
+//! re-raising the panic; re-run a single case by exporting
+//! `SOCTAM_CHECK_SEED=<seed>`.
+//!
+//! The `proptest` cargo feature (no dependencies — just a flag) scales
+//! every case count by 8×; `SOCTAM_CHECK_CASES` overrides the count
+//! outright.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::hash::fx_hash_one;
+use crate::rng::Rng;
+
+/// Scales a base case count by the suite mode: ×8 under the extended
+/// `--features proptest` suite, overridden by `SOCTAM_CHECK_CASES`.
+pub fn cases(base: usize) -> usize {
+    if let Ok(value) = std::env::var("SOCTAM_CHECK_CASES") {
+        if let Ok(n) = value.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    if cfg!(feature = "proptest") {
+        base * 8
+    } else {
+        base
+    }
+}
+
+/// Per-case input source handed to properties by [`forall`].
+pub struct Gen {
+    rng: Rng,
+}
+
+impl Gen {
+    /// Builds a generator for one case (exposed for reproducing
+    /// failures by seed).
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            rng: Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Direct access to the underlying generator.
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+
+    /// Uniform `usize` in the half-open range `lo..hi`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.range_usize(lo, hi)
+    }
+
+    /// Uniform `u64` in the half-open range `lo..hi`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.range_u64(lo, hi)
+    }
+
+    /// Uniform `u32` in the half-open range `lo..hi`.
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.rng.range_u32(lo, hi)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.rng.f64()
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        self.rng.chance(p)
+    }
+
+    /// A string of `0..=max_len` characters drawn from printable ASCII
+    /// plus newline — the fuzz alphabet for the text parsers.
+    pub fn ascii_string(&mut self, max_len: usize) -> String {
+        let len = self.rng.range_usize_inclusive(0, max_len);
+        (0..len)
+            .map(|_| {
+                if self.rng.chance(0.05) {
+                    '\n'
+                } else {
+                    char::from(self.rng.range_u32_inclusive(0x20, 0x7e) as u8)
+                }
+            })
+            .collect()
+    }
+
+    /// A vector of `len_lo..=len_hi` values produced by `f`.
+    pub fn vec_of<T>(
+        &mut self,
+        len_lo: usize,
+        len_hi: usize,
+        mut f: impl FnMut(&mut Self) -> T,
+    ) -> Vec<T> {
+        let len = self.rng.range_usize_inclusive(len_lo, len_hi);
+        (0..len).map(|_| f(self)).collect()
+    }
+}
+
+/// Runs `prop` over `case_count` pseudo-random cases derived from
+/// `name`. Panics (re-raising the property's own panic) on the first
+/// failing case, after printing how to reproduce it.
+pub fn forall(name: &str, case_count: usize, mut prop: impl FnMut(&mut Gen)) {
+    let master = fx_hash_one(&name) ^ 0x50c7_a3ec_0de0_2007;
+    if let Ok(value) = std::env::var("SOCTAM_CHECK_SEED") {
+        if let Ok(seed) = value.parse::<u64>() {
+            let mut gen = Gen::from_seed(seed);
+            prop(&mut gen);
+            return;
+        }
+    }
+    for case in 0..case_count {
+        let seed = derive_case_seed(master, case as u64);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut gen = Gen::from_seed(seed);
+            prop(&mut gen);
+        }));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "property '{name}' failed on case {case}/{case_count} \
+                 (reproduce with SOCTAM_CHECK_SEED={seed})"
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+fn derive_case_seed(master: u64, case: u64) -> u64 {
+    let mut sm = crate::rng::SplitMix64::new(master ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    sm.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn properties_run_requested_case_count() {
+        let mut runs = 0;
+        forall("counting", 17, |_| runs += 1);
+        assert_eq!(runs, 17);
+    }
+
+    #[test]
+    fn case_inputs_are_stable_across_runs() {
+        let mut first = Vec::new();
+        forall("stability", 5, |g| first.push(g.u64_in(0, 1_000_000)));
+        let mut second = Vec::new();
+        forall("stability", 5, |g| second.push(g.u64_in(0, 1_000_000)));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn failing_property_panics() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            forall("always-fails", 3, |_| panic!("intentional"));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn generators_stay_in_bounds() {
+        forall("bounds", 50, |g| {
+            let v = g.usize_in(2, 10);
+            assert!((2..10).contains(&v));
+            let s = g.ascii_string(40);
+            assert!(s.chars().count() <= 40);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+            let xs = g.vec_of(1, 4, |g| g.u32_in(0, 5));
+            assert!((1..=4).contains(&xs.len()));
+        });
+    }
+}

@@ -1,0 +1,130 @@
+//! An FxHash-style hasher (the `rustc-hash` algorithm) written
+//! in-crate, plus a convenience fingerprint helper.
+//!
+//! FxHash is not collision-resistant — the memoization cache therefore
+//! stores the *full key* and relies on `Eq`, using the hash only for
+//! bucket placement and shard selection. Fingerprints produced by
+//! [`fx_hash_one`] are for metrics and diagnostics, never for identity.
+
+use std::hash::{BuildHasher, Hash, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The `rustc-hash` "Fx" hasher: multiply-and-rotate word mixing.
+#[derive(Clone, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`], usable as the `S` parameter of
+/// `HashMap`/`HashSet`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// Hashes a single value to a 64-bit fingerprint.
+pub fn fx_hash_one<T: Hash>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let a = fx_hash_one(&("rail", 7u32, vec![1u64, 2, 3]));
+        let b = fx_hash_one(&("rail", 7u32, vec![1u64, 2, 3]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_values_rarely_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(fx_hash_one(&i));
+        }
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn works_as_hashmap_build_hasher() {
+        let mut map: HashMap<Vec<u32>, u32, FxBuildHasher> = HashMap::default();
+        map.insert(vec![1, 2], 3);
+        map.insert(vec![4], 5);
+        assert_eq!(map.get(&vec![1, 2]), Some(&3));
+        assert_eq!(map.len(), 2);
+    }
+}

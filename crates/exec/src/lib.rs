@@ -1,0 +1,35 @@
+//! `soctam-exec` — the execution runtime underneath the SOC test
+//! architecture optimizer.
+//!
+//! Everything in this crate is `std`-only: the workspace must build and
+//! test with `--offline` and no registry cache, so the usual suspects
+//! (`rayon`, `rand`, `rustc-hash`) are reimplemented here at the scale
+//! this project needs.
+//!
+//! * [`pool`] — a work-stealing thread pool whose [`Pool::par_map`]
+//!   guarantees **deterministic, thread-count-independent results**:
+//!   output slot `i` always holds `f(item_i)`, and reductions happen in
+//!   index order on the calling thread.
+//! * [`rng`] — SplitMix64 + xoshiro256** seedable PRNG with
+//!   [`Rng::derive`] for per-work-item independent streams.
+//! * [`hash`] — an FxHash-style hasher used for cache keys and
+//!   fingerprints.
+//! * [`cache`] — a sharded memoization cache for expensive evaluations.
+//! * [`metrics`] — atomic counters and phase timers surfaced by the CLI
+//!   `--stats` flag.
+//! * [`check`] — a miniature property-test harness used by the test
+//!   suites (the `proptest` cargo feature raises the case counts; it
+//!   adds no dependencies).
+
+pub mod cache;
+pub mod check;
+pub mod hash;
+pub mod metrics;
+pub mod pool;
+pub mod rng;
+
+pub use cache::MemoCache;
+pub use hash::{fx_hash_one, FxBuildHasher, FxHasher};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use pool::Pool;
+pub use rng::Rng;

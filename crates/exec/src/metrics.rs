@@ -1,0 +1,187 @@
+//! Runtime observability: atomic counters and per-phase wall-clock
+//! timers, surfaced by the CLI `--stats` flag.
+//!
+//! A [`Metrics`] instance is shared (via `Arc`) between the thread
+//! pool, the memoization cache and the pipeline phases. Counters are
+//! relaxed atomics — they are diagnostics, not synchronization — and a
+//! [`MetricsSnapshot`] is taken once at the end of a run for display.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Shared runtime counters and phase timers.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    tasks_executed: AtomicU64,
+    steals: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    phases: Mutex<Vec<(String, Duration)>>,
+}
+
+impl Metrics {
+    /// Creates a fresh zeroed metrics sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one executed parallel task.
+    pub fn count_task(&self) {
+        self.tasks_executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one stolen task (executed from another participant's
+    /// chunk).
+    pub fn count_steal(&self) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a memoization-cache hit.
+    pub fn count_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a memoization-cache miss.
+    pub fn count_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Times `f` and records the elapsed wall-clock under `name`.
+    /// Repeated phases with the same name accumulate.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let result = f();
+        self.record_phase(name, start.elapsed());
+        result
+    }
+
+    /// Adds `elapsed` to the phase named `name`.
+    pub fn record_phase(&self, name: &str, elapsed: Duration) {
+        let mut phases = self.phases.lock().expect("metrics lock poisoned");
+        if let Some(entry) = phases.iter_mut().find(|(n, _)| n == name) {
+            entry.1 += elapsed;
+        } else {
+            phases.push((name.to_string(), elapsed));
+        }
+    }
+
+    /// Takes a consistent-enough snapshot for display.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            phases: self.phases.lock().expect("metrics lock poisoned").clone(),
+        }
+    }
+}
+
+/// Point-in-time copy of [`Metrics`], ready for display.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Parallel tasks executed across all `par_map` calls.
+    pub tasks_executed: u64,
+    /// Tasks executed from a chunk other than the participant's own.
+    pub steals: u64,
+    /// Memoization-cache hits.
+    pub cache_hits: u64,
+    /// Memoization-cache misses (evaluations actually computed).
+    pub cache_misses: u64,
+    /// Accumulated wall-clock per named phase, in recording order.
+    pub phases: Vec<(String, Duration)>,
+}
+
+impl MetricsSnapshot {
+    /// Cache hit rate in `[0, 1]`, or `None` when the cache was unused.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.cache_hits as f64 / total as f64)
+        }
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "runtime stats:")?;
+        writeln!(f, "  tasks executed : {}", self.tasks_executed)?;
+        writeln!(f, "  steals         : {}", self.steals)?;
+        match self.cache_hit_rate() {
+            Some(rate) => writeln!(
+                f,
+                "  cache          : {} hits / {} misses ({:.1}% hit rate)",
+                self.cache_hits,
+                self.cache_misses,
+                rate * 100.0
+            )?,
+            None => writeln!(f, "  cache          : unused")?,
+        }
+        for (name, elapsed) in &self.phases {
+            writeln!(
+                f,
+                "  phase {name:<14}: {:.3} ms",
+                elapsed.as_secs_f64() * 1e3
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.count_task();
+        m.count_task();
+        m.count_steal();
+        m.count_cache_hit();
+        m.count_cache_miss();
+        let snap = m.snapshot();
+        assert_eq!(snap.tasks_executed, 2);
+        assert_eq!(snap.steals, 1);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.cache_hit_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn phases_accumulate_by_name() {
+        let m = Metrics::new();
+        m.record_phase("compact", Duration::from_millis(3));
+        m.record_phase("compact", Duration::from_millis(4));
+        m.record_phase("tam", Duration::from_millis(1));
+        let snap = m.snapshot();
+        assert_eq!(snap.phases.len(), 2);
+        assert_eq!(
+            snap.phases[0],
+            ("compact".to_string(), Duration::from_millis(7))
+        );
+    }
+
+    #[test]
+    fn time_records_and_returns() {
+        let m = Metrics::new();
+        let v = m.time("work", || 42);
+        assert_eq!(v, 42);
+        let snap = m.snapshot();
+        assert_eq!(snap.phases.len(), 1);
+        assert_eq!(snap.phases[0].0, "work");
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let m = Metrics::new();
+        m.count_task();
+        let text = m.snapshot().to_string();
+        assert!(text.contains("tasks executed : 1"));
+        assert!(text.contains("cache          : unused"));
+    }
+}

@@ -1,8 +1,6 @@
 //! Multilevel bisection and recursive k-way driver.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use soctam_exec::Rng;
 
 use crate::coarsen::{coarsen_once, CoarseLevel};
 use crate::fm::refine;
@@ -18,7 +16,7 @@ const COARSEN_THRESHOLD: usize = 24;
 pub(crate) fn recursive_kway(hg: &Hypergraph, config: &PartitionConfig) -> Vec<u32> {
     let mut assignment = vec![0u32; hg.num_vertices()];
     let vertices: Vec<u32> = (0..hg.num_vertices() as u32).collect();
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     split(
         hg,
         &vertices,
@@ -38,7 +36,7 @@ fn split(
     k: u32,
     first_part: u32,
     config: &PartitionConfig,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     assignment: &mut [u32],
 ) {
     debug_assert!(vertices.len() >= k as usize);
@@ -117,7 +115,7 @@ fn bisect(
     frac: f64,
     min_counts: (usize, usize),
     config: &PartitionConfig,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> Vec<bool> {
     // Coarsening chain, but never coarsen below what the count constraints
     // allow to separate.
@@ -201,7 +199,7 @@ fn caps_for(hg: &Hypergraph, total: u64, frac: f64, imbalance: f64) -> [u64; 2] 
 
 /// Randomized greedy growth: BFS-grow part 0 from a random seed vertex
 /// until it reaches the target fraction of the total weight.
-fn grow_initial(hg: &Hypergraph, frac: f64, rng: &mut StdRng) -> Vec<bool> {
+fn grow_initial(hg: &Hypergraph, frac: f64, rng: &mut Rng) -> Vec<bool> {
     let n = hg.num_vertices();
     let total = hg.total_vertex_weight();
     let target0 = (total as f64 * frac).round() as u64;
@@ -210,9 +208,9 @@ fn grow_initial(hg: &Hypergraph, frac: f64, rng: &mut StdRng) -> Vec<bool> {
         return side;
     }
     let mut order: Vec<u32> = (0..n as u32).collect();
-    order.shuffle(rng);
+    rng.shuffle(&mut order);
 
-    let start = rng.gen_range(0..n) as u32;
+    let start = rng.range_usize(0, n) as u32;
     let mut queue = std::collections::VecDeque::from([start]);
     let mut visited = vec![false; n];
     visited[start as usize] = true;
@@ -259,7 +257,7 @@ fn enforce_min_counts(
     side: &mut [bool],
     min_counts: (usize, usize),
     config: &PartitionConfig,
-    _rng: &mut StdRng,
+    _rng: &mut Rng,
 ) {
     loop {
         let count0 = side.iter().filter(|&&s| !s).count();

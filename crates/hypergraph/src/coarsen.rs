@@ -1,7 +1,6 @@
 //! Heavy-edge coarsening.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
+use soctam_exec::Rng;
 
 use std::collections::HashMap;
 
@@ -17,10 +16,10 @@ pub(crate) struct CoarseLevel {
 
 /// Contracts a maximal heavy-edge matching. Returns `None` when matching
 /// achieves less than a 5 % reduction (coarsening has converged).
-pub(crate) fn coarsen_once(hg: &Hypergraph, rng: &mut StdRng) -> Option<CoarseLevel> {
+pub(crate) fn coarsen_once(hg: &Hypergraph, rng: &mut Rng) -> Option<CoarseLevel> {
     let n = hg.num_vertices();
     let mut order: Vec<u32> = (0..n as u32).collect();
-    order.shuffle(rng);
+    rng.shuffle(&mut order);
 
     let mut mate: Vec<Option<u32>> = vec![None; n];
     // Heavy-edge matching: connect v to the unmatched neighbour with the
@@ -114,8 +113,6 @@ pub(crate) fn coarsen_once(hg: &Hypergraph, rng: &mut StdRng) -> Option<CoarseLe
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-
     fn chain_graph(n: u32) -> Hypergraph {
         let mut b = HypergraphBuilder::new();
         for _ in 0..n {
@@ -130,7 +127,7 @@ mod tests {
     #[test]
     fn coarsening_reduces_vertices_and_preserves_weight() {
         let hg = chain_graph(32);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let level = coarsen_once(&hg, &mut rng).expect("chain coarsens");
         assert!(level.graph.num_vertices() < 32);
         assert_eq!(level.graph.total_vertex_weight(), 32);
@@ -140,7 +137,7 @@ mod tests {
     #[test]
     fn map_targets_are_valid_coarse_vertices() {
         let hg = chain_graph(17);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let level = coarsen_once(&hg, &mut rng).expect("chain coarsens");
         let coarse_n = level.graph.num_vertices() as u32;
         assert!(level.map.iter().all(|&c| c < coarse_n));
@@ -153,7 +150,7 @@ mod tests {
             b.add_vertex(1);
         }
         let hg = b.build();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         assert!(coarsen_once(&hg, &mut rng).is_none());
     }
 
@@ -172,7 +169,7 @@ mod tests {
         b.add_edge(1, &[1, 2]).expect("valid");
         b.add_edge(1, &[2, 3]).expect("valid");
         let hg = b.build();
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let level = coarsen_once(&hg, &mut rng).expect("coarsens");
         // No coarse edge may have duplicate pins.
         for e in 0..level.graph.num_edges() as u32 {

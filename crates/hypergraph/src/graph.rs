@@ -25,7 +25,6 @@ use crate::HypergraphError;
 /// # }
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Hypergraph {
     vertex_weights: Vec<u64>,
     edge_weights: Vec<u64>,

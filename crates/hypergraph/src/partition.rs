@@ -13,7 +13,6 @@ use crate::{bisect, Hypergraph, HypergraphError};
 /// assert_eq!(config.parts, 4);
 /// ```
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[allow(clippy::derive_partial_eq_without_eq)]
 pub struct PartitionConfig {
     /// Number of parts `k`.
@@ -58,7 +57,6 @@ impl PartitionConfig {
 
 /// A k-way partition of a hypergraph's vertices.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Partition {
     parts: u32,
     assignment: Vec<u32>,

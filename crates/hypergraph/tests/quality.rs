@@ -3,28 +3,27 @@
 //! optimal, but on instances of the size this workspace actually
 //! partitions (≤ 33 cores) they should sit very close to the optimum.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use soctam_exec::Rng;
 
 use soctam_hypergraph::{Hypergraph, HypergraphBuilder, PartitionConfig};
 
 fn random_hypergraph(vertices: u32, edges: u32, seed: u64) -> Hypergraph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut builder = HypergraphBuilder::new();
     for _ in 0..vertices {
-        builder.add_vertex(rng.gen_range(1..=5));
+        builder.add_vertex(rng.range_u64_inclusive(1, 5));
     }
     for _ in 0..edges {
-        let len = rng.gen_range(2..=4usize);
+        let len = rng.range_usize_inclusive(2, 4);
         let mut pins: Vec<u32> = Vec::new();
         while pins.len() < len {
-            let v = rng.gen_range(0..vertices);
+            let v = rng.range_u32(0, vertices);
             if !pins.contains(&v) {
                 pins.push(v);
             }
         }
         builder
-            .add_edge(rng.gen_range(1..=10), &pins)
+            .add_edge(rng.range_u64_inclusive(1, 10), &pins)
             .expect("pins valid");
     }
     builder.build()

@@ -36,7 +36,6 @@ use crate::{CoreSpec, Soc};
 /// assert_eq!(soc.num_cores(), 19);
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Benchmark {
     /// 9-core academic SOC (mostly small memory/logic cores).
     U226,

@@ -23,7 +23,6 @@ use crate::ModelError;
 /// # }
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CoreSpec {
     name: String,
     inputs: u32,

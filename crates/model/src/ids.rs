@@ -16,8 +16,6 @@ use std::fmt;
 /// assert_eq!(id.to_string(), "core#3");
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[cfg_attr(feature = "serde", serde(transparent))]
 pub struct CoreId(u32);
 
 impl CoreId {
@@ -65,8 +63,6 @@ impl From<u32> for CoreId {
 /// assert_eq!(t.index(), 17);
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[cfg_attr(feature = "serde", serde(transparent))]
 pub struct TerminalId(u32);
 
 impl TerminalId {
@@ -113,8 +109,6 @@ impl From<u32> for TerminalId {
 /// assert_eq!(b.to_string(), "bus[31]");
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[cfg_attr(feature = "serde", serde(transparent))]
 pub struct BusLineId(u8);
 
 impl BusLineId {

@@ -36,7 +36,6 @@ use crate::{CoreSpec, ModelError, Soc};
 
 /// One `Test` record of a module.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TestRecord {
     /// 1-based test index within the module.
     pub index: u32,
@@ -50,7 +49,6 @@ pub struct TestRecord {
 
 /// One `Module` record of a `.soc` file.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ModuleRecord {
     /// Module id as written in the file.
     pub id: u32,
@@ -77,7 +75,6 @@ impl ModuleRecord {
 
 /// A fully parsed `.soc` file.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SocFile {
     /// Value of the `SocName` directive.
     pub name: String,

@@ -32,7 +32,6 @@ use crate::{CoreId, CoreSpec, ModelError, TerminalId};
 /// # }
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Soc {
     name: String,
     cores: Vec<CoreSpec>,

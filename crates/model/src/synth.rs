@@ -19,14 +19,12 @@
 //! # }
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use soctam_exec::Rng;
 
 use crate::{CoreSpec, ModelError, Soc};
 
 /// Configuration for [`synth_soc`].
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SynthConfig {
     /// Number of cores to generate (must be ≥ 1 for a valid SOC).
     pub num_cores: usize,
@@ -74,27 +72,30 @@ impl SynthConfig {
 ///
 /// Returns [`ModelError::EmptySoc`] when `config.num_cores == 0`.
 pub fn synth_soc(config: &SynthConfig) -> Result<Soc, ModelError> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let mut cores = Vec::with_capacity(config.num_cores);
     for i in 0..config.num_cores {
-        let inputs = rng.gen_range(config.inputs.0..=config.inputs.1);
-        let outputs = rng.gen_range(config.outputs.0..=config.outputs.1);
-        let combinational = rng.gen_bool(config.combinational_fraction.clamp(0.0, 1.0));
+        let inputs = rng.range_u32_inclusive(config.inputs.0, config.inputs.1);
+        let outputs = rng.range_u32_inclusive(config.outputs.0, config.outputs.1);
+        let combinational = rng.chance(config.combinational_fraction.clamp(0.0, 1.0));
         let chains = if combinational {
             Vec::new()
         } else {
-            let count = rng.gen_range(config.scan_chain_count.0..=config.scan_chain_count.1);
+            let count =
+                rng.range_u32_inclusive(config.scan_chain_count.0, config.scan_chain_count.1);
             // ITC'02-style cores have near-balanced internal chains; draw one
             // nominal length and jitter each chain around it.
-            let nominal = rng.gen_range(config.scan_chain_len.0..=config.scan_chain_len.1);
+            let nominal = rng.range_u32_inclusive(config.scan_chain_len.0, config.scan_chain_len.1);
             (0..count)
                 .map(|_| {
-                    let jitter = rng.gen_range(0..=nominal / 8);
+                    let jitter = rng.range_u32_inclusive(0, nominal / 8);
                     (nominal - jitter).max(1)
                 })
                 .collect()
         };
-        let patterns = rng.gen_range(config.patterns.0..=config.patterns.1).max(1);
+        let patterns = rng
+            .range_u64_inclusive(config.patterns.0, config.patterns.1)
+            .max(1);
         cores.push(CoreSpec::new(
             format!("synth{i}"),
             inputs,

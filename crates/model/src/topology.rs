@@ -23,15 +23,12 @@
 //! # }
 //! ```
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use soctam_exec::Rng;
 
 use crate::{ModelError, Soc, TerminalId};
 
 /// One routing channel: terminals ordered by physical adjacency.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Bundle {
     name: String,
     terminals: Vec<TerminalId>,
@@ -97,7 +94,6 @@ impl Bundle {
 
 /// The SOC's interconnect topology: a set of bundles.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct InterconnectTopology {
     bundles: Vec<Bundle>,
 }
@@ -144,25 +140,25 @@ impl InterconnectTopology {
                 bundle: "synth".into(),
             });
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let total = soc.total_wocs();
         let mut bundles = Vec::with_capacity(count);
         for b in 0..count {
-            let home = crate::CoreId::new(rng.gen_range(0..soc.num_cores() as u32));
+            let home = crate::CoreId::new(rng.range_u32(0, soc.num_cores() as u32));
             let range = soc.terminal_range(home);
             let mut pool: Vec<u32> = Vec::new();
             // ~75% home-core lines, rest from anywhere.
             let home_lines = ((lines * 3) / 4).min((range.end - range.start) as usize);
             let mut home_terms: Vec<u32> = (range.start..range.end).collect();
-            home_terms.shuffle(&mut rng);
+            rng.shuffle(&mut home_terms);
             pool.extend(home_terms.into_iter().take(home_lines));
             while pool.len() < lines {
-                let t = rng.gen_range(0..total);
+                let t = rng.range_u32(0, total);
                 if !pool.contains(&t) {
                     pool.push(t);
                 }
             }
-            pool.shuffle(&mut rng);
+            rng.shuffle(&mut pool);
             bundles.push(Bundle::new(
                 format!("synth{b}"),
                 pool.into_iter().map(TerminalId::new).collect(),

@@ -41,7 +41,6 @@ use crate::{SiPattern, Symbol};
 
 /// One of the six MA fault cases per victim line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MaCase {
     /// Victim quiescent `0`, all aggressors rise (positive glitch).
     GlitchLowRise,
@@ -89,7 +88,6 @@ impl MaCase {
 
 /// An MA coverage report over one topology.
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MaCoverage {
     /// Total faults: `6 ×` the number of victim lines across all bundles.
     pub total_faults: usize,

@@ -8,5 +8,5 @@ mod shorts_opens;
 
 pub use ma::maximal_aggressor;
 pub use mt::{reduced_mt, reduced_mt_estimate, MAX_LOCALITY};
-pub use random::{generate_random, RandomPatternConfig};
+pub use random::{generate_random, generate_random_with, RandomPatternConfig};
 pub use shorts_opens::shorts_opens;

@@ -1,7 +1,6 @@
 //! The randomized SI pattern recipe of the paper's experiments (Section 5).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use soctam_exec::{Pool, Rng};
 
 use soctam_model::{BusLineId, Soc, TerminalId};
 
@@ -27,7 +26,6 @@ use crate::{PatternError, SiPattern, Symbol};
 /// assert_eq!(config.bus_lines, 32);
 /// ```
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RandomPatternConfig {
     /// Number of patterns to generate (the paper's `N_r`).
     pub count: usize,
@@ -119,82 +117,107 @@ pub fn generate_random(
     config: &RandomPatternConfig,
 ) -> Result<Vec<SiPattern>, PatternError> {
     config.validate(soc)?;
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    Ok((0..config.count)
+        .map(|i| generate_one(soc, config, i as u64))
+        .collect())
+}
+
+/// As [`generate_random`], generating patterns in parallel on `pool`.
+///
+/// Pattern `i` is produced from its own PRNG stream derived from
+/// `(config.seed, i)`, so the output is **bit-identical** to the serial
+/// [`generate_random`] for any pool size.
+///
+/// # Errors
+///
+/// Same as [`generate_random`].
+pub fn generate_random_with(
+    soc: &Soc,
+    config: &RandomPatternConfig,
+    pool: &Pool,
+) -> Result<Vec<SiPattern>, PatternError> {
+    config.validate(soc)?;
+    Ok(pool.par_map_index(config.count, |i| generate_one(soc, config, i as u64)))
+}
+
+/// Generates pattern `index` of the set: one victim plus aggressors and
+/// an optional bus postfix, all drawn from the stream derived from
+/// `(config.seed, index)`.
+fn generate_one(soc: &Soc, config: &RandomPatternConfig, index: u64) -> SiPattern {
+    let mut rng = Rng::derive(config.seed, index);
     let total = soc.total_wocs();
 
-    let mut patterns = Vec::with_capacity(config.count);
-    while patterns.len() < config.count {
-        let victim = TerminalId::new(rng.gen_range(0..total));
-        let victim_core = soc.owner(victim).expect("victim in range");
-        let victim_range = soc.terminal_range(victim_core);
-        // Internal aggressors come from the locality window around the
-        // victim, clipped to the victim core's boundary.
-        let window = match config.locality {
-            Some(k) => {
-                victim.raw().saturating_sub(k).max(victim_range.start)
-                    ..(victim.raw() + k + 1).min(victim_range.end)
-            }
-            None => victim_range.clone(),
-        };
-        let internal_pool = (window.end - window.start - 1) as usize;
-        let external_pool = (total - (victim_range.end - victim_range.start)) as usize;
+    let victim = TerminalId::new(rng.range_u32(0, total));
+    let victim_core = soc.owner(victim).expect("victim in range");
+    let victim_range = soc.terminal_range(victim_core);
+    // Internal aggressors come from the locality window around the
+    // victim, clipped to the victim core's boundary.
+    let window = match config.locality {
+        Some(k) => {
+            victim.raw().saturating_sub(k).max(victim_range.start)
+                ..(victim.raw() + k + 1).min(victim_range.end)
+        }
+        None => victim_range.clone(),
+    };
+    let internal_pool = (window.end - window.start - 1) as usize;
+    let external_pool = (total - (victim_range.end - victim_range.start)) as usize;
 
-        let na = rng.gen_range(config.min_aggressors..=config.max_aggressors) as usize;
-        let max_ext = (config.max_external_aggressors as usize).min(external_pool);
-        // Draw the external share, then force enough externals to cover
-        // whatever the victim core cannot host internally.
-        let drawn_ext = rng.gen_range(0..=max_ext.min(na));
-        let needed_ext = na.saturating_sub(internal_pool).min(max_ext);
-        let n_ext = drawn_ext.max(needed_ext);
-        let n_int = (na - n_ext).min(internal_pool);
+    let na = rng.range_u32_inclusive(config.min_aggressors, config.max_aggressors) as usize;
+    let max_ext = (config.max_external_aggressors as usize).min(external_pool);
+    // Draw the external share, then force enough externals to cover
+    // whatever the victim core cannot host internally.
+    let drawn_ext = rng.range_usize_inclusive(0, max_ext.min(na));
+    let needed_ext = na.saturating_sub(internal_pool).min(max_ext);
+    let n_ext = drawn_ext.max(needed_ext);
+    let n_int = (na - n_ext).min(internal_pool);
 
-        let mut care = Vec::with_capacity(1 + n_int + n_ext);
-        care.push((victim, Symbol::ALL[rng.gen_range(0..4)]));
+    let mut care = Vec::with_capacity(1 + n_int + n_ext);
+    care.push((victim, Symbol::ALL[rng.index(4)]));
 
-        sample_distinct(&mut rng, n_int, |r| {
-            let t = r.gen_range(window.start..window.end);
-            (t != victim.raw()).then_some(t)
+    sample_distinct(&mut rng, n_int, |r| {
+        let t = r.range_u32(window.start, window.end);
+        (t != victim.raw()).then_some(t)
+    })
+    .into_iter()
+    .for_each(|t| care.push((TerminalId::new(t), Symbol::TRANSITIONS[rng.index(2)])));
+
+    sample_distinct(&mut rng, n_ext, |r| {
+        let t = r.range_u32(0, total);
+        (!(victim_range.start..victim_range.end).contains(&t)).then_some(t)
+    })
+    .into_iter()
+    .for_each(|t| care.push((TerminalId::new(t), Symbol::TRANSITIONS[rng.index(2)])));
+
+    let bus = if config.bus_lines > 0 && rng.chance(config.bus_probability) {
+        let occupied = rng
+            .range_usize_inclusive(1, na.max(1))
+            .min(config.bus_lines as usize);
+        sample_distinct(&mut rng, occupied, |r| {
+            Some(r.range_u32(0, u32::from(config.bus_lines)))
         })
         .into_iter()
-        .for_each(|t| care.push((TerminalId::new(t), Symbol::TRANSITIONS[rng.gen_range(0..2)])));
+        .map(|line| (BusLineId::new(line as u8), victim_core))
+        .collect()
+    } else {
+        Vec::new()
+    };
 
-        sample_distinct(&mut rng, n_ext, |r| {
-            let t = r.gen_range(0..total);
-            (!(victim_range.start..victim_range.end).contains(&t)).then_some(t)
-        })
-        .into_iter()
-        .for_each(|t| care.push((TerminalId::new(t), Symbol::TRANSITIONS[rng.gen_range(0..2)])));
-
-        let bus = if config.bus_lines > 0 && rng.gen_bool(config.bus_probability) {
-            let occupied = rng.gen_range(1..=na.max(1)).min(config.bus_lines as usize);
-            sample_distinct(&mut rng, occupied, |r| {
-                Some(u32::from(r.gen_range(0..config.bus_lines)))
-            })
-            .into_iter()
-            .map(|line| (BusLineId::new(line as u8), victim_core))
-            .collect()
-        } else {
-            Vec::new()
-        };
-
-        // Duplicate draws were filtered, so construction cannot conflict.
-        patterns.push(SiPattern::new(care, bus).expect("draws are distinct"));
-    }
-    Ok(patterns)
+    // Duplicate draws were filtered, so construction cannot conflict.
+    SiPattern::new(care, bus).expect("draws are distinct")
 }
 
 /// Draws `count` distinct values via rejection sampling. `draw` may return
 /// `None` to veto a candidate (used to exclude the victim / core range).
 fn sample_distinct(
-    rng: &mut StdRng,
+    rng: &mut Rng,
     count: usize,
-    mut draw: impl FnMut(&mut StdRng) -> Option<u32>,
+    mut draw: impl FnMut(&mut Rng) -> Option<u32>,
 ) -> Vec<u32> {
     let mut out: Vec<u32> = Vec::with_capacity(count);
     let mut attempts = 0usize;
     while out.len() < count {
         attempts += 1;
-        // The pools are always large relative to the ≤6 samples needed, so
+        // The pools are always large relative to the <=6 samples needed, so
         // rejection converges fast; the cap guards against misuse.
         assert!(
             attempts < 10_000,
@@ -365,6 +388,18 @@ mod tests {
             generate_random(&soc(), &cfg),
             Err(PatternError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn parallel_generation_matches_serial() {
+        let soc = soc();
+        let cfg = RandomPatternConfig::new(777).with_seed(21);
+        let serial = generate_random(&soc, &cfg).expect("valid");
+        for jobs in [1, 2, 4, 8] {
+            let pool = Pool::new(jobs);
+            let parallel = generate_random_with(&soc, &cfg, &pool).expect("valid");
+            assert_eq!(parallel, serial, "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -32,7 +32,6 @@ use crate::{PatternError, Symbol};
 /// # }
 /// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SiPattern {
     /// Care bits, sorted by terminal, one entry per terminal.
     care: Vec<(TerminalId, Symbol)>,

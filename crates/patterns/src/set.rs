@@ -2,7 +2,9 @@
 
 use soctam_model::{Soc, TerminalId};
 
-use crate::generator::{generate_random, maximal_aggressor, reduced_mt, RandomPatternConfig};
+use crate::generator::{
+    generate_random, generate_random_with, maximal_aggressor, reduced_mt, RandomPatternConfig,
+};
 use crate::{PatternError, PatternSetStats, SiPattern};
 
 /// An owned set of SI test patterns.
@@ -28,7 +30,6 @@ use crate::{PatternError, PatternSetStats, SiPattern};
 /// # }
 /// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SiPatternSet {
     patterns: Vec<SiPattern>,
 }
@@ -52,6 +53,23 @@ impl SiPatternSet {
     pub fn random(soc: &Soc, config: &RandomPatternConfig) -> Result<Self, PatternError> {
         Ok(SiPatternSet {
             patterns: generate_random(soc, config)?,
+        })
+    }
+
+    /// As [`SiPatternSet::random`], generating patterns in parallel on
+    /// `pool`. Output is bit-identical to the serial variant for any
+    /// pool size.
+    ///
+    /// # Errors
+    ///
+    /// See [`generate_random`].
+    pub fn random_with(
+        soc: &Soc,
+        config: &RandomPatternConfig,
+        pool: &soctam_exec::Pool,
+    ) -> Result<Self, PatternError> {
+        Ok(SiPatternSet {
+            patterns: generate_random_with(soc, config, pool)?,
         })
     }
 

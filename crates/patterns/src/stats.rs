@@ -24,7 +24,6 @@ use crate::SiPatternSet;
 /// # }
 /// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PatternSetStats {
     /// Number of patterns.
     pub pattern_count: usize,

@@ -21,7 +21,6 @@ use std::fmt;
 /// assert_eq!(Symbol::Fall.to_string(), "↓");
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Symbol {
     /// Steady `0` in consecutive cycles.
     Zero,

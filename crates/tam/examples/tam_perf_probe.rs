@@ -1,6 +1,6 @@
 //! Wall-clock profiling helper for the TAM optimizer on the paper benchmarks.
 //!
-//! Run with `cargo run --release -p <crate> --example perf_probe`.
+//! Run with `cargo run --release -p soctam-tam --example tam_perf_probe`.
 use soctam_model::Benchmark;
 use soctam_tam::{SiGroupSpec, TamOptimizer};
 

@@ -1,11 +1,23 @@
 //! Architecture evaluation: InTest times, SI test times
 //! (`CalculateSITestTime`) and the combined objective.
 
+use std::sync::Arc;
+
+use soctam_exec::{MemoCache, Metrics};
 use soctam_model::{CoreId, Soc};
 use soctam_wrapper::TimeTable;
 
 use crate::schedule::{schedule_si_tests, SiSchedule};
 use crate::{TamError, TestRailArchitecture};
+
+/// Content fingerprint of an architecture for the evaluation cache: the
+/// exact rail list (width + hosted cores, in rail order). Two
+/// architectures with equal keys evaluate identically, including rail
+/// indices in the result.
+type ArchKey = Vec<(u32, Vec<CoreId>)>;
+
+/// Cache shard count; evaluation keys hash cheaply, contention is low.
+const CACHE_SHARDS: usize = 16;
 
 /// A compacted SI test group as the TAM layer sees it: the involved cores
 /// and the compacted pattern count (`C(s)` and `pattern(s)` of Fig. 4).
@@ -21,7 +33,6 @@ use crate::{TamError, TestRailArchitecture};
 /// assert_eq!(spec.patterns(), 250);
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SiGroupSpec {
     cores: Vec<CoreId>,
     patterns: u64,
@@ -55,7 +66,6 @@ impl From<&soctam_compaction::SiTestGroup> for SiGroupSpec {
 /// Timing of one SI test group under a concrete architecture (the output
 /// of `CalculateSITestTime`).
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SiGroupTime {
     /// `time_si(s)`: the bottleneck rail's total shift time.
     pub time: u64,
@@ -68,7 +78,6 @@ pub struct SiGroupTime {
 
 /// Complete timing evaluation of one architecture.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Evaluation {
     /// Per-rail InTest time (`time_in(r)`).
     pub rail_time_in: Vec<u64>,
@@ -129,6 +138,11 @@ pub struct Evaluator<'a> {
     /// Per core: `Σ_{s ∋ c} patterns(s)` — the total SI pattern load the
     /// core's wrapper must shift across all groups.
     core_si_weight: Vec<u64>,
+    /// Memoized evaluations keyed by architecture fingerprint. The
+    /// optimizer revisits the same candidate architectures constantly
+    /// (merge sweeps, wire redistribution, sort passes); evaluation is
+    /// pure, so results are shared.
+    cache: MemoCache<ArchKey, Arc<Evaluation>>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -166,7 +180,29 @@ impl<'a> Evaluator<'a> {
             max_width,
             groups,
             core_si_weight,
+            cache: MemoCache::new(CACHE_SHARDS),
         })
+    }
+
+    /// Replaces the evaluation cache with one that counts hits and
+    /// misses into `metrics` (typically a pool's [`Metrics`]). Call
+    /// before evaluating; any already-cached entries are dropped.
+    pub fn attach_metrics(&mut self, metrics: Arc<Metrics>) {
+        self.cache = MemoCache::with_metrics(CACHE_SHARDS, metrics);
+    }
+
+    /// [`Evaluator::evaluate`] through the memo cache: architectures
+    /// with the same rail fingerprint share one evaluation. Safe for
+    /// concurrent use; evaluation is a pure function of the
+    /// architecture, so racing computations produce identical values.
+    pub fn evaluate_cached(&self, arch: &TestRailArchitecture) -> Arc<Evaluation> {
+        let key: ArchKey = arch
+            .rails()
+            .iter()
+            .map(|r| (r.width(), r.cores().to_vec()))
+            .collect();
+        self.cache
+            .get_or_insert_with(key, || Arc::new(self.evaluate(arch)))
     }
 
     /// The utilized time `time_in + time_si` a rail hosting `cores` would
@@ -330,6 +366,40 @@ mod tests {
         let expected = rail_sum(0..5).max(rail_sum(5..10));
         assert_eq!(eval.group_times[0].time, expected);
         assert_eq!(eval.group_times[0].rails, vec![0, 1]);
+    }
+
+    #[test]
+    fn evaluate_cached_matches_and_counts_hits() {
+        let soc = Benchmark::D695.soc();
+        let rails = vec![
+            TestRail::new((0..5).map(c).collect(), 8).expect("valid"),
+            TestRail::new((5..10).map(c).collect(), 8).expect("valid"),
+        ];
+        let arch = TestRailArchitecture::new(&soc, rails).expect("valid");
+        let groups = vec![SiGroupSpec::new(soc.core_ids().collect(), 10)];
+        let mut evaluator = Evaluator::new(&soc, 16, groups).expect("valid");
+        let metrics = Arc::new(Metrics::new());
+        evaluator.attach_metrics(Arc::clone(&metrics));
+
+        let direct = evaluator.evaluate(&arch);
+        let first = evaluator.evaluate_cached(&arch);
+        let second = evaluator.evaluate_cached(&arch);
+        assert_eq!(*first, direct);
+        assert_eq!(*second, direct);
+
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.cache_misses, 1);
+        assert_eq!(snapshot.cache_hits, 1);
+
+        // A different architecture is a different key.
+        let other = TestRailArchitecture::new(
+            &soc,
+            vec![TestRail::new(soc.core_ids().collect(), 16).expect("valid")],
+        )
+        .expect("valid");
+        let third = evaluator.evaluate_cached(&other);
+        assert_eq!(*third, evaluator.evaluate(&other));
+        assert_eq!(metrics.snapshot().cache_misses, 2);
     }
 
     #[test]

@@ -2,14 +2,15 @@
 //! TR-Architect baseline as the [`Objective::InTestOnly`] special case.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
+use soctam_exec::Pool;
 use soctam_model::{CoreId, Soc};
 
 use crate::{Evaluation, Evaluator, SiGroupSpec, TamError, TestRail, TestRailArchitecture};
 
 /// What the optimizer minimizes.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Objective {
     /// `T_soc = T_soc^in + T_soc^si` — the paper's `TAM_Optimization`.
     #[default]
@@ -49,6 +50,7 @@ pub struct TamOptimizer<'a> {
     evaluator: Evaluator<'a>,
     max_width: u32,
     objective: Objective,
+    pool: Pool,
 }
 
 impl<'a> TamOptimizer<'a> {
@@ -60,16 +62,30 @@ impl<'a> TamOptimizer<'a> {
     /// [`TamError::ZeroWidthBudget`] when `max_width == 0`;
     /// [`TamError::CoreOutOfRange`] for groups referencing unknown cores.
     pub fn new(soc: &'a Soc, max_width: u32, groups: Vec<SiGroupSpec>) -> Result<Self, TamError> {
+        let pool = Pool::serial();
+        let mut evaluator = Evaluator::new(soc, max_width, groups)?;
+        evaluator.attach_metrics(pool.metrics());
         Ok(TamOptimizer {
-            evaluator: Evaluator::new(soc, max_width, groups)?,
+            evaluator,
             max_width,
             objective: Objective::Total,
+            pool,
         })
     }
 
     /// Sets the optimization objective (builder style).
     pub fn objective(mut self, objective: Objective) -> Self {
         self.objective = objective;
+        self
+    }
+
+    /// Runs candidate evaluations on `pool` (builder style). The result
+    /// is identical for every pool size: candidates are evaluated
+    /// speculatively in parallel but reduced in the serial visit order.
+    /// Cache hits and misses are counted into the pool's metrics.
+    pub fn pool(mut self, pool: Pool) -> Self {
+        self.evaluator.attach_metrics(pool.metrics());
+        self.pool = pool;
         self
     }
 
@@ -82,10 +98,10 @@ impl<'a> TamOptimizer<'a> {
         self.evaluator.soc()
     }
 
-    fn eval(&self, rails: &[TestRail]) -> Evaluation {
+    fn eval(&self, rails: &[TestRail]) -> Arc<Evaluation> {
         let arch = TestRailArchitecture::new(self.soc(), rails.to_vec())
             .expect("optimizer maintains a consistent core assignment");
-        self.evaluator.evaluate(&arch)
+        self.evaluator.evaluate_cached(&arch)
     }
 
     fn cost_of(&self, eval: &Evaluation) -> u64 {
@@ -194,32 +210,41 @@ impl<'a> TamOptimizer<'a> {
     /// and whether an improvement was found.
     fn merge_tams(&self, rails: Vec<TestRail>, r1: usize) -> (Vec<TestRail>, bool) {
         let current = self.cost(&rails);
-        let mut best: Option<(Vec<TestRail>, u64)> = None;
+        // Every (partner, merged-width) candidate is independent:
+        // evaluate them on the pool, then reduce sequentially in the
+        // original visit order so the winning tie-break — first
+        // strictly-better candidate — is identical for any pool size.
+        let mut candidates: Vec<(usize, u32)> = Vec::new();
         for i in 0..rails.len() {
             if i == r1 {
                 continue;
             }
             let w1 = rails[r1].width();
             let wi = rails[i].width();
-            let w_min = w1.max(wi);
-            let w_max = w1 + wi;
-            for w in w_min..=w_max {
-                let merged = rails[r1].merged(&rails[i], w).expect("merged width >= 1");
-                let mut cand: Vec<TestRail> = rails
-                    .iter()
-                    .enumerate()
-                    .filter(|&(j, _)| j != r1 && j != i)
-                    .map(|(_, r)| r.clone())
-                    .collect();
-                cand.push(merged);
-                let leftover = w_max - w;
-                if leftover > 0 {
-                    cand = self.distribute_free_wires(cand, leftover);
-                }
-                let cost = self.cost(&cand);
-                if best.as_ref().map_or(true, |&(_, b)| cost < b) {
-                    best = Some((cand, cost));
-                }
+            for w in w1.max(wi)..=(w1 + wi) {
+                candidates.push((i, w));
+            }
+        }
+        let costed = self.pool.par_map(&candidates, |&(i, w)| {
+            let merged = rails[r1].merged(&rails[i], w).expect("merged width >= 1");
+            let mut cand: Vec<TestRail> = rails
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != r1 && j != i)
+                .map(|(_, r)| r.clone())
+                .collect();
+            cand.push(merged);
+            let leftover = rails[r1].width() + rails[i].width() - w;
+            if leftover > 0 {
+                cand = self.distribute_free_wires(cand, leftover);
+            }
+            let cost = self.cost(&cand);
+            (cand, cost)
+        });
+        let mut best: Option<(Vec<TestRail>, u64)> = None;
+        for (cand, cost) in costed {
+            if best.as_ref().map_or(true, |&(_, b)| cost < b) {
+                best = Some((cand, cost));
             }
         }
         match best {
@@ -382,14 +407,14 @@ impl<'a> TamOptimizer<'a> {
         if self.objective != Objective::Total {
             return Ok(primary);
         }
+        let mut alt_evaluator =
+            Evaluator::new(self.soc(), self.max_width, self.evaluator.groups().to_vec())?;
+        alt_evaluator.attach_metrics(self.pool.metrics());
         let alt = TamOptimizer {
-            evaluator: Evaluator::new(
-                self.soc(),
-                self.max_width,
-                self.evaluator.groups().to_vec(),
-            )?,
+            evaluator: alt_evaluator,
             max_width: self.max_width,
             objective: Objective::InTestOnly,
+            pool: self.pool.clone(),
         };
         let secondary = alt.optimize_perturbed(0)?;
         if secondary.evaluation().t_total() < primary.evaluation().t_total() {
@@ -427,8 +452,15 @@ impl<'a> TamOptimizer<'a> {
     /// ```
     pub fn optimize_multi(&self, restarts: u32) -> Result<OptimizedArchitecture, TamError> {
         let mut best = self.optimize()?;
-        for perturbation in 1..restarts.max(1) {
-            let candidate = self.optimize_perturbed(u64::from(perturbation))?;
+        // Restarts are independent runs; farm them out and reduce in
+        // perturbation order (ties keep the earlier start, exactly as
+        // the serial loop did).
+        let perturbations: Vec<u64> = (1..u64::from(restarts.max(1))).collect();
+        let candidates = self
+            .pool
+            .par_map(&perturbations, |&p| self.optimize_perturbed(p));
+        for candidate in candidates {
+            let candidate = candidate?;
             if self.cost_of(candidate.evaluation()) < self.cost_of(best.evaluation()) {
                 best = candidate;
             }
@@ -540,7 +572,7 @@ impl<'a> TamOptimizer<'a> {
         let architecture = TestRailArchitecture::new(self.soc(), rails)
             .expect("optimizer maintains a consistent core assignment");
         debug_assert!(architecture.check_width(self.max_width).is_ok());
-        let evaluation = self.evaluator.evaluate(&architecture);
+        let evaluation = (*self.evaluator.evaluate_cached(&architecture)).clone();
         Ok(OptimizedArchitecture {
             architecture,
             evaluation,

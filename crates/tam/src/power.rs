@@ -15,7 +15,6 @@ use crate::schedule::{ScheduledSiTest, SiSchedule};
 
 /// An SI test group annotated with its peak power rating.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PoweredSiTest {
     /// The group's timing (rails + duration), as produced by the
     /// evaluator's `CalculateSITestTime`.

@@ -23,7 +23,6 @@ use crate::TamError;
 /// # }
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TestRail {
     cores: Vec<CoreId>,
     width: u32,
@@ -117,7 +116,6 @@ impl fmt::Display for TestRail {
 /// # }
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TestRailArchitecture {
     rails: Vec<TestRail>,
 }

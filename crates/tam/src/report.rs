@@ -12,7 +12,6 @@ use crate::{Evaluation, TestRailArchitecture};
 
 /// Per-rail utilization figures.
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RailUtilization {
     /// Rail index.
     pub rail: usize,
@@ -49,7 +48,6 @@ pub struct RailUtilization {
 /// # }
 /// ```
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct UtilizationReport {
     rails: Vec<RailUtilization>,
     total_width: u32,

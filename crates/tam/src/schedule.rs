@@ -5,7 +5,6 @@ use crate::evaluator::SiGroupTime;
 /// One SI test group with its schedule window filled in (`begin(s)`,
 /// `end(s)` of the Fig. 4 data structure).
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ScheduledSiTest {
     /// Index of the group in the evaluator's group list.
     pub group: usize,
@@ -19,7 +18,6 @@ pub struct ScheduledSiTest {
 
 /// The output of Algorithm 1: a conflict-free SI test schedule.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SiSchedule {
     tests: Vec<ScheduledSiTest>,
     makespan: u64,
@@ -61,7 +59,6 @@ impl SiSchedule {
 /// The priority order Algorithm 1 uses when several unscheduled SI tests
 /// could start (`find s* ∈ unSchedSI` is unspecified in the paper).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ScheduleOrder {
     /// First-fit in input order (the interpretation the evaluator uses).
     #[default]

@@ -28,8 +28,7 @@ fn best_over_permutations(groups: &[SiGroupTime]) -> u64 {
     permutations(&indices)
         .into_iter()
         .map(|perm| {
-            let reordered: Vec<SiGroupTime> =
-                perm.iter().map(|&i| groups[i].clone()).collect();
+            let reordered: Vec<SiGroupTime> = perm.iter().map(|&i| groups[i].clone()).collect();
             schedule_si_tests_with(&reordered, ScheduleOrder::InputOrder).makespan()
         })
         .min()
@@ -74,7 +73,10 @@ fn first_fit_is_close_to_best_permutation() {
         let ff = schedule_si_tests_with(&groups, ScheduleOrder::InputOrder).makespan();
         let lpt = schedule_si_tests_with(&groups, ScheduleOrder::LongestFirst).makespan();
         let best = best_over_permutations(&groups);
-        assert!(ff >= best, "seed {seed}: first-fit beat the permutation optimum");
+        assert!(
+            ff >= best,
+            "seed {seed}: first-fit beat the permutation optimum"
+        );
         assert!(lpt >= best, "seed {seed}: LPT beat the permutation optimum");
         // List scheduling with any order is a 2-approximation of the
         // permutation optimum for this conflict model; check a generous

@@ -1,9 +1,8 @@
 //! Property test: the bit-level simulator and the analytic evaluator agree
 //! on arbitrary SOCs, architectures and SI workloads.
 
-use proptest::prelude::*;
-
 use soctam_compaction::{compact_two_dimensional, CompactionConfig};
+use soctam_exec::check::{cases, forall};
 use soctam_model::synth::{synth_soc, SynthConfig};
 use soctam_model::{CoreId, Soc};
 use soctam_patterns::{RandomPatternConfig, SiPatternSet};
@@ -25,25 +24,26 @@ fn small_soc(cores: usize, seed: u64) -> Soc {
     .expect("synth soc is valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[test]
+fn simulation_equals_evaluation() {
+    forall("simulation_equals_evaluation", cases(32), |g| {
+        let cores = g.usize_in(2, 9);
+        let soc_seed = g.u64_in(0, 400);
+        let pattern_count = g.usize_in(1, 120);
+        let parts = g.u32_in(1, 3);
+        let split = g.usize_in(1, 8);
+        let w0 = g.u32_in(1, 7);
+        let w1 = g.u32_in(1, 7);
 
-    #[test]
-    fn simulation_equals_evaluation(
-        cores in 2usize..9,
-        soc_seed in 0u64..400,
-        pattern_count in 1usize..120,
-        parts in 1u32..3,
-        split in 1usize..8,
-        w0 in 1u32..7,
-        w1 in 1u32..7,
-    ) {
         let soc = small_soc(cores, soc_seed);
-        prop_assume!(soc.total_wocs() >= 3);
+        if soc.total_wocs() < 3 {
+            return;
+        }
         let raw = SiPatternSet::random(
             &soc,
             &RandomPatternConfig::new(pattern_count).with_seed(soc_seed),
-        ).expect("generation succeeds");
+        )
+        .expect("generation succeeds");
         let parts = parts.min(soc.num_cores() as u32);
         let compacted = compact_two_dimensional(&soc, &raw, &CompactionConfig::new(parts))
             .expect("compaction succeeds");
@@ -56,16 +56,17 @@ proptest! {
         ];
         let arch = TestRailArchitecture::new(&soc, rails).expect("valid");
 
-        let specs: Vec<SiGroupSpec> =
-            compacted.groups().iter().map(SiGroupSpec::from).collect();
-        let eval = Evaluator::new(&soc, 8, specs).expect("valid").evaluate(&arch);
+        let specs: Vec<SiGroupSpec> = compacted.groups().iter().map(SiGroupSpec::from).collect();
+        let eval = Evaluator::new(&soc, 8, specs)
+            .expect("valid")
+            .evaluate(&arch);
         let sim = simulate(&soc, &arch, compacted.groups(), false).expect("simulates");
 
-        prop_assert_eq!(&sim.rail_intest_cycles, &eval.rail_time_in);
-        prop_assert_eq!(sim.t_in, eval.t_in);
-        for (g, group_time) in eval.group_times.iter().enumerate() {
-            prop_assert_eq!(sim.si_group_cycles[g], group_time.time, "group {}", g);
+        assert_eq!(&sim.rail_intest_cycles, &eval.rail_time_in);
+        assert_eq!(sim.t_in, eval.t_in);
+        for (group, group_time) in eval.group_times.iter().enumerate() {
+            assert_eq!(sim.si_group_cycles[group], group_time.time, "group {group}");
         }
-        prop_assert_eq!(sim.t_si, eval.t_si);
-    }
+        assert_eq!(sim.t_si, eval.t_si);
+    });
 }

@@ -32,7 +32,6 @@ use crate::WrapperError;
 /// # }
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WrapperDesign {
     width: u32,
     /// Internal scan cells per wrapper chain (after LPT assignment).

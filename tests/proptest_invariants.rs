@@ -1,14 +1,13 @@
 //! Property-based tests over the whole stack: random SOCs, random pattern
 //! sets, random architectures.
 
-use proptest::prelude::*;
-
 use soctam::compaction::{compact_greedy, compact_two_dimensional, CompactionConfig};
 use soctam::model::synth::{synth_soc, SynthConfig};
 use soctam::patterns::generator::generate_random;
 use soctam::{
     Evaluator, RandomPatternConfig, SiGroupSpec, SiPatternSet, Soc, TestRail, TestRailArchitecture,
 };
+use soctam_exec::check::{cases, forall};
 
 fn small_soc(cores: usize, seed: u64) -> Soc {
     synth_soc(
@@ -25,78 +24,97 @@ fn small_soc(cores: usize, seed: u64) -> Soc {
     .expect("synth soc is valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every raw pattern is covered by some compacted pattern, and the
-    /// compacted set is never larger than the input.
-    #[test]
-    fn compaction_covers_input(cores in 2usize..8, soc_seed in 0u64..500, n in 1usize..120, pat_seed in 0u64..500) {
+/// Every raw pattern is covered by some compacted pattern, and the
+/// compacted set is never larger than the input.
+#[test]
+fn compaction_covers_input() {
+    forall("compaction_covers_input", cases(48), |g| {
+        let cores = g.usize_in(2, 8);
+        let soc_seed = g.u64_in(0, 500);
+        let n = g.usize_in(1, 120);
+        let pat_seed = g.u64_in(0, 500);
         let soc = small_soc(cores, soc_seed);
-        let raw = generate_random(
-            &soc,
-            &RandomPatternConfig::new(n).with_seed(pat_seed),
-        ).expect("generation succeeds");
+        let raw = generate_random(&soc, &RandomPatternConfig::new(n).with_seed(pat_seed))
+            .expect("generation succeeds");
         let compacted = compact_greedy(&soc, &raw);
-        prop_assert!(compacted.len() <= raw.len());
+        assert!(compacted.len() <= raw.len());
         for pattern in &raw {
             let covered = compacted.iter().any(|c| {
-                pattern.care_bits().iter().all(|&(t, s)| c.symbol_at(t) == Some(s))
-                    && pattern.bus_lines().iter().all(|&(l, d)| {
-                        c.bus_lines().binary_search(&(l, d)).is_ok()
-                    })
+                pattern
+                    .care_bits()
+                    .iter()
+                    .all(|&(t, s)| c.symbol_at(t) == Some(s))
+                    && pattern
+                        .bus_lines()
+                        .iter()
+                        .all(|&(l, d)| c.bus_lines().binary_search(&(l, d)).is_ok())
             });
-            prop_assert!(covered, "raw pattern not represented in the compacted set");
+            assert!(covered, "raw pattern not represented in the compacted set");
         }
-    }
+    });
+}
 
-    /// Compacted patterns are pairwise incompatible under the greedy
-    /// first-fit order (otherwise the cover would not be maximal for the
-    /// leading pattern).
-    #[test]
-    fn greedy_cliques_are_maximal_for_leader(cores in 2usize..6, soc_seed in 0u64..200, n in 2usize..80) {
+/// Compacted patterns are pairwise incompatible under the greedy
+/// first-fit order (otherwise the cover would not be maximal for the
+/// leading pattern).
+#[test]
+fn greedy_cliques_are_maximal_for_leader() {
+    forall("greedy_cliques_are_maximal_for_leader", cases(48), |g| {
+        let cores = g.usize_in(2, 6);
+        let soc_seed = g.u64_in(0, 200);
+        let n = g.usize_in(2, 80);
         let soc = small_soc(cores, soc_seed);
         let raw = generate_random(&soc, &RandomPatternConfig::new(n).with_seed(7))
             .expect("generation succeeds");
         let compacted = compact_greedy(&soc, &raw);
         for (i, a) in compacted.iter().enumerate() {
             for b in &compacted[i + 1..] {
-                prop_assert!(!a.is_compatible(b),
-                    "two compacted patterns are still compatible — greedy missed a merge");
+                assert!(
+                    !a.is_compatible(b),
+                    "two compacted patterns are still compatible — greedy missed a merge"
+                );
             }
         }
-    }
+    });
+}
 
-    /// The 2-D pipeline conserves patterns: group pattern counts track the
-    /// stats and never exceed the raw count.
-    #[test]
-    fn pipeline_counts_are_consistent(cores in 2usize..8, n in 1usize..150, parts in 1u32..4) {
+/// The 2-D pipeline conserves patterns: group pattern counts track the
+/// stats and never exceed the raw count.
+#[test]
+fn pipeline_counts_are_consistent() {
+    forall("pipeline_counts_are_consistent", cases(48), |g| {
+        let cores = g.usize_in(2, 8);
+        let n = g.usize_in(1, 150);
+        let parts = g.u32_in(1, 4);
         let soc = small_soc(cores, 3);
-        prop_assume!(parts as usize <= soc.num_cores());
+        if parts as usize > soc.num_cores() {
+            return;
+        }
         let raw = SiPatternSet::random(&soc, &RandomPatternConfig::new(n).with_seed(1))
             .expect("generation succeeds");
         let out = compact_two_dimensional(&soc, &raw, &CompactionConfig::new(parts))
             .expect("compaction succeeds");
-        prop_assert!(out.total_patterns() <= n as u64);
+        assert!(out.total_patterns() <= n as u64);
         let stats = out.stats();
-        prop_assert_eq!(stats.raw_patterns, n);
-        let counted: u64 = stats.group_patterns.iter().sum::<usize>() as u64
-            + stats.remainder_patterns as u64;
-        prop_assert_eq!(out.total_patterns(), counted);
-    }
+        assert_eq!(stats.raw_patterns, n);
+        let counted: u64 =
+            stats.group_patterns.iter().sum::<usize>() as u64 + stats.remainder_patterns as u64;
+        assert_eq!(out.total_patterns(), counted);
+    });
+}
 
-    /// Any valid architecture evaluates with consistent invariants: t_in is
-    /// the rail max, the SI schedule is conflict-free and the makespan is
-    /// at most the serial sum of group times.
-    #[test]
-    fn evaluation_invariants_hold(
-        cores in 2usize..8,
-        soc_seed in 0u64..300,
-        split in 1usize..7,
-        w0 in 1u32..6,
-        w1 in 1u32..6,
-        patterns in 1u64..200,
-    ) {
+/// Any valid architecture evaluates with consistent invariants: t_in is
+/// the rail max, the SI schedule is conflict-free and the makespan is
+/// at most the serial sum of group times.
+#[test]
+fn evaluation_invariants_hold() {
+    forall("evaluation_invariants_hold", cases(48), |g| {
+        let cores = g.usize_in(2, 8);
+        let soc_seed = g.u64_in(0, 300);
+        let split = g.usize_in(1, 7);
+        let w0 = g.u32_in(1, 6);
+        let w1 = g.u32_in(1, 6);
+        let patterns = g.u64_in(1, 200);
         let soc = small_soc(cores, soc_seed);
         let split = split.min(soc.num_cores() - 1);
         let ids: Vec<_> = soc.core_ids().collect();
@@ -111,23 +129,29 @@ proptest! {
         ];
         let evaluator = Evaluator::new(&soc, 8, groups).expect("valid");
         let eval = evaluator.evaluate(&arch);
-        prop_assert_eq!(eval.t_in, *eval.rail_time_in.iter().max().unwrap());
-        prop_assert!(eval.schedule.is_conflict_free());
+        assert_eq!(eval.t_in, *eval.rail_time_in.iter().max().unwrap());
+        assert!(eval.schedule.is_conflict_free());
         let serial: u64 = eval.group_times.iter().map(|g| g.time).sum();
-        prop_assert!(eval.t_si <= serial);
-        prop_assert!(eval.t_si >= eval.group_times.iter().map(|g| g.time).max().unwrap_or(0));
-    }
+        assert!(eval.t_si <= serial);
+        assert!(eval.t_si >= eval.group_times.iter().map(|g| g.time).max().unwrap_or(0));
+    });
+}
 
-    /// Wrapper InTest time is monotonically non-increasing in TAM width.
-    #[test]
-    fn wrapper_time_monotone(inputs in 0u32..64, outputs in 0u32..64, chains in proptest::collection::vec(1u32..200, 0..6), patterns in 1u64..500) {
-        let core = soctam::CoreSpec::new("p", inputs, outputs, 0, chains, patterns)
-            .expect("valid core");
+/// Wrapper InTest time is monotonically non-increasing in TAM width.
+#[test]
+fn wrapper_time_monotone() {
+    forall("wrapper_time_monotone", cases(48), |g| {
+        let inputs = g.u32_in(0, 64);
+        let outputs = g.u32_in(0, 64);
+        let chains = g.vec_of(0, 5, |g| g.u32_in(1, 200));
+        let patterns = g.u64_in(1, 500);
+        let core =
+            soctam::CoreSpec::new("p", inputs, outputs, 0, chains, patterns).expect("valid core");
         let mut last = u64::MAX;
         for width in 1..=12 {
             let t = soctam::intest_time(&core, width).expect("valid width");
-            prop_assert!(t <= last);
+            assert!(t <= last);
             last = t;
         }
-    }
+    });
 }

@@ -1,11 +1,10 @@
 //! Property-based tests of the TAM optimizer and its lower bounds over
 //! randomly generated SOCs and SI workloads.
 
-use proptest::prelude::*;
-
 use soctam::model::synth::{synth_soc, SynthConfig};
 use soctam::tam::bounds::{intest_lower_bound, si_lower_bound};
 use soctam::{CoreId, Objective, SiGroupSpec, Soc, TamOptimizer};
+use soctam_exec::check::{cases, forall};
 
 fn small_soc(cores: usize, seed: u64) -> Soc {
     synth_soc(
@@ -50,99 +49,100 @@ fn random_groups(soc: &Soc, group_seed: u64, count: usize) -> Vec<SiGroupSpec> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The optimizer always returns a valid architecture within budget,
-    /// hosting every core exactly once, and never beats the lower bounds.
-    #[test]
-    fn optimizer_output_is_valid_and_bounded(
-        cores in 2usize..10,
-        soc_seed in 0u64..200,
-        group_seed in 0u64..200,
-        group_count in 0usize..4,
-        w_max in 2u32..20,
-    ) {
+/// The optimizer always returns a valid architecture within budget,
+/// hosting every core exactly once, and never beats the lower bounds.
+#[test]
+fn optimizer_output_is_valid_and_bounded() {
+    forall("optimizer_output_is_valid_and_bounded", cases(24), |g| {
+        let cores = g.usize_in(2, 10);
+        let soc_seed = g.u64_in(0, 200);
+        let group_seed = g.u64_in(0, 200);
+        let group_count = g.usize_in(0, 4);
+        let w_max = g.u32_in(2, 20);
         let soc = small_soc(cores, soc_seed);
         let groups = random_groups(&soc, group_seed, group_count);
         let result = TamOptimizer::new(&soc, w_max, groups.clone())
             .expect("valid inputs")
             .optimize()
             .expect("optimizes");
-        prop_assert!(result.architecture().total_width() <= w_max);
+        assert!(result.architecture().total_width() <= w_max);
         let hosted: usize = result
             .architecture()
             .rails()
             .iter()
             .map(|r| r.cores().len())
             .sum();
-        prop_assert_eq!(hosted, soc.num_cores());
+        assert_eq!(hosted, soc.num_cores());
         for core in soc.core_ids() {
-            prop_assert!(result.architecture().rail_of(core).is_some());
+            assert!(result.architecture().rail_of(core).is_some());
         }
         let eval = result.evaluation();
-        prop_assert!(eval.t_in >= intest_lower_bound(&soc, w_max).expect("valid"));
-        prop_assert!(eval.t_si >= si_lower_bound(&soc, &groups, w_max).expect("valid"));
-        prop_assert!(eval.schedule.is_conflict_free());
-    }
+        assert!(eval.t_in >= intest_lower_bound(&soc, w_max).expect("valid"));
+        assert!(eval.t_si >= si_lower_bound(&soc, &groups, w_max).expect("valid"));
+        assert!(eval.schedule.is_conflict_free());
+    });
+}
 
-    /// The SI-aware objective never loses to the single-rail trivial
-    /// architecture it could always fall back to.
-    #[test]
-    fn optimizer_beats_trivial_single_rail(
-        cores in 2usize..9,
-        soc_seed in 0u64..100,
-        w_max in 2u32..16,
-    ) {
+/// The SI-aware objective never loses to the single-rail trivial
+/// architecture it could always fall back to.
+#[test]
+fn optimizer_beats_trivial_single_rail() {
+    forall("optimizer_beats_trivial_single_rail", cases(24), |g| {
+        let cores = g.usize_in(2, 9);
+        let soc_seed = g.u64_in(0, 100);
+        let w_max = g.u32_in(2, 16);
         let soc = small_soc(cores, soc_seed);
         let groups = vec![SiGroupSpec::new(soc.core_ids().collect(), 100)];
         let optimized = TamOptimizer::new(&soc, w_max, groups.clone())
             .expect("valid")
             .optimize()
             .expect("optimizes");
-        let trivial = soctam::TestRailArchitecture::single_rail(&soc, w_max)
-            .expect("valid");
+        let trivial = soctam::TestRailArchitecture::single_rail(&soc, w_max).expect("valid");
         let trivial_eval = soctam::Evaluator::new(&soc, w_max, groups)
             .expect("valid")
             .evaluate(&trivial);
-        prop_assert!(
+        assert!(
             optimized.evaluation().t_total() <= trivial_eval.t_total(),
             "optimized {} > single-rail {}",
             optimized.evaluation().t_total(),
             trivial_eval.t_total()
         );
-    }
+    });
+}
 
-    /// The InTest-only baseline never ends above the trivial single-rail
-    /// architecture on its own objective (guaranteed by the optimizer's
-    /// fallback). Note that it may legitimately end above the *SI-aware*
-    /// run's t_in: both are greedy heuristics in different landscapes, and
-    /// either can luck into the better basin.
-    #[test]
-    fn baseline_never_loses_to_single_rail_on_t_in(
-        cores in 2usize..8,
-        soc_seed in 0u64..60,
-        group_seed in 0u64..60,
-        w_max in 2u32..12,
-    ) {
-        let soc = small_soc(cores, soc_seed);
-        let groups = random_groups(&soc, group_seed, 2);
-        let baseline = TamOptimizer::new(&soc, w_max, groups.clone())
-            .expect("valid")
-            .objective(Objective::InTestOnly)
-            .optimize()
-            .expect("optimizes");
-        let trivial = soctam::TestRailArchitecture::single_rail(&soc, w_max)
-            .expect("valid");
-        let trivial_eval = soctam::Evaluator::new(&soc, w_max, groups)
-            .expect("valid")
-            .evaluate(&trivial);
-        prop_assert!(
-            baseline.evaluation().t_in <= trivial_eval.t_in,
-            "baseline t_in {} > single-rail t_in {}",
-            baseline.evaluation().t_in,
-            trivial_eval.t_in
-        );
-        let _ = Objective::Total; // keep the import used in all cfgs
-    }
+/// The InTest-only baseline never ends above the trivial single-rail
+/// architecture on its own objective (guaranteed by the optimizer's
+/// fallback). Note that it may legitimately end above the *SI-aware*
+/// run's t_in: both are greedy heuristics in different landscapes, and
+/// either can luck into the better basin.
+#[test]
+fn baseline_never_loses_to_single_rail_on_t_in() {
+    forall(
+        "baseline_never_loses_to_single_rail_on_t_in",
+        cases(24),
+        |g| {
+            let cores = g.usize_in(2, 8);
+            let soc_seed = g.u64_in(0, 60);
+            let group_seed = g.u64_in(0, 60);
+            let w_max = g.u32_in(2, 12);
+            let soc = small_soc(cores, soc_seed);
+            let groups = random_groups(&soc, group_seed, 2);
+            let baseline = TamOptimizer::new(&soc, w_max, groups.clone())
+                .expect("valid")
+                .objective(Objective::InTestOnly)
+                .optimize()
+                .expect("optimizes");
+            let trivial = soctam::TestRailArchitecture::single_rail(&soc, w_max).expect("valid");
+            let trivial_eval = soctam::Evaluator::new(&soc, w_max, groups)
+                .expect("valid")
+                .evaluate(&trivial);
+            assert!(
+                baseline.evaluation().t_in <= trivial_eval.t_in,
+                "baseline t_in {} > single-rail t_in {}",
+                baseline.evaluation().t_in,
+                trivial_eval.t_in
+            );
+            let _ = Objective::Total; // keep the import used in all cfgs
+        },
+    );
 }
