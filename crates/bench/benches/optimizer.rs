@@ -1,16 +1,20 @@
 //! Timing benches for Algorithm 2 (`TAM_Optimization`) and the
 //! TR-Architect baseline at the paper's width range.
+//!
+//! Pass `--json <path>` to additionally write the results as a JSON
+//! report.
 
 use soctam::{Benchmark, Objective, TamOptimizer};
 use soctam_bench::bench_groups;
-use soctam_bench::harness::{bench, samples};
+use soctam_bench::harness::{samples, Session};
 
 fn main() {
+    let mut session = Session::from_args();
     let soc = Benchmark::P93791.soc();
     let groups = bench_groups(&soc);
     let samples = samples(10);
     for width in [8u32, 32, 64] {
-        bench(
+        session.bench(
             &format!("tam_optimization_p93791/si_aware/{width}"),
             samples,
             || {
@@ -20,7 +24,7 @@ fn main() {
                     .expect("optimizes")
             },
         );
-        bench(
+        session.bench(
             &format!("tam_optimization_p93791/baseline/{width}"),
             samples,
             || {
@@ -32,4 +36,5 @@ fn main() {
             },
         );
     }
+    session.finish();
 }

@@ -23,18 +23,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // (a) Compaction ablation.
         let uncompacted = vec![SiGroupSpec::new(soc.core_ids().collect(), n_r as u64)];
-        let one_d: Vec<SiGroupSpec> =
-            compact_two_dimensional(&soc, &raw, &CompactionConfig::new(1))?
-                .groups()
-                .iter()
-                .map(SiGroupSpec::from)
-                .collect();
-        let two_d: Vec<SiGroupSpec> =
-            compact_two_dimensional(&soc, &raw, &CompactionConfig::new(4))?
-                .groups()
-                .iter()
-                .map(SiGroupSpec::from)
-                .collect();
+        let one_d = SiGroupSpec::from_compacted(&compact_two_dimensional(
+            &soc,
+            &raw,
+            &CompactionConfig::new(1),
+        )?);
+        let two_d = SiGroupSpec::from_compacted(&compact_two_dimensional(
+            &soc,
+            &raw,
+            &CompactionConfig::new(4),
+        )?);
         for (label, groups) in [
             ("no compaction", &uncompacted),
             ("1-D compaction", &one_d),

@@ -26,12 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for bench in [Benchmark::P34392, Benchmark::P93791] {
         let soc = bench.soc();
         let raw = SiPatternSet::random(&soc, &RandomPatternConfig::new(n_r).with_seed(TABLE_SEED))?;
-        let groups: Vec<SiGroupSpec> =
-            compact_two_dimensional(&soc, &raw, &CompactionConfig::new(4))?
-                .groups()
-                .iter()
-                .map(SiGroupSpec::from)
-                .collect();
+        let groups = SiGroupSpec::from_compacted(&compact_two_dimensional(
+            &soc,
+            &raw,
+            &CompactionConfig::new(4),
+        )?);
         for w_max in [16u32, 32, 64] {
             let optimized = TamOptimizer::new(&soc, w_max, groups.clone())?.optimize()?;
             let rail_eval = optimized.evaluation();

@@ -24,12 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let soc = bench.soc();
         let raw = SiPatternSet::random(&soc, &RandomPatternConfig::new(n_r).with_seed(TABLE_SEED))?;
         let parts = 4u32.min(soc.num_cores() as u32);
-        let groups: Vec<SiGroupSpec> =
-            compact_two_dimensional(&soc, &raw, &CompactionConfig::new(parts))?
-                .groups()
-                .iter()
-                .map(SiGroupSpec::from)
-                .collect();
+        let groups = SiGroupSpec::from_compacted(&compact_two_dimensional(
+            &soc,
+            &raw,
+            &CompactionConfig::new(parts),
+        )?);
         for w_max in [16u32, 32, 64] {
             let aware = TamOptimizer::new(&soc, w_max, groups.clone())?
                 .optimize()?

@@ -12,6 +12,7 @@ pub mod harness {
     //! plus a fixed number of timed samples and prints min / median /
     //! mean on one line.
 
+    use std::path::PathBuf;
     use std::time::{Duration, Instant};
 
     /// Sample count for a bench binary: `default` unless the
@@ -25,10 +26,7 @@ pub mod harness {
             .unwrap_or(default)
     }
 
-    /// Times `samples` runs of `f` (after one warm-up run) and prints a
-    /// summary line. The result goes through `black_box` so the work
-    /// cannot be optimised away.
-    pub fn bench<R>(label: &str, samples: usize, mut f: impl FnMut() -> R) {
+    fn measure<R>(samples: usize, mut f: impl FnMut() -> R) -> (Duration, Duration, Duration) {
         std::hint::black_box(f());
         let mut times: Vec<Duration> = (0..samples)
             .map(|_| {
@@ -41,9 +39,108 @@ pub mod harness {
         let min = times[0];
         let median = times[times.len() / 2];
         let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        (min, median, mean)
+    }
+
+    fn print_line(label: &str, samples: usize, min: Duration, median: Duration, mean: Duration) {
         println!(
             "{label:<48} min {min:>11.3?}  median {median:>11.3?}  mean {mean:>11.3?}  ({samples} samples)"
         );
+    }
+
+    /// Times `samples` runs of `f` (after one warm-up run) and prints a
+    /// summary line. The result goes through `black_box` so the work
+    /// cannot be optimised away.
+    pub fn bench<R>(label: &str, samples: usize, mut f: impl FnMut() -> R) {
+        let (min, median, mean) = measure(samples, &mut f);
+        print_line(label, samples, min, median, mean);
+    }
+
+    #[derive(Clone, Debug)]
+    struct Entry {
+        label: String,
+        samples: usize,
+        min_ns: u128,
+        median_ns: u128,
+        mean_ns: u128,
+    }
+
+    /// A bench session: times and prints like [`bench()`](fn@bench), and — when the
+    /// binary was invoked with `--json <path>` — additionally records
+    /// every entry and writes them as a JSON report in [`finish`].
+    ///
+    /// [`finish`]: Session::finish
+    #[derive(Debug, Default)]
+    pub struct Session {
+        json_path: Option<PathBuf>,
+        entries: Vec<Entry>,
+    }
+
+    impl Session {
+        /// Builds a session from the process arguments, honouring an
+        /// optional `--json <path>` pair anywhere on the command line.
+        #[must_use]
+        pub fn from_args() -> Self {
+            let mut args = std::env::args().skip(1);
+            let mut json_path = None;
+            while let Some(arg) = args.next() {
+                if arg == "--json" {
+                    json_path = args.next().map(PathBuf::from);
+                }
+            }
+            Session {
+                json_path,
+                entries: Vec::new(),
+            }
+        }
+
+        /// Times `samples` runs of `f` (one discarded warm-up first),
+        /// prints the summary line and records it for the JSON report.
+        pub fn bench<R>(&mut self, label: &str, samples: usize, mut f: impl FnMut() -> R) {
+            let (min, median, mean) = measure(samples, &mut f);
+            print_line(label, samples, min, median, mean);
+            self.entries.push(Entry {
+                label: label.to_string(),
+                samples,
+                min_ns: min.as_nanos(),
+                median_ns: median.as_nanos(),
+                mean_ns: mean.as_nanos(),
+            });
+        }
+
+        /// Serialises the recorded entries (stable `soctam-bench/1`
+        /// schema, nanosecond integers).
+        #[must_use]
+        pub fn to_json(&self) -> String {
+            let mut out = String::from("{\n  \"schema\": \"soctam-bench/1\",\n  \"entries\": [\n");
+            for (i, e) in self.entries.iter().enumerate() {
+                let comma = if i + 1 < self.entries.len() { "," } else { "" };
+                out.push_str(&format!(
+                    "    {{\"label\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}}}{comma}\n",
+                    // Labels are plain ASCII identifiers; escape the two
+                    // JSON-reserved characters anyway.
+                    e.label.replace('\\', "\\\\").replace('"', "\\\""),
+                    e.samples,
+                    e.min_ns,
+                    e.median_ns,
+                    e.mean_ns,
+                ));
+            }
+            out.push_str("  ]\n}\n");
+            out
+        }
+
+        /// Writes the JSON report when `--json <path>` was given.
+        ///
+        /// # Panics
+        ///
+        /// Panics when the report file cannot be written.
+        pub fn finish(self) {
+            if let Some(path) = &self.json_path {
+                std::fs::write(path, self.to_json()).expect("bench report is writable");
+                println!("wrote {}", path.display());
+            }
+        }
     }
 }
 
@@ -146,6 +243,17 @@ mod tests {
         assert!(md.contains("| Wmax |"));
         assert!(md.contains("T_g2"));
         assert_eq!(md.matches("| 8 |").count(), 1);
+    }
+
+    #[test]
+    fn session_json_is_well_formed() {
+        let mut session = harness::Session::default();
+        session.bench("kernel/smoke", 2, || 1 + 1);
+        let json = session.to_json();
+        assert!(json.contains("\"schema\": \"soctam-bench/1\""));
+        assert!(json.contains("\"label\": \"kernel/smoke\""));
+        assert!(json.contains("\"samples\": 2"));
+        assert!(json.contains("\"min_ns\": "));
     }
 
     #[test]

@@ -390,6 +390,13 @@ fn compact(soc: &Soc, options: &Options) -> Result<String, CliError> {
         compacted.groups().len(),
         stats.cut_weight
     );
+    if stats.duplicate_patterns > 0 {
+        let _ = writeln!(
+            out,
+            "  {} exact duplicates removed before compaction",
+            stats.duplicate_patterns
+        );
+    }
     for (i, group) in compacted.groups().iter().enumerate() {
         let _ = writeln!(
             out,
@@ -419,11 +426,7 @@ fn bounds(soc: &Soc, options: &Options) -> Result<String, CliError> {
         &pool,
     )
     .map_err(|e| CliError::runtime(e.to_string()))?;
-    let groups: Vec<soctam::SiGroupSpec> = compacted
-        .groups()
-        .iter()
-        .map(soctam::SiGroupSpec::from)
-        .collect();
+    let groups = soctam::SiGroupSpec::from_compacted(&compacted);
 
     let mut out = String::new();
     let _ = writeln!(

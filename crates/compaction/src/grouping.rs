@@ -5,7 +5,7 @@ use std::collections::HashMap;
 
 use soctam_hypergraph::{Hypergraph, HypergraphBuilder, Partition, PartitionConfig};
 use soctam_model::{CoreId, Soc};
-use soctam_patterns::SiPattern;
+use soctam_patterns::{PackedLayout, PackedSet, SiPattern};
 
 use crate::CompactionError;
 
@@ -36,19 +36,41 @@ use crate::CompactionError;
 /// # }
 /// ```
 pub fn build_core_hypergraph(soc: &Soc, patterns: &[SiPattern]) -> Hypergraph {
+    let set = PackedSet::build(patterns);
+    build_core_hypergraph_packed(soc, &set, &PackedLayout::new(soc))
+}
+
+/// [`build_core_hypergraph`] over an already-packed pattern set: care-core
+/// extraction runs on the bit-packed words via `layout`, so the pipeline
+/// packs once and reuses the set for grouping *and* vertical compaction.
+///
+/// # Panics
+///
+/// Panics if a pattern references a terminal outside `soc`.
+pub fn build_core_hypergraph_packed(
+    soc: &Soc,
+    set: &PackedSet,
+    layout: &PackedLayout,
+) -> Hypergraph {
     let mut builder = HypergraphBuilder::new();
-    for (_, core) in soc.iter() {
-        builder.add_vertex(u64::from(core.woc_count()));
-    }
+    builder.add_vertices(soc.iter().map(|(_, core)| u64::from(core.woc_count())));
     let mut edge_counts: HashMap<Vec<u32>, u64> = HashMap::new();
-    for pattern in patterns {
-        let cores: Vec<u32> = pattern
-            .care_cores(soc)
-            .into_iter()
-            .map(|c| c.raw())
-            .collect();
-        if !cores.is_empty() {
-            *edge_counts.entry(cores).or_insert(0) += 1;
+    let mut cores: Vec<CoreId> = Vec::new();
+    let mut raw: Vec<u32> = Vec::new();
+    for i in 0..set.len() {
+        layout.care_cores_into(set.get(i), &mut cores);
+        raw.clear();
+        raw.extend(cores.iter().map(|c| c.raw()));
+        if raw.is_empty() {
+            continue;
+        }
+        // Borrow-keyed lookup first: the key `Vec` is only allocated for
+        // care-core sets seen for the first time.
+        match edge_counts.get_mut(raw.as_slice()) {
+            Some(weight) => *weight += 1,
+            None => {
+                edge_counts.insert(raw.clone(), 1);
+            }
         }
     }
     let mut edges: Vec<(Vec<u32>, u64)> = edge_counts.into_iter().collect();
@@ -109,6 +131,27 @@ pub fn group_patterns(
     parts: u32,
     partition_config: &PartitionConfig,
 ) -> Result<PatternGrouping, CompactionError> {
+    let set = PackedSet::build(patterns);
+    group_patterns_packed(soc, &set, &PackedLayout::new(soc), parts, partition_config)
+}
+
+/// [`group_patterns`] over an already-packed pattern set (see
+/// [`build_core_hypergraph_packed`]).
+///
+/// # Errors
+///
+/// Same contract as [`group_patterns`].
+///
+/// # Panics
+///
+/// Panics if a pattern references a terminal outside `soc`.
+pub fn group_patterns_packed(
+    soc: &Soc,
+    set: &PackedSet,
+    layout: &PackedLayout,
+    parts: u32,
+    partition_config: &PartitionConfig,
+) -> Result<PatternGrouping, CompactionError> {
     if parts as usize > soc.num_cores() {
         return Err(CompactionError::TooManyPartitions {
             partitions: parts,
@@ -118,7 +161,7 @@ pub fn group_patterns(
     let (core_part, cut_weight) = if parts <= 1 {
         (vec![0u32; soc.num_cores()], 0)
     } else {
-        let hg = build_core_hypergraph(soc, patterns);
+        let hg = build_core_hypergraph_packed(soc, set, layout);
         let config = PartitionConfig {
             parts,
             ..partition_config.clone()
@@ -130,8 +173,9 @@ pub fn group_patterns(
 
     let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); parts.max(1) as usize];
     let mut remainder = Vec::new();
-    for (index, pattern) in patterns.iter().enumerate() {
-        let cores = pattern.care_cores(soc);
+    let mut cores: Vec<CoreId> = Vec::new();
+    for index in 0..set.len() {
+        layout.care_cores_into(set.get(index), &mut cores);
         match single_part(&core_part, &cores) {
             Some(part) => buckets[part as usize].push(index),
             None => remainder.push(index),

@@ -44,7 +44,10 @@ mod types;
 mod vertical;
 
 pub use error::CompactionError;
-pub use grouping::{build_core_hypergraph, group_patterns, PatternGrouping};
+pub use grouping::{
+    build_core_hypergraph, build_core_hypergraph_packed, group_patterns, group_patterns_packed,
+    PatternGrouping,
+};
 pub use pipeline::{compact_two_dimensional, compact_two_dimensional_with, CompactionConfig};
 pub use types::{CompactedSiTests, CompactionStats, SiTestGroup};
 pub use vertical::{

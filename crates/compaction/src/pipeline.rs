@@ -1,13 +1,16 @@
 //! The full two-dimensional compaction pipeline.
 
+use std::collections::HashSet;
+
 use soctam_exec::Pool;
 use soctam_hypergraph::PartitionConfig;
 use soctam_model::Soc;
-use soctam_patterns::{SiPattern, SiPatternSet};
+use soctam_patterns::{KernelStats, PackedLayout, PackedSet, SiPattern, SiPatternSet};
 
+use crate::vertical::{assert_in_terminal_space, compact_packed_subset};
 use crate::{
-    compact_greedy_ordered, group_patterns, CompactedSiTests, CompactionError, CompactionStats,
-    MergeOrder, SiTestGroup,
+    group_patterns_packed, CompactedSiTests, CompactionError, CompactionStats, MergeOrder,
+    SiTestGroup,
 };
 
 /// Configuration for [`compact_two_dimensional`].
@@ -113,9 +116,16 @@ pub fn compact_two_dimensional_with(
     pool: &Pool,
 ) -> Result<CompactedSiTests, CompactionError> {
     raw.validate_for(soc)?;
-    let grouping = group_patterns(
+    // Pack once: grouping, duplicate removal and every per-bucket greedy
+    // cover all run against the same bit-packed arena; patterns are only
+    // expanded back to sparse form when the compacted cliques are emitted.
+    let set = PackedSet::build(raw.as_slice());
+    let terminal_words = assert_in_terminal_space(soc, &set);
+    let layout = PackedLayout::new(soc);
+    let grouping = group_patterns_packed(
         soc,
-        raw.as_slice(),
+        &set,
+        &layout,
         config.partitions,
         &config.partition_config,
     )?;
@@ -129,34 +139,40 @@ pub fn compact_two_dimensional_with(
     };
 
     // One work item per part bucket, plus the cross-partition remainder
-    // (when any pattern was cut) as the final item.
-    let mut work: Vec<Vec<SiPattern>> = grouping
-        .buckets
-        .iter()
-        .map(|bucket| bucket.iter().map(|&i| raw.as_slice()[i].clone()).collect())
-        .collect();
+    // (when any pattern was cut) as the final item. Exact duplicates are
+    // dropped keep-first: a duplicate always lands in its first copy's
+    // clique and absorbing it there is a no-op, so removal cannot change
+    // the compacted output.
+    let mut seen: HashSet<&SiPattern> = HashSet::new();
+    let mut dedup = |indices: &[usize]| -> Vec<u32> {
+        seen.clear();
+        indices
+            .iter()
+            .filter(|&&i| seen.insert(&raw.as_slice()[i]))
+            .map(|&i| i as u32)
+            .collect()
+    };
+    let mut work: Vec<Vec<u32>> = grouping.buckets.iter().map(|b| dedup(b)).collect();
     let has_remainder = !grouping.remainder.is_empty();
     if has_remainder {
-        work.push(
-            grouping
-                .remainder
-                .iter()
-                .map(|&i| raw.as_slice()[i].clone())
-                .collect(),
-        );
+        work.push(dedup(&grouping.remainder));
     }
-    let compacted_buckets = pool.par_map(&work, |patterns| {
-        if patterns.is_empty() {
-            Vec::new()
+    stats.duplicate_patterns = raw.len() - work.iter().map(Vec::len).sum::<usize>();
+
+    let compacted_buckets = pool.par_map(&work, |indices| {
+        if indices.is_empty() {
+            (Vec::new(), KernelStats::default())
         } else {
-            compact_greedy_ordered(soc, patterns, config.merge_order)
+            compact_packed_subset(&set, indices, terminal_words, config.merge_order)
         }
     });
 
     let mut groups = Vec::new();
+    let mut kernel = KernelStats::default();
     let mut iter = compacted_buckets.into_iter();
     for part in 0..grouping.buckets.len() {
-        let compacted = iter.next().expect("one result per bucket");
+        let (compacted, bucket_kernel) = iter.next().expect("one result per bucket");
+        kernel.merge(bucket_kernel);
         if compacted.is_empty() {
             stats.group_patterns.push(0);
             continue;
@@ -168,10 +184,18 @@ pub fn compact_two_dimensional_with(
         ));
     }
     if has_remainder {
-        let compacted = iter.next().expect("remainder result present");
+        let (compacted, remainder_kernel) = iter.next().expect("remainder result present");
+        kernel.merge(remainder_kernel);
         stats.remainder_patterns = compacted.len();
         groups.push(SiTestGroup::new(soc.core_ids().collect(), compacted));
     }
+    stats.kernel_words_compared = kernel.words_compared;
+    stats.kernel_fast_rejects = kernel.fast_rejects;
+
+    let metrics = pool.metrics();
+    metrics.add_kernel_words_compared(kernel.words_compared);
+    metrics.add_kernel_fast_rejects(kernel.fast_rejects);
+    metrics.add_duplicates_removed(stats.duplicate_patterns as u64);
 
     Ok(CompactedSiTests::new(groups, stats))
 }
@@ -262,6 +286,27 @@ mod tests {
             better.total_patterns(),
             base.total_patterns()
         );
+    }
+
+    #[test]
+    fn exact_duplicates_are_removed_without_changing_the_cover() {
+        let (soc, raw) = setup(300);
+        let mut doubled: Vec<SiPattern> = raw.as_slice().to_vec();
+        doubled.extend(raw.as_slice().iter().cloned());
+        let doubled = SiPatternSet::from_patterns(doubled);
+        let config = CompactionConfig::new(4).with_seed(3);
+        let base = compact_two_dimensional(&soc, &raw, &config).expect("valid");
+        let deduped = compact_two_dimensional(&soc, &doubled, &config).expect("valid");
+        assert_eq!(base.stats().duplicate_patterns, 0);
+        assert_eq!(deduped.stats().duplicate_patterns, 300);
+        assert_eq!(base.groups(), deduped.groups());
+    }
+
+    #[test]
+    fn kernel_counters_are_populated() {
+        let (soc, raw) = setup(200);
+        let result = compact_two_dimensional(&soc, &raw, &CompactionConfig::new(1)).expect("valid");
+        assert!(result.stats().kernel_words_compared > 0);
     }
 
     #[test]

@@ -118,6 +118,14 @@ pub struct CompactionStats {
     pub raw_remainder_patterns: usize,
     /// Weight of cut hyperedges in the core partition (0 when `i == 1`).
     pub cut_weight: u64,
+    /// Exact-duplicate patterns dropped per bucket before the greedy cover
+    /// (duplicates always re-join their first copy's clique, so removing
+    /// them cannot change the compacted output).
+    pub duplicate_patterns: usize,
+    /// Care/symbol words compared by the packed compatibility kernel.
+    pub kernel_words_compared: u64,
+    /// Compatibility checks rejected by the kernel's bus-driver prefilter.
+    pub kernel_fast_rejects: u64,
 }
 
 impl CompactionStats {

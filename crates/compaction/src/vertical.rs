@@ -1,8 +1,17 @@
 //! Vertical compaction: merging compatible patterns to reduce the pattern
 //! count (greedy clique cover, plus an exact cover for small oracles).
+//!
+//! Both covers run on the bit-packed kernel of
+//! [`soctam_patterns::packed`]: compatibility is a handful of AND/XOR
+//! ops per 64 terminals and merging is a word-wise OR, with the bus
+//! driver planes checked first because random SI sets reject mostly on
+//! bus conflicts. The greedy and exact paths share one compatibility
+//! semantics source (the kernel's conflict primitives), so they can
+//! never disagree on what "compatible" means.
 
-use soctam_model::{BusLineId, CoreId, Soc, TerminalId};
-use soctam_patterns::{SiPattern, Symbol};
+use soctam_model::Soc;
+use soctam_patterns::packed::{first_fit_cover, words_for_terminals};
+use soctam_patterns::{KernelStats, PackedPattern, PackedSet, SiPattern};
 
 use crate::CompactionError;
 
@@ -13,8 +22,9 @@ use crate::CompactionError;
 /// The result is a set of merged patterns covering the input; its size is
 /// the compacted pattern count.
 ///
-/// Runs in `O(cliques × patterns × care-bits)` with flat per-terminal
-/// symbol buffers, which keeps 100 000-pattern sets in the seconds range.
+/// Runs on the bit-packed kernel: `O(cliques × patterns × pattern
+/// words)` word operations, which keeps 100 000-pattern sets well under
+/// a second.
 ///
 /// # Panics
 ///
@@ -86,124 +96,65 @@ pub fn compact_greedy_ordered(
     patterns: &[SiPattern],
     order: MergeOrder,
 ) -> Vec<SiPattern> {
-    match order {
-        MergeOrder::InputOrder => compact_greedy_inner(soc, patterns.iter().collect()),
-        MergeOrder::MostCareBitsFirst => {
-            let mut refs: Vec<&SiPattern> = patterns.iter().collect();
-            refs.sort_by_key(|p| std::cmp::Reverse(p.care_bits().len() + p.bus_lines().len()));
-            compact_greedy_inner(soc, refs)
-        }
-        MergeOrder::FewestCareBitsFirst => {
-            let mut refs: Vec<&SiPattern> = patterns.iter().collect();
-            refs.sort_by_key(|p| p.care_bits().len() + p.bus_lines().len());
-            compact_greedy_inner(soc, refs)
-        }
-    }
+    let set = PackedSet::build(patterns);
+    let indices: Vec<u32> = (0..patterns.len() as u32).collect();
+    let terminal_words = assert_in_terminal_space(soc, &set);
+    compact_packed_subset(&set, &indices, terminal_words, order).0
 }
 
-fn compact_greedy_inner(soc: &Soc, patterns: Vec<&SiPattern>) -> Vec<SiPattern> {
-    let total_terminals = soc.total_wocs() as usize;
-    // Flat per-terminal and per-bus-line state with epoch stamping: no
-    // clearing between cliques.
-    let mut term_epoch = vec![0u32; total_terminals];
-    let mut term_sym = vec![Symbol::Zero; total_terminals];
-    let mut bus_epoch = vec![0u32; 256];
-    let mut bus_driver = vec![CoreId::new(0); 256];
-    let mut epoch = 0u32;
-
-    let mut alive: Vec<&SiPattern> = patterns;
-    let mut result = Vec::new();
-
-    while !alive.is_empty() {
-        epoch += 1;
-        let mut clique_care: Vec<(TerminalId, Symbol)> = Vec::new();
-        let mut clique_bus: Vec<(BusLineId, CoreId)> = Vec::new();
-
-        let absorb = |p: &SiPattern,
-                      term_epoch: &mut [u32],
-                      term_sym: &mut [Symbol],
-                      bus_epoch: &mut [u32],
-                      bus_driver: &mut [CoreId],
-                      clique_care: &mut Vec<(TerminalId, Symbol)>,
-                      clique_bus: &mut Vec<(BusLineId, CoreId)>| {
-            for &(t, s) in p.care_bits() {
-                let idx = t.index();
-                if term_epoch[idx] != epoch {
-                    term_epoch[idx] = epoch;
-                    term_sym[idx] = s;
-                    clique_care.push((t, s));
-                }
-            }
-            for &(l, d) in p.bus_lines() {
-                let idx = l.index();
-                if bus_epoch[idx] != epoch {
-                    bus_epoch[idx] = epoch;
-                    bus_driver[idx] = d;
-                    clique_bus.push((l, d));
-                }
-            }
-        };
-
-        let is_compatible = |p: &SiPattern,
-                             term_epoch: &[u32],
-                             term_sym: &[Symbol],
-                             bus_epoch: &[u32],
-                             bus_driver: &[CoreId]| {
-            p.care_bits().iter().all(|&(t, s)| {
-                let idx = t.index();
-                term_epoch[idx] != epoch || term_sym[idx] == s
-            }) && p.bus_lines().iter().all(|&(l, d)| {
-                let idx = l.index();
-                bus_epoch[idx] != epoch || bus_driver[idx] == d
-            })
-        };
-
-        let mut iter = alive.into_iter();
-        let seed = iter.next().expect("alive is non-empty");
+/// Checks the set against `soc`'s terminal space and returns the
+/// accumulator word count.
+pub(crate) fn assert_in_terminal_space(soc: &Soc, set: &PackedSet) -> usize {
+    if let Some(max) = set.max_terminal() {
         assert!(
-            seed.care_bits()
-                .iter()
-                .all(|&(t, _)| t.index() < total_terminals),
+            max < soc.total_wocs(),
             "pattern references terminal outside the soc"
         );
-        absorb(
-            seed,
-            &mut term_epoch,
-            &mut term_sym,
-            &mut bus_epoch,
-            &mut bus_driver,
-            &mut clique_care,
-            &mut clique_bus,
-        );
-
-        let mut next_alive = Vec::new();
-        for p in iter {
-            if is_compatible(p, &term_epoch, &term_sym, &bus_epoch, &bus_driver) {
-                assert!(
-                    p.care_bits()
-                        .iter()
-                        .all(|&(t, _)| t.index() < total_terminals),
-                    "pattern references terminal outside the soc"
-                );
-                absorb(
-                    p,
-                    &mut term_epoch,
-                    &mut term_sym,
-                    &mut bus_epoch,
-                    &mut bus_driver,
-                    &mut clique_care,
-                    &mut clique_bus,
-                );
-            } else {
-                next_alive.push(p);
-            }
-        }
-        alive = next_alive;
-        result.push(
-            SiPattern::new(clique_care, clique_bus).expect("clique accumulation cannot conflict"),
-        );
     }
-    result
+    words_for_terminals(soc.total_wocs() as usize)
+}
+
+/// Applies `order` to a bucket of pattern indices into `set`.
+///
+/// Sorts are stable with the same key the sparse path used (care bits +
+/// occupied bus lines), so ties keep their input order and the cover is
+/// bit-identical to the pre-kernel implementation.
+fn visit_order(set: &PackedSet, indices: &[u32], order: MergeOrder) -> Vec<u32> {
+    let mut visit = indices.to_vec();
+    let weight = |&i: &u32| {
+        let p = set.get(i as usize);
+        p.care_count() + p.bus_count()
+    };
+    match order {
+        MergeOrder::InputOrder => {}
+        MergeOrder::MostCareBitsFirst => visit.sort_by_key(|i| std::cmp::Reverse(weight(i))),
+        MergeOrder::FewestCareBitsFirst => visit.sort_by_key(weight),
+    }
+    visit
+}
+
+/// Greedy clique cover over a subset of an arena-packed pattern set;
+/// the workhorse behind [`compact_greedy_ordered`] and the per-bucket
+/// parallel pipeline. Returns the compacted patterns plus the kernel
+/// counters of the run.
+///
+/// Delegates to the kernel's single-pass
+/// [`first_fit_cover`](soctam_patterns::packed::first_fit_cover), which
+/// produces the same cliques as the epoch-based sweep but scans a
+/// cache-resident clique-state array instead of re-streaming the arena
+/// once per clique.
+pub(crate) fn compact_packed_subset(
+    set: &PackedSet,
+    indices: &[u32],
+    terminal_words: usize,
+    order: MergeOrder,
+) -> (Vec<SiPattern>, KernelStats) {
+    let visit = visit_order(set, indices, order);
+    let (cliques, stats) = first_fit_cover(set, &visit, terminal_words);
+    (
+        cliques.iter().map(PackedPattern::to_sparse).collect(),
+        stats,
+    )
 }
 
 /// Maximum input size accepted by [`compact_optimal`].
@@ -212,6 +163,9 @@ pub const EXACT_COVER_LIMIT: usize = 16;
 /// Exact minimum clique cover by exhaustive branch-and-bound — the
 /// reference the paper compares its greedy heuristic against. Only
 /// feasible for tiny sets; use it as a quality oracle.
+///
+/// The search accumulates cliques as [`PackedPattern`]s, so greedy and
+/// exact covers share the same packed compatibility semantics.
 ///
 /// # Errors
 ///
@@ -248,15 +202,17 @@ pub fn compact_optimal(patterns: &[SiPattern]) -> Result<Vec<SiPattern>, Compact
         return Ok(Vec::new());
     }
 
+    let packed: Vec<PackedPattern> = patterns.iter().map(PackedPattern::from_sparse).collect();
+
     // Branch and bound: assign patterns in order to an existing compatible
     // clique or open a new one; prune branches that cannot beat the best.
     struct Search<'a> {
-        patterns: &'a [SiPattern],
-        best: Vec<SiPattern>,
+        patterns: &'a [PackedPattern],
+        best: Vec<PackedPattern>,
     }
 
     impl Search<'_> {
-        fn recurse(&mut self, index: usize, cliques: &mut Vec<SiPattern>) {
+        fn recurse(&mut self, index: usize, cliques: &mut Vec<PackedPattern>) {
             if cliques.len() >= self.best.len() && !self.best.is_empty() {
                 return; // cannot improve
             }
@@ -281,19 +237,19 @@ pub fn compact_optimal(patterns: &[SiPattern]) -> Result<Vec<SiPattern>, Compact
     }
 
     let mut search = Search {
-        patterns,
+        patterns: &packed,
         best: Vec::new(),
     };
     let mut cliques = Vec::new();
     search.recurse(0, &mut cliques);
-    Ok(search.best)
+    Ok(search.best.iter().map(PackedPattern::to_sparse).collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use soctam_model::Benchmark;
-    use soctam_patterns::{RandomPatternConfig, SiPatternSet};
+    use soctam_model::{Benchmark, BusLineId, CoreId, TerminalId};
+    use soctam_patterns::{RandomPatternConfig, SiPatternSet, Symbol};
 
     fn t(i: u32) -> TerminalId {
         TerminalId::new(i)
@@ -389,11 +345,36 @@ mod tests {
     }
 
     #[test]
+    fn kernel_counters_track_checks() {
+        let soc = Benchmark::D695.soc();
+        let raw =
+            SiPatternSet::random(&soc, &RandomPatternConfig::new(200).with_seed(9)).expect("valid");
+        let set = PackedSet::build(raw.as_slice());
+        let indices: Vec<u32> = (0..raw.len() as u32).collect();
+        let words = assert_in_terminal_space(&soc, &set);
+        let (compacted, stats) =
+            compact_packed_subset(&set, &indices, words, MergeOrder::InputOrder);
+        assert!(!compacted.is_empty());
+        assert!(stats.words_compared > 0, "kernel counted no words");
+    }
+
+    #[test]
     fn optimal_matches_hand_computed_cover() {
         // Patterns: a & b compatible, c conflicts with both; optimal = 2.
         let a = p(&[(0, Symbol::Rise)]);
         let b = p(&[(1, Symbol::Fall)]);
         let c = p(&[(0, Symbol::Fall), (1, Symbol::Rise)]);
+        let exact = compact_optimal(&[a, b, c]).expect("small set");
+        assert_eq!(exact.len(), 2);
+    }
+
+    #[test]
+    fn optimal_respects_bus_driver_conflicts() {
+        // Shared line, different drivers: the packed driver planes must
+        // keep these apart in the exact cover too.
+        let a = SiPattern::new(vec![], vec![(BusLineId::new(4), CoreId::new(0))]).expect("valid");
+        let b = SiPattern::new(vec![], vec![(BusLineId::new(4), CoreId::new(2))]).expect("valid");
+        let c = SiPattern::new(vec![], vec![(BusLineId::new(4), CoreId::new(0))]).expect("valid");
         let exact = compact_optimal(&[a, b, c]).expect("small set");
         assert_eq!(exact.len(), 2);
     }

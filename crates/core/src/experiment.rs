@@ -200,10 +200,7 @@ pub fn run_table_with(
                 &CompactionConfig::new(parts).with_seed(config.seed),
                 pool,
             )
-            .map(|c| {
-                let groups: Vec<SiGroupSpec> = c.groups().iter().map(SiGroupSpec::from).collect();
-                (parts, c.total_patterns(), groups)
-            })
+            .map(|c| (parts, c.total_patterns(), SiGroupSpec::from_compacted(&c)))
         })
         .into_iter()
         .collect()

@@ -140,7 +140,7 @@ impl<'a> SiOptimizer<'a> {
         &self,
         compacted: CompactedSiTests,
     ) -> Result<SiOptimizationResult, SoctamError> {
-        let groups: Vec<SiGroupSpec> = compacted.groups().iter().map(SiGroupSpec::from).collect();
+        let groups = SiGroupSpec::from_compacted(&compacted);
         let optimizer = TamOptimizer::new(self.soc, self.max_tam_width, groups)?
             .objective(self.objective)
             .pool(self.pool.clone());

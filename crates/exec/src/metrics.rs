@@ -18,6 +18,9 @@ pub struct Metrics {
     steals: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    kernel_words_compared: AtomicU64,
+    kernel_fast_rejects: AtomicU64,
+    duplicates_removed: AtomicU64,
     phases: Mutex<Vec<(String, Duration)>>,
 }
 
@@ -48,6 +51,23 @@ impl Metrics {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Adds `n` care/symbol word comparisons of the packed
+    /// compatibility kernel.
+    pub fn add_kernel_words_compared(&self, n: u64) {
+        self.kernel_words_compared.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` compatibility checks rejected by the kernel's bus-driver
+    /// prefilter.
+    pub fn add_kernel_fast_rejects(&self, n: u64) {
+        self.kernel_fast_rejects.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` exact-duplicate patterns removed before compaction.
+    pub fn add_duplicates_removed(&self, n: u64) {
+        self.duplicates_removed.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Times `f` and records the elapsed wall-clock under `name`.
     /// Repeated phases with the same name accumulate.
     pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
@@ -74,6 +94,9 @@ impl Metrics {
             steals: self.steals.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            kernel_words_compared: self.kernel_words_compared.load(Ordering::Relaxed),
+            kernel_fast_rejects: self.kernel_fast_rejects.load(Ordering::Relaxed),
+            duplicates_removed: self.duplicates_removed.load(Ordering::Relaxed),
             phases: self.phases.lock().expect("metrics lock poisoned").clone(),
         }
     }
@@ -90,6 +113,12 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     /// Memoization-cache misses (evaluations actually computed).
     pub cache_misses: u64,
+    /// Care/symbol words compared by the packed compatibility kernel.
+    pub kernel_words_compared: u64,
+    /// Compatibility checks rejected by the kernel's bus prefilter.
+    pub kernel_fast_rejects: u64,
+    /// Exact-duplicate patterns removed before vertical compaction.
+    pub duplicates_removed: u64,
     /// Accumulated wall-clock per named phase, in recording order.
     pub phases: Vec<(String, Duration)>,
 }
@@ -120,6 +149,20 @@ impl fmt::Display for MetricsSnapshot {
                 rate * 100.0
             )?,
             None => writeln!(f, "  cache          : unused")?,
+        }
+        if self.kernel_words_compared != 0 || self.kernel_fast_rejects != 0 {
+            writeln!(
+                f,
+                "  kernel         : {} words compared, {} fast rejects",
+                self.kernel_words_compared, self.kernel_fast_rejects
+            )?;
+        }
+        if self.duplicates_removed != 0 {
+            writeln!(
+                f,
+                "  dedup          : {} duplicates removed",
+                self.duplicates_removed
+            )?;
         }
         for (name, elapsed) in &self.phases {
             writeln!(
@@ -183,5 +226,24 @@ mod tests {
         let text = m.snapshot().to_string();
         assert!(text.contains("tasks executed : 1"));
         assert!(text.contains("cache          : unused"));
+        // Kernel and dedup lines only appear once something was counted.
+        assert!(!text.contains("kernel"));
+        assert!(!text.contains("dedup"));
+    }
+
+    #[test]
+    fn kernel_and_dedup_counters_accumulate() {
+        let m = Metrics::new();
+        m.add_kernel_words_compared(10);
+        m.add_kernel_words_compared(5);
+        m.add_kernel_fast_rejects(3);
+        m.add_duplicates_removed(2);
+        let snap = m.snapshot();
+        assert_eq!(snap.kernel_words_compared, 15);
+        assert_eq!(snap.kernel_fast_rejects, 3);
+        assert_eq!(snap.duplicates_removed, 2);
+        let text = snap.to_string();
+        assert!(text.contains("kernel         : 15 words compared, 3 fast rejects"));
+        assert!(text.contains("dedup          : 2 duplicates removed"));
     }
 }

@@ -115,6 +115,14 @@ impl HypergraphBuilder {
         (self.vertex_weights.len() - 1) as u32
     }
 
+    /// Adds one vertex per weight in `weights`; returns the index of the
+    /// first added vertex (indices are consecutive).
+    pub fn add_vertices(&mut self, weights: impl IntoIterator<Item = u64>) -> u32 {
+        let first = self.vertex_weights.len() as u32;
+        self.vertex_weights.extend(weights);
+        first
+    }
+
     /// Adds a hyperedge with the given weight over `pins`.
     ///
     /// Pins are sorted and deduplicated; a single-pin edge is accepted (it
@@ -203,6 +211,23 @@ mod tests {
         b.add_edge(7, &[1, 2, 3]).expect("valid edge");
         b.add_edge(1, &[3]).expect("valid edge");
         b.build()
+    }
+
+    #[test]
+    fn add_vertices_is_equivalent_to_repeated_add_vertex() {
+        let mut a = HypergraphBuilder::new();
+        a.add_vertex(9);
+        let first = a.add_vertices([1, 2, 3]);
+        assert_eq!(first, 1);
+        let mut b = HypergraphBuilder::new();
+        for w in [9u64, 1, 2, 3] {
+            b.add_vertex(w);
+        }
+        let (a, b) = (a.build(), b.build());
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        for v in 0..4 {
+            assert_eq!(a.vertex_weight(v), b.vertex_weight(v));
+        }
     }
 
     #[test]

@@ -42,6 +42,7 @@
 pub mod coverage;
 mod error;
 pub mod generator;
+pub mod packed;
 mod pattern;
 mod set;
 mod stats;
@@ -49,6 +50,10 @@ mod symbol;
 
 pub use error::PatternError;
 pub use generator::RandomPatternConfig;
+pub use packed::{
+    first_fit_cover, KernelStats, PackedAccumulator, PackedLayout, PackedPattern, PackedRef,
+    PackedSet,
+};
 pub use pattern::SiPattern;
 pub use set::SiPatternSet;
 pub use stats::PatternSetStats;

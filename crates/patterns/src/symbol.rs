@@ -81,6 +81,26 @@ impl Symbol {
             Symbol::Fall => (true, false),
         }
     }
+
+    /// The inverse of [`Symbol::vector_pair`]: the symbol whose vector
+    /// pair is `(first, second)`. Total — every 2-bit code names a
+    /// symbol, which is what makes the packed bit-plane encoding work.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use soctam_patterns::Symbol;
+    ///
+    /// assert_eq!(Symbol::from_vector_pair(false, true), Symbol::Rise);
+    /// ```
+    pub fn from_vector_pair(first: bool, second: bool) -> Symbol {
+        match (first, second) {
+            (false, false) => Symbol::Zero,
+            (true, true) => Symbol::One,
+            (false, true) => Symbol::Rise,
+            (true, false) => Symbol::Fall,
+        }
+    }
 }
 
 impl fmt::Display for Symbol {
@@ -111,6 +131,14 @@ mod tests {
         for s in Symbol::ALL {
             let (a, b) = s.vector_pair();
             assert_eq!(s.is_transition(), a != b);
+        }
+    }
+
+    #[test]
+    fn vector_pair_roundtrips() {
+        for s in Symbol::ALL {
+            let (a, b) = s.vector_pair();
+            assert_eq!(Symbol::from_vector_pair(a, b), s);
         }
     }
 

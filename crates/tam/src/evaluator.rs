@@ -55,6 +55,12 @@ impl SiGroupSpec {
     pub fn patterns(&self) -> u64 {
         self.patterns
     }
+
+    /// Builds the scheduling specs for every group of a compaction result,
+    /// in group order (remainder last when present).
+    pub fn from_compacted(compacted: &soctam_compaction::CompactedSiTests) -> Vec<SiGroupSpec> {
+        compacted.groups().iter().map(SiGroupSpec::from).collect()
+    }
 }
 
 impl From<&soctam_compaction::SiTestGroup> for SiGroupSpec {

@@ -56,7 +56,7 @@ fn simulation_equals_evaluation() {
         ];
         let arch = TestRailArchitecture::new(&soc, rails).expect("valid");
 
-        let specs: Vec<SiGroupSpec> = compacted.groups().iter().map(SiGroupSpec::from).collect();
+        let specs = SiGroupSpec::from_compacted(&compacted);
         let eval = Evaluator::new(&soc, 8, specs)
             .expect("valid")
             .evaluate(&arch);

@@ -1,0 +1,87 @@
+//! Golden vertical-compaction covers: fixed seeds must produce
+//! bit-identical cliques across platforms and kernel rewrites.
+//!
+//! The fingerprints below were recorded from the *pre-kernel* sparse
+//! implementation and re-verified against the epoch-based packed
+//! accumulator; the single-pass first-fit cover must reproduce them
+//! exactly (the three formulations are provably output-equivalent). A
+//! failure here means the greedy cover's semantics drifted — update the
+//! constants only for a deliberate model change.
+
+use std::hash::Hasher;
+
+use soctam::compaction::{compact_greedy_ordered, MergeOrder};
+use soctam::{Benchmark, RandomPatternConfig, SiPattern, SiPatternSet};
+use soctam_exec::FxHasher;
+
+/// Order-sensitive fingerprint of a compacted cover: every care bit and
+/// bus line of every clique, in output order.
+fn cover_fingerprint(cover: &[SiPattern]) -> u64 {
+    let mut hasher = FxHasher::default();
+    for pattern in cover {
+        hasher.write_usize(pattern.care_bits().len());
+        for &(t, s) in pattern.care_bits() {
+            hasher.write_u32(t.raw());
+            hasher.write_u8(s as u8);
+        }
+        hasher.write_usize(pattern.bus_lines().len());
+        for &(l, d) in pattern.bus_lines() {
+            hasher.write_u8(l.raw());
+            hasher.write_u32(d.raw());
+        }
+    }
+    hasher.finish()
+}
+
+fn golden_case(benchmark: Benchmark, order: MergeOrder, cliques: usize, fingerprint: u64) {
+    let soc = benchmark.soc();
+    let raw = SiPatternSet::random(&soc, &RandomPatternConfig::new(2_000).with_seed(2007))
+        .expect("valid set");
+    let cover = compact_greedy_ordered(&soc, raw.as_slice(), order);
+    assert_eq!(cover.len(), cliques, "{benchmark:?}/{order:?} clique count");
+    assert_eq!(
+        cover_fingerprint(&cover),
+        fingerprint,
+        "{benchmark:?}/{order:?} cover fingerprint"
+    );
+}
+
+#[test]
+fn d695_input_order_cover_is_stable() {
+    golden_case(
+        Benchmark::D695,
+        MergeOrder::InputOrder,
+        57,
+        0x622075fb892cfd46,
+    );
+}
+
+#[test]
+fn d695_most_care_bits_cover_is_stable() {
+    golden_case(
+        Benchmark::D695,
+        MergeOrder::MostCareBitsFirst,
+        46,
+        0x5c3c2d04ecfef656,
+    );
+}
+
+#[test]
+fn p34392_input_order_cover_is_stable() {
+    golden_case(
+        Benchmark::P34392,
+        MergeOrder::InputOrder,
+        75,
+        0xc9a99035db215584,
+    );
+}
+
+#[test]
+fn p34392_most_care_bits_cover_is_stable() {
+    golden_case(
+        Benchmark::P34392,
+        MergeOrder::MostCareBitsFirst,
+        64,
+        0xa1781c848d55c11a,
+    );
+}

@@ -103,6 +103,49 @@ fn pipeline_counts_are_consistent() {
     });
 }
 
+/// The packed kernel is a faithful model of the sparse reference:
+/// pack → unpack is lossless, `is_compatible` agrees pairwise, and
+/// `merged` produces the same pattern (or fails exactly when the sparse
+/// merge would).
+#[test]
+fn packed_kernel_matches_sparse_reference() {
+    use soctam::patterns::PackedPattern;
+    forall("packed_kernel_matches_sparse_reference", cases(48), |g| {
+        let cores = g.usize_in(2, 8);
+        let soc_seed = g.u64_in(0, 500);
+        let n = g.usize_in(2, 40);
+        let pat_seed = g.u64_in(0, 500);
+        let soc = small_soc(cores, soc_seed);
+        let raw = generate_random(&soc, &RandomPatternConfig::new(n).with_seed(pat_seed))
+            .expect("generation succeeds");
+        let packed: Vec<PackedPattern> = raw.iter().map(PackedPattern::from).collect();
+        for (sparse, p) in raw.iter().zip(&packed) {
+            assert_eq!(&p.to_sparse(), sparse, "pack/unpack round-trip drifted");
+        }
+        for i in 0..raw.len() {
+            for j in i + 1..raw.len() {
+                let compatible = raw[i].is_compatible(&raw[j]);
+                assert_eq!(
+                    packed[i].is_compatible(&packed[j]),
+                    compatible,
+                    "packed is_compatible disagrees with the sparse reference"
+                );
+                match packed[i].merged(&packed[j]) {
+                    Ok(m) => {
+                        assert!(
+                            compatible,
+                            "packed merge succeeded on incompatible patterns"
+                        );
+                        let reference = raw[i].merged(&raw[j]).expect("sparse merge succeeds");
+                        assert_eq!(m.to_sparse(), reference, "packed merge result drifted");
+                    }
+                    Err(_) => assert!(!compatible, "packed merge failed on compatible patterns"),
+                }
+            }
+        }
+    });
+}
+
 /// Any valid architecture evaluates with consistent invariants: t_in is
 /// the rail max, the SI schedule is conflict-free and the makespan is
 /// at most the serial sum of group times.

@@ -12,13 +12,9 @@ fn si_aware_flow_never_loses_and_stays_near_bounds() {
         let raw = SiPatternSet::random(&soc, &RandomPatternConfig::new(2_000).with_seed(2007))
             .expect("valid");
         let parts = 4u32.min(soc.num_cores() as u32);
-        let groups: Vec<SiGroupSpec> =
-            compact_two_dimensional(&soc, &raw, &CompactionConfig::new(parts))
-                .expect("valid")
-                .groups()
-                .iter()
-                .map(SiGroupSpec::from)
-                .collect();
+        let groups = SiGroupSpec::from_compacted(
+            &compact_two_dimensional(&soc, &raw, &CompactionConfig::new(parts)).expect("valid"),
+        );
         let w_max = 32u32;
         let aware = TamOptimizer::new(&soc, w_max, groups.clone())
             .expect("valid")
