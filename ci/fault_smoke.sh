@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Fault-injection smoke test: arm each shipped failpoint against the
+# release CLI and assert the process fails *cleanly* — a structured
+# error on stderr naming the site, exit code 1 (a contained, reported
+# failure), and never 101 (an uncaught panic abort).
+#
+# Usage: ci/fault_smoke.sh [path/to/soctam]
+# Builds the release binary first when no path is given.
+
+set -u
+
+BIN="${1:-target/release/soctam}"
+if [ ! -x "$BIN" ]; then
+    echo "building release CLI..."
+    cargo build --release --offline -p soctam-cli || exit 1
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# model.parse needs a real .soc file on disk; export one first (with the
+# registry inactive, so the export itself cannot trip).
+"$BIN" export d695 > "$WORK/d695.soc" || { echo "FAIL: export d695"; exit 1; }
+
+failures=0
+
+# run <failpoint-spec> <target> — the optimize invocation must exit 1
+# with the failing site named on stderr.
+run() {
+    local spec="$1" target="$2"
+    local site="${spec%%=*}"
+    local stderr_file="$WORK/stderr"
+
+    SOCTAM_FAILPOINTS="$spec" "$BIN" optimize "$target" \
+        --patterns 500 --width 8 --partitions 2 \
+        >"$WORK/stdout" 2>"$stderr_file"
+    local code=$?
+
+    if [ "$code" -eq 101 ]; then
+        echo "FAIL [$spec]: process panicked (exit 101) instead of failing cleanly"
+        failures=$((failures + 1))
+        return
+    fi
+    if [ "$code" -ne 1 ]; then
+        echo "FAIL [$spec]: expected exit 1, got $code"
+        failures=$((failures + 1))
+        return
+    fi
+    if ! grep -q "error:" "$stderr_file"; then
+        echo "FAIL [$spec]: stderr carries no structured error line"
+        sed 's/^/    /' "$stderr_file"
+        failures=$((failures + 1))
+        return
+    fi
+    if ! grep -q "$site" "$stderr_file"; then
+        echo "FAIL [$spec]: stderr does not name the failing site '$site'"
+        sed 's/^/    /' "$stderr_file"
+        failures=$((failures + 1))
+        return
+    fi
+    echo "ok   [$spec] -> $(grep -m1 'error:' "$stderr_file")"
+}
+
+# One spec per shipped failpoint reachable from `soctam optimize`:
+# `error` for the fallible (check) sites, `panic` for the infallible
+# (hit) sites — the latter prove the pipeline's panic containment.
+run "model.parse=error"              "$WORK/d695.soc"
+run "patterns.generate.random=error" d695
+run "compaction.partition=error"     d695
+run "compaction.bucket=panic"        d695
+run "tam.merge=panic"                d695
+run "tam.schedule=panic"             d695
+run "exec.cache.lookup=panic"        d695
+
+# A malformed spec must be rejected up front as a usage error (exit 2),
+# not silently ignored.
+SOCTAM_FAILPOINTS="tam.merge=explode" "$BIN" optimize d695 --patterns 100 \
+    >/dev/null 2>"$WORK/stderr"
+code=$?
+if [ "$code" -ne 2 ] || ! grep -q "SOCTAM_FAILPOINTS" "$WORK/stderr"; then
+    echo "FAIL [bad spec]: expected usage error (exit 2) naming SOCTAM_FAILPOINTS, got $code"
+    failures=$((failures + 1))
+else
+    echo "ok   [bad spec] -> rejected as usage error"
+fi
+
+# With the variable unset the same invocation must succeed.
+"$BIN" optimize d695 --patterns 500 --width 8 --partitions 2 >/dev/null 2>&1
+code=$?
+if [ "$code" -ne 0 ]; then
+    echo "FAIL [clean run]: expected exit 0 without failpoints, got $code"
+    failures=$((failures + 1))
+else
+    echo "ok   [clean run] -> exit 0 with no failpoints"
+fi
+
+if [ "$failures" -ne 0 ]; then
+    echo "$failures fault-injection smoke check(s) failed"
+    exit 1
+fi
+echo "all fault-injection smoke checks passed"

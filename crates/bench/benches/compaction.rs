@@ -4,6 +4,8 @@
 //! Pass `--json <path>` to additionally write the results as a JSON
 //! report (used by the CI perf-smoke job).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::compaction::{compact_greedy, compact_two_dimensional, CompactionConfig};
 use soctam::Benchmark;
 use soctam_bench::bench_patterns;

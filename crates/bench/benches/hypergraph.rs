@@ -1,6 +1,8 @@
 //! Timing benches for the multilevel hypergraph partitioner (the
 //! hMetis substitute) on random hypergraphs.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::hypergraph::{Hypergraph, HypergraphBuilder, PartitionConfig};
 use soctam_bench::harness::{bench, samples};
 use soctam_exec::Rng;

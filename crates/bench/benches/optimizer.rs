@@ -4,6 +4,8 @@
 //! Pass `--json <path>` to additionally write the results as a JSON
 //! report.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::{Benchmark, Objective, TamOptimizer};
 use soctam_bench::bench_groups;
 use soctam_bench::harness::{samples, Session};

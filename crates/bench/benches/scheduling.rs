@@ -1,6 +1,8 @@
 //! Timing bench for Algorithm 1 (`ScheduleSITest`) with growing group
 //! counts and rail contention.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::tam::{schedule_si_tests, SiGroupTime};
 use soctam_bench::harness::{bench, samples};
 use soctam_exec::Rng;

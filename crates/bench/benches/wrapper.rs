@@ -1,6 +1,8 @@
 //! Timing benches for wrapper design (the `Combine` procedure) and the
 //! memoized time table.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::{Benchmark, TimeTable, WrapperDesign};
 use soctam_bench::harness::{bench, samples};
 

@@ -2,6 +2,10 @@
 //! benches. Everything here is deterministic: the paper tables are
 //! reproducible bit-for-bit with the default seed.
 
+// Bench-harness crate: aborting on an impossible setup failure is the
+// desired behaviour for micro-benchmarks, so the panic lints are off
+// wholesale rather than per call site.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use soctam::experiment::{run_table, ExperimentConfig, ExperimentTable};
 use soctam::{Benchmark, RandomPatternConfig, SiGroupSpec, SiPatternSet, Soc, SoctamError};
 

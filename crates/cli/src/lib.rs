@@ -13,13 +13,15 @@
 //! `p93791`) or a path to an ITC'02 `.soc` file. Argument parsing is
 //! dependency-free; every command accepts `--help`.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 use std::fmt::Write as _;
 
+use soctam::exec::fault;
 use soctam::experiment::{run_table_with, ExperimentConfig};
 use soctam::model::parser::parse_soc;
 use soctam::tam::render_schedule;
 use soctam::{
-    compact_two_dimensional_with, Benchmark, CompactionConfig, Objective, Pool,
+    compact_two_dimensional_with, Benchmark, CompactionConfig, Objective, OptimizerBudget, Pool,
     RandomPatternConfig, SiOptimizer, SiPatternSet, Soc,
 };
 
@@ -78,6 +80,15 @@ OPTIONS (optimize / table / compact):
     --svg <file>       write the schedule as SVG (optimize)
     --widths <list>    comma list of widths (table)    [default: 8,16,..,64]
     --parts <list>     comma list of partitions (table)[default: 1,2,4,8]
+    --deadline-ms <MS> wall-clock budget for the TAM optimization; on
+                       expiry the best architecture found so far is
+                       reported and flagged as degraded (optimize)
+    --max-iters <N>    deterministic iteration budget (optimize)
+
+ENVIRONMENT:
+    SOCTAM_FAILPOINTS  deterministic fault injection, e.g.
+                       `tam.merge=error;exec.pool.task=panic@3`
+                       (sites fail with a structured error; see DESIGN.md)
 
 Results are bit-identical for every --jobs value; threads only change
 the wall-clock time.
@@ -106,6 +117,10 @@ pub struct Options {
     pub jobs: usize,
     /// Print runtime statistics after the command.
     pub stats: bool,
+    /// Wall-clock budget for the TAM optimization, in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Deterministic iteration budget for the TAM optimization.
+    pub max_iters: Option<u64>,
 }
 
 impl Default for Options {
@@ -121,7 +136,23 @@ impl Default for Options {
             parts: vec![1, 2, 4, 8],
             jobs: 1,
             stats: false,
+            deadline_ms: None,
+            max_iters: None,
         }
+    }
+}
+
+impl Options {
+    /// The optimizer budget the flags describe (unlimited by default).
+    pub fn budget(&self) -> OptimizerBudget {
+        let mut budget = OptimizerBudget::unlimited();
+        if let Some(ms) = self.deadline_ms {
+            budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+        }
+        if let Some(iters) = self.max_iters {
+            budget = budget.with_max_iterations(iters);
+        }
+        budget
     }
 }
 
@@ -177,6 +208,20 @@ pub fn parse_options(args: &[String]) -> Result<Options, CliError> {
             }
             "--stats" => options.stats = true,
             "--baseline" => options.baseline = true,
+            "--deadline-ms" => {
+                options.deadline_ms = Some(
+                    value_for("--deadline-ms")?
+                        .parse()
+                        .map_err(|_| CliError::usage("invalid --deadline-ms value"))?,
+                );
+            }
+            "--max-iters" => {
+                options.max_iters = Some(
+                    value_for("--max-iters")?
+                        .parse()
+                        .map_err(|_| CliError::usage("invalid --max-iters value"))?,
+                );
+            }
             "--svg" => options.svg = Some(value_for("--svg")?.clone()),
             "--widths" => options.widths = parse_list(value_for("--widths")?, "--widths")?,
             "--parts" => options.parts = parse_list(value_for("--parts")?, "--parts")?,
@@ -218,6 +263,10 @@ pub fn load_soc(spec: &str) -> Result<Soc, CliError> {
 ///
 /// [`CliError`] carrying the message and exit code.
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    // Arm deterministic failpoints from SOCTAM_FAILPOINTS before any
+    // work happens; a malformed spec is a usage error, not a panic.
+    fault::init_from_env()
+        .map_err(|e| CliError::usage(format!("invalid {}: {e}", fault::ENV_VAR)))?;
     let Some(command) = args.first() else {
         return Err(CliError::usage(USAGE));
     };
@@ -311,6 +360,7 @@ fn optimize(soc: &Soc, options: &Options) -> Result<String, CliError> {
         .partitions(options.partitions)
         .seed(options.seed)
         .objective(objective)
+        .budget(options.budget())
         .pool(pool.clone())
         .optimize(&patterns)
         .map_err(|e| CliError::runtime(e.to_string()))?;
@@ -324,6 +374,13 @@ fn optimize(soc: &Soc, options: &Options) -> Result<String, CliError> {
         result.compacted().total_patterns(),
         result.compacted().groups().len()
     );
+    if result.degraded() {
+        let _ = writeln!(
+            out,
+            "note: optimization budget exhausted; reporting the best \
+             architecture found so far (degraded)"
+        );
+    }
     let _ = writeln!(out, "{}", result.architecture());
     let _ = writeln!(
         out,
@@ -337,6 +394,9 @@ fn optimize(soc: &Soc, options: &Options) -> Result<String, CliError> {
         let _ = writeln!(out, "schedule SVG written to {path}");
     }
     append_stats(&mut out, &pool, options);
+    if options.stats {
+        let _ = writeln!(out, "degraded: {}", result.degraded());
+    }
     Ok(out)
 }
 
@@ -695,6 +755,44 @@ mod tests {
         assert!(out.contains("runtime stats:"));
         assert!(out.contains("cache"));
         assert!(out.contains("phase"));
+    }
+
+    #[test]
+    fn budget_flags_parse_and_degrade_gracefully() {
+        let opts =
+            parse_options(&args(&["--deadline-ms", "50", "--max-iters", "3"])).expect("parses");
+        assert_eq!(opts.deadline_ms, Some(50));
+        assert_eq!(opts.max_iters, Some(3));
+        assert!(!opts.budget().is_unlimited());
+        assert!(Options::default().budget().is_unlimited());
+
+        // A one-iteration budget must still produce a full report, plus
+        // the degraded note.
+        let out = run(&args(&[
+            "optimize",
+            "d695",
+            "--patterns",
+            "150",
+            "--width",
+            "8",
+            "--partitions",
+            "2",
+            "--max-iters",
+            "1",
+            "--stats",
+        ]))
+        .expect("degrades, does not fail");
+        assert!(out.contains("optimization budget exhausted"), "{out}");
+        assert!(out.contains("degraded: true"), "{out}");
+        assert!(out.contains("T_soc"));
+    }
+
+    #[test]
+    fn bad_budget_values_are_usage_errors() {
+        let err = parse_options(&args(&["--deadline-ms", "soon"])).unwrap_err();
+        assert_eq!(err.code, 2);
+        let err = parse_options(&args(&["--max-iters", "-1"])).unwrap_err();
+        assert_eq!(err.code, 2);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! File-based end-to-end flow: export a benchmark to a real `.soc` file,
 //! reload it through the CLI path, and run every command against it.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::fs;
 
 fn args(list: &[&str]) -> Vec<String> {

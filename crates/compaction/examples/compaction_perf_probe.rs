@@ -1,6 +1,8 @@
 //! Wall-clock profiling helper for the compaction pipeline on the paper benchmarks.
 //!
 //! Run with `cargo run --release -p soctam-compaction --example compaction_perf_probe`.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam_compaction::{compact_two_dimensional, CompactionConfig};
 use soctam_model::Benchmark;
 use soctam_patterns::{RandomPatternConfig, SiPatternSet};

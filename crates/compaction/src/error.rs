@@ -28,6 +28,11 @@ pub enum CompactionError {
         /// Maximum supported by [`crate::compact_optimal`].
         limit: usize,
     },
+    /// A deterministic failpoint fired (see `soctam_exec::fault`).
+    FaultInjected {
+        /// Name of the failpoint site that fired.
+        site: String,
+    },
 }
 
 impl fmt::Display for CompactionError {
@@ -42,6 +47,9 @@ impl fmt::Display for CompactionError {
                 f,
                 "exact clique cover supports at most {limit} patterns, got {patterns}"
             ),
+            CompactionError::FaultInjected { site } => {
+                write!(f, "injected fault at failpoint `{site}`")
+            }
         }
     }
 }
@@ -65,6 +73,14 @@ impl From<PatternError> for CompactionError {
 impl From<HypergraphError> for CompactionError {
     fn from(e: HypergraphError) -> Self {
         CompactionError::Partition(e)
+    }
+}
+
+impl From<soctam_exec::FaultError> for CompactionError {
+    fn from(fault: soctam_exec::FaultError) -> Self {
+        CompactionError::FaultInjected {
+            site: fault.site().to_string(),
+        }
     }
 }
 

@@ -47,6 +47,8 @@ pub fn build_core_hypergraph(soc: &Soc, patterns: &[SiPattern]) -> Hypergraph {
 /// # Panics
 ///
 /// Panics if a pattern references a terminal outside `soc`.
+// Invariant: care cores come from the layout, so every pin indexes a declared vertex.
+#[allow(clippy::expect_used)]
 pub fn build_core_hypergraph_packed(
     soc: &Soc,
     set: &PackedSet,

@@ -116,6 +116,7 @@ pub fn compact_two_dimensional_with(
     pool: &Pool,
 ) -> Result<CompactedSiTests, CompactionError> {
     raw.validate_for(soc)?;
+    soctam_exec::fault::check("compaction.partition")?;
     // Pack once: grouping, duplicate removal and every per-bucket greedy
     // cover all run against the same bit-packed arena; patterns are only
     // expanded back to sparse form when the compacted cliques are emitted.
@@ -160,6 +161,7 @@ pub fn compact_two_dimensional_with(
     stats.duplicate_patterns = raw.len() - work.iter().map(Vec::len).sum::<usize>();
 
     let compacted_buckets = pool.par_map(&work, |indices| {
+        soctam_exec::fault::hit("compaction.bucket");
         if indices.is_empty() {
             (Vec::new(), KernelStats::default())
         } else {
@@ -171,6 +173,8 @@ pub fn compact_two_dimensional_with(
     let mut kernel = KernelStats::default();
     let mut iter = compacted_buckets.into_iter();
     for part in 0..grouping.buckets.len() {
+        // Invariant: `par_map` returns exactly one result per work item.
+        #[allow(clippy::expect_used)]
         let (compacted, bucket_kernel) = iter.next().expect("one result per bucket");
         kernel.merge(bucket_kernel);
         if compacted.is_empty() {
@@ -184,6 +188,8 @@ pub fn compact_two_dimensional_with(
         ));
     }
     if has_remainder {
+        // Invariant: the remainder was pushed as the final work item above.
+        #[allow(clippy::expect_used)]
         let (compacted, remainder_kernel) = iter.next().expect("remainder result present");
         kernel.merge(remainder_kernel);
         stats.remainder_patterns = compacted.len();

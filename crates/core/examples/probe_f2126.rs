@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::{Benchmark, Objective, SiGroupSpec, TamOptimizer};
 fn main() {
     let soc = Benchmark::F2126.soc();

@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use soctam_compaction::CompactionError;
-use soctam_model::ModelError;
+use soctam_model::{Diagnostics, ModelError};
 use soctam_patterns::PatternError;
 use soctam_tam::TamError;
 
@@ -20,6 +20,18 @@ pub enum SoctamError {
     Compaction(CompactionError),
     /// TAM construction or optimization failed.
     Tam(TamError),
+    /// A stage-boundary validation found inconsistent data (see
+    /// [`Diagnostics`] for the individual findings).
+    Validation(Diagnostics),
+    /// A pipeline stage panicked; the panic was contained at the
+    /// pipeline boundary instead of unwinding into the caller.
+    Internal {
+        /// The failpoint site that caused the panic, or `"unknown"` when
+        /// the panic did not originate from an injected fault.
+        site: String,
+        /// The panic message.
+        message: String,
+    },
 }
 
 impl fmt::Display for SoctamError {
@@ -29,6 +41,10 @@ impl fmt::Display for SoctamError {
             SoctamError::Pattern(e) => write!(f, "pattern error: {e}"),
             SoctamError::Compaction(e) => write!(f, "compaction error: {e}"),
             SoctamError::Tam(e) => write!(f, "tam error: {e}"),
+            SoctamError::Validation(diags) => write!(f, "validation failed: {diags}"),
+            SoctamError::Internal { site, message } => {
+                write!(f, "internal pipeline failure at `{site}`: {message}")
+            }
         }
     }
 }
@@ -40,7 +56,15 @@ impl Error for SoctamError {
             SoctamError::Pattern(e) => Some(e),
             SoctamError::Compaction(e) => Some(e),
             SoctamError::Tam(e) => Some(e),
+            SoctamError::Validation(diags) => Some(diags),
+            SoctamError::Internal { .. } => None,
         }
+    }
+}
+
+impl From<Diagnostics> for SoctamError {
+    fn from(diags: Diagnostics) -> Self {
+        SoctamError::Validation(diags)
     }
 }
 

@@ -46,6 +46,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod error;
 pub mod experiment;
@@ -68,11 +69,11 @@ pub use soctam_compaction::{
     compact_two_dimensional, compact_two_dimensional_with, CompactedSiTests, CompactionConfig,
     SiTestGroup,
 };
-pub use soctam_exec::{Metrics, MetricsSnapshot, Pool};
-pub use soctam_model::{Benchmark, CoreId, CoreSpec, Soc, TerminalId};
+pub use soctam_exec::{FaultAction, FaultError, Metrics, MetricsSnapshot, Pool};
+pub use soctam_model::{Benchmark, CoreId, CoreSpec, Diagnostic, Diagnostics, Soc, TerminalId};
 pub use soctam_patterns::{RandomPatternConfig, SiPattern, SiPatternSet, Symbol};
 pub use soctam_tam::{
-    Evaluation, Evaluator, Objective, OptimizedArchitecture, SiGroupSpec, TamOptimizer,
-    TestBusEvaluator, TestRail, TestRailArchitecture,
+    Evaluation, Evaluator, Objective, OptimizedArchitecture, OptimizerBudget, SiGroupSpec,
+    TamOptimizer, TestBusEvaluator, TestRail, TestRailArchitecture,
 };
 pub use soctam_wrapper::{intest_time, si_time, TimeTable, WrapperDesign};

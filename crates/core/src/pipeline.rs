@@ -1,16 +1,39 @@
 //! The one-stop optimization pipeline.
 
+use std::panic;
 use std::sync::Arc;
 
 use soctam_compaction::{compact_two_dimensional_with, CompactedSiTests, CompactionConfig};
-use soctam_exec::{Metrics, Pool};
+use soctam_exec::{fault, Metrics, Pool};
 use soctam_model::Soc;
 use soctam_patterns::SiPatternSet;
 use soctam_tam::{
-    Evaluation, Objective, OptimizedArchitecture, SiGroupSpec, TamOptimizer, TestRailArchitecture,
+    Evaluation, Objective, OptimizedArchitecture, OptimizerBudget, SiGroupSpec, TamOptimizer,
+    TestRailArchitecture,
 };
 
 use crate::SoctamError;
+
+/// Runs one pipeline stage with panic containment: a panicking worker
+/// (or an injected `fault::hit`) surfaces as a structured
+/// [`SoctamError::Internal`] naming the failpoint site instead of
+/// unwinding into the caller. Sound because every stage either returns
+/// a value or is discarded wholesale — no partially-mutated state
+/// escapes the closure.
+fn contain_panics<T>(
+    stage: &'static str,
+    f: impl FnOnce() -> Result<T, SoctamError>,
+) -> Result<T, SoctamError> {
+    match panic::catch_unwind(panic::AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => Err(SoctamError::Internal {
+            site: fault::fault_from_panic(payload.as_ref())
+                .map(|fault| fault.site().to_string())
+                .unwrap_or_else(|| stage.to_string()),
+            message: fault::panic_message(payload.as_ref()),
+        }),
+    }
+}
 
 /// The full Problem `P_SI_opt` pipeline: two-dimensional compaction of the
 /// SI test set followed by SI-aware TAM optimization.
@@ -44,6 +67,7 @@ pub struct SiOptimizer<'a> {
     objective: Objective,
     restarts: u32,
     pool: Pool,
+    budget: OptimizerBudget,
 }
 
 impl<'a> SiOptimizer<'a> {
@@ -58,7 +82,16 @@ impl<'a> SiOptimizer<'a> {
             objective: Objective::Total,
             restarts: 1,
             pool: Pool::serial(),
+            budget: OptimizerBudget::unlimited(),
         }
+    }
+
+    /// Bounds the TAM optimization work. When the budget trips, the
+    /// pipeline still returns a valid architecture — the best found so
+    /// far — flagged [`SiOptimizationResult::degraded`].
+    pub fn budget(mut self, budget: OptimizerBudget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Runs the pipeline on `jobs` threads (0 = all available cores).
@@ -114,19 +147,31 @@ impl<'a> SiOptimizer<'a> {
         self
     }
 
-    /// Runs compaction and optimization on `patterns`.
+    /// Runs compaction and optimization on `patterns`, with strict
+    /// validation at every stage boundary: the SOC and the pattern set
+    /// are validated before compaction, and the final SI schedule is
+    /// validated before the result is returned. Worker panics are
+    /// contained and surface as [`SoctamError::Internal`].
     ///
     /// # Errors
     ///
-    /// Forwards compaction and TAM errors ([`SoctamError`]).
+    /// Forwards compaction and TAM errors ([`SoctamError`]);
+    /// [`SoctamError::Validation`] when a stage boundary check fails.
     pub fn optimize(&self, patterns: &SiPatternSet) -> Result<SiOptimizationResult, SoctamError> {
-        let compacted = self.pool.metrics().time("compact", || {
-            compact_two_dimensional_with(
-                self.soc,
-                patterns,
-                &CompactionConfig::new(self.partitions).with_seed(self.seed),
-                &self.pool,
-            )
+        self.soc.validate().into_result()?;
+        patterns.validate(self.soc).into_result()?;
+        let compacted = contain_panics("pipeline.compact", || {
+            self.pool
+                .metrics()
+                .time("compact", || {
+                    compact_two_dimensional_with(
+                        self.soc,
+                        patterns,
+                        &CompactionConfig::new(self.partitions).with_seed(self.seed),
+                        &self.pool,
+                    )
+                })
+                .map_err(SoctamError::from)
         })?;
         self.optimize_compacted(compacted)
     }
@@ -135,22 +180,28 @@ impl<'a> SiOptimizer<'a> {
     ///
     /// # Errors
     ///
-    /// Forwards TAM errors ([`SoctamError`]).
+    /// Forwards TAM errors ([`SoctamError`]); [`SoctamError::Validation`]
+    /// when the produced SI schedule fails its structural checks.
     pub fn optimize_compacted(
         &self,
         compacted: CompactedSiTests,
     ) -> Result<SiOptimizationResult, SoctamError> {
-        let groups = SiGroupSpec::from_compacted(&compacted);
-        let optimizer = TamOptimizer::new(self.soc, self.max_tam_width, groups)?
-            .objective(self.objective)
-            .pool(self.pool.clone());
-        let optimized = self.pool.metrics().time("optimize", || {
-            if self.restarts > 1 {
-                optimizer.optimize_multi(self.restarts)
-            } else {
-                optimizer.optimize()
-            }
+        let optimized = contain_panics("pipeline.optimize", || {
+            let groups = SiGroupSpec::from_compacted(&compacted);
+            let optimizer = TamOptimizer::new(self.soc, self.max_tam_width, groups)?
+                .objective(self.objective)
+                .budget(self.budget)
+                .pool(self.pool.clone());
+            let optimized = self.pool.metrics().time("optimize", || {
+                if self.restarts > 1 {
+                    optimizer.optimize_multi(self.restarts)
+                } else {
+                    optimizer.optimize()
+                }
+            })?;
+            Ok(optimized)
         })?;
+        optimized.evaluation().schedule.validate().into_result()?;
         Ok(SiOptimizationResult {
             compacted,
             optimized,
@@ -194,6 +245,12 @@ impl SiOptimizationResult {
     /// `T_soc^si` in clock cycles.
     pub fn si_time(&self) -> u64 {
         self.evaluation().t_si
+    }
+
+    /// True when the optimizer hit its [`OptimizerBudget`] and the
+    /// architecture is best-so-far rather than fully converged.
+    pub fn degraded(&self) -> bool {
+        self.optimized.degraded()
     }
 }
 
@@ -250,6 +307,33 @@ mod tests {
             .expect("optimizes")
             .total_time();
         assert!(multi <= single);
+    }
+
+    #[test]
+    fn budget_degrades_but_schedule_stays_valid() {
+        use std::time::Duration;
+        let soc = Benchmark::P34392.soc();
+        let patterns =
+            SiPatternSet::random(&soc, &RandomPatternConfig::new(500).with_seed(3)).expect("valid");
+        let result = SiOptimizer::new(&soc)
+            .max_tam_width(16)
+            .partitions(2)
+            .budget(OptimizerBudget::default().with_deadline(Duration::from_millis(50)))
+            .optimize(&patterns)
+            .expect("degrades, does not fail");
+        // Degraded or not (a fast machine may finish in time), the
+        // schedule must pass the structural validator.
+        assert!(result.evaluation().schedule.validate().is_ok());
+        assert!(result.architecture().total_width() <= 16);
+        // A budget that cannot possibly suffice must degrade.
+        let strangled = SiOptimizer::new(&soc)
+            .max_tam_width(16)
+            .partitions(2)
+            .budget(OptimizerBudget::default().with_max_iterations(1))
+            .optimize(&patterns)
+            .expect("degrades, does not fail");
+        assert!(strangled.degraded());
+        assert!(strangled.evaluation().schedule.validate().is_ok());
     }
 
     #[test]

@@ -12,16 +12,27 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
+use crate::fault;
 use crate::hash::{fx_hash_one, FxBuildHasher};
 use crate::metrics::Metrics;
+
+type Shard<K, V> = Mutex<HashMap<K, V, FxBuildHasher>>;
+
+/// Locks a shard, recovering from poisoning: `get_or_insert_with`
+/// never holds a lock across user code, so a poisoned shard still
+/// contains a consistent map — a panicking compute closure must not
+/// take the whole cache down with it.
+fn lock_shard<K, V>(shard: &Shard<K, V>) -> MutexGuard<'_, HashMap<K, V, FxBuildHasher>> {
+    shard.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A concurrent map from full keys to cloneable values, sharded to keep
 /// lock contention off the parallel hot path.
 #[derive(Debug)]
 pub struct MemoCache<K, V> {
-    shards: Box<[Mutex<HashMap<K, V, FxBuildHasher>>]>,
+    shards: Box<[Shard<K, V>]>,
     metrics: Option<Arc<Metrics>>,
 }
 
@@ -47,7 +58,7 @@ impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
         }
     }
 
-    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V, FxBuildHasher>> {
+    fn shard(&self, key: &K) -> &Shard<K, V> {
         let fingerprint = fx_hash_one(key);
         &self.shards[(fingerprint as usize) % self.shards.len()]
     }
@@ -58,8 +69,9 @@ impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
     /// pure `compute` that is only duplicated work, never divergence
     /// (first insert wins).
     pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        fault::hit("exec.cache.lookup");
         let shard = self.shard(&key);
-        if let Some(value) = shard.lock().expect("cache shard poisoned").get(&key) {
+        if let Some(value) = lock_shard(shard).get(&key) {
             if let Some(m) = &self.metrics {
                 m.count_cache_hit();
             }
@@ -69,25 +81,18 @@ impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
             m.count_cache_miss();
         }
         let value = compute();
-        let mut guard = shard.lock().expect("cache shard poisoned");
+        let mut guard = lock_shard(shard);
         guard.entry(key).or_insert_with(|| value.clone()).clone()
     }
 
     /// Returns the cached value for `key`, if present.
     pub fn get(&self, key: &K) -> Option<V> {
-        self.shard(key)
-            .lock()
-            .expect("cache shard poisoned")
-            .get(key)
-            .cloned()
+        lock_shard(self.shard(key)).get(key).cloned()
     }
 
     /// Number of cached entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| lock_shard(s).len()).sum()
     }
 
     /// True when no entries are cached.
@@ -98,7 +103,7 @@ impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
     /// Drops every cached entry.
     pub fn clear(&self) {
         for shard in self.shards.iter() {
-            shard.lock().expect("cache shard poisoned").clear();
+            lock_shard(shard).clear();
         }
     }
 }

@@ -20,15 +20,21 @@
 //! * [`check`] — a miniature property-test harness used by the test
 //!   suites (the `proptest` cargo feature raises the case counts; it
 //!   adds no dependencies).
+//! * [`fault`] — a deterministic failpoint registry
+//!   (`SOCTAM_FAILPOINTS`) used to prove that every error path in the
+//!   pipeline actually works.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 pub mod cache;
 pub mod check;
+pub mod fault;
 pub mod hash;
 pub mod metrics;
 pub mod pool;
 pub mod rng;
 
 pub use cache::MemoCache;
+pub use fault::{FaultAction, FaultError, ScopedFault};
 pub use hash::{fx_hash_one, FxBuildHasher, FxHasher};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use pool::Pool;

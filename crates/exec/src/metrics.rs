@@ -8,7 +8,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Shared runtime counters and phase timers.
@@ -79,7 +79,9 @@ impl Metrics {
 
     /// Adds `elapsed` to the phase named `name`.
     pub fn record_phase(&self, name: &str, elapsed: Duration) {
-        let mut phases = self.phases.lock().expect("metrics lock poisoned");
+        // Metrics are diagnostics: recover from poisoning rather than
+        // letting a panicking timed closure disable stats collection.
+        let mut phases = self.phases.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(entry) = phases.iter_mut().find(|(n, _)| n == name) {
             entry.1 += elapsed;
         } else {
@@ -97,7 +99,11 @@ impl Metrics {
             kernel_words_compared: self.kernel_words_compared.load(Ordering::Relaxed),
             kernel_fast_rejects: self.kernel_fast_rejects.load(Ordering::Relaxed),
             duplicates_removed: self.duplicates_removed.load(Ordering::Relaxed),
-            phases: self.phases.lock().expect("metrics lock poisoned").clone(),
+            phases: self
+                .phases
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
         }
     }
 }

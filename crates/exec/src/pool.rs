@@ -36,10 +36,19 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
+use crate::fault;
 use crate::metrics::Metrics;
+
+/// Locks a pool mutex, recovering from poisoning. Task panics are
+/// caught in `try_chunk` *before* they can unwind through a guard, so
+/// a poisoned pool lock still protects consistent data; recovering
+/// keeps one panicking task from wedging every later `par_map` call.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Handle to a work-stealing thread pool. Cheap to clone; the worker
 /// threads shut down when the last handle drops.
@@ -87,7 +96,7 @@ impl DoneSync {
     /// Wakes the caller; taking the lock first closes the race against
     /// the caller's predicate check.
     fn notify(&self) {
-        let _guard = self.lock.lock().expect("done lock poisoned");
+        let _guard = lock_recover(&self.lock);
         self.cv.notify_all();
     }
 }
@@ -152,13 +161,16 @@ where
     if idx >= end {
         return false;
     }
-    match catch_unwind(AssertUnwindSafe(|| (ctx.f)(idx))) {
+    match catch_unwind(AssertUnwindSafe(|| {
+        fault::hit("exec.pool.task");
+        (ctx.f)(idx)
+    })) {
         Ok(value) => {
             // SAFETY: `idx` was claimed exclusively above.
             unsafe { *ctx.slots[idx].0.get() = Some(value) };
         }
         Err(payload) => {
-            let mut slot = ctx.sync.panic.lock().expect("panic slot poisoned");
+            let mut slot = lock_recover(&ctx.sync.panic);
             if slot.is_none() {
                 *slot = Some(payload);
             }
@@ -210,7 +222,7 @@ where
 fn worker_loop(shared: Arc<Shared>) {
     loop {
         let task = {
-            let mut queue = shared.injector.lock().expect("injector poisoned");
+            let mut queue = lock_recover(&shared.injector);
             loop {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
@@ -225,7 +237,7 @@ fn worker_loop(shared: Arc<Shared>) {
                 queue = shared
                     .work_available
                     .wait(queue)
-                    .expect("injector poisoned");
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         // SAFETY: `active > 0` keeps the call's context alive.
@@ -253,13 +265,17 @@ impl Pool {
             shutdown: AtomicBool::new(false),
             metrics: Arc::new(Metrics::new()),
         });
+        // Degrade gracefully when the OS refuses a thread: correctness
+        // never depends on helpers existing — the caller drains every
+        // chunk itself if it must — so a failed spawn just means less
+        // parallelism, not a panic.
         let handles = (1..jobs)
-            .map(|i| {
+            .filter_map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("soctam-worker-{i}"))
                     .spawn(move || worker_loop(shared))
-                    .expect("failed to spawn pool worker")
+                    .ok()
             })
             .collect();
         Self {
@@ -312,6 +328,7 @@ impl Pool {
         if participants <= 1 {
             return (0..n)
                 .map(|i| {
+                    fault::hit("exec.pool.task");
                     metrics.count_task();
                     f(i)
                 })
@@ -341,7 +358,7 @@ impl Pool {
         let ctx_ptr = &ctx as *const MapCtx<'_, R, F> as *const ();
 
         {
-            let mut queue = self.core.shared.injector.lock().expect("injector poisoned");
+            let mut queue = lock_recover(&self.core.shared.injector);
             for home in 0..participants - 1 {
                 queue.push_back(Task {
                     run: helper_entry::<R, F>,
@@ -359,24 +376,30 @@ impl Pool {
         // Remove invitations nobody picked up; anything already picked
         // up is tracked by `active`.
         {
-            let mut queue = self.core.shared.injector.lock().expect("injector poisoned");
+            let mut queue = lock_recover(&self.core.shared.injector);
             queue.retain(|task| !std::ptr::eq(task.ctx, ctx_ptr));
         }
 
-        let mut guard = sync.lock.lock().expect("done lock poisoned");
+        let mut guard = lock_recover(&sync.lock);
         while !(sync.completed.load(Ordering::Acquire) == n
             && sync.active.load(Ordering::Acquire) == 0)
         {
-            guard = sync.cv.wait(guard).expect("done lock poisoned");
+            guard = sync.cv.wait(guard).unwrap_or_else(PoisonError::into_inner);
         }
         drop(guard);
 
-        if let Some(payload) = sync.panic.lock().expect("panic slot poisoned").take() {
+        if let Some(payload) = lock_recover(&sync.panic).take() {
             resume_unwind(payload);
         }
         slots
             .into_iter()
-            .map(|slot| slot.0.into_inner().expect("claimed slot left empty"))
+            .map(|slot| {
+                // Invariant: the completion handshake above guarantees
+                // every slot was claimed and written, and a panic in any
+                // task re-raises before this point.
+                #[allow(clippy::expect_used)]
+                slot.0.into_inner().expect("claimed slot left empty")
+            })
             .collect()
     }
 
@@ -403,7 +426,7 @@ impl Pool {
             .map(|task| Mutex::new(Some(task)))
             .collect();
         self.par_map_index(tasks.len(), |i| {
-            if let Some(task) = tasks[i].lock().expect("scope task poisoned").take() {
+            if let Some(task) = lock_recover(&tasks[i]).take() {
                 task();
             }
         });
@@ -414,7 +437,7 @@ impl Drop for PoolCore {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.work_available.notify_all();
-        let handles = std::mem::take(&mut *self.handles.lock().expect("handles poisoned"));
+        let handles = std::mem::take(&mut *lock_recover(&self.handles));
         for handle in handles {
             let _ = handle.join();
         }

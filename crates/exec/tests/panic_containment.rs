@@ -1,0 +1,99 @@
+//! A panicking task must not poison the pool or the cache: after the
+//! panic is caught by the caller, the same pool must keep producing
+//! results bit-identical to a fresh pool's.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use soctam_exec::{MemoCache, Pool};
+
+fn square_map(pool: &Pool, n: usize) -> Vec<usize> {
+    pool.par_map_index(n, |i| i * i)
+}
+
+#[test]
+fn pool_survives_a_panicking_task() {
+    let pool = Pool::new(4);
+    let before = square_map(&pool, 64);
+
+    // One task out of many panics; par_map_index must propagate the
+    // panic to the caller (not swallow it, not deadlock).
+    let attempts = AtomicUsize::new(0);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.par_map_index(64, |i| {
+            attempts.fetch_add(1, Ordering::Relaxed);
+            if i == 13 {
+                panic!("task 13 exploded");
+            }
+            i * i
+        })
+    }));
+    assert!(result.is_err(), "the panic must reach the caller");
+
+    // The pool is not poisoned: subsequent runs are bit-identical to a
+    // fresh pool's output.
+    let after = square_map(&pool, 64);
+    assert_eq!(after, before);
+    let fresh = square_map(&Pool::new(4), 64);
+    assert_eq!(after, fresh);
+}
+
+#[test]
+fn repeated_panics_do_not_accumulate_damage() {
+    let pool = Pool::new(2);
+    for round in 0..10 {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map_index(32, |i| {
+                if i == round {
+                    panic!("round {round}");
+                }
+                i + round
+            })
+        }));
+        assert!(result.is_err());
+        let expected: Vec<usize> = (0..32).map(|i| i + round).collect();
+        assert_eq!(pool.par_map_index(32, |i| i + round), expected);
+    }
+}
+
+#[test]
+fn cache_survives_a_panicking_compute() {
+    let cache: MemoCache<u32, u32> = MemoCache::new(4);
+    assert_eq!(cache.get_or_insert_with(1, || 10), 10);
+
+    // A compute closure that panics must not poison the shard it was
+    // about to insert into.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        cache.get_or_insert_with(2, || panic!("compute exploded"))
+    }));
+    assert!(result.is_err());
+
+    // The poisoned-shard recovery keeps every operation working: the
+    // old entry is intact, the failed key stays absent and is
+    // computable again, and new inserts land normally.
+    assert_eq!(cache.get(&1), Some(10));
+    assert_eq!(cache.get(&2), None);
+    assert_eq!(cache.get_or_insert_with(2, || 20), 20);
+    assert_eq!(cache.get_or_insert_with(3, || 30), 30);
+    assert_eq!(cache.len(), 3);
+}
+
+#[test]
+fn panic_inside_scope_spawn_does_not_deadlock_the_pool() {
+    let pool = Pool::new(2);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.scope(|scope| {
+            scope.spawn(|| panic!("scoped task exploded"));
+            scope.spawn(|| {});
+        });
+    }));
+    // Whether the panic surfaces here or is contained, the pool must
+    // remain usable afterwards.
+    let _ = result;
+    assert_eq!(
+        pool.par_map_index(8, |i| i * 3),
+        vec![0, 3, 6, 9, 12, 15, 18, 21]
+    );
+}

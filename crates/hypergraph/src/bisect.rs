@@ -74,6 +74,8 @@ fn split(
 /// Builds the sub-hypergraph induced by `vertices` (edges restricted to the
 /// subset; restrictions with fewer than two pins are dropped). Returns the
 /// graph and the local→global vertex map (which equals `vertices`).
+// Invariant: induced pins are renumbered through the vertex map, so every pin indexes a declared vertex.
+#[allow(clippy::expect_used)]
 fn induce(hg: &Hypergraph, vertices: &[u32]) -> (Hypergraph, Vec<u32>) {
     let mut local_of = vec![u32::MAX; hg.num_vertices()];
     for (local, &v) in vertices.iter().enumerate() {
@@ -110,6 +112,8 @@ fn induce(hg: &Hypergraph, vertices: &[u32]) -> (Hypergraph, Vec<u32>) {
 /// Multilevel bisection of `hg` with target part-0 weight fraction `frac`.
 /// `min_counts` are the minimum vertex counts each side must keep so that
 /// recursive bisection can still place its parts.
+// Invariant: the coarsening chain always holds the level just pushed, and at least one FM try runs per bisection.
+#[allow(clippy::expect_used)]
 fn bisect(
     hg: &Hypergraph,
     frac: f64,
@@ -252,6 +256,8 @@ fn grow_initial(hg: &Hypergraph, frac: f64, rng: &mut Rng) -> Vec<bool> {
 
 /// Guarantees each side keeps at least its minimum vertex count by moving
 /// the lightest vertices from the larger side (then re-refining lightly).
+// Invariant: while one side is short of its minimum the other holds the surplus, so the donor side is never empty.
+#[allow(clippy::expect_used)]
 fn enforce_min_counts(
     hg: &Hypergraph,
     side: &mut [bool],

@@ -16,6 +16,8 @@ pub(crate) struct CoarseLevel {
 
 /// Contracts a maximal heavy-edge matching. Returns `None` when matching
 /// achieves less than a 5 % reduction (coarsening has converged).
+// Invariant: projected pins are renumbered through the coarse map, so every pin indexes a declared vertex.
+#[allow(clippy::expect_used)]
 pub(crate) fn coarsen_once(hg: &Hypergraph, rng: &mut Rng) -> Option<CoarseLevel> {
     let n = hg.num_vertices();
     let mut order: Vec<u32> = (0..n as u32).collect();

@@ -3,6 +3,8 @@
 //! optimal, but on instances of the size this workspace actually
 //! partitions (≤ 33 cores) they should sit very close to the optimum.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam_exec::Rng;
 
 use soctam_hypergraph::{Hypergraph, HypergraphBuilder, PartitionConfig};

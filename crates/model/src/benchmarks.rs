@@ -107,6 +107,8 @@ impl Benchmark {
     ///
     /// Never panics in practice; the embedded tables are validated by unit
     /// tests.
+    // Invariant: the embedded ITC'02 benchmark tables are validated by the `benchmarks` tests, so construction cannot fail.
+    #[allow(clippy::expect_used)]
     pub fn soc(self) -> Soc {
         let table = match self {
             Benchmark::U226 => U226,

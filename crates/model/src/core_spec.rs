@@ -117,9 +117,12 @@ impl CoreSpec {
         self.outputs + self.bidirs
     }
 
-    /// Total number of internal scan cells.
+    /// Total number of internal scan cells. Saturates at `u64::MAX`
+    /// rather than overflowing on absurd (hostile-input) chain counts.
     pub fn scan_cells(&self) -> u64 {
-        self.scan_chains.iter().map(|&len| u64::from(len)).sum()
+        self.scan_chains
+            .iter()
+            .fold(0u64, |acc, &len| acc.saturating_add(u64::from(len)))
     }
 
     /// `true` if the core has no internal scan chains.
@@ -131,10 +134,19 @@ impl CoreSpec {
     /// `patterns × (scan cells + max(inputs, outputs) + bidirs)`.
     ///
     /// Useful as a width-independent proxy for how much tester time the core
-    /// needs (`T(w) ≳ volume / w`).
+    /// needs (`T(w) ≳ volume / w`). Saturates at `u64::MAX`; use
+    /// [`CoreSpec::checked_test_data_volume`] to detect overflow.
     pub fn test_data_volume(&self) -> u64 {
-        let io = u64::from(self.inputs.max(self.outputs) + self.bidirs);
-        self.patterns * (self.scan_cells() + io)
+        self.checked_test_data_volume().unwrap_or(u64::MAX)
+    }
+
+    /// As [`CoreSpec::test_data_volume`], returning `None` when the
+    /// product overflows `u64` — surfaced by `Soc::validate` as
+    /// diagnostic `SOC-V02`.
+    pub fn checked_test_data_volume(&self) -> Option<u64> {
+        let io = u64::from(self.inputs.max(self.outputs)).checked_add(u64::from(self.bidirs))?;
+        self.patterns
+            .checked_mul(self.scan_cells().checked_add(io)?)
     }
 }
 

@@ -1,0 +1,217 @@
+//! Structured validation diagnostics.
+//!
+//! Stage-boundary validation (`Soc::validate`, `SiPatternSet::validate`,
+//! `SiSchedule::validate`) reports problems as a [`Diagnostics`]
+//! collection instead of panicking or stopping at the first error. Each
+//! [`Diagnostic`] carries a stable error code (grep-able, listed in
+//! DESIGN.md §8), the site that produced it, a human-readable message
+//! and an actionable suggestion.
+//!
+//! # Example
+//!
+//! ```
+//! use soctam_model::{Diagnostic, Diagnostics};
+//!
+//! let mut diags = Diagnostics::new();
+//! diags.push(Diagnostic::new(
+//!     "SOC-V02",
+//!     "soc.validate",
+//!     "core `cpu` test data volume overflows u64",
+//!     "reduce the pattern count or scan-cell total",
+//! ));
+//! assert!(!diags.is_ok());
+//! assert_eq!(diags.items()[0].code(), "SOC-V02");
+//! ```
+
+use std::fmt;
+
+/// One validation finding: code + site + message + suggestion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    code: &'static str,
+    site: String,
+    message: String,
+    suggestion: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic. `code` is a stable identifier such as
+    /// `"SOC-V01"`; `site` names the validator that raised it.
+    pub fn new(
+        code: &'static str,
+        site: impl Into<String>,
+        message: impl Into<String>,
+        suggestion: impl Into<String>,
+    ) -> Self {
+        Self {
+            code,
+            site: site.into(),
+            message: message.into(),
+            suggestion: suggestion.into(),
+        }
+    }
+
+    /// Stable error code (e.g. `"SCH-V01"`).
+    pub fn code(&self) -> &'static str {
+        self.code
+    }
+
+    /// The validation site that raised this diagnostic.
+    pub fn site(&self) -> &str {
+        &self.site
+    }
+
+    /// Human-readable description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Actionable hint for fixing the problem.
+    pub fn suggestion(&self) -> &str {
+        &self.suggestion
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}: {} (suggestion: {})",
+            self.code, self.site, self.message, self.suggestion
+        )
+    }
+}
+
+/// An ordered collection of validation findings. Empty means valid.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// Creates an empty (passing) collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a finding.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.items.push(diagnostic);
+    }
+
+    /// Appends all findings from `other`.
+    pub fn merge(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+
+    /// The findings, in the order they were raised.
+    pub fn items(&self) -> &[Diagnostic] {
+        &self.items
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when there are no findings (validation passed).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when validation passed — alias of [`Diagnostics::is_empty`]
+    /// that reads naturally at call sites.
+    pub fn is_ok(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// `Ok(())` when empty, `Err(self)` otherwise — for `?`-style
+    /// stage-boundary checks.
+    pub fn into_result(self) -> Result<(), Diagnostics> {
+        if self.items.is_empty() {
+            Ok(())
+        } else {
+            Err(self)
+        }
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.items.len() {
+            0 => write!(f, "no diagnostics"),
+            1 => write!(f, "{}", self.items[0]),
+            n => {
+                write!(f, "{n} diagnostics")?;
+                for item in &self.items {
+                    write!(f, "\n  {item}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl std::error::Error for Diagnostics {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic::new("T-V01", "test.site", "something is off", "turn it on")
+    }
+
+    #[test]
+    fn empty_diagnostics_pass() {
+        let d = Diagnostics::new();
+        assert!(d.is_ok());
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert!(d.into_result().is_ok());
+    }
+
+    #[test]
+    fn findings_accumulate_in_order() {
+        let mut d = Diagnostics::new();
+        d.push(sample());
+        d.push(Diagnostic::new("T-V02", "test.site", "more", "less"));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.items()[0].code(), "T-V01");
+        assert_eq!(d.items()[1].code(), "T-V02");
+        assert!(d.into_result().is_err());
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = Diagnostics::new();
+        a.push(sample());
+        let mut b = Diagnostics::new();
+        b.push(Diagnostic::new("T-V03", "other.site", "x", "y"));
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.items()[1].site(), "other.site");
+    }
+
+    #[test]
+    fn display_includes_code_site_and_suggestion() {
+        let text = sample().to_string();
+        assert!(text.contains("[T-V01]"));
+        assert!(text.contains("test.site"));
+        assert!(text.contains("suggestion: turn it on"));
+        let mut d = Diagnostics::new();
+        d.push(sample());
+        d.push(sample());
+        let multi = d.to_string();
+        assert!(multi.starts_with("2 diagnostics"));
+    }
+}

@@ -60,6 +60,11 @@ pub enum ModelError {
         /// Human-readable description of what went wrong.
         message: String,
     },
+    /// A deterministic failpoint fired (see `soctam_exec::fault`).
+    FaultInjected {
+        /// Name of the failpoint site that fired.
+        site: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -93,11 +98,22 @@ impl fmt::Display for ModelError {
             ModelError::ParseSoc { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
+            ModelError::FaultInjected { site } => {
+                write!(f, "injected fault at failpoint `{site}`")
+            }
         }
     }
 }
 
 impl Error for ModelError {}
+
+impl From<soctam_exec::FaultError> for ModelError {
+    fn from(fault: soctam_exec::FaultError) -> Self {
+        ModelError::FaultInjected {
+            site: fault.site().to_string(),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -30,9 +30,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod benchmarks;
 mod core_spec;
+mod diag;
 mod error;
 mod ids;
 pub mod parser;
@@ -42,6 +44,7 @@ pub mod topology;
 
 pub use benchmarks::Benchmark;
 pub use core_spec::CoreSpec;
+pub use diag::{Diagnostic, Diagnostics};
 pub use error::ModelError;
 pub use ids::{BusLineId, CoreId, TerminalId};
 pub use soc::Soc;

@@ -32,7 +32,16 @@
 //! # }
 //! ```
 
+use soctam_exec::fault;
+
 use crate::{CoreSpec, ModelError, Soc};
+
+/// Upper bound on `Vec::with_capacity` hints taken from file-declared
+/// counts. A hostile file can declare `ScanChains 4000000000`; trusting
+/// that count would attempt a multi-gigabyte allocation before the
+/// (inevitable) parse error on the missing data. Parsing still accepts
+/// any element count — the vector grows normally past the hint.
+const MAX_CAPACITY_HINT: usize = 1 << 10;
 
 /// One `Test` record of a module.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -67,9 +76,12 @@ pub struct ModuleRecord {
 }
 
 impl ModuleRecord {
-    /// Total pattern count over all declared tests.
+    /// Total pattern count over all declared tests. Saturates at
+    /// `u64::MAX` instead of overflowing on hostile pattern counts.
     pub fn total_patterns(&self) -> u64 {
-        self.tests.iter().map(|t| t.patterns).sum()
+        self.tests
+            .iter()
+            .fold(0u64, |acc, t| acc.saturating_add(t.patterns))
     }
 }
 
@@ -220,6 +232,7 @@ impl<'a> Cursor<'a> {
 /// Returns [`ModelError::ParseSoc`] with the line number of the first
 /// offending token on any syntax error.
 pub fn parse_soc(input: &str) -> Result<SocFile, ModelError> {
+    fault::check("model.parse")?;
     let mut cur = Cursor {
         tokens: tokenize(input),
         pos: 0,
@@ -297,7 +310,7 @@ fn parse_module(cur: &mut Cursor<'_>) -> Result<ModuleRecord, ModelError> {
     if cur.peek().is_some_and(|t| t.text == ":") {
         cur.next();
     }
-    let mut scan_chains = Vec::with_capacity(num_chains as usize);
+    let mut scan_chains = Vec::with_capacity((num_chains as usize).min(MAX_CAPACITY_HINT));
     for _ in 0..num_chains {
         scan_chains.push(cur.expect_u32("scan chain length")?);
     }
@@ -312,7 +325,7 @@ fn parse_module(cur: &mut Cursor<'_>) -> Result<ModuleRecord, ModelError> {
         0
     };
 
-    let mut tests = Vec::with_capacity(num_tests as usize);
+    let mut tests = Vec::with_capacity((num_tests as usize).min(MAX_CAPACITY_HINT));
     for _ in 0..num_tests {
         cur.expect_keyword("Test")?;
         let index = cur.expect_u32("test index")?;

@@ -4,7 +4,7 @@
 use std::fmt;
 use std::ops::Range;
 
-use crate::{CoreId, CoreSpec, ModelError, TerminalId};
+use crate::{CoreId, CoreSpec, Diagnostic, Diagnostics, ModelError, TerminalId};
 
 /// A core-based SOC: the unit the TAM optimization operates on.
 ///
@@ -108,7 +108,8 @@ impl Soc {
     /// Total number of wrapper output cells across all cores — the size of
     /// the global SI terminal space.
     pub fn total_wocs(&self) -> u32 {
-        *self.woc_offsets.last().expect("offsets never empty")
+        // `woc_offsets` always holds at least the leading 0.
+        self.woc_offsets.last().copied().unwrap_or(0)
     }
 
     /// The half-open range of global terminal indices owned by core `id`.
@@ -148,19 +149,95 @@ impl Soc {
     }
 
     /// Sum of InTest test-data volumes over all cores (see
-    /// [`CoreSpec::test_data_volume`]).
+    /// [`CoreSpec::test_data_volume`]). Saturates at `u64::MAX`.
     pub fn total_test_data_volume(&self) -> u64 {
-        self.cores.iter().map(CoreSpec::test_data_volume).sum()
+        self.cores
+            .iter()
+            .fold(0u64, |acc, c| acc.saturating_add(c.test_data_volume()))
     }
 
     /// Sum of all cores' functional terminal counts (inputs + outputs +
     /// bidirs) — the "sum of the numbers of all the core I/Os" quantity the
-    /// paper's Section 2 estimate refers to.
+    /// paper's Section 2 estimate refers to. Saturates at `u64::MAX`.
     pub fn total_io(&self) -> u64 {
-        self.cores
-            .iter()
-            .map(|c| u64::from(c.inputs() + c.outputs() + c.bidirs()))
-            .sum()
+        self.cores.iter().fold(0u64, |acc, c| {
+            acc.saturating_add(u64::from(c.inputs()))
+                .saturating_add(u64::from(c.outputs()))
+                .saturating_add(u64::from(c.bidirs()))
+        })
+    }
+
+    /// Validates the SOC beyond the structural checks [`Soc::new`]
+    /// already enforces, collecting every finding instead of stopping
+    /// at the first.
+    ///
+    /// Codes raised here (see DESIGN.md §8 for the full catalogue):
+    ///
+    /// * `SOC-V01` — empty SOC name;
+    /// * `SOC-V02` — a core's test-data volume overflows `u64`;
+    /// * `SOC-V03` — a core's serialized scan length (scan cells +
+    ///   terminals) times its pattern count overflows `u64`, so test
+    ///   times at narrow TAM widths would saturate;
+    /// * `SOC-V04` — the internal terminal-offset table is
+    ///   inconsistent (would indicate construction-invariant breakage).
+    pub fn validate(&self) -> Diagnostics {
+        const SITE: &str = "soc.validate";
+        let mut diags = Diagnostics::new();
+        if self.name.trim().is_empty() {
+            diags.push(Diagnostic::new(
+                "SOC-V01",
+                SITE,
+                "soc has an empty name",
+                "give the SOC a non-empty name when constructing it",
+            ));
+        }
+        for (id, core) in self.iter() {
+            if core.checked_test_data_volume().is_none() {
+                diags.push(Diagnostic::new(
+                    "SOC-V02",
+                    SITE,
+                    format!(
+                        "core `{}` ({id}) test data volume overflows u64",
+                        core.name()
+                    ),
+                    "reduce the core's pattern count or scan-cell total",
+                ));
+            }
+            let serial_bits = core
+                .scan_cells()
+                .checked_add(u64::from(core.wic_count()))
+                .and_then(|b| b.checked_add(u64::from(core.woc_count())))
+                .and_then(|b| b.checked_add(1));
+            if serial_bits
+                .and_then(|b| b.checked_mul(core.patterns()))
+                .is_none()
+            {
+                diags.push(Diagnostic::new(
+                    "SOC-V03",
+                    SITE,
+                    format!(
+                        "core `{}` ({id}) test time at width 1 overflows u64",
+                        core.name()
+                    ),
+                    "reduce the core's pattern count; narrow-width test times would saturate",
+                ));
+            }
+        }
+        let offsets_consistent = self.woc_offsets.len() == self.cores.len() + 1
+            && self.woc_offsets.windows(2).all(|w| w[0] <= w[1])
+            && self.iter().all(|(id, c)| {
+                let r = self.terminal_range(id);
+                r.end - r.start == c.woc_count()
+            });
+        if !offsets_consistent {
+            diags.push(Diagnostic::new(
+                "SOC-V04",
+                SITE,
+                "terminal offset table is inconsistent with core WOC counts",
+                "rebuild the Soc via Soc::new; do not mutate it in place",
+            ));
+        }
+        diags
     }
 }
 
@@ -248,5 +325,40 @@ mod tests {
     fn total_io_sums_all_sides() {
         let s = soc();
         assert_eq!(s.total_io(), (4 + 3) + (2 + 5 + 1) + 1);
+    }
+
+    #[test]
+    fn validate_passes_for_well_formed_soc() {
+        assert!(soc().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_flags_empty_name() {
+        let s = Soc::new(
+            "  ",
+            vec![CoreSpec::new("a", 1, 1, 0, vec![4], 2).expect("valid")],
+        )
+        .expect("valid soc");
+        let diags = s.validate();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags.items()[0].code(), "SOC-V01");
+        assert_eq!(diags.items()[0].site(), "soc.validate");
+        assert!(!diags.items()[0].suggestion().is_empty());
+    }
+
+    #[test]
+    fn validate_flags_volume_overflow() {
+        // u64::MAX patterns × (scan + io) overflows both the volume and
+        // the width-1 test time.
+        let s = Soc::new(
+            "big",
+            vec![CoreSpec::new("huge", 8, 8, 0, vec![100], u64::MAX).expect("valid")],
+        )
+        .expect("valid soc");
+        let codes: Vec<&str> = s.validate().items().iter().map(|d| d.code()).collect();
+        assert!(codes.contains(&"SOC-V02"));
+        assert!(codes.contains(&"SOC-V03"));
+        // Saturation keeps the accessor total + panic-free.
+        assert_eq!(s.total_test_data_volume(), u64::MAX);
     }
 }

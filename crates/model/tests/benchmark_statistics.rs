@@ -1,5 +1,7 @@
 //! Structural sanity of the embedded ITC'02 reconstructions.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam_model::{Benchmark, CoreId};
 
 #[test]

@@ -1,0 +1,85 @@
+//! Property test: the ITC'02 parser survives hostile inputs.
+//!
+//! Deterministic byte-level fuzzing (fixed seeds, splitmix64 stream — no
+//! RNG dependency) of the embedded benchmarks' own serialized form:
+//! random mutations and truncations must never panic and must fail, when
+//! they fail, with a structured [`ModelError`] carrying line context.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use soctam_model::parser::{parse_soc, write_soc};
+use soctam_model::{Benchmark, ModelError};
+
+/// splitmix64 — the same generator the optimizer uses for deterministic
+/// shuffles; good enough for byte fuzzing, zero dependencies.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn parse_fully(text: &str) -> Result<(), ModelError> {
+    parse_soc(text).and_then(|f| f.into_soc()).map(|_| ())
+}
+
+#[test]
+fn random_byte_mutations_never_panic() {
+    for bench in [Benchmark::D695, Benchmark::P34392] {
+        let text = write_soc(&bench.soc());
+        let bytes = text.as_bytes();
+        let mut state = 0x0BAD_5EED ^ bytes.len() as u64;
+        for _ in 0..500 {
+            let mut mutated = bytes.to_vec();
+            let flips = 1 + (splitmix(&mut state) % 8) as usize;
+            for _ in 0..flips {
+                let pos = (splitmix(&mut state) as usize) % mutated.len();
+                mutated[pos] = (splitmix(&mut state) & 0xff) as u8;
+            }
+            // Lossy conversion keeps invalid UTF-8 in play as U+FFFD.
+            let hostile = String::from_utf8_lossy(&mutated);
+            if let Err(err) = parse_fully(&hostile) {
+                assert!(!err.to_string().is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn truncations_never_panic_and_name_the_line() {
+    for bench in [Benchmark::D695, Benchmark::P34392] {
+        let text = write_soc(&bench.soc());
+        // write_soc emits ASCII, so every byte offset is a char boundary.
+        for end in (0..text.len()).step_by(5) {
+            let _ = parse_fully(&text[..end]);
+        }
+        // Cutting a core line in half must produce a parse error that
+        // points at a line.
+        let cut = text.len() * 3 / 4;
+        let err = parse_fully(&text[..cut]).expect_err("truncated file is invalid");
+        assert!(err.to_string().contains("line"), "{err}");
+    }
+}
+
+#[test]
+fn hostile_capacity_hints_are_rejected_cheaply() {
+    // A file declaring absurd counts must error out (or parse the real
+    // contents) without attempting the declared allocation.
+    let hostile = "SocName evil\nTotalCores 18446744073709551615\n";
+    let _ = parse_fully(hostile);
+    let hostile2 = "SocName evil\nTotalCores 4294967295\nCore 0 c0 1 1 0 10\n";
+    let _ = parse_fully(hostile2);
+}
+
+#[test]
+fn line_numbers_point_at_the_offending_line() {
+    let text = write_soc(&Benchmark::D695.soc());
+    let mut lines: Vec<&str> = text.lines().collect();
+    lines[2] = "Core zero NOT-A-NUMBER";
+    let broken = lines.join("\n");
+    match parse_fully(&broken) {
+        Err(ModelError::ParseSoc { line, .. }) => assert_eq!(line, 3),
+        other => panic!("expected ParseSoc at line 3, got {other:?}"),
+    }
+}

@@ -39,6 +39,11 @@ pub enum PatternError {
         /// Human-readable description.
         message: String,
     },
+    /// A deterministic failpoint fired (see `soctam_exec::fault`).
+    FaultInjected {
+        /// Name of the failpoint site that fired.
+        site: String,
+    },
 }
 
 impl fmt::Display for PatternError {
@@ -64,11 +69,22 @@ impl fmt::Display for PatternError {
             PatternError::InvalidConfig { message } => {
                 write!(f, "invalid generator configuration: {message}")
             }
+            PatternError::FaultInjected { site } => {
+                write!(f, "injected fault at failpoint `{site}`")
+            }
         }
     }
 }
 
 impl Error for PatternError {}
+
+impl From<soctam_exec::FaultError> for PatternError {
+    fn from(fault: soctam_exec::FaultError) -> Self {
+        PatternError::FaultInjected {
+            site: fault.site().to_string(),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -116,6 +116,7 @@ pub fn generate_random(
     soc: &Soc,
     config: &RandomPatternConfig,
 ) -> Result<Vec<SiPattern>, PatternError> {
+    soctam_exec::fault::check("patterns.generate.random")?;
     config.validate(soc)?;
     Ok((0..config.count)
         .map(|i| generate_one(soc, config, i as u64))
@@ -136,6 +137,7 @@ pub fn generate_random_with(
     config: &RandomPatternConfig,
     pool: &Pool,
 ) -> Result<Vec<SiPattern>, PatternError> {
+    soctam_exec::fault::check("patterns.generate.random")?;
     config.validate(soc)?;
     Ok(pool.par_map_index(config.count, |i| generate_one(soc, config, i as u64)))
 }
@@ -143,6 +145,8 @@ pub fn generate_random_with(
 /// Generates pattern `index` of the set: one victim plus aggressors and
 /// an optional bus postfix, all drawn from the stream derived from
 /// `(config.seed, index)`.
+// Invariant: draws are range-clipped and deduplicated before construction, so lookups and `SiPattern::new` cannot fail.
+#[allow(clippy::expect_used)]
 fn generate_one(soc: &Soc, config: &RandomPatternConfig, index: u64) -> SiPattern {
     let mut rng = Rng::derive(config.seed, index);
     let total = soc.total_wocs();

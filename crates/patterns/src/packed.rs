@@ -275,6 +275,8 @@ impl PackedPattern {
 
     /// Unpacks back to the sparse representation.
     #[must_use]
+    // Invariant: a packed pattern stores each terminal in exactly one plane, so the sparse rebuild cannot conflict.
+    #[allow(clippy::expect_used)]
     pub fn to_sparse(&self) -> SiPattern {
         let mut care = Vec::with_capacity(self.as_packed_ref().care_count());
         let mut bus = Vec::with_capacity(self.bus.len());
@@ -990,6 +992,8 @@ fn absorb_words(planes: &mut [Plane], words: &[PackedWord]) {
 /// bus lines in the subset): the epoch-based sweep over a
 /// [`PackedAccumulator`], whose dense per-line driver table handles the
 /// full 256-line space.
+// Invariant: the loop only runs while `alive` is non-empty, so the seed draw always succeeds.
+#[allow(clippy::expect_used)]
 fn cover_with_accumulator(
     set: &PackedSet,
     visit: &[u32],
@@ -1067,6 +1071,8 @@ impl PackedLayout {
     /// # Panics
     ///
     /// Panics if `p` has a care bit outside the SOC's terminal space.
+    // Invariant: out-of-range terminals are a documented `# Panics` contract of this method.
+    #[allow(clippy::expect_used)]
     pub fn care_cores_into(&self, p: PackedRef<'_>, out: &mut Vec<CoreId>) {
         out.clear();
         for w in p.words {

@@ -106,6 +106,8 @@ impl SiPattern {
     ///
     /// Panics if a care terminal lies outside `soc`'s terminal space (use
     /// [`SiPattern::validate_for`] first for untrusted patterns).
+    // Invariant: out-of-range terminals are a documented `# Panics` contract of this method.
+    #[allow(clippy::expect_used)]
     pub fn care_cores(&self, soc: &Soc) -> Vec<CoreId> {
         let mut cores: Vec<CoreId> = self
             .care

@@ -1,6 +1,6 @@
 //! Owned collections of SI patterns.
 
-use soctam_model::{Soc, TerminalId};
+use soctam_model::{Diagnostic, Diagnostics, Soc, TerminalId};
 
 use crate::generator::{
     generate_random, generate_random_with, maximal_aggressor, reduced_mt, RandomPatternConfig,
@@ -129,6 +129,62 @@ impl SiPatternSet {
         self.patterns.iter().try_for_each(|p| p.validate_for(soc))
     }
 
+    /// Validates the whole set against `soc`, collecting every finding
+    /// instead of stopping at the first (contrast
+    /// [`SiPatternSet::validate_for`]).
+    ///
+    /// Codes raised here (see DESIGN.md §8):
+    ///
+    /// * `PAT-V01` — a care bit references a terminal outside the SOC's
+    ///   terminal space;
+    /// * `PAT-V02` — a pattern is empty (no care bits and no bus
+    ///   lines), so it consumes test time without testing anything;
+    /// * `PAT-V03` — a bus line's driver core is out of range for the
+    ///   SOC.
+    pub fn validate(&self, soc: &Soc) -> Diagnostics {
+        const SITE: &str = "patterns.validate";
+        let mut diags = Diagnostics::new();
+        let total = soc.total_wocs();
+        let num_cores = soc.num_cores();
+        for (index, pattern) in self.patterns.iter().enumerate() {
+            for &(terminal, _) in pattern.care_bits() {
+                if terminal.raw() >= total {
+                    diags.push(Diagnostic::new(
+                        "PAT-V01",
+                        SITE,
+                        format!(
+                            "pattern {index} references {terminal} outside the \
+                             {total}-terminal space"
+                        ),
+                        "regenerate the pattern set against this SOC",
+                    ));
+                }
+            }
+            if pattern.care_bits().is_empty() && pattern.bus_lines().is_empty() {
+                diags.push(Diagnostic::new(
+                    "PAT-V02",
+                    SITE,
+                    format!("pattern {index} is empty (no care bits, no bus lines)"),
+                    "drop empty patterns before compaction; they waste test time",
+                ));
+            }
+            for &(line, driver) in pattern.bus_lines() {
+                if driver.index() >= num_cores {
+                    diags.push(Diagnostic::new(
+                        "PAT-V03",
+                        SITE,
+                        format!(
+                            "pattern {index} occupies {line} for driver {driver} \
+                             but the soc has {num_cores} cores"
+                        ),
+                        "regenerate the pattern set against this SOC",
+                    ));
+                }
+            }
+        }
+        diags
+    }
+
     /// Summary statistics of the set over `soc`.
     ///
     /// # Panics
@@ -207,5 +263,30 @@ mod tests {
         let set: SiPatternSet = (0..4).map(pattern).collect();
         let back: SiPatternSet = set.clone().into_iter().collect();
         assert_eq!(set, back);
+    }
+
+    #[test]
+    fn validate_collects_every_finding() {
+        use soctam_model::{CoreSpec, Soc};
+        // 2 cores, 3 + 0 WOCs -> terminal space of size 3.
+        let soc = Soc::new(
+            "v",
+            vec![
+                CoreSpec::new("a", 1, 3, 0, vec![], 1).expect("valid"),
+                CoreSpec::new("b", 1, 0, 0, vec![], 1).expect("valid"),
+            ],
+        )
+        .expect("valid soc");
+        let good = pattern(0);
+        let out_of_range = pattern(7);
+        let empty = SiPattern::new(vec![], vec![]).expect("valid");
+        let set = SiPatternSet::from_patterns(vec![good, out_of_range, empty]);
+        let diags = set.validate(&soc);
+        let codes: Vec<&str> = diags.items().iter().map(|d| d.code()).collect();
+        assert_eq!(codes, vec!["PAT-V01", "PAT-V02"]);
+        // The in-range-only prefix passes.
+        assert!(SiPatternSet::from_patterns(vec![pattern(2)])
+            .validate(&soc)
+            .is_ok());
     }
 }

@@ -1,5 +1,7 @@
 //! Property tests for the fault-model generators over random bundles.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam_exec::check::{cases, forall, Gen};
 use soctam_model::topology::{Bundle, InterconnectTopology};
 use soctam_model::{Benchmark, TerminalId};

@@ -1,6 +1,8 @@
 //! Wall-clock profiling helper for the TAM optimizer on the paper benchmarks.
 //!
 //! Run with `cargo run --release -p soctam-tam --example tam_perf_probe`.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam_model::Benchmark;
 use soctam_tam::{SiGroupSpec, TamOptimizer};
 

@@ -101,9 +101,10 @@ pub struct Evaluation {
 }
 
 impl Evaluation {
-    /// The combined objective `T_soc = T_soc^in + T_soc^si`.
+    /// The combined objective `T_soc = T_soc^in + T_soc^si`. Saturates at
+    /// `u64::MAX` for degenerate inputs instead of overflowing.
     pub fn t_total(&self) -> u64 {
-        self.t_in + self.t_si
+        self.t_in.saturating_add(self.t_si)
     }
 
     /// `time_used(r) = time_in(r) + time_si(r)` for every rail.
@@ -111,7 +112,7 @@ impl Evaluation {
         self.rail_time_in
             .iter()
             .zip(&self.rail_time_si)
-            .map(|(a, b)| a + b)
+            .map(|(a, b)| a.saturating_add(*b))
             .collect()
     }
 }
@@ -177,7 +178,8 @@ impl<'a> Evaluator<'a> {
         let mut core_si_weight = vec![0u64; soc.num_cores()];
         for group in &groups {
             for &core in group.cores() {
-                core_si_weight[core.index()] += group.patterns();
+                let w = &mut core_si_weight[core.index()];
+                *w = w.saturating_add(group.patterns());
             }
         }
         Ok(Evaluator {
@@ -225,10 +227,11 @@ impl<'a> Evaluator<'a> {
         cores
             .iter()
             .map(|&c| {
-                self.table.intest(c, width)
-                    + self.core_si_weight[c.index()] * self.table.si_shift(c, width)
+                self.table.intest(c, width).saturating_add(
+                    self.core_si_weight[c.index()].saturating_mul(self.table.si_shift(c, width)),
+                )
             })
-            .sum()
+            .fold(0u64, u64::saturating_add)
     }
 
     /// The SOC under evaluation.
@@ -260,7 +263,7 @@ impl<'a> Evaluator<'a> {
         rail.cores()
             .iter()
             .map(|&c| self.table.intest(c, rail.width()))
-            .sum()
+            .fold(0u64, u64::saturating_add)
     }
 
     /// Full evaluation of `arch`: per-rail times, per-group SI times
@@ -289,18 +292,20 @@ impl<'a> Evaluator<'a> {
             for &core in group.cores() {
                 let rail = core_rail[core.index()];
                 let width = arch.rails()[rail].width();
-                let cycles = group.patterns() * self.table.si_shift(core, width);
+                let cycles = group
+                    .patterns()
+                    .saturating_mul(self.table.si_shift(core, width));
                 if cycles > 0 {
                     if shift[rail] == 0 {
                         touched.push(rail);
                     }
-                    shift[rail] += cycles;
+                    shift[rail] = shift[rail].saturating_add(cycles);
                 }
             }
             touched.sort_unstable();
             let (mut best_rail, mut best_time) = (usize::MAX, 0u64);
             for &rail in &touched {
-                rail_time_si[rail] += shift[rail];
+                rail_time_si[rail] = rail_time_si[rail].saturating_add(shift[rail]);
                 if shift[rail] > best_time {
                     best_time = shift[rail];
                     best_rail = rail;

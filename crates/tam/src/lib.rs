@@ -42,8 +42,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bounds;
+mod budget;
 mod bus;
 
 mod error;
@@ -55,6 +57,7 @@ mod render;
 pub mod report;
 mod schedule;
 
+pub use budget::OptimizerBudget;
 pub use bus::TestBusEvaluator;
 
 pub use error::TamError;

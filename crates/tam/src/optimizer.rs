@@ -4,10 +4,13 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use soctam_exec::Pool;
+use soctam_exec::{fault, Pool};
 use soctam_model::{CoreId, Soc};
 
-use crate::{Evaluation, Evaluator, SiGroupSpec, TamError, TestRail, TestRailArchitecture};
+use crate::budget::BudgetTracker;
+use crate::{
+    Evaluation, Evaluator, OptimizerBudget, SiGroupSpec, TamError, TestRail, TestRailArchitecture,
+};
 
 /// What the optimizer minimizes.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -27,6 +30,7 @@ pub enum Objective {
 pub struct OptimizedArchitecture {
     architecture: TestRailArchitecture,
     evaluation: Evaluation,
+    degraded: bool,
 }
 
 impl OptimizedArchitecture {
@@ -40,6 +44,13 @@ impl OptimizedArchitecture {
     pub fn evaluation(&self) -> &Evaluation {
         &self.evaluation
     }
+
+    /// True when the run hit its [`OptimizerBudget`] and returned the
+    /// best-so-far architecture instead of a fully converged one. The
+    /// architecture is still valid and feasible.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
 }
 
 /// SI-aware TestRail architecture optimizer (Algorithm 2).
@@ -51,6 +62,7 @@ pub struct TamOptimizer<'a> {
     max_width: u32,
     objective: Objective,
     pool: Pool,
+    budget: OptimizerBudget,
 }
 
 impl<'a> TamOptimizer<'a> {
@@ -70,12 +82,22 @@ impl<'a> TamOptimizer<'a> {
             max_width,
             objective: Objective::Total,
             pool,
+            budget: OptimizerBudget::unlimited(),
         })
     }
 
     /// Sets the optimization objective (builder style).
     pub fn objective(mut self, objective: Objective) -> Self {
         self.objective = objective;
+        self
+    }
+
+    /// Bounds the run's work (builder style). When the budget trips,
+    /// the optimizer stops improving and returns the best valid
+    /// architecture found so far, flagged
+    /// [`OptimizedArchitecture::degraded`].
+    pub fn budget(mut self, budget: OptimizerBudget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -98,6 +120,9 @@ impl<'a> TamOptimizer<'a> {
         self.evaluator.soc()
     }
 
+    // Invariant: every rails vector the optimizer builds keeps each core on
+    // exactly one rail, so architecture construction cannot fail.
+    #[allow(clippy::expect_used)]
     fn eval(&self, rails: &[TestRail]) -> Arc<Evaluation> {
         let arch = TestRailArchitecture::new(self.soc(), rails.to_vec())
             .expect("optimizer maintains a consistent core assignment");
@@ -146,9 +171,16 @@ impl<'a> TamOptimizer<'a> {
     /// utilized time actually drops — and picks the jump that minimizes
     /// `(T_soc, Σ_r time_used(r), wires spent)`. Wires that cannot improve
     /// any rail are spread one per widest-gap rail at the end.
-    fn distribute_free_wires(&self, mut rails: Vec<TestRail>, wires: u32) -> Vec<TestRail> {
+    // Invariant: widths only ever grow here, so `with_width` cannot see 0.
+    #[allow(clippy::expect_used)]
+    fn distribute_free_wires(
+        &self,
+        mut rails: Vec<TestRail>,
+        wires: u32,
+        tracker: &BudgetTracker,
+    ) -> Vec<TestRail> {
         let mut remaining = wires;
-        while remaining > 0 {
+        while remaining > 0 && tracker.tick() {
             // Water-filling over the staircases: among every strict drop
             // point of every rail (not just the nearest one — a tiny SI
             // gain at +1 must not mask a large InTest cliff at +6), pick
@@ -187,8 +219,9 @@ impl<'a> TamOptimizer<'a> {
             }
         }
         // Leftover wires that cannot improve anything on their own: park
-        // them on bottleneck rails (they may enable future merges).
-        while remaining > 0 {
+        // them on bottleneck rails (they may enable future merges). Purely
+        // cosmetic for feasibility, so it is skipped once the budget trips.
+        while remaining > 0 && tracker.within() {
             let eval = self.eval(&rails);
             let target = self
                 .bottleneck_rails(&eval)
@@ -208,7 +241,19 @@ impl<'a> TamOptimizer<'a> {
     /// that minimize the objective (redistributing freed wires), or keeps
     /// the architecture when no merge improves it. Returns the new rails
     /// and whether an improvement was found.
-    fn merge_tams(&self, rails: Vec<TestRail>, r1: usize) -> (Vec<TestRail>, bool) {
+    // Invariant: merged widths are `max(w1, wi)..=w1+wi` of two rails whose
+    // widths are >= 1, so `merged` cannot see a zero width.
+    #[allow(clippy::expect_used)]
+    fn merge_tams(
+        &self,
+        rails: Vec<TestRail>,
+        r1: usize,
+        tracker: &BudgetTracker,
+    ) -> (Vec<TestRail>, bool) {
+        fault::hit("tam.merge");
+        if !tracker.within() {
+            return (rails, false);
+        }
         let current = self.cost(&rails);
         // Every (partner, merged-width) candidate is independent:
         // evaluate them on the pool, then reduce sequentially in the
@@ -226,6 +271,11 @@ impl<'a> TamOptimizer<'a> {
             }
         }
         let costed = self.pool.par_map(&candidates, |&(i, w)| {
+            if !tracker.within() {
+                // Budget tripped mid-sweep: poison this candidate so the
+                // reduction below cannot pick it over the current rails.
+                return (Vec::new(), u64::MAX);
+            }
             let merged = rails[r1].merged(&rails[i], w).expect("merged width >= 1");
             let mut cand: Vec<TestRail> = rails
                 .iter()
@@ -236,7 +286,7 @@ impl<'a> TamOptimizer<'a> {
             cand.push(merged);
             let leftover = rails[r1].width() + rails[i].width() - w;
             if leftover > 0 {
-                cand = self.distribute_free_wires(cand, leftover);
+                cand = self.distribute_free_wires(cand, leftover, tracker);
             }
             let cost = self.cost(&cand);
             (cand, cost)
@@ -278,8 +328,14 @@ impl<'a> TamOptimizer<'a> {
     /// `(T_soc, Σ time_used)` strictly improves. This recovers allocations
     /// the one-directional `distributeFreeWires` cannot reach (e.g. a
     /// starved many-scan-chain core behind a long width plateau).
-    fn rebalance_wires(&self, mut rails: Vec<TestRail>) -> Vec<TestRail> {
+    // Invariant: donors keep width >= 1 (filtered on `width() > 1`) and the
+    // funded rail only grows, so `with_width` cannot see 0.
+    #[allow(clippy::expect_used)]
+    fn rebalance_wires(&self, mut rails: Vec<TestRail>, tracker: &BudgetTracker) -> Vec<TestRail> {
         for _ in 0..1_000 {
+            if !tracker.tick() {
+                break;
+            }
             let eval = self.eval(&rails);
             let key = (
                 self.cost_of(&eval),
@@ -346,8 +402,14 @@ impl<'a> TamOptimizer<'a> {
 
     /// `coreReshuffle`: repeatedly moves one core off a bottleneck rail to
     /// whichever other rail minimizes the objective, while it improves.
-    fn core_reshuffle(&self, mut rails: Vec<TestRail>) -> Vec<TestRail> {
+    // Invariant: the source rail keeps >= 1 core (guarded by the len() < 2
+    // check) and widths are untouched, so rail construction cannot fail.
+    #[allow(clippy::expect_used)]
+    fn core_reshuffle(&self, mut rails: Vec<TestRail>, tracker: &BudgetTracker) -> Vec<TestRail> {
         loop {
+            if !tracker.tick() {
+                return rails;
+            }
             let eval = self.eval(&rails);
             let current = self.cost_of(&eval);
             let bottlenecks = self.bottleneck_rails(&eval);
@@ -400,11 +462,22 @@ impl<'a> TamOptimizer<'a> {
     ///
     /// # Errors
     ///
-    /// Currently infallible after construction, but reserved for future
-    /// budget constraints; the signature matches the other fallible APIs.
+    /// Currently infallible after construction; the signature matches the
+    /// other fallible APIs. A tripped [`OptimizerBudget`] is *not* an
+    /// error — the run returns its best-so-far architecture with
+    /// [`OptimizedArchitecture::degraded`] set.
     pub fn optimize(&self) -> Result<OptimizedArchitecture, TamError> {
-        let primary = self.optimize_perturbed(0)?;
-        if self.objective != Objective::Total {
+        let tracker = BudgetTracker::start(self.budget);
+        let mut result = self.optimize_tracked(&tracker)?;
+        result.degraded = tracker.exhausted();
+        Ok(result)
+    }
+
+    fn optimize_tracked(&self, tracker: &BudgetTracker) -> Result<OptimizedArchitecture, TamError> {
+        let primary = self.optimize_perturbed(0, tracker)?;
+        // The secondary portfolio leg is pure polish; skip it once the
+        // budget has tripped.
+        if self.objective != Objective::Total || !tracker.within() {
             return Ok(primary);
         }
         let mut alt_evaluator =
@@ -415,8 +488,9 @@ impl<'a> TamOptimizer<'a> {
             max_width: self.max_width,
             objective: Objective::InTestOnly,
             pool: self.pool.clone(),
+            budget: self.budget,
         };
-        let secondary = alt.optimize_perturbed(0)?;
+        let secondary = alt.optimize_perturbed(0, tracker)?;
         if secondary.evaluation().t_total() < primary.evaluation().t_total() {
             Ok(secondary)
         } else {
@@ -451,20 +525,31 @@ impl<'a> TamOptimizer<'a> {
     /// # }
     /// ```
     pub fn optimize_multi(&self, restarts: u32) -> Result<OptimizedArchitecture, TamError> {
-        let mut best = self.optimize()?;
+        // One tracker for the whole multi-start run: the budget bounds the
+        // total work, not each restart individually.
+        let tracker = BudgetTracker::start(self.budget);
+        let mut best = self.optimize_tracked(&tracker)?;
         // Restarts are independent runs; farm them out and reduce in
         // perturbation order (ties keep the earlier start, exactly as
-        // the serial loop did).
+        // the serial loop did). Restarts dispatched after the budget trips
+        // are skipped wholesale — the base run already produced a valid
+        // architecture.
         let perturbations: Vec<u64> = (1..u64::from(restarts.max(1))).collect();
-        let candidates = self
-            .pool
-            .par_map(&perturbations, |&p| self.optimize_perturbed(p));
+        let candidates = self.pool.par_map(&perturbations, |&p| {
+            if !tracker.within() {
+                return Ok(None);
+            }
+            self.optimize_perturbed(p, &tracker).map(Some)
+        });
         for candidate in candidates {
-            let candidate = candidate?;
+            let Some(candidate) = candidate? else {
+                continue;
+            };
             if self.cost_of(candidate.evaluation()) < self.cost_of(best.evaluation()) {
                 best = candidate;
             }
         }
+        best.degraded = tracker.exhausted();
         Ok(best)
     }
 
@@ -473,7 +558,14 @@ impl<'a> TamOptimizer<'a> {
     /// start from a structurally different architecture (a deterministic
     /// round-robin packing into `2..` rails) so multi-start explores
     /// different basins.
-    fn optimize_perturbed(&self, perturbation: u64) -> Result<OptimizedArchitecture, TamError> {
+    // Invariant: merged widths and `max_width` are >= 1 (checked at
+    // construction), and core assignments stay consistent throughout.
+    #[allow(clippy::expect_used)]
+    fn optimize_perturbed(
+        &self,
+        perturbation: u64,
+        tracker: &BudgetTracker,
+    ) -> Result<OptimizedArchitecture, TamError> {
         let n = self.soc().num_cores();
         let w_max = self.max_width as usize;
 
@@ -485,38 +577,48 @@ impl<'a> TamOptimizer<'a> {
                 .to_vec();
             if w_max < n {
                 for _ in 0..(n - w_max) {
-                    self.sort_by_time_used(&mut rails);
-                    // Merge r_{Wmax+1} with the first-Wmax rail minimizing
-                    // the objective (the merge is mandatory: the budget is
-                    // short).
-                    let victim = rails.remove(w_max);
-                    let mut best: Option<(usize, u64)> = None;
-                    for i in 0..w_max.min(rails.len()) {
-                        let mut cand = rails.clone();
-                        let w = cand[i].width().max(victim.width());
-                        cand[i] = cand[i].merged(&victim, w).expect("width >= 1");
-                        let cost = self.cost(&cand);
-                        if best.map_or(true, |(_, b)| cost < b) {
-                            best = Some((i, cost));
-                        }
+                    // These merges are feasibility-mandatory (the wire
+                    // budget is short), so they run even after the
+                    // optimization budget trips — just without the cost
+                    // evaluations: fold into the first rail instead.
+                    let within = tracker.tick();
+                    if within {
+                        self.sort_by_time_used(&mut rails);
                     }
-                    let (i, _) = best.expect("at least one merge partner exists");
+                    // Merge r_{Wmax+1} with the first-Wmax rail minimizing
+                    // the objective.
+                    let victim = rails.remove(w_max);
+                    let i = if within {
+                        let mut best: Option<(usize, u64)> = None;
+                        for i in 0..w_max.min(rails.len()) {
+                            let mut cand = rails.clone();
+                            let w = cand[i].width().max(victim.width());
+                            cand[i] = cand[i].merged(&victim, w).expect("width >= 1");
+                            let cost = self.cost(&cand);
+                            if best.map_or(true, |(_, b)| cost < b) {
+                                best = Some((i, cost));
+                            }
+                        }
+                        best.map_or(0, |(i, _)| i)
+                    } else {
+                        0
+                    };
                     let w = rails[i].width().max(victim.width());
                     rails[i] = rails[i].merged(&victim, w).expect("width >= 1");
                 }
             } else if n < w_max {
-                rails = self.distribute_free_wires(rails, (w_max - n) as u32);
+                rails = self.distribute_free_wires(rails, (w_max - n) as u32, tracker);
             }
         } else {
             rails = self.packed_start(perturbation);
         }
 
         // --- Optimize bottom-up (lines 17-23): merge the least-used rail.
-        while rails.len() > 1 {
+        while rails.len() > 1 && tracker.tick() {
             let init = self.cost(&rails);
             self.sort_by_time_used(&mut rails);
             let last = rails.len() - 1;
-            let (new_rails, improved) = self.merge_tams(rails, last);
+            let (new_rails, improved) = self.merge_tams(rails, last, tracker);
             rails = new_rails;
             if !improved || self.cost(&rails) == init {
                 break;
@@ -525,10 +627,10 @@ impl<'a> TamOptimizer<'a> {
 
         // --- Optimize top-down (lines 24-30): merge the most-used rail.
         let mut skip: BTreeSet<Vec<CoreId>> = BTreeSet::new();
-        while rails.len() > 1 {
+        while rails.len() > 1 && tracker.tick() {
             let init = self.cost(&rails);
             self.sort_by_time_used(&mut rails);
-            let (new_rails, improved) = self.merge_tams(rails, 0);
+            let (new_rails, improved) = self.merge_tams(rails, 0, tracker);
             rails = new_rails;
             if !improved || self.cost(&rails) == init {
                 skip.insert(rails_key(&rails, 0));
@@ -538,13 +640,16 @@ impl<'a> TamOptimizer<'a> {
 
         // --- Merge the remaining rails (lines 31-36). ---
         loop {
+            if !tracker.tick() {
+                break;
+            }
             self.sort_by_time_used(&mut rails);
             let candidate = (0..rails.len()).find(|&i| !skip.contains(&rails_key(&rails, i)));
             let Some(r_star) = candidate else { break };
             if rails.len() < 2 {
                 break;
             }
-            let (new_rails, improved) = self.merge_tams(rails, r_star);
+            let (new_rails, improved) = self.merge_tams(rails, r_star, tracker);
             rails = new_rails;
             if !improved {
                 skip.insert(rails_key(&rails, r_star));
@@ -552,15 +657,16 @@ impl<'a> TamOptimizer<'a> {
         }
 
         // --- Reshuffle cores off bottleneck rails (line 37). ---
-        rails = self.core_reshuffle(rails);
+        rails = self.core_reshuffle(rails, tracker);
 
         // --- Wire rebalance polish (beyond the paper; see rebalance_wires).
-        rails = self.rebalance_wires(rails);
+        rails = self.rebalance_wires(rails, tracker);
 
         // Safety net beyond the paper: the trivial single-rail architecture
         // (every core daisy-chained on all W_max wires) is always feasible
         // and occasionally beats a stuck merge trajectory; never return
-        // anything worse than it.
+        // anything worse than it. Kept even under a tripped budget — it is
+        // two cached evaluations and guards the degraded result's quality.
         let single = TestRailArchitecture::single_rail(self.soc(), self.max_width)
             .expect("max_width >= 1")
             .rails()
@@ -576,6 +682,7 @@ impl<'a> TamOptimizer<'a> {
         Ok(OptimizedArchitecture {
             architecture,
             evaluation,
+            degraded: tracker.exhausted(),
         })
     }
 
@@ -583,6 +690,9 @@ impl<'a> TamOptimizer<'a> {
     /// by `salt`, packed round-robin into `k` rails (with `k` varying per
     /// salt) and the width budget split evenly. Structurally different
     /// from the paper's start, so the merge loops explore another basin.
+    // Invariant: round-robin packing into k <= n buckets leaves no bucket
+    // empty, and the width is clamped to >= 1.
+    #[allow(clippy::expect_used)]
     fn packed_start(&self, salt: u64) -> Vec<TestRail> {
         let n = self.soc().num_cores();
         let w_max = self.max_width;
@@ -756,6 +866,64 @@ mod tests {
     }
 
     #[test]
+    fn exhausted_budget_still_yields_valid_architecture() {
+        let soc = Benchmark::P34392.soc(); // 19 cores, wire budget below that
+        let make = || TamOptimizer::new(&soc, 8, groups_for(&soc, 50)).expect("valid");
+        let strangled = make()
+            .budget(OptimizerBudget::default().with_max_iterations(1))
+            .optimize()
+            .expect("degrades, does not fail");
+        assert!(strangled.degraded());
+        assert!(strangled.architecture().total_width() <= 8);
+        assert_eq!(
+            strangled
+                .architecture()
+                .rails()
+                .iter()
+                .map(|r| r.cores().len())
+                .sum::<usize>(),
+            soc.num_cores()
+        );
+        // The iteration cut-off is deterministic: a second strangled run
+        // lands on the identical architecture.
+        let again = make()
+            .budget(OptimizerBudget::default().with_max_iterations(1))
+            .optimize()
+            .expect("degrades, does not fail");
+        assert_eq!(strangled.architecture(), again.architecture());
+        // The unbudgeted run is flagged clean and is at least as good.
+        let full = make().optimize().expect("optimizes");
+        assert!(!full.degraded());
+        assert!(full.evaluation().t_total() <= strangled.evaluation().t_total());
+    }
+
+    #[test]
+    fn expired_deadline_degrades_immediately_but_validly() {
+        use std::time::Duration;
+        let soc = Benchmark::D695.soc();
+        let result = TamOptimizer::new(&soc, 16, groups_for(&soc, 100))
+            .expect("valid")
+            .budget(OptimizerBudget::default().with_deadline(Duration::ZERO))
+            .optimize()
+            .expect("degrades, does not fail");
+        assert!(result.degraded());
+        assert!(result.architecture().total_width() <= 16);
+        assert!(result.evaluation().t_total() > 0);
+    }
+
+    #[test]
+    fn multi_start_respects_budget() {
+        let soc = Benchmark::D695.soc();
+        let result = TamOptimizer::new(&soc, 16, groups_for(&soc, 100))
+            .expect("valid")
+            .budget(OptimizerBudget::default().with_max_iterations(2))
+            .optimize_multi(4)
+            .expect("degrades, does not fail");
+        assert!(result.degraded());
+        assert!(result.architecture().total_width() <= 16);
+    }
+
+    #[test]
     fn budget_below_core_count_forces_merging() {
         let soc = Benchmark::P34392.soc(); // 19 cores
         let result = TamOptimizer::new(&soc, 8, groups_for(&soc, 50))
@@ -788,7 +956,8 @@ mod rebalance_tests {
             TestRail::new(vec![CoreId::new(0)], 17).expect("valid"),
         ];
         let before = optimizer.cost(&rails);
-        let rebalanced = optimizer.rebalance_wires(rails);
+        let tracker = BudgetTracker::start(OptimizerBudget::unlimited());
+        let rebalanced = optimizer.rebalance_wires(rails, &tracker);
         let after = optimizer.cost(&rebalanced);
         assert!(
             after < before * 7 / 10,

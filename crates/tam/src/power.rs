@@ -78,6 +78,8 @@ impl std::error::Error for ExceedsPowerBudget {}
 /// assert_eq!(schedule.makespan(), 20);
 /// # Ok::<(), soctam_tam::power::ExceedsPowerBudget>(())
 /// ```
+// Invariant: a test blocked by the power budget implies at least one running test to retire.
+#[allow(clippy::expect_used)]
 pub fn schedule_si_tests_power(
     tests: &[PoweredSiTest],
     budget: u64,

@@ -1,5 +1,8 @@
 //! `ScheduleSITest` — Algorithm 1 of the paper (Fig. 5).
 
+use soctam_exec::fault;
+use soctam_model::{Diagnostic, Diagnostics};
+
 use crate::evaluator::SiGroupTime;
 
 /// One SI test group with its schedule window filled in (`begin(s)`,
@@ -38,6 +41,71 @@ impl SiSchedule {
     /// `T_soc^si`: the end time of the last SI test.
     pub fn makespan(&self) -> u64 {
         self.makespan
+    }
+
+    /// Checks the schedule's structural invariants and returns every
+    /// violation as a [`Diagnostic`] (empty = valid).
+    ///
+    /// Codes: `SCH-V01` inverted time window, `SCH-V02` two tests occupy
+    /// a shared rail at overlapping times, `SCH-V03` a group scheduled
+    /// more than once, `SCH-V04` makespan disagrees with the latest end
+    /// time. The scheduler guarantees all four by construction; this is
+    /// the independent check degraded (budget-cut) runs are held to.
+    pub fn validate(&self) -> Diagnostics {
+        const SITE: &str = "schedule.validate";
+        let mut diags = Diagnostics::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for t in &self.tests {
+            if t.end < t.begin {
+                diags.push(Diagnostic::new(
+                    "SCH-V01",
+                    SITE,
+                    format!(
+                        "group {} has inverted window {}..{}",
+                        t.group, t.begin, t.end
+                    ),
+                    "schedule windows must satisfy begin <= end",
+                ));
+            }
+            if !seen.insert(t.group) {
+                diags.push(Diagnostic::new(
+                    "SCH-V03",
+                    SITE,
+                    format!("group {} is scheduled more than once", t.group),
+                    "each SI group must appear exactly once in the schedule",
+                ));
+            }
+        }
+        for (i, a) in self.tests.iter().enumerate() {
+            for b in &self.tests[i + 1..] {
+                let overlap_time = a.begin < b.end && b.begin < a.end;
+                let share_rail = a.rails.iter().any(|r| b.rails.contains(r));
+                if overlap_time && share_rail && a.end != a.begin && b.end != b.begin {
+                    diags.push(Diagnostic::new(
+                        "SCH-V02",
+                        SITE,
+                        format!(
+                            "groups {} and {} overlap on a shared rail",
+                            a.group, b.group
+                        ),
+                        "tests sharing a rail must be serialized",
+                    ));
+                }
+            }
+        }
+        let latest = self.tests.iter().map(|t| t.end).max().unwrap_or(0);
+        if self.makespan != latest {
+            diags.push(Diagnostic::new(
+                "SCH-V04",
+                SITE,
+                format!(
+                    "makespan {} does not match the latest end time {latest}",
+                    self.makespan
+                ),
+                "recompute the makespan as the maximum test end time",
+            ));
+        }
+        diags
     }
 
     /// `true` when no two tests occupy the same rail at overlapping times
@@ -112,6 +180,7 @@ pub fn schedule_si_tests(groups: &[SiGroupTime]) -> SiSchedule {
 /// assert!(lpt.makespan() <= fifo.makespan());
 /// ```
 pub fn schedule_si_tests_with(groups: &[SiGroupTime], order: ScheduleOrder) -> SiSchedule {
+    fault::hit("tam.schedule");
     let mut unscheduled: Vec<usize> = (0..groups.len()).collect();
     if order == ScheduleOrder::LongestFirst {
         unscheduled.sort_by_key(|&g| std::cmp::Reverse(groups[g].time));
@@ -142,7 +211,7 @@ pub fn schedule_si_tests_with(groups: &[SiGroupTime], order: ScheduleOrder) -> S
                 let test = ScheduledSiTest {
                     group: g,
                     begin: curr_time,
-                    end: curr_time + groups[g].time,
+                    end: curr_time.saturating_add(groups[g].time),
                     rails: groups[g].rails.clone(),
                 };
                 makespan = makespan.max(test.end);
@@ -152,11 +221,13 @@ pub fn schedule_si_tests_with(groups: &[SiGroupTime], order: ScheduleOrder) -> S
                 // Advance to the earliest end time after curr_time. A
                 // conflict implies some running test, and every running
                 // test ends strictly later (finished ones were retired).
-                curr_time = running
+                #[allow(clippy::expect_used)]
+                let earliest = running
                     .iter()
                     .map(|t| t.end)
                     .min()
                     .expect("conflicting tests imply a running test");
+                curr_time = earliest;
             }
         }
     }
@@ -237,6 +308,44 @@ mod tests {
         let s = schedule_si_tests(&[g(10, &[0]), g(3, &[])]);
         let t1 = s.tests().iter().find(|t| t.group == 1).expect("scheduled");
         assert_eq!(t1.begin, 0);
+    }
+
+    #[test]
+    fn validate_accepts_every_scheduler_output() {
+        let cases: Vec<Vec<SiGroupTime>> = vec![
+            vec![],
+            vec![g(10, &[0]), g(8, &[1]), g(6, &[2])],
+            vec![g(10, &[0]), g(8, &[0]), g(6, &[0])],
+            vec![g(10, &[0, 1]), g(3, &[0]), g(3, &[1])],
+            vec![g(0, &[0]), g(5, &[0])],
+        ];
+        for groups in cases {
+            let s = schedule_si_tests(&groups);
+            assert!(s.validate().is_ok(), "{:?}", s.validate());
+        }
+    }
+
+    #[test]
+    fn validate_flags_every_hand_built_violation() {
+        let t = |group, begin, end, rails: &[usize]| ScheduledSiTest {
+            group,
+            begin,
+            end,
+            rails: rails.to_vec(),
+        };
+        // Inverted window, duplicate group, rail conflict and a makespan
+        // that matches none of it.
+        let broken = SiSchedule::from_serial(
+            vec![t(0, 5, 2, &[0]), t(0, 0, 9, &[1]), t(1, 3, 8, &[1])],
+            99,
+        );
+        let diags = broken.validate();
+        let codes: Vec<&str> = diags.items().iter().map(|d| d.code()).collect();
+        assert!(codes.contains(&"SCH-V01"), "{codes:?}");
+        assert!(codes.contains(&"SCH-V02"), "{codes:?}");
+        assert!(codes.contains(&"SCH-V03"), "{codes:?}");
+        assert!(codes.contains(&"SCH-V04"), "{codes:?}");
+        assert!(broken.validate().into_result().is_err());
     }
 
     #[test]

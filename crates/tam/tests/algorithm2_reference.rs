@@ -3,6 +3,8 @@
 //! width compositions) and verify the heuristic optimizer lands close to
 //! the true optimum.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam_model::synth::{synth_soc, SynthConfig};
 use soctam_model::{CoreId, Soc};
 use soctam_tam::{Evaluator, SiGroupSpec, TamOptimizer, TestRail, TestRailArchitecture};

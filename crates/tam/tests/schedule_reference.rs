@@ -3,6 +3,8 @@
 //! (list scheduling is dominant for this conflict model when tests cannot
 //! be split), giving a quality yardstick for the first-fit heuristic.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam_tam::{schedule_si_tests_with, ScheduleOrder, SiGroupTime};
 
 fn permutations<T: Clone>(items: &[T]) -> Vec<Vec<T>> {

@@ -1,6 +1,8 @@
 //! Property test: the bit-level simulator and the analytic evaluator agree
 //! on arbitrary SOCs, architectures and SI workloads.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam_compaction::{compact_two_dimensional, CompactionConfig};
 use soctam_exec::check::{cases, forall};
 use soctam_model::synth::{synth_soc, SynthConfig};

@@ -69,6 +69,8 @@ pub fn pareto_widths(core: &CoreSpec, max_width: u32) -> Result<Vec<(u32, u64)>,
 /// # Ok(())
 /// # }
 /// ```
+// Invariant: `pareto_widths` always yields width 1, so the pareto set is non-empty.
+#[allow(clippy::expect_used)]
 pub fn saturation_width(core: &CoreSpec, max_width: u32) -> Result<u32, WrapperError> {
     Ok(pareto_widths(core, max_width)?
         .last()

@@ -111,6 +111,8 @@ impl TimeTable {
     /// # Panics
     ///
     /// Panics if `max_width == 0`.
+    // Invariant: widths iterate from 1 and `max_width >= 1` is asserted above, so the time models cannot reject the width.
+    #[allow(clippy::expect_used)]
     pub fn new(soc: &Soc, max_width: u32) -> Self {
         assert!(max_width > 0, "max_width must be at least 1");
         let mut intest = Vec::with_capacity(soc.num_cores());

@@ -2,6 +2,8 @@
 //! assignment stays within its classical approximation bound, and the
 //! derived test time respects the trivial lower bounds.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam_exec::check::{cases, forall, Gen};
 use soctam_model::CoreSpec;
 use soctam_wrapper::{intest_time, WrapperDesign};

@@ -5,6 +5,8 @@
 //! to rerun every experiment on the genuine data; without an argument an
 //! embedded sample SOC is used.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::env;
 use std::fs;
 

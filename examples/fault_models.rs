@@ -9,6 +9,8 @@
 //! cargo run --release --example fault_models
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::model::topology::InterconnectTopology;
 use soctam::patterns::coverage::ma_coverage;
 use soctam::patterns::generator::{maximal_aggressor, reduced_mt};

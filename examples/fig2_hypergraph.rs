@@ -13,6 +13,8 @@
 //! cargo run --release --example fig2_hypergraph
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::hypergraph::{HypergraphBuilder, PartitionConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -18,6 +18,8 @@
 //! cargo run --release --example fig3_schedules
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::tam::render_schedule;
 use soctam::{CoreId, CoreSpec, Evaluator, SiGroupSpec, Soc, TestRail, TestRailArchitecture};
 

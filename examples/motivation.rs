@@ -7,6 +7,8 @@
 //! cargo run --release --example motivation
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::patterns::generator::{maximal_aggressor, reduced_mt_estimate};
 use soctam::TerminalId;
 

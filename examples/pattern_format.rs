@@ -7,6 +7,8 @@
 //! cargo run --release --example pattern_format
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::model::BusLineId;
 use soctam::patterns::Symbol;
 use soctam::{compaction, CoreId, CoreSpec, SiPattern, Soc, TerminalId};

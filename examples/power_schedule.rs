@@ -13,6 +13,8 @@
 //! cargo run --release --example power_schedule
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::tam::power::{respects_power_budget, schedule_si_tests_power, PoweredSiTest};
 use soctam::{Benchmark, CoreId, RandomPatternConfig, SiOptimizer, SiPatternSet};
 

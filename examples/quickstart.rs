@@ -7,6 +7,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::tam::render_schedule;
 use soctam::{Benchmark, RandomPatternConfig, SiOptimizer, SiPatternSet};
 

@@ -7,6 +7,8 @@
 //! cargo run --release --example tester_program
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::tester::simulate;
 use soctam::{Benchmark, RandomPatternConfig, SiOptimizer, SiPatternSet};
 

@@ -1,4 +1,5 @@
 //! Root package: thin re-export of the soctam facade so integration
 //! tests and examples can use one import path.
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 pub use soctam::*;

@@ -8,6 +8,8 @@
 //! failure here means the greedy cover's semantics drifted — update the
 //! constants only for a deliberate model change.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::hash::Hasher;
 
 use soctam::compaction::{compact_greedy_ordered, MergeOrder};

@@ -7,6 +7,8 @@
 //! tests pin that contract on two benchmarks across pools of 1, 4 and 8
 //! workers; only wall-clock time may differ.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::experiment::{run_table_with, ExperimentConfig};
 use soctam::{
     Benchmark, Pool, RandomPatternConfig, SiOptimizationResult, SiOptimizer, SiPatternSet,

@@ -1,6 +1,8 @@
 //! End-to-end integration tests: patterns → compaction → TAM optimization
 //! across every embedded benchmark.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::{Benchmark, Objective, RandomPatternConfig, SiOptimizer, SiPatternSet};
 
 fn patterns_for(soc: &soctam::Soc, count: usize, seed: u64) -> SiPatternSet {

@@ -2,6 +2,8 @@
 //! SI tests under two TAM designs produce the documented bottleneck-rail
 //! times and parallelism.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::{CoreId, CoreSpec, Evaluator, SiGroupSpec, Soc, TestRail, TestRailArchitecture};
 
 fn example_soc() -> Soc {

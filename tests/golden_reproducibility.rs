@@ -4,6 +4,8 @@
 //! here means the *model* changed — update the constants deliberately and
 //! record the change in EXPERIMENTS.md.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::experiment::{run_table, ExperimentConfig};
 use soctam::{Benchmark, RandomPatternConfig, SiPatternSet};
 

@@ -1,6 +1,8 @@
 //! Property test: the `.soc` writer and parser are mutual inverses over
 //! randomly generated SOCs.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::model::parser::{parse_soc, write_soc};
 use soctam::model::synth::{synth_soc, SynthConfig};
 use soctam_exec::check::{cases, forall};

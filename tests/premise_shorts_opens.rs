@@ -2,6 +2,8 @@
 //! testing is negligible next to SI testing, which in turn rivals
 //! core-internal testing — hence TAM optimization must consider SI.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::model::topology::InterconnectTopology;
 use soctam::patterns::generator::{maximal_aggressor, reduced_mt_estimate, shorts_opens};
 use soctam::{Benchmark, Evaluator, SiGroupSpec, SiPattern, Soc, TestRailArchitecture};

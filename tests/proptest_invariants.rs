@@ -1,6 +1,8 @@
 //! Property-based tests over the whole stack: random SOCs, random pattern
 //! sets, random architectures.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::compaction::{compact_greedy, compact_two_dimensional, CompactionConfig};
 use soctam::model::synth::{synth_soc, SynthConfig};
 use soctam::patterns::generator::generate_random;

@@ -1,6 +1,8 @@
 //! Property-based tests of the TAM optimizer and its lower bounds over
 //! randomly generated SOCs and SI workloads.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::model::synth::{synth_soc, SynthConfig};
 use soctam::tam::bounds::{intest_lower_bound, si_lower_bound};
 use soctam::{CoreId, Objective, SiGroupSpec, Soc, TamOptimizer};

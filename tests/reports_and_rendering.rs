@@ -1,6 +1,8 @@
 //! Integration coverage for the reporting surfaces: utilization reports,
 //! ASCII and SVG schedule rendering on real optimized results.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::tam::report::UtilizationReport;
 use soctam::tam::{render_schedule, render_schedule_svg};
 use soctam::{Benchmark, RandomPatternConfig, SiOptimizer, SiPatternSet};

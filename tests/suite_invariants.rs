@@ -1,6 +1,8 @@
 //! Suite-wide invariants: the optimizer behaves sanely on every embedded
 //! ITC'02 reconstruction, not just the paper's two SOCs.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::compaction::{compact_two_dimensional, CompactionConfig};
 use soctam::tam::bounds::total_lower_bound;
 use soctam::{Benchmark, Objective, RandomPatternConfig, SiGroupSpec, SiPatternSet, TamOptimizer};

@@ -1,5 +1,7 @@
 //! Smoke tests of the Table 2/3 experiment harness on reduced sweeps.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use soctam::experiment::{run_table, ExperimentConfig};
 use soctam::Benchmark;
 
