@@ -69,6 +69,7 @@ run "patterns.generate.random=error" d695
 run "compaction.partition=error"     d695
 run "compaction.bucket=panic"        d695
 run "tam.merge=panic"                d695
+run "tam.rail_eval=panic"            d695
 run "tam.schedule=panic"             d695
 run "exec.cache.lookup=panic"        d695
 

@@ -12,9 +12,19 @@ use soctam_bench::harness::{samples, Session};
 
 fn main() {
     let mut session = Session::from_args();
+    let p34392 = Benchmark::P34392.soc();
+    let p34392_groups = bench_groups(&p34392);
     let soc = Benchmark::P93791.soc();
     let groups = bench_groups(&soc);
     let samples = samples(10);
+    // Acceptance entry tracked in BENCH_4.json: the incremental per-rail
+    // evaluation refactor is measured against this label.
+    session.bench("tam_optimization_p34392/si_aware/16", samples, || {
+        TamOptimizer::new(&p34392, 16, p34392_groups.clone())
+            .expect("valid")
+            .optimize()
+            .expect("optimizes")
+    });
     for width in [8u32, 32, 64] {
         session.bench(
             &format!("tam_optimization_p93791/si_aware/{width}"),

@@ -755,6 +755,11 @@ mod tests {
         assert!(out.contains("runtime stats:"));
         assert!(out.contains("cache"));
         assert!(out.contains("phase"));
+        // The delta evaluator's counters: every optimizer run computes at
+        // least one rail component and reuses at least one schedule, so
+        // both lines (gated on nonzero) must be present.
+        assert!(out.contains("rail evals"));
+        assert!(out.contains("schedule reuse"));
     }
 
     #[test]

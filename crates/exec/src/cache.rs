@@ -6,9 +6,14 @@
 //! those repeats into lookups.
 //!
 //! Correctness note: shard and bucket selection use the in-crate
-//! FxHash, but identity is decided by full-key `Eq` — a hash collision
-//! can never return the wrong value, so cached and uncached runs are
-//! indistinguishable (determinism is preserved).
+//! FxHash, and identity is decided by key `Eq`. With full keys a hash
+//! collision can never return the wrong value. With [`FpKey`] —
+//! a 128-bit fingerprint plus a namespace tag, used where cloning the
+//! full key per candidate would dominate the lookup — identity *is*
+//! the fingerprint, and correctness rests on the documented
+//! ~N²/2¹²⁹ collision odds of `fx_fingerprint128` (negligible at any
+//! reachable cache population). Either way cached and uncached runs
+//! are bit-identical (determinism is preserved).
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -19,6 +24,25 @@ use crate::hash::{fx_hash_one, FxBuildHasher};
 use crate::metrics::Metrics;
 
 type Shard<K, V> = Mutex<HashMap<K, V, FxBuildHasher>>;
+
+/// Namespaced 128-bit fingerprint key, letting several logical caches
+/// (e.g. rail-level and architecture-level evaluations) share one
+/// sharded [`MemoCache`] store without aliasing: equal fingerprints in
+/// different `space`s are distinct keys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FpKey {
+    /// Namespace tag chosen by the caller (one per logical cache).
+    pub space: u8,
+    /// Value fingerprint from [`crate::hash::fx_fingerprint128`].
+    pub fp: u128,
+}
+
+impl FpKey {
+    /// Creates a key in namespace `space` for fingerprint `fp`.
+    pub fn new(space: u8, fp: u128) -> Self {
+        FpKey { space, fp }
+    }
+}
 
 /// Locks a shard, recovering from poisoning: `get_or_insert_with`
 /// never holds a lock across user code, so a poisoned shard still
@@ -140,6 +164,16 @@ mod tests {
         for i in 0..200 {
             assert_eq!(cache.get(&vec![i]), Some(i as usize));
         }
+    }
+
+    #[test]
+    fn fp_key_namespaces_do_not_alias() {
+        let cache: MemoCache<FpKey, u64> = MemoCache::new(4);
+        cache.get_or_insert_with(FpKey::new(0, 42), || 100);
+        cache.get_or_insert_with(FpKey::new(1, 42), || 200);
+        assert_eq!(cache.get(&FpKey::new(0, 42)), Some(100));
+        assert_eq!(cache.get(&FpKey::new(1, 42)), Some(200));
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -1,10 +1,14 @@
 //! An FxHash-style hasher (the `rustc-hash` algorithm) written
 //! in-crate, plus a convenience fingerprint helper.
 //!
-//! FxHash is not collision-resistant — the memoization cache therefore
-//! stores the *full key* and relies on `Eq`, using the hash only for
-//! bucket placement and shard selection. Fingerprints produced by
-//! [`fx_hash_one`] are for metrics and diagnostics, never for identity.
+//! FxHash is not collision-resistant at 64 bits — full-key caches
+//! store the key and rely on `Eq`, using the hash only for bucket
+//! placement and shard selection, and [`fx_hash_one`] fingerprints are
+//! for metrics and diagnostics, never for identity. For identity-grade
+//! fingerprints use [`fx_fingerprint128`]: two independently seeded
+//! 64-bit passes over the same value. At 128 bits the collision odds
+//! for N distinct keys are ~N²/2¹²⁹ (< 10⁻²⁰ for a billion keys),
+//! which callers may document as negligible and use as a cache key.
 
 use std::hash::{BuildHasher, Hash, Hasher};
 
@@ -17,6 +21,14 @@ pub struct FxHasher {
 }
 
 impl FxHasher {
+    /// Creates a hasher whose state starts at `seed` instead of 0, so
+    /// two passes over the same value with different seeds produce
+    /// independent 64-bit digests (see [`fx_fingerprint128`]).
+    #[inline]
+    pub fn with_seed(seed: u64) -> Self {
+        FxHasher { hash: seed }
+    }
+
     #[inline]
     fn add_to_hash(&mut self, word: u64) {
         self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
@@ -98,6 +110,22 @@ pub fn fx_hash_one<T: Hash>(value: &T) -> u64 {
     hasher.finish()
 }
 
+/// Second-pass seed for [`fx_fingerprint128`] (arbitrary odd constant,
+/// distinct from the zero state of the first pass).
+const SECOND_SEED: u64 = 0x9e_37_79_b9_7f_4a_7c_15;
+
+/// Hashes a single value to a 128-bit fingerprint: the low half is the
+/// default-seed [`fx_hash_one`] digest, the high half a second pass
+/// seeded with [`SECOND_SEED`]. Suitable as a cache-key identity where
+/// the caller accepts the documented ~N²/2¹²⁹ collision odds.
+pub fn fx_fingerprint128<T: Hash>(value: &T) -> u128 {
+    let lo = fx_hash_one(value);
+    let mut hasher = FxHasher::with_seed(SECOND_SEED);
+    value.hash(&mut hasher);
+    let hi = hasher.finish();
+    (u128::from(hi) << 64) | u128::from(lo)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +143,20 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for i in 0..10_000u64 {
             seen.insert(fx_hash_one(&i));
+        }
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn fingerprint128_halves_are_independent() {
+        let fp = fx_fingerprint128(&("rail", 7u32, vec![1u64, 2, 3]));
+        assert_eq!(fp, fx_fingerprint128(&("rail", 7u32, vec![1u64, 2, 3])));
+        assert_eq!(fp as u64, fx_hash_one(&("rail", 7u32, vec![1u64, 2, 3])));
+        // The seeded pass must not degenerate into the default pass.
+        assert_ne!(fp as u64, (fp >> 64) as u64);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(fx_fingerprint128(&i));
         }
         assert_eq!(seen.len(), 10_000);
     }

@@ -33,9 +33,9 @@ pub mod metrics;
 pub mod pool;
 pub mod rng;
 
-pub use cache::MemoCache;
+pub use cache::{FpKey, MemoCache};
 pub use fault::{FaultAction, FaultError, ScopedFault};
-pub use hash::{fx_hash_one, FxBuildHasher, FxHasher};
+pub use hash::{fx_fingerprint128, fx_hash_one, FxBuildHasher, FxHasher};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use pool::Pool;
 pub use rng::Rng;

@@ -21,6 +21,9 @@ pub struct Metrics {
     kernel_words_compared: AtomicU64,
     kernel_fast_rejects: AtomicU64,
     duplicates_removed: AtomicU64,
+    rail_eval_hits: AtomicU64,
+    rail_eval_misses: AtomicU64,
+    schedule_reuses: AtomicU64,
     phases: Mutex<Vec<(String, Duration)>>,
 }
 
@@ -68,6 +71,23 @@ impl Metrics {
         self.duplicates_removed.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one per-rail evaluation served from cache or reused
+    /// positionally from a delta base.
+    pub fn count_rail_eval_hit(&self) {
+        self.rail_eval_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one per-rail evaluation actually computed.
+    pub fn count_rail_eval_miss(&self) {
+        self.rail_eval_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one `ScheduleSITest` pass skipped because no changed
+    /// rail intersected any group (prior schedule reused).
+    pub fn count_schedule_reuse(&self) {
+        self.schedule_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Times `f` and records the elapsed wall-clock under `name`.
     /// Repeated phases with the same name accumulate.
     pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
@@ -99,6 +119,9 @@ impl Metrics {
             kernel_words_compared: self.kernel_words_compared.load(Ordering::Relaxed),
             kernel_fast_rejects: self.kernel_fast_rejects.load(Ordering::Relaxed),
             duplicates_removed: self.duplicates_removed.load(Ordering::Relaxed),
+            rail_eval_hits: self.rail_eval_hits.load(Ordering::Relaxed),
+            rail_eval_misses: self.rail_eval_misses.load(Ordering::Relaxed),
+            schedule_reuses: self.schedule_reuses.load(Ordering::Relaxed),
             phases: self
                 .phases
                 .lock()
@@ -125,6 +148,12 @@ pub struct MetricsSnapshot {
     pub kernel_fast_rejects: u64,
     /// Exact-duplicate patterns removed before vertical compaction.
     pub duplicates_removed: u64,
+    /// Per-rail evaluations served from cache or positional reuse.
+    pub rail_eval_hits: u64,
+    /// Per-rail evaluations actually computed.
+    pub rail_eval_misses: u64,
+    /// `ScheduleSITest` passes skipped by schedule reuse.
+    pub schedule_reuses: u64,
     /// Accumulated wall-clock per named phase, in recording order.
     pub phases: Vec<(String, Duration)>,
 }
@@ -169,6 +198,16 @@ impl fmt::Display for MetricsSnapshot {
                 "  dedup          : {} duplicates removed",
                 self.duplicates_removed
             )?;
+        }
+        if self.rail_eval_hits != 0 || self.rail_eval_misses != 0 {
+            writeln!(
+                f,
+                "  rail evals     : {} hits / {} misses",
+                self.rail_eval_hits, self.rail_eval_misses
+            )?;
+        }
+        if self.schedule_reuses != 0 {
+            writeln!(f, "  schedule reuse : {}", self.schedule_reuses)?;
         }
         for (name, elapsed) in &self.phases {
             writeln!(
@@ -232,9 +271,28 @@ mod tests {
         let text = m.snapshot().to_string();
         assert!(text.contains("tasks executed : 1"));
         assert!(text.contains("cache          : unused"));
-        // Kernel and dedup lines only appear once something was counted.
+        // Kernel, dedup and incremental-evaluation lines only appear
+        // once something was counted.
         assert!(!text.contains("kernel"));
         assert!(!text.contains("dedup"));
+        assert!(!text.contains("rail evals"));
+        assert!(!text.contains("schedule reuse"));
+    }
+
+    #[test]
+    fn incremental_eval_counters_accumulate() {
+        let m = Metrics::new();
+        m.count_rail_eval_hit();
+        m.count_rail_eval_hit();
+        m.count_rail_eval_miss();
+        m.count_schedule_reuse();
+        let snap = m.snapshot();
+        assert_eq!(snap.rail_eval_hits, 2);
+        assert_eq!(snap.rail_eval_misses, 1);
+        assert_eq!(snap.schedule_reuses, 1);
+        let text = snap.to_string();
+        assert!(text.contains("rail evals     : 2 hits / 1 misses"));
+        assert!(text.contains("schedule reuse : 1"));
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //! reshuffle pass, one rebalance pass or one wire-distribution step.
 //! `max_iterations` is deterministic (same cut-off point on every run);
 //! `deadline` is wall-clock and therefore machine-dependent — use it
-//! for latency guarantees, not reproducibility.
+//! for latency guarantees, not reproducibility. *Speculative* candidate
+//! probes (costing a move that may not be committed) only read the
+//! budget and never tick it, so the committed-move sequence — and the
+//! result of an iteration-bounded run — is independent of the worker
+//! count.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};

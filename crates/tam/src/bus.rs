@@ -16,10 +16,13 @@
 //! making the TestRail advantage measurable (see the `architecture_compare`
 //! ablation in `soctam-bench`).
 
+use std::sync::Arc;
+
+use soctam_exec::fx_fingerprint128;
 use soctam_model::Soc;
 use soctam_wrapper::TimeTable;
 
-use crate::evaluator::SiGroupTime;
+use crate::evaluator::{RailEval, SiGroupTime};
 use crate::schedule::{ScheduledSiTest, SiSchedule};
 use crate::{Evaluation, SiGroupSpec, TamError, TestRailArchitecture};
 
@@ -103,7 +106,10 @@ impl<'a> TestBusEvaluator<'a> {
         let core_bus = arch.core_to_rail(self.soc.num_cores());
         let mut rail_time_si = vec![0u64; num_buses];
         let mut group_times = Vec::with_capacity(self.groups.len());
-        for group in &self.groups {
+        // Per-bus sparse group shifts, collected so the result carries
+        // the same per-rail components a TestRail evaluation would.
+        let mut bus_group_shift: Vec<Vec<(u32, u64)>> = vec![Vec::new(); num_buses];
+        for (g, group) in self.groups.iter().enumerate() {
             let mut touched: Vec<usize> = Vec::new();
             let mut total = 0u64;
             let mut bottleneck = (usize::MAX, 0u64);
@@ -126,6 +132,7 @@ impl<'a> TestBusEvaluator<'a> {
                 if per_bus[bus] > bottleneck.1 {
                     bottleneck = (bus, per_bus[bus]);
                 }
+                bus_group_shift[bus].push((g as u32, per_bus[bus]));
             }
             group_times.push(SiGroupTime {
                 time: total, // buses serialize within one SI test
@@ -146,8 +153,21 @@ impl<'a> TestBusEvaluator<'a> {
             });
             clock += group.time;
         }
-        let schedule = SiSchedule::from_serial(tests, clock);
+        let schedule = Arc::new(SiSchedule::from_serial(tests, clock));
 
+        let rail_evals = arch
+            .rails()
+            .iter()
+            .zip(rail_time_in.iter().zip(bus_group_shift))
+            .map(|(bus, (&t_in, group_shift))| {
+                Arc::new(RailEval {
+                    t_in,
+                    width: bus.width(),
+                    cores_fp: fx_fingerprint128(&bus.cores()),
+                    group_shift,
+                })
+            })
+            .collect();
         Evaluation {
             rail_time_in,
             rail_time_si,
@@ -155,6 +175,7 @@ impl<'a> TestBusEvaluator<'a> {
             schedule,
             t_in,
             t_si: clock,
+            rail_evals,
         }
     }
 }

@@ -1,23 +1,71 @@
 //! Architecture evaluation: InTest times, SI test times
 //! (`CalculateSITestTime`) and the combined objective.
+//!
+//! Evaluation is *compositional*: each rail contributes an independent
+//! [`RailEval`] (its InTest time plus its per-group shift sums), and an
+//! architecture evaluation is a cheap reduction over its rails'
+//! components. Because the optimizer's moves change only one or two
+//! rails at a time, components are memoized by rail fingerprint and the
+//! delta API [`Evaluator::evaluate_from`] reuses every untouched
+//! component — and, when no group's rail set changed, the previous
+//! Algorithm 1 schedule too. Assembled results are bit-identical to a
+//! from-scratch evaluation (see DESIGN.md §12).
 
 use std::sync::Arc;
 
-use soctam_exec::{MemoCache, Metrics};
+use soctam_exec::{fault, fx_fingerprint128, FpKey, MemoCache, Metrics};
 use soctam_model::{CoreId, Soc};
 use soctam_wrapper::TimeTable;
 
 use crate::schedule::{schedule_si_tests, SiSchedule};
-use crate::{TamError, TestRailArchitecture};
-
-/// Content fingerprint of an architecture for the evaluation cache: the
-/// exact rail list (width + hosted cores, in rail order). Two
-/// architectures with equal keys evaluate identically, including rail
-/// indices in the result.
-type ArchKey = Vec<(u32, Vec<CoreId>)>;
+use crate::{TamError, TestRail, TestRailArchitecture};
 
 /// Cache shard count; evaluation keys hash cheaply, contention is low.
 const CACHE_SHARDS: usize = 16;
+
+/// Cache namespace: per-rail components keyed by rail fingerprint.
+const SPACE_RAIL: u8 = 0;
+/// Cache namespace: assembled evaluations keyed by architecture
+/// fingerprint.
+const SPACE_ARCH: u8 = 1;
+/// Cache namespace: Algorithm 1 schedules keyed by group-times
+/// fingerprint.
+const SPACE_SCHED: u8 = 2;
+/// Cache namespace: `time_used` staircases keyed by core-set
+/// fingerprint.
+const SPACE_USED: u8 = 3;
+/// Cache namespace: Algorithm 1 makespans keyed by group-times
+/// fingerprint (the cost-only sibling of [`SPACE_SCHED`]).
+const SPACE_MAKESPAN: u8 = 4;
+
+/// One value of the shared evaluation store. All five logical caches
+/// (rail components, assembled architectures, schedules, staircases,
+/// makespans) live in a single sharded [`MemoCache`], disambiguated by
+/// the [`FpKey`] namespace tag.
+#[derive(Clone, Debug)]
+enum Cached {
+    Rail(Arc<RailEval>),
+    Arch(Arc<Evaluation>),
+    Sched(Arc<SiSchedule>),
+    Used(Arc<Vec<u64>>),
+    Makespan(u64),
+}
+
+/// Fingerprint identifying a rail's evaluation-relevant content: its
+/// width and hosted cores. Collision odds are the documented
+/// ~N²/2¹²⁹ of [`fx_fingerprint128`] — negligible for any reachable
+/// number of distinct rails.
+fn rail_fingerprint(width: u32, cores: &[CoreId]) -> u128 {
+    fx_fingerprint128(&(width, cores))
+}
+
+/// Fingerprint identifying an architecture: the exact rail list (width
+/// plus hosted cores, in rail order). Replaces the old `ArchKey`
+/// full-key clone (`Vec<(u32, Vec<CoreId>)>` per candidate) with a hash
+/// pass.
+fn arch_fingerprint(rails: &[TestRail]) -> u128 {
+    fx_fingerprint128(&rails)
+}
 
 /// A compacted SI test group as the TAM layer sees it: the involved cores
 /// and the compacted pattern count (`C(s)` and `pattern(s)` of Fig. 4).
@@ -71,7 +119,7 @@ impl From<&soctam_compaction::SiTestGroup> for SiGroupSpec {
 
 /// Timing of one SI test group under a concrete architecture (the output
 /// of `CalculateSITestTime`).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct SiGroupTime {
     /// `time_si(s)`: the bottleneck rail's total shift time.
     pub time: u64,
@@ -80,6 +128,26 @@ pub struct SiGroupTime {
     /// Index of the bottleneck rail (`r_btn(s)`), or `usize::MAX` when the
     /// group involves no rail (all cores have zero WOCs).
     pub bottleneck_rail: usize,
+}
+
+/// Per-rail evaluation component: everything one rail contributes to an
+/// architecture evaluation, independent of the other rails. Memoized by
+/// rail fingerprint, so a rail that survives an optimizer move (or
+/// recurs across candidates and restarts) is never re-evaluated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RailEval {
+    /// `time_in(r)`: the rail's InTest time.
+    pub t_in: u64,
+    /// The TAM width the component was computed at.
+    pub width: u32,
+    /// Fingerprint of the hosted core list ([`fx_fingerprint128`]);
+    /// together with `width` this identifies the component.
+    pub cores_fp: u128,
+    /// Sparse per-group shift sums: `(group index, Σ cycles)` for every
+    /// group in which this rail's cores shift a nonzero number of
+    /// cycles, ascending by group index. This is the rail's column of
+    /// the `CalculateSITestTime` table.
+    pub group_shift: Vec<(u32, u64)>,
 }
 
 /// Complete timing evaluation of one architecture.
@@ -92,12 +160,33 @@ pub struct Evaluation {
     pub rail_time_si: Vec<u64>,
     /// Per-group SI timing.
     pub group_times: Vec<SiGroupTime>,
-    /// The SI schedule produced by Algorithm 1.
-    pub schedule: SiSchedule,
+    /// The SI schedule produced by Algorithm 1, shared by reference:
+    /// evaluations that reuse a base schedule (or hit the schedule
+    /// cache) alias one allocation instead of deep-cloning it.
+    pub schedule: Arc<SiSchedule>,
     /// `T_soc^in`: the maximum per-rail InTest time.
     pub t_in: u64,
     /// `T_soc^si`: the SI schedule makespan.
     pub t_si: u64,
+    /// The per-rail components the evaluation was assembled from, in
+    /// rail order. [`Evaluator::evaluate_from`] reuses these for every
+    /// rail an optimizer move does not touch.
+    pub rail_evals: Vec<Arc<RailEval>>,
+}
+
+/// The cost summary of a candidate architecture, produced by
+/// [`Evaluator::cost_from`] / [`Evaluator::cost_from_mapped`] without
+/// materializing a full [`Evaluation`]. Each field is bit-identical to
+/// the corresponding quantity of the assembled evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeltaCost {
+    /// `T_soc^in` of the candidate.
+    pub t_in: u64,
+    /// `T_soc^si` of the candidate.
+    pub t_si: u64,
+    /// `Σ_r time_used(r)` — the secondary key wire rebalancing breaks
+    /// ties with (equals `Evaluation::rail_time_used().iter().sum()`).
+    pub rail_used_sum: u64,
 }
 
 impl Evaluation {
@@ -145,11 +234,20 @@ pub struct Evaluator<'a> {
     /// Per core: `Σ_{s ∋ c} patterns(s)` — the total SI pattern load the
     /// core's wrapper must shift across all groups.
     core_si_weight: Vec<u64>,
-    /// Memoized evaluations keyed by architecture fingerprint. The
-    /// optimizer revisits the same candidate architectures constantly
-    /// (merge sweeps, wire redistribution, sort passes); evaluation is
-    /// pure, so results are shared.
-    cache: MemoCache<ArchKey, Arc<Evaluation>>,
+    /// Per core: the sorted indices of the groups involving it — the
+    /// rail→groups index (built once on ingestion) that lets a rail
+    /// component visit only the groups its cores participate in.
+    core_groups: Vec<Vec<u32>>,
+    /// Shared store for all four evaluation caches (rail components,
+    /// assembled architectures, schedules, staircases), keyed by
+    /// namespaced fingerprint. The optimizer revisits the same rails
+    /// and candidate architectures constantly (merge sweeps, wire
+    /// redistribution, sort passes); evaluation is pure, so results are
+    /// shared.
+    cache: MemoCache<FpKey, Cached>,
+    /// Optional sink for cache-hit/miss, rail-eval and schedule-reuse
+    /// counters (the CLI `--stats` report).
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -176,10 +274,14 @@ impl<'a> Evaluator<'a> {
             }
         }
         let mut core_si_weight = vec![0u64; soc.num_cores()];
-        for group in &groups {
+        let mut core_groups = vec![Vec::new(); soc.num_cores()];
+        for (g, group) in groups.iter().enumerate() {
             for &core in group.cores() {
                 let w = &mut core_si_weight[core.index()];
                 *w = w.saturating_add(group.patterns());
+                // Group cores are deduplicated and groups are visited
+                // in ascending order, so each list stays sorted.
+                core_groups[core.index()].push(g as u32);
             }
         }
         Ok(Evaluator {
@@ -188,15 +290,18 @@ impl<'a> Evaluator<'a> {
             max_width,
             groups,
             core_si_weight,
+            core_groups,
             cache: MemoCache::new(CACHE_SHARDS),
+            metrics: None,
         })
     }
 
-    /// Replaces the evaluation cache with one that counts hits and
-    /// misses into `metrics` (typically a pool's [`Metrics`]). Call
-    /// before evaluating; any already-cached entries are dropped.
+    /// Counts cache hits, misses, rail-eval and schedule-reuse events
+    /// into `metrics` (typically a pool's [`Metrics`]) from now on.
+    /// Call before evaluating; any already-cached entries are dropped.
     pub fn attach_metrics(&mut self, metrics: Arc<Metrics>) {
-        self.cache = MemoCache::with_metrics(CACHE_SHARDS, metrics);
+        self.metrics = Some(metrics);
+        self.cache.clear();
     }
 
     /// [`Evaluator::evaluate`] through the memo cache: architectures
@@ -204,13 +309,447 @@ impl<'a> Evaluator<'a> {
     /// concurrent use; evaluation is a pure function of the
     /// architecture, so racing computations produce identical values.
     pub fn evaluate_cached(&self, arch: &TestRailArchitecture) -> Arc<Evaluation> {
-        let key: ArchKey = arch
-            .rails()
+        self.evaluate_rails_cached(arch.rails())
+    }
+
+    /// [`Evaluator::evaluate_cached`] on a bare rail list (the
+    /// optimizer's candidate representation — no architecture needs to
+    /// be constructed to probe the cache).
+    pub fn evaluate_rails_cached(&self, rails: &[TestRail]) -> Arc<Evaluation> {
+        let key = FpKey::new(SPACE_ARCH, arch_fingerprint(rails));
+        if let Some(Cached::Arch(eval)) = self.cache.get(&key) {
+            if let Some(m) = &self.metrics {
+                m.count_cache_hit();
+            }
+            return eval;
+        }
+        if let Some(m) = &self.metrics {
+            m.count_cache_miss();
+        }
+        let eval = Arc::new(self.evaluate_rails(rails));
+        self.insert_arch(key, eval)
+    }
+
+    /// Delta evaluation: evaluates `rails` reusing `base`'s per-rail
+    /// components for every index not listed in `changed`, and `base`'s
+    /// Algorithm 1 schedule when no group's rail set or time changed.
+    /// The result is bit-identical to [`Evaluator::evaluate`] on the
+    /// same rails.
+    ///
+    /// `rails[i]` must equal the rail `base` was evaluated on for every
+    /// `i` not in `changed` (checked in debug builds); indices ≥
+    /// `base`'s rail count are always evaluated fresh, so candidates
+    /// may drop or append rails.
+    pub fn evaluate_from(
+        &self,
+        base: &Evaluation,
+        changed: &[usize],
+        rails: &[TestRail],
+    ) -> Evaluation {
+        let rail_evals = self.delta_components(base, changed, rails);
+        self.assemble(rail_evals, Some(base))
+    }
+
+    /// The cost of `rails` as a delta against `base` — the fast path
+    /// for speculative candidates, which only need numbers, not a full
+    /// [`Evaluation`]. Same reuse contract as
+    /// [`Evaluator::evaluate_from`].
+    pub fn cost_from(&self, base: &Evaluation, changed: &[usize], rails: &[TestRail]) -> DeltaCost {
+        let rail_evals = self.delta_components(base, changed, rails);
+        self.cost_of_components(&rail_evals, base)
+    }
+
+    /// Per-rail components for a delta against `base`: reused where the
+    /// rail is unchanged, served from the rail cache otherwise.
+    fn delta_components(
+        &self,
+        base: &Evaluation,
+        changed: &[usize],
+        rails: &[TestRail],
+    ) -> Vec<Arc<RailEval>> {
+        rails
             .iter()
-            .map(|r| (r.width(), r.cores().to_vec()))
-            .collect();
+            .enumerate()
+            .map(|(i, rail)| {
+                if !changed.contains(&i) && i < base.rail_evals.len() {
+                    let reused = &base.rail_evals[i];
+                    debug_assert_eq!(
+                        (reused.width, reused.cores_fp),
+                        (rail.width(), fx_fingerprint128(&rail.cores())),
+                        "rail {i} differs from the base but is not listed as changed"
+                    );
+                    if let Some(m) = &self.metrics {
+                        m.count_rail_eval_hit();
+                    }
+                    Arc::clone(reused)
+                } else {
+                    self.rail_eval_cached(rail.width(), rail.cores())
+                }
+            })
+            .collect()
+    }
+
+    /// Delta evaluation with explicit provenance, for candidates that
+    /// *reorder* rails (the mergeTAMs sweep removes two rails and
+    /// appends their merge, shifting every later index): components are
+    /// position-independent, so `source[j] = Some(i)` reuses `base`'s
+    /// component `i` for the new rail `j` wherever the caller knows
+    /// `rails[j]` equals the rail `base` was evaluated on at index `i`
+    /// (checked in debug builds). `None` entries evaluate fresh (via
+    /// the rail cache). Bit-identical to [`Evaluator::evaluate`].
+    pub fn evaluate_from_mapped(
+        &self,
+        base: &Evaluation,
+        source: &[Option<usize>],
+        rails: &[TestRail],
+    ) -> Evaluation {
+        let rail_evals = self.delta_components_mapped(base, source, rails);
+        self.assemble(rail_evals, Some(base))
+    }
+
+    /// The cost of `rails` as a delta against `base` with explicit
+    /// provenance — [`Evaluator::cost_from`] for candidates that
+    /// reorder rails. Same reuse contract as
+    /// [`Evaluator::evaluate_from_mapped`].
+    pub fn cost_from_mapped(
+        &self,
+        base: &Evaluation,
+        source: &[Option<usize>],
+        rails: &[TestRail],
+    ) -> DeltaCost {
+        let rail_evals = self.delta_components_mapped(base, source, rails);
+        self.cost_of_components(&rail_evals, base)
+    }
+
+    /// Per-rail components for a provenance-mapped delta against `base`.
+    fn delta_components_mapped(
+        &self,
+        base: &Evaluation,
+        source: &[Option<usize>],
+        rails: &[TestRail],
+    ) -> Vec<Arc<RailEval>> {
+        debug_assert_eq!(source.len(), rails.len());
+        rails
+            .iter()
+            .zip(source)
+            .map(|(rail, src)| match src {
+                Some(i) if *i < base.rail_evals.len() => {
+                    let reused = &base.rail_evals[*i];
+                    debug_assert_eq!(
+                        (reused.width, reused.cores_fp),
+                        (rail.width(), fx_fingerprint128(&rail.cores())),
+                        "mapped source {i} does not match the candidate rail"
+                    );
+                    if let Some(m) = &self.metrics {
+                        m.count_rail_eval_hit();
+                    }
+                    Arc::clone(reused)
+                }
+                _ => self.rail_eval_cached(rail.width(), rail.cores()),
+            })
+            .collect()
+    }
+
+    /// Publishes an assembled evaluation under `key`, returning the
+    /// store's copy (first insert wins under concurrency).
+    fn insert_arch(&self, key: FpKey, eval: Arc<Evaluation>) -> Arc<Evaluation> {
+        match self
+            .cache
+            .get_or_insert_with(key, || Cached::Arch(Arc::clone(&eval)))
+        {
+            Cached::Arch(stored) => stored,
+            // Namespaces are disjoint: SPACE_ARCH only stores Arch.
+            _ => eval,
+        }
+    }
+
+    /// The memoized per-rail component for (`width`, `cores`).
+    fn rail_eval_cached(&self, width: u32, cores: &[CoreId]) -> Arc<RailEval> {
+        let key = FpKey::new(SPACE_RAIL, rail_fingerprint(width, cores));
+        if let Some(Cached::Rail(rail_eval)) = self.cache.get(&key) {
+            if let Some(m) = &self.metrics {
+                m.count_rail_eval_hit();
+            }
+            return rail_eval;
+        }
+        if let Some(m) = &self.metrics {
+            m.count_rail_eval_miss();
+        }
+        let rail_eval = Arc::new(self.compute_rail_eval(width, cores));
+        match self
+            .cache
+            .get_or_insert_with(key, || Cached::Rail(Arc::clone(&rail_eval)))
+        {
+            Cached::Rail(stored) => stored,
+            // Namespaces are disjoint: SPACE_RAIL only stores Rail.
+            _ => rail_eval,
+        }
+    }
+
+    /// Computes one rail's evaluation component from scratch.
+    ///
+    /// The per-group sums accumulate with the same saturating arithmetic
+    /// as the monolithic `CalculateSITestTime` loop did; unsigned
+    /// saturating addition of nonnegative terms is order-independent,
+    /// so the component — and everything assembled from it — is
+    /// bit-identical to the from-scratch result.
+    fn compute_rail_eval(&self, width: u32, cores: &[CoreId]) -> RailEval {
+        fault::hit("tam.rail_eval");
+        let t_in = cores
+            .iter()
+            .map(|&c| self.table.intest(c, width))
+            .fold(0u64, u64::saturating_add);
+        let mut shift = vec![0u64; self.groups.len()];
+        let mut touched: Vec<u32> = Vec::new();
+        for &core in cores {
+            let per_pattern = self.table.si_shift(core, width);
+            if per_pattern == 0 {
+                continue;
+            }
+            for &g in &self.core_groups[core.index()] {
+                let cycles = self.groups[g as usize]
+                    .patterns()
+                    .saturating_mul(per_pattern);
+                if cycles > 0 {
+                    if shift[g as usize] == 0 {
+                        touched.push(g);
+                    }
+                    shift[g as usize] = shift[g as usize].saturating_add(cycles);
+                }
+            }
+        }
+        touched.sort_unstable();
+        let group_shift = touched.iter().map(|&g| (g, shift[g as usize])).collect();
+        RailEval {
+            t_in,
+            width,
+            cores_fp: fx_fingerprint128(&cores),
+            group_shift,
+        }
+    }
+
+    /// Reduces per-rail components into a full [`Evaluation`].
+    ///
+    /// Rails are visited in ascending index order within each group, so
+    /// `SiGroupTime.rails` ordering and the first-strict-maximum
+    /// bottleneck tie-break match the monolithic loop exactly. The
+    /// Algorithm 1 schedule is reused from `reuse` when the group times
+    /// are unchanged (the optimizer's common case: a move that touched
+    /// no group's bottleneck), otherwise served from the schedule cache
+    /// or recomputed.
+    fn assemble(&self, rail_evals: Vec<Arc<RailEval>>, reuse: Option<&Evaluation>) -> Evaluation {
+        let num_rails = rail_evals.len();
+        let rail_time_in: Vec<u64> = rail_evals.iter().map(|r| r.t_in).collect();
+        let t_in = rail_time_in.iter().copied().max().unwrap_or(0);
+
+        let mut rail_time_si = vec![0u64; num_rails];
+        let group_times = self.group_times_of(&rail_evals, &mut rail_time_si);
+
+        let schedule = match reuse {
+            Some(base) if base.group_times == group_times => {
+                if let Some(m) = &self.metrics {
+                    m.count_schedule_reuse();
+                }
+                Arc::clone(&base.schedule)
+            }
+            _ => self.schedule_cached(&group_times),
+        };
+        let t_si = schedule.makespan();
+        Evaluation {
+            rail_time_in,
+            rail_time_si,
+            group_times,
+            schedule,
+            t_in,
+            t_si,
+            rail_evals,
+        }
+    }
+
+    /// Merges the per-rail sparse group columns into per-group
+    /// [`SiGroupTime`] rows, accumulating each rail's utilized SI time
+    /// into `rail_time_si`.
+    ///
+    /// Every component's `group_shift` ascends by group index, so one
+    /// cursor per rail walks all columns in a single pass; visiting
+    /// rails in ascending index order per group reproduces the
+    /// monolithic loop's `rails` ordering and first-strict-maximum
+    /// bottleneck tie-break exactly.
+    fn group_times_of(
+        &self,
+        rail_evals: &[Arc<RailEval>],
+        rail_time_si: &mut [u64],
+    ) -> Vec<SiGroupTime> {
+        let mut cursors = vec![0usize; rail_evals.len()];
+        let mut group_times = Vec::with_capacity(self.groups.len());
+        for g in 0..self.groups.len() as u32 {
+            let mut touched = Vec::new();
+            let (mut best_rail, mut best_time) = (usize::MAX, 0u64);
+            for (r, comp) in rail_evals.iter().enumerate() {
+                let column = &comp.group_shift;
+                if cursors[r] < column.len() && column[cursors[r]].0 == g {
+                    let cycles = column[cursors[r]].1;
+                    cursors[r] += 1;
+                    rail_time_si[r] = rail_time_si[r].saturating_add(cycles);
+                    if cycles > best_time {
+                        best_time = cycles;
+                        best_rail = r;
+                    }
+                    touched.push(r);
+                }
+            }
+            group_times.push(SiGroupTime {
+                time: best_time,
+                rails: touched,
+                bottleneck_rail: best_rail,
+            });
+        }
+        group_times
+    }
+
+    /// Costs the rail components of a candidate without materializing a
+    /// full [`Evaluation`]: the group walk runs in lockstep against
+    /// `base.group_times`, and when every group matches — the
+    /// optimizer's common case — `base`'s makespan is reused without
+    /// allocating a single `SiGroupTime`. The returned numbers are
+    /// bit-identical to the corresponding fields of the assembled
+    /// evaluation.
+    fn cost_of_components(&self, rail_evals: &[Arc<RailEval>], base: &Evaluation) -> DeltaCost {
+        let num_rails = rail_evals.len();
+        let t_in = rail_evals.iter().map(|r| r.t_in).max().unwrap_or(0);
+
+        let mut rail_si = vec![0u64; num_rails];
+        let mut cursors = vec![0usize; num_rails];
+        let mut same = base.group_times.len() == self.groups.len();
+        for g in 0..self.groups.len() {
+            let base_group = base.group_times.get(g);
+            let (mut best_rail, mut best_time) = (usize::MAX, 0u64);
+            let mut pos = 0usize;
+            for (r, comp) in rail_evals.iter().enumerate() {
+                let column = &comp.group_shift;
+                if cursors[r] < column.len() && column[cursors[r]].0 == g as u32 {
+                    let cycles = column[cursors[r]].1;
+                    cursors[r] += 1;
+                    rail_si[r] = rail_si[r].saturating_add(cycles);
+                    if cycles > best_time {
+                        best_time = cycles;
+                        best_rail = r;
+                    }
+                    if same {
+                        match base_group {
+                            Some(bg) if bg.rails.get(pos) == Some(&r) => pos += 1,
+                            _ => same = false,
+                        }
+                    }
+                }
+            }
+            if same {
+                if let Some(bg) = base_group {
+                    if pos != bg.rails.len()
+                        || best_time != bg.time
+                        || best_rail != bg.bottleneck_rail
+                    {
+                        same = false;
+                    }
+                }
+            }
+        }
+
+        // Matches `Evaluation::rail_time_used().iter().sum()`: per-rail
+        // saturating add, then a plain (overflow-checked in debug) sum.
+        let rail_used_sum = rail_evals
+            .iter()
+            .zip(&rail_si)
+            .map(|(comp, &si)| comp.t_in.saturating_add(si))
+            .sum::<u64>();
+
+        let t_si = if same {
+            if let Some(m) = &self.metrics {
+                m.count_schedule_reuse();
+            }
+            base.t_si
+        } else {
+            let mut scratch_si = vec![0u64; num_rails];
+            let group_times = self.group_times_of(rail_evals, &mut scratch_si);
+            self.makespan_cached(&group_times)
+        };
+        DeltaCost {
+            t_in,
+            t_si,
+            rail_used_sum,
+        }
+    }
+
+    /// The Algorithm 1 makespan of `group_times`, served from the
+    /// schedule cache (a full schedule is already known), the makespan
+    /// cache, or the makespan-only scheduler — never materializing a
+    /// schedule on the candidate-costing path.
+    fn makespan_cached(&self, group_times: &[SiGroupTime]) -> u64 {
+        let fp = fx_fingerprint128(&group_times);
+        if let Some(Cached::Sched(schedule)) = self.cache.get(&FpKey::new(SPACE_SCHED, fp)) {
+            if let Some(m) = &self.metrics {
+                m.count_schedule_reuse();
+            }
+            return schedule.makespan();
+        }
+        let key = FpKey::new(SPACE_MAKESPAN, fp);
+        if let Some(Cached::Makespan(makespan)) = self.cache.get(&key) {
+            if let Some(m) = &self.metrics {
+                m.count_schedule_reuse();
+            }
+            return makespan;
+        }
+        let makespan = crate::schedule::si_makespan(group_times);
         self.cache
-            .get_or_insert_with(key, || Arc::new(self.evaluate(arch)))
+            .get_or_insert_with(key, || Cached::Makespan(makespan));
+        makespan
+    }
+
+    /// Algorithm 1 through the schedule cache: group-times vectors that
+    /// recur across candidates (very common — most moves shift work
+    /// within a group without changing its bottleneck) schedule once.
+    fn schedule_cached(&self, group_times: &[SiGroupTime]) -> Arc<SiSchedule> {
+        let key = FpKey::new(SPACE_SCHED, fx_fingerprint128(&group_times));
+        if let Some(Cached::Sched(schedule)) = self.cache.get(&key) {
+            if let Some(m) = &self.metrics {
+                m.count_schedule_reuse();
+            }
+            return schedule;
+        }
+        let schedule = Arc::new(schedule_si_tests(group_times));
+        match self
+            .cache
+            .get_or_insert_with(key, || Cached::Sched(Arc::clone(&schedule)))
+        {
+            Cached::Sched(stored) => stored,
+            // Namespaces are disjoint: SPACE_SCHED only stores Sched.
+            _ => schedule,
+        }
+    }
+
+    /// The `time_used(r)` staircase of a core set: the utilized time the
+    /// rail would accumulate at every width `1..=max_width`, memoized by
+    /// core-set fingerprint. The optimizer's wire distribution and
+    /// rebalancing scan these arrays instead of recomputing point
+    /// values.
+    pub fn rail_used_staircase(&self, cores: &[CoreId]) -> Arc<Vec<u64>> {
+        let key = FpKey::new(SPACE_USED, fx_fingerprint128(&cores));
+        if let Some(Cached::Used(staircase)) = self.cache.get(&key) {
+            return staircase;
+        }
+        let staircase = Arc::new(
+            (1..=self.max_width)
+                .map(|w| self.rail_time_used_at(cores, w))
+                .collect::<Vec<u64>>(),
+        );
+        match self
+            .cache
+            .get_or_insert_with(key, || Cached::Used(Arc::clone(&staircase)))
+        {
+            Cached::Used(stored) => stored,
+            // Namespaces are disjoint: SPACE_USED only stores Used.
+            _ => staircase,
+        }
     }
 
     /// The utilized time `time_in + time_si` a rail hosting `cores` would
@@ -268,67 +807,23 @@ impl<'a> Evaluator<'a> {
 
     /// Full evaluation of `arch`: per-rail times, per-group SI times
     /// (`CalculateSITestTime`), the Algorithm 1 schedule and the combined
-    /// objective.
+    /// objective. Assembled from memoized per-rail components.
     ///
     /// # Panics
     ///
     /// Panics if a rail is wider than the evaluator's `max_width` or hosts
     /// a core outside the SOC.
     pub fn evaluate(&self, arch: &TestRailArchitecture) -> Evaluation {
-        let num_rails = arch.num_rails();
-        let mut rail_time_in = vec![0u64; num_rails];
-        for (i, rail) in arch.rails().iter().enumerate() {
-            rail_time_in[i] = self.rail_intest_time(rail);
-        }
-        let t_in = rail_time_in.iter().copied().max().unwrap_or(0);
+        self.evaluate_rails(arch.rails())
+    }
 
-        let core_rail = arch.core_to_rail(self.soc.num_cores());
-        let mut rail_time_si = vec![0u64; num_rails];
-        let mut group_times = Vec::with_capacity(self.groups.len());
-        // Scratch: per-rail shift sums for the current group.
-        let mut shift = vec![0u64; num_rails];
-        for group in &self.groups {
-            let mut touched: Vec<usize> = Vec::new();
-            for &core in group.cores() {
-                let rail = core_rail[core.index()];
-                let width = arch.rails()[rail].width();
-                let cycles = group
-                    .patterns()
-                    .saturating_mul(self.table.si_shift(core, width));
-                if cycles > 0 {
-                    if shift[rail] == 0 {
-                        touched.push(rail);
-                    }
-                    shift[rail] = shift[rail].saturating_add(cycles);
-                }
-            }
-            touched.sort_unstable();
-            let (mut best_rail, mut best_time) = (usize::MAX, 0u64);
-            for &rail in &touched {
-                rail_time_si[rail] = rail_time_si[rail].saturating_add(shift[rail]);
-                if shift[rail] > best_time {
-                    best_time = shift[rail];
-                    best_rail = rail;
-                }
-                shift[rail] = 0;
-            }
-            group_times.push(SiGroupTime {
-                time: best_time,
-                rails: touched,
-                bottleneck_rail: best_rail,
-            });
-        }
-
-        let schedule = schedule_si_tests(&group_times);
-        let t_si = schedule.makespan();
-        Evaluation {
-            rail_time_in,
-            rail_time_si,
-            group_times,
-            schedule,
-            t_in,
-            t_si,
-        }
+    /// Evaluates a bare rail list from memoized components.
+    fn evaluate_rails(&self, rails: &[TestRail]) -> Evaluation {
+        let rail_evals = rails
+            .iter()
+            .map(|rail| self.rail_eval_cached(rail.width(), rail.cores()))
+            .collect();
+        self.assemble(rail_evals, None)
     }
 }
 

@@ -61,7 +61,7 @@ pub use budget::OptimizerBudget;
 pub use bus::TestBusEvaluator;
 
 pub use error::TamError;
-pub use evaluator::{Evaluation, Evaluator, SiGroupSpec, SiGroupTime};
+pub use evaluator::{DeltaCost, Evaluation, Evaluator, RailEval, SiGroupSpec, SiGroupTime};
 pub use optimizer::{Objective, OptimizedArchitecture, TamOptimizer};
 pub use rail::{TestRail, TestRailArchitecture};
 pub use render::{render_schedule, render_schedule_svg};

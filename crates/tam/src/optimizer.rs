@@ -4,12 +4,13 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use soctam_exec::{fault, Pool};
+use soctam_exec::{fault, fx_fingerprint128, Pool};
 use soctam_model::{CoreId, Soc};
 
 use crate::budget::BudgetTracker;
 use crate::{
-    Evaluation, Evaluator, OptimizerBudget, SiGroupSpec, TamError, TestRail, TestRailArchitecture,
+    DeltaCost, Evaluation, Evaluator, OptimizerBudget, SiGroupSpec, TamError, TestRail,
+    TestRailArchitecture,
 };
 
 /// What the optimizer minimizes.
@@ -121,18 +122,37 @@ impl<'a> TamOptimizer<'a> {
     }
 
     // Invariant: every rails vector the optimizer builds keeps each core on
-    // exactly one rail, so architecture construction cannot fail.
-    #[allow(clippy::expect_used)]
+    // exactly one rail (checked in debug builds), so candidates evaluate
+    // directly — no architecture construction per candidate.
     fn eval(&self, rails: &[TestRail]) -> Arc<Evaluation> {
-        let arch = TestRailArchitecture::new(self.soc(), rails.to_vec())
-            .expect("optimizer maintains a consistent core assignment");
-        self.evaluator.evaluate_cached(&arch)
+        debug_assert!(TestRailArchitecture::new(self.soc(), rails.to_vec()).is_ok());
+        self.evaluator.evaluate_rails_cached(rails)
+    }
+
+    /// Delta evaluation against an incumbent: only the rails listed in
+    /// `changed` differ from what `base` was evaluated on. Speculative
+    /// candidates skip the architecture-level cache on purpose — most
+    /// are visited once, so fingerprinting the whole rail list and
+    /// inserting every candidate costs more than the delta assembly it
+    /// would save; the per-rail and schedule caches below it do the
+    /// cross-candidate sharing.
+    fn eval_from(&self, base: &Evaluation, changed: &[usize], rails: &[TestRail]) -> Evaluation {
+        debug_assert!(TestRailArchitecture::new(self.soc(), rails.to_vec()).is_ok());
+        self.evaluator.evaluate_from(base, changed, rails)
     }
 
     fn cost_of(&self, eval: &Evaluation) -> u64 {
         match self.objective {
             Objective::Total => eval.t_total(),
             Objective::InTestOnly => eval.t_in,
+        }
+    }
+
+    /// [`TamOptimizer::cost_of`] on a cost-only delta evaluation.
+    fn cost_of_delta(&self, delta: &DeltaCost) -> u64 {
+        match self.objective {
+            Objective::Total => delta.t_in.saturating_add(delta.t_si),
+            Objective::InTestOnly => delta.t_in,
         }
     }
 
@@ -171,6 +191,17 @@ impl<'a> TamOptimizer<'a> {
     /// utilized time actually drops — and picks the jump that minimizes
     /// `(T_soc, Σ_r time_used(r), wires spent)`. Wires that cannot improve
     /// any rail are spread one per widest-gap rail at the end.
+    ///
+    /// `speculative` marks calls made while costing a *candidate* move
+    /// (the mergeTAMs sweep): those never tick the iteration budget —
+    /// candidate probes racing the shared counter from pool workers
+    /// would make iteration-budgeted runs thread-count-dependent. Only
+    /// committed, serial wire-distribution steps count as iterations.
+    ///
+    /// `incumbent` optionally seeds the evaluation of `rails` as passed
+    /// in (callers that already evaluated them); the running evaluation
+    /// is carried across iterations as rail deltas, and the final
+    /// rails' evaluation is returned alongside them.
     // Invariant: widths only ever grow here, so `with_width` cannot see 0.
     #[allow(clippy::expect_used)]
     fn distribute_free_wires(
@@ -178,9 +209,24 @@ impl<'a> TamOptimizer<'a> {
         mut rails: Vec<TestRail>,
         wires: u32,
         tracker: &BudgetTracker,
-    ) -> Vec<TestRail> {
+        speculative: bool,
+        incumbent: Option<Evaluation>,
+    ) -> (Vec<TestRail>, Evaluation) {
+        let mut incumbent = incumbent.unwrap_or_else(|| (*self.eval(&rails)).clone());
         let mut remaining = wires;
-        while remaining > 0 && tracker.tick() {
+        // Core sets never change below — only widths do — so every
+        // iteration reads the same memoized staircases; probe them once.
+        let staircases: Vec<Arc<Vec<u64>>> = rails
+            .iter()
+            .map(|r| self.evaluator.rail_used_staircase(r.cores()))
+            .collect();
+        while remaining > 0
+            && if speculative {
+                tracker.within()
+            } else {
+                tracker.tick()
+            }
+        {
             // Water-filling over the staircases: among every strict drop
             // point of every rail (not just the nearest one — a tiny SI
             // gain at +1 must not mask a large InTest cliff at +6), pick
@@ -188,16 +234,19 @@ impl<'a> TamOptimizer<'a> {
             // highest time reduction *per wire spent*, then fewest wires.
             let mut best: Option<(usize, u32)> = None;
             let mut best_key: Option<(u64, u128, u32)> = None;
-            for (i, rail) in rails.iter().enumerate() {
-                let before = self.evaluator.rail_time_used_at(rail.cores(), rail.width());
-                for d in self.drop_points(rail, remaining) {
-                    let after = self
-                        .evaluator
-                        .rail_time_used_at(rail.cores(), rail.width() + d);
+            for i in 0..rails.len() {
+                let width = rails[i].width();
+                let staircase = &staircases[i];
+                let before = staircase[(width - 1) as usize];
+                for d in drop_points(staircase, width, remaining) {
+                    let after = staircase[(width + d - 1) as usize];
                     let gain = before - after;
-                    let mut cand = rails.clone();
-                    cand[i] = cand[i].with_width(cand[i].width() + d).expect("width > 0");
-                    let cost = self.cost(&cand);
+                    // Toggle the width in place: the candidate differs
+                    // from the incumbent only at rail `i`.
+                    rails[i] = rails[i].with_width(width + d).expect("width > 0");
+                    let cost =
+                        self.cost_of_delta(&self.evaluator.cost_from(&incumbent, &[i], &rails));
+                    rails[i] = rails[i].with_width(width).expect("width > 0");
                     // Rate comparison without floats: encode gain/d as a
                     // scaled fixed-point value (negated so smaller = better).
                     let neg_rate = u128::MAX - (u128::from(gain) << 32) / u128::from(d);
@@ -214,6 +263,7 @@ impl<'a> TamOptimizer<'a> {
                         .with_width(rails[i].width() + d)
                         .expect("width > 0");
                     remaining -= d;
+                    incumbent = self.eval_from(&incumbent, &[i], &rails);
                 }
                 None => break, // no affordable jump improves any rail
             }
@@ -222,9 +272,8 @@ impl<'a> TamOptimizer<'a> {
         // them on bottleneck rails (they may enable future merges). Purely
         // cosmetic for feasibility, so it is skipped once the budget trips.
         while remaining > 0 && tracker.within() {
-            let eval = self.eval(&rails);
             let target = self
-                .bottleneck_rails(&eval)
+                .bottleneck_rails(&incumbent)
                 .into_iter()
                 .chain(0..rails.len())
                 .find(|&i| rails[i].width() < self.max_width);
@@ -233,8 +282,9 @@ impl<'a> TamOptimizer<'a> {
                 .with_width(rails[i].width() + 1)
                 .expect("width > 0");
             remaining -= 1;
+            incumbent = self.eval_from(&incumbent, &[i], &rails);
         }
-        rails
+        (rails, incumbent)
     }
 
     /// `mergeTAMs`: merges `rails[r1]` with the partner and merged width
@@ -254,7 +304,8 @@ impl<'a> TamOptimizer<'a> {
         if !tracker.within() {
             return (rails, false);
         }
-        let current = self.cost(&rails);
+        let current_eval = self.eval(&rails);
+        let current = self.cost_of(&current_eval);
         // Every (partner, merged-width) candidate is independent:
         // evaluate them on the pool, then reduce sequentially in the
         // original visit order so the winning tie-break — first
@@ -277,18 +328,38 @@ impl<'a> TamOptimizer<'a> {
                 return (Vec::new(), u64::MAX);
             }
             let merged = rails[r1].merged(&rails[i], w).expect("merged width >= 1");
-            let mut cand: Vec<TestRail> = rails
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| j != r1 && j != i)
-                .map(|(_, r)| r.clone())
-                .collect();
+            // Track each candidate rail's provenance in the incumbent:
+            // survivors shift position but keep their component; the
+            // merged tail rail is new.
+            let mut source: Vec<Option<usize>> = Vec::with_capacity(rails.len() - 1);
+            let mut cand: Vec<TestRail> = Vec::with_capacity(rails.len() - 1);
+            for (j, rail) in rails.iter().enumerate() {
+                if j != r1 && j != i {
+                    source.push(Some(j));
+                    cand.push(rail.clone());
+                }
+            }
+            source.push(None);
             cand.push(merged);
             let leftover = rails[r1].width() + rails[i].width() - w;
-            if leftover > 0 {
-                cand = self.distribute_free_wires(cand, leftover, tracker);
-            }
-            let cost = self.cost(&cand);
+            let cost = if leftover > 0 {
+                // Freed wires to spread: seed the redistribution with the
+                // candidate's full delta evaluation and let it carry the
+                // incumbent forward.
+                let eval = self
+                    .evaluator
+                    .evaluate_from_mapped(&current_eval, &source, &cand);
+                let final_eval;
+                (cand, final_eval) =
+                    self.distribute_free_wires(cand, leftover, tracker, true, Some(eval));
+                self.cost_of(&final_eval)
+            } else {
+                self.cost_of_delta(
+                    &self
+                        .evaluator
+                        .cost_from_mapped(&current_eval, &source, &cand),
+                )
+            };
             (cand, cost)
         });
         let mut best: Option<(Vec<TestRail>, u64)> = None;
@@ -301,25 +372,6 @@ impl<'a> TamOptimizer<'a> {
             Some((cand, cost)) if cost < current => (cand, true),
             _ => (rails, false),
         }
-    }
-
-    /// The strict drop points of a rail's time staircase: the jump sizes
-    /// `d ≤ budget` (with `width + d ≤ max_width`) at which
-    /// `rail_time_used_at(width + d)` falls below every smaller width.
-    fn drop_points(&self, rail: &TestRail, budget: u32) -> Vec<u32> {
-        let mut points = Vec::new();
-        let mut best = self.evaluator.rail_time_used_at(rail.cores(), rail.width());
-        let limit = budget.min(self.max_width.saturating_sub(rail.width()));
-        for d in 1..=limit {
-            let t = self
-                .evaluator
-                .rail_time_used_at(rail.cores(), rail.width() + d);
-            if t < best {
-                best = t;
-                points.push(d);
-            }
-        }
-        points
     }
 
     /// Wire rebalancing (a polish pass beyond the paper): funds a Pareto
@@ -341,25 +393,32 @@ impl<'a> TamOptimizer<'a> {
                 self.cost_of(&eval),
                 eval.rail_time_used().iter().sum::<u64>(),
             );
+            // All donor selections read the same memoized staircases.
+            let staircases: Vec<Arc<Vec<u64>>> = rails
+                .iter()
+                .map(|r| self.evaluator.rail_used_staircase(r.cores()))
+                .collect();
             let mut best: Option<(Vec<TestRail>, (u64, u64))> = None;
             for b in 0..rails.len() {
                 let donor_budget: u32 =
                     rails.iter().map(|r| r.width() - 1).sum::<u32>() - (rails[b].width() - 1);
-                for delta in self.drop_points(&rails[b], donor_budget) {
+                for delta in drop_points(&staircases[b], rails[b].width(), donor_budget) {
                     // Collect `delta` wires, one at a time, from the donors
                     // whose marginal slowdown for giving up a wire is
                     // smallest (zero on a width plateau).
                     let mut cand = rails.clone();
                     let mut funded = 0;
+                    let mut touched = BTreeSet::new();
                     while funded < delta {
                         let donor = (0..cand.len())
                             .filter(|&o| o != b && cand[o].width() > 1)
                             .min_by_key(|&o| {
-                                let at = |w| self.evaluator.rail_time_used_at(cand[o].cores(), w);
+                                let at = |w: u32| staircases[o][(w - 1) as usize];
                                 at(cand[o].width() - 1) - at(cand[o].width())
                             });
                         let Some(o) = donor else { break };
                         cand[o] = cand[o].with_width(cand[o].width() - 1).expect("width > 1");
+                        touched.insert(o);
                         funded += 1;
                     }
                     if funded < delta {
@@ -368,11 +427,10 @@ impl<'a> TamOptimizer<'a> {
                     cand[b] = cand[b]
                         .with_width(cand[b].width() + delta)
                         .expect("width > 0");
-                    let cand_eval = self.eval(&cand);
-                    let cand_key = (
-                        self.cost_of(&cand_eval),
-                        cand_eval.rail_time_used().iter().sum::<u64>(),
-                    );
+                    touched.insert(b);
+                    let changed: Vec<usize> = touched.into_iter().collect();
+                    let delta = self.evaluator.cost_from(&eval, &changed, &cand);
+                    let cand_key = (self.cost_of_delta(&delta), delta.rail_used_sum);
                     if cand_key < key && best.as_ref().map_or(true, |&(_, k)| cand_key < k) {
                         best = Some((cand, cand_key));
                     }
@@ -436,7 +494,8 @@ impl<'a> TamOptimizer<'a> {
                         target_cores.push(core);
                         cand[t] = TestRail::new(target_cores, cand[t].width())
                             .expect("target keeps its width");
-                        let cost = self.cost(&cand);
+                        let cost =
+                            self.cost_of_delta(&self.evaluator.cost_from(&eval, &[b, t], &cand));
                         if best.as_ref().map_or(true, |&(_, c)| cost < c) {
                             best = Some((cand, cost));
                         }
@@ -535,12 +594,30 @@ impl<'a> TamOptimizer<'a> {
         // are skipped wholesale — the base run already produced a valid
         // architecture.
         let perturbations: Vec<u64> = (1..u64::from(restarts.max(1))).collect();
-        let candidates = self.pool.par_map(&perturbations, |&p| {
-            if !tracker.within() {
-                return Ok(None);
-            }
-            self.optimize_perturbed(p, &tracker).map(Some)
-        });
+        // Restarts tick the shared iteration counter internally, so an
+        // iteration-budgeted run must visit them serially — concurrent
+        // restarts would race the counter and make the cut-off point
+        // (and thus the result) depend on the pool size. Deadline-only
+        // and unlimited budgets keep the parallel fan-out.
+        let candidates: Vec<Result<Option<OptimizedArchitecture>, TamError>> =
+            if self.budget.max_iterations.is_some() {
+                perturbations
+                    .iter()
+                    .map(|&p| {
+                        if !tracker.within() {
+                            return Ok(None);
+                        }
+                        self.optimize_perturbed(p, &tracker).map(Some)
+                    })
+                    .collect()
+            } else {
+                self.pool.par_map(&perturbations, |&p| {
+                    if !tracker.within() {
+                        return Ok(None);
+                    }
+                    self.optimize_perturbed(p, &tracker).map(Some)
+                })
+            };
         for candidate in candidates {
             let Some(candidate) = candidate? else {
                 continue;
@@ -607,7 +684,8 @@ impl<'a> TamOptimizer<'a> {
                     rails[i] = rails[i].merged(&victim, w).expect("width >= 1");
                 }
             } else if n < w_max {
-                rails = self.distribute_free_wires(rails, (w_max - n) as u32, tracker);
+                (rails, _) =
+                    self.distribute_free_wires(rails, (w_max - n) as u32, tracker, false, None);
             }
         } else {
             rails = self.packed_start(perturbation);
@@ -626,7 +704,7 @@ impl<'a> TamOptimizer<'a> {
         }
 
         // --- Optimize top-down (lines 24-30): merge the most-used rail.
-        let mut skip: BTreeSet<Vec<CoreId>> = BTreeSet::new();
+        let mut skip: BTreeSet<u128> = BTreeSet::new();
         while rails.len() > 1 && tracker.tick() {
             let init = self.cost(&rails);
             self.sort_by_time_used(&mut rails);
@@ -724,9 +802,29 @@ impl<'a> TamOptimizer<'a> {
     }
 }
 
-/// Stable identity of a rail for the skip set: its (sorted) core list.
-fn rails_key(rails: &[TestRail], i: usize) -> Vec<CoreId> {
-    rails[i].cores().to_vec()
+/// Stable identity of a rail for the skip set: the fingerprint of its
+/// (sorted) core list — no per-candidate `Vec<CoreId>` clone.
+fn rails_key(rails: &[TestRail], i: usize) -> u128 {
+    fx_fingerprint128(&rails[i].cores())
+}
+
+/// The strict drop points of a rail's time staircase: the jump sizes
+/// `d ≤ budget` (with `width + d ≤ max_width`) at which the utilized
+/// time falls below every smaller width. `staircase[w - 1]` is the
+/// rail's `time_used` at width `w`
+/// (see [`Evaluator::rail_used_staircase`]).
+fn drop_points(staircase: &[u64], width: u32, budget: u32) -> Vec<u32> {
+    let mut points = Vec::new();
+    let mut best = staircase[(width - 1) as usize];
+    let limit = budget.min((staircase.len() as u32).saturating_sub(width));
+    for d in 1..=limit {
+        let t = staircase[(width + d - 1) as usize];
+        if t < best {
+            best = t;
+            points.push(d);
+        }
+    }
+    points
 }
 
 /// Deterministic Fisher–Yates shuffle driven by a splitmix64 stream (the

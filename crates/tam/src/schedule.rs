@@ -240,6 +240,50 @@ pub fn schedule_si_tests_with(groups: &[SiGroupTime], order: ScheduleOrder) -> S
     }
 }
 
+/// The makespan Algorithm 1 would produce, without materializing the
+/// schedule — the hot path for speculative candidate costing, where
+/// only the number is compared. Runs the exact same greedy first-fit
+/// loop as [`schedule_si_tests`] (input priority order), so the result
+/// is bit-identical to `schedule_si_tests(groups).makespan()`, but
+/// rail sets are borrowed instead of cloned and no test windows are
+/// collected.
+pub(crate) fn si_makespan(groups: &[SiGroupTime]) -> u64 {
+    fault::hit("tam.schedule");
+    let mut unscheduled: Vec<usize> = (0..groups.len()).collect();
+    // (end, rails) of the currently running tests.
+    let mut running: Vec<(u64, &[usize])> = Vec::new();
+    let mut curr_time = 0u64;
+    let mut makespan = 0u64;
+
+    while !unscheduled.is_empty() {
+        running.retain(|&(end, _)| end > curr_time);
+        let free_slot = unscheduled.iter().position(|&g| {
+            groups[g]
+                .rails
+                .iter()
+                .all(|r| running.iter().all(|(_, rails)| !rails.contains(r)))
+        });
+        match free_slot {
+            Some(pos) => {
+                let g = unscheduled.remove(pos);
+                let end = curr_time.saturating_add(groups[g].time);
+                makespan = makespan.max(end);
+                running.push((end, &groups[g].rails));
+            }
+            None => {
+                #[allow(clippy::expect_used)]
+                let earliest = running
+                    .iter()
+                    .map(|&(end, _)| end)
+                    .min()
+                    .expect("conflicting tests imply a running test");
+                curr_time = earliest;
+            }
+        }
+    }
+    makespan
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +390,27 @@ mod tests {
         assert!(codes.contains(&"SCH-V03"), "{codes:?}");
         assert!(codes.contains(&"SCH-V04"), "{codes:?}");
         assert!(broken.validate().into_result().is_err());
+    }
+
+    #[test]
+    fn makespan_only_matches_full_scheduler() {
+        let cases: Vec<Vec<SiGroupTime>> = vec![
+            vec![],
+            vec![g(10, &[0]), g(8, &[1]), g(6, &[2])],
+            vec![g(10, &[0]), g(8, &[0]), g(6, &[0])],
+            vec![g(10, &[0, 1]), g(3, &[0]), g(3, &[1])],
+            vec![g(0, &[0]), g(5, &[0])],
+            vec![g(10, &[0, 1]), g(4, &[2]), g(7, &[1, 2])],
+            vec![g(4, &[0, 1]), g(6, &[1, 2]), g(2, &[0, 2]), g(5, &[1])],
+            vec![g(10, &[0]), g(3, &[])],
+        ];
+        for groups in cases {
+            assert_eq!(
+                si_makespan(&groups),
+                schedule_si_tests(&groups).makespan(),
+                "{groups:?}"
+            );
+        }
     }
 
     #[test]

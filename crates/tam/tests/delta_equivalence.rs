@@ -1,0 +1,169 @@
+//! Property: incremental evaluation equals full evaluation.
+//!
+//! For random synthetic SOCs, random TestRail architectures and random
+//! rail edits, [`Evaluator::evaluate_from`] (reusing every untouched
+//! rail's component) must equal [`Evaluator::evaluate`] field for field,
+//! and the cost-only [`Evaluator::cost_from`] /
+//! [`Evaluator::cost_from_mapped`] paths must report the same numbers
+//! the assembled evaluation would.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use soctam_exec::check::{cases, forall, Gen};
+use soctam_model::synth::{synth_soc, SynthConfig};
+use soctam_model::{CoreId, Soc};
+use soctam_tam::{Evaluator, SiGroupSpec, TestRail, TestRailArchitecture};
+
+/// A random SOC of `3..=8` cores with modest wrapper geometry.
+fn random_soc(g: &mut Gen) -> Soc {
+    let cores = g.usize_in(3, 9);
+    synth_soc(
+        &SynthConfig {
+            inputs: (1, 16),
+            outputs: (1, 16),
+            scan_chain_count: (1, 4),
+            scan_chain_len: (2, 40),
+            patterns: (3, 50),
+            ..SynthConfig::new(cores)
+        }
+        .with_seed(g.u64_in(0, u64::MAX)),
+    )
+    .expect("valid soc")
+}
+
+/// A random partition of the SOC's cores into rails with random widths.
+fn random_rails(g: &mut Gen, soc: &Soc, max_width: u32) -> Vec<TestRail> {
+    let n_rails = g.usize_in(1, soc.num_cores().min(4) + 1);
+    let mut buckets: Vec<Vec<CoreId>> = vec![Vec::new(); n_rails];
+    for core in soc.core_ids() {
+        let r = g.usize_in(0, n_rails);
+        buckets[r].push(core);
+    }
+    buckets
+        .into_iter()
+        .filter(|b| !b.is_empty())
+        .map(|cores| TestRail::new(cores, g.u32_in(1, max_width + 1)).expect("valid rail"))
+        .collect()
+}
+
+/// `1..=3` random SI test groups over random core subsets.
+fn random_groups(g: &mut Gen, soc: &Soc) -> Vec<SiGroupSpec> {
+    let n = g.usize_in(1, 4);
+    (0..n)
+        .map(|_| {
+            let cores: Vec<CoreId> = soc.core_ids().filter(|_| g.bool_with(0.6)).collect();
+            let cores = if cores.is_empty() {
+                soc.core_ids().collect()
+            } else {
+                cores
+            };
+            SiGroupSpec::new(cores, g.u64_in(1, 80))
+        })
+        .collect()
+}
+
+#[test]
+fn evaluate_from_matches_full_evaluate() {
+    forall("delta_vs_full", cases(60), |g| {
+        let soc = random_soc(g);
+        let max_width = 8;
+        let groups = random_groups(g, &soc);
+        let evaluator = Evaluator::new(&soc, max_width, groups).expect("valid");
+        let mut rails = random_rails(g, &soc, max_width);
+        let base =
+            evaluator.evaluate(&TestRailArchitecture::new(&soc, rails.clone()).expect("valid"));
+
+        // A random edit: rail width change, or moving one core between
+        // rails (two changed indices).
+        let mut changed: Vec<usize> = Vec::new();
+        let r = g.usize_in(0, rails.len());
+        if rails.len() >= 2 && rails[r].cores().len() >= 2 && g.bool_with(0.5) {
+            let mut dst = g.usize_in(0, rails.len() - 1);
+            if dst >= r {
+                dst += 1;
+            }
+            let c = rails[r].cores()[g.usize_in(0, rails[r].cores().len())];
+            let src_cores: Vec<CoreId> = rails[r]
+                .cores()
+                .iter()
+                .copied()
+                .filter(|&x| x != c)
+                .collect();
+            let mut dst_cores = rails[dst].cores().to_vec();
+            dst_cores.push(c);
+            rails[r] = TestRail::new(src_cores, rails[r].width()).expect("valid");
+            rails[dst] = TestRail::new(dst_cores, rails[dst].width()).expect("valid");
+            changed.extend([r, dst]);
+        } else {
+            rails[r] = rails[r]
+                .with_width(g.u32_in(1, max_width + 1))
+                .expect("valid");
+            changed.push(r);
+        }
+
+        let delta = evaluator.evaluate_from(&base, &changed, &rails);
+        let full =
+            evaluator.evaluate(&TestRailArchitecture::new(&soc, rails.clone()).expect("valid"));
+        assert_eq!(delta, full, "delta evaluation diverged from full");
+
+        // The cost-only path must report the assembled evaluation's
+        // numbers bit for bit.
+        let cost = evaluator.cost_from(&base, &changed, &rails);
+        assert_eq!(cost.t_in, full.t_in);
+        assert_eq!(cost.t_si, full.t_si);
+        assert_eq!(
+            cost.rail_used_sum,
+            full.rail_time_used().iter().sum::<u64>()
+        );
+    });
+}
+
+#[test]
+fn mapped_delta_matches_full_evaluate_on_merges() {
+    forall("mapped_delta_vs_full", cases(60), |g| {
+        let soc = random_soc(g);
+        let max_width = 8;
+        let groups = random_groups(g, &soc);
+        let evaluator = Evaluator::new(&soc, max_width, groups).expect("valid");
+        let rails = random_rails(g, &soc, max_width);
+        if rails.len() < 2 {
+            return;
+        }
+        let base =
+            evaluator.evaluate(&TestRailArchitecture::new(&soc, rails.clone()).expect("valid"));
+
+        // Merge two random rails, keeping the others: the candidate's
+        // source map sends every kept rail to its old index and the
+        // merged rail to `None`.
+        let a = g.usize_in(0, rails.len());
+        let mut b = g.usize_in(0, rails.len() - 1);
+        if b >= a {
+            b += 1;
+        }
+        let w = g.u32_in(1, max_width + 1);
+        let merged = rails[a].merged(&rails[b], w).expect("valid");
+        let mut cand = Vec::new();
+        let mut source = Vec::new();
+        for (i, rail) in rails.iter().enumerate() {
+            if i != a && i != b {
+                cand.push(rail.clone());
+                source.push(Some(i));
+            }
+        }
+        cand.push(merged);
+        source.push(None);
+
+        let delta = evaluator.evaluate_from_mapped(&base, &source, &cand);
+        let full =
+            evaluator.evaluate(&TestRailArchitecture::new(&soc, cand.clone()).expect("valid"));
+        assert_eq!(delta, full, "mapped delta diverged from full");
+
+        let cost = evaluator.cost_from_mapped(&base, &source, &cand);
+        assert_eq!(cost.t_in, full.t_in);
+        assert_eq!(cost.t_si, full.t_si);
+        assert_eq!(
+            cost.rail_used_sum,
+            full.rail_time_used().iter().sum::<u64>()
+        );
+    });
+}

@@ -102,6 +102,10 @@ pub struct TimeTable {
     intest: Vec<Vec<u64>>,
     /// `si_shift[core][width - 1]`.
     si_shift: Vec<Vec<u64>>,
+    /// Pareto-optimal `(width, intest_time)` points per core, derived from
+    /// the `intest` rows — same contents as [`crate::pareto_widths`] but
+    /// computed once per SOC instead of once per call.
+    pareto: Vec<Vec<(u32, u64)>>,
 }
 
 impl TimeTable {
@@ -117,6 +121,7 @@ impl TimeTable {
         assert!(max_width > 0, "max_width must be at least 1");
         let mut intest = Vec::with_capacity(soc.num_cores());
         let mut si_shift = Vec::with_capacity(soc.num_cores());
+        let mut pareto = Vec::with_capacity(soc.num_cores());
         for (_, core) in soc.iter() {
             let mut row_in = Vec::with_capacity(max_width as usize);
             let mut row_si = Vec::with_capacity(max_width as usize);
@@ -124,13 +129,23 @@ impl TimeTable {
                 row_in.push(intest_time(core, width).expect("width >= 1 by construction"));
                 row_si.push(si_shift_cycles(core, width).expect("width >= 1 by construction"));
             }
+            let mut front = Vec::new();
+            let mut best = u64::MAX;
+            for (i, &time) in row_in.iter().enumerate() {
+                if time < best {
+                    front.push((i as u32 + 1, time));
+                    best = time;
+                }
+            }
             intest.push(row_in);
             si_shift.push(row_si);
+            pareto.push(front);
         }
         TimeTable {
             max_width,
             intest,
             si_shift,
+            pareto,
         }
     }
 
@@ -167,6 +182,33 @@ impl TimeTable {
             self.max_width
         );
         self.si_shift[core.index()][(width - 1) as usize]
+    }
+
+    /// Cached Pareto-optimal `(width, intest_time)` points of `core` over
+    /// widths `1..=max_width`, equal to
+    /// [`pareto_widths(core, max_width)`](crate::pareto_widths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn pareto(&self, core: CoreId) -> &[(u32, u64)] {
+        &self.pareto[core.index()]
+    }
+
+    /// Cached saturation width of `core`: the smallest width achieving its
+    /// minimum InTest time over `1..=max_width`, equal to
+    /// [`saturation_width(core, max_width)`](crate::saturation_width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    // Invariant: every Pareto front contains width 1.
+    #[allow(clippy::expect_used)]
+    pub fn saturation(&self, core: CoreId) -> u32 {
+        self.pareto[core.index()]
+            .last()
+            .expect("pareto front contains width 1")
+            .0
     }
 }
 
@@ -210,6 +252,22 @@ mod tests {
                     si_shift_cycles(core, width).unwrap()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn table_pareto_matches_free_functions() {
+        let soc = Benchmark::P34392.soc();
+        let table = TimeTable::new(&soc, 32);
+        for (id, core) in soc.iter() {
+            assert_eq!(
+                table.pareto(id),
+                crate::pareto_widths(core, 32).unwrap().as_slice()
+            );
+            assert_eq!(
+                table.saturation(id),
+                crate::saturation_width(core, 32).unwrap()
+            );
         }
     }
 

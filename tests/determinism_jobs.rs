@@ -11,7 +11,8 @@
 
 use soctam::experiment::{run_table_with, ExperimentConfig};
 use soctam::{
-    Benchmark, Pool, RandomPatternConfig, SiOptimizationResult, SiOptimizer, SiPatternSet,
+    Benchmark, OptimizerBudget, Pool, RandomPatternConfig, SiOptimizationResult, SiOptimizer,
+    SiPatternSet,
 };
 
 const JOBS: [usize; 3] = [1, 4, 8];
@@ -63,6 +64,62 @@ fn d695_is_bit_identical_across_jobs() {
 #[test]
 fn p34392_is_bit_identical_across_jobs() {
     assert_identical_runs(Benchmark::P34392, 400);
+}
+
+/// Like [`optimize`], but with an active iteration-bounded
+/// [`OptimizerBudget`] (deadline unset, so the bound is deterministic).
+fn optimize_budgeted(bench: Benchmark, patterns: usize, jobs: usize) -> SiOptimizationResult {
+    let soc = bench.soc();
+    let set = SiPatternSet::random_with(
+        &soc,
+        &RandomPatternConfig::new(patterns).with_seed(11),
+        &Pool::new(jobs),
+    )
+    .expect("valid patterns");
+    SiOptimizer::new(&soc)
+        .max_tam_width(16)
+        .partitions(2)
+        .seed(3)
+        .jobs(jobs)
+        .budget(OptimizerBudget::unlimited().with_max_iterations(6))
+        .optimize(&set)
+        .expect("optimizes")
+}
+
+/// An iteration-bounded budget must trip at the same point regardless of
+/// the worker count: candidate probes are speculative (they never tick
+/// the tracker), so the committed-move sequence — and therefore the
+/// result — is identical for every `--jobs` through the delta path.
+fn assert_identical_budgeted_runs(bench: Benchmark, patterns: usize) {
+    let baseline = optimize_budgeted(bench, patterns, JOBS[0]);
+    for &jobs in &JOBS[1..] {
+        let run = optimize_budgeted(bench, patterns, jobs);
+        assert_eq!(
+            run.architecture(),
+            baseline.architecture(),
+            "{bench}: budgeted architecture diverges at jobs={jobs}"
+        );
+        assert_eq!(
+            run.evaluation(),
+            baseline.evaluation(),
+            "{bench}: budgeted schedule diverges at jobs={jobs}"
+        );
+        assert_eq!(
+            run.degraded(),
+            baseline.degraded(),
+            "{bench}: budgeted degradation flag diverges at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn d695_budgeted_is_bit_identical_across_jobs() {
+    assert_identical_budgeted_runs(Benchmark::D695, 600);
+}
+
+#[test]
+fn p34392_budgeted_is_bit_identical_across_jobs() {
+    assert_identical_budgeted_runs(Benchmark::P34392, 400);
 }
 
 #[test]
