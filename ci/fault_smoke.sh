@@ -6,6 +6,11 @@
 #
 # Usage: ci/fault_smoke.sh [path/to/soctam]
 # Builds the release binary first when no path is given.
+#
+# Exit-code convention (shared with `soctam-analyze check`): 0 = clean,
+# 1 = a reported, structured failure (findings / contained fault),
+# 2 = usage or I/O error. 101 always means an uncaught panic and fails
+# the smoke test.
 
 set -u
 

@@ -1,0 +1,482 @@
+//! A small hand-rolled Rust lexer — just enough token structure for the
+//! lint pass, with the hazardous cases handled correctly: nested block
+//! comments, raw (byte) strings with arbitrary `#` fences, escaped
+//! string/char contents, lifetime-vs-char-literal disambiguation and
+//! float-vs-range (`1.0` vs `1..2` vs `1.max(2)`) disambiguation.
+//!
+//! The lexer never fails: unterminated constructs simply extend to the
+//! end of the file. Line numbers are 1-based and refer to the line a
+//! token *starts* on.
+
+/// Token classification. Keywords are plain [`TokKind::Ident`]s; the
+/// lints match on token text where keyword identity matters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier, keyword, or raw identifier (`r#match`).
+    Ident,
+    /// Lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// Integer literal, including its suffix (`0xFF_u32`).
+    Int,
+    /// Float literal, including its suffix (`1.5e3f64`).
+    Float,
+    /// Ordinary or byte string literal, quotes included.
+    Str,
+    /// Raw or raw-byte string literal, fences included.
+    RawStr,
+    /// Char or byte-char literal, quotes included.
+    Char,
+    /// `// ...` comment (doc comments included), text up to the newline.
+    LineComment,
+    /// `/* ... */` comment, nesting handled, text includes delimiters.
+    BlockComment,
+    /// A single punctuation character (`{`, `+`, `#`, ...). Multi-char
+    /// operators arrive as consecutive tokens.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Tok {
+    /// `true` when the token is a comment of either kind.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Lexer<'a> {
+    chars: std::str::CharIndices<'a>,
+    src: &'a str,
+    /// Byte offset of the next unconsumed char.
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.char_indices(),
+            src,
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let (i, c) = self.chars.next()?;
+        self.pos = i + c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes chars while `f` holds.
+    fn eat_while(&mut self, f: impl Fn(char) -> bool) {
+        while self.peek().is_some_and(&f) {
+            self.bump();
+        }
+    }
+
+    /// Consumes the rest of a `//` comment (the `//` is already eaten).
+    fn line_comment(&mut self) {
+        self.eat_while(|c| c != '\n');
+    }
+
+    /// Consumes the rest of a `/*` comment (the `/*` is already eaten),
+    /// honouring nesting.
+    fn block_comment(&mut self) {
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.bump() {
+                Some('/') if self.peek() == Some('*') => {
+                    self.bump();
+                    depth += 1;
+                }
+                Some('*') if self.peek() == Some('/') => {
+                    self.bump();
+                    depth -= 1;
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+
+    /// Consumes a `"..."` body (opening quote already eaten).
+    fn string_body(&mut self) {
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    self.bump();
+                }
+                Some('"') | None => break,
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Consumes a raw string starting at the current position, which
+    /// must be at the `#`-fence or opening quote (the `r`/`br` prefix is
+    /// already eaten). Returns `false` if this is not a raw string after
+    /// all (e.g. a raw identifier `r#match`).
+    fn raw_string_body(&mut self) -> bool {
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek() != Some('"') {
+            return false; // raw identifier or stray `r#`
+        }
+        self.bump(); // opening quote
+        'scan: loop {
+            match self.bump() {
+                Some('"') => {
+                    // A close candidate: need `hashes` consecutive `#`.
+                    for _ in 0..hashes {
+                        if self.peek() == Some('#') {
+                            self.bump();
+                        } else {
+                            continue 'scan;
+                        }
+                    }
+                    return true;
+                }
+                Some(_) => {}
+                None => return true,
+            }
+        }
+    }
+
+    /// Consumes a char-literal body (opening `'` already eaten).
+    fn char_body(&mut self) {
+        match self.bump() {
+            Some('\\') => {
+                // Escape: consume the escaped char (it may itself be a
+                // quote, as in `'\''`), then scan to the closing quote
+                // (handles multi-char escapes like `\u{1F600}`).
+                self.bump();
+                loop {
+                    match self.bump() {
+                        Some('\'') | None => break,
+                        Some(_) => {}
+                    }
+                }
+            }
+            Some(_) if self.peek() == Some('\'') => {
+                self.bump();
+            }
+            Some(_) | None => {}
+        }
+    }
+
+    /// Consumes a numeric literal starting with an already-eaten digit
+    /// at byte offset `start`; returns its kind.
+    fn number(&mut self, start: usize) -> TokKind {
+        let radix_prefix = self.src[start..].starts_with("0x")
+            || self.src[start..].starts_with("0o")
+            || self.src[start..].starts_with("0b");
+        if radix_prefix {
+            self.bump(); // x / o / b
+            self.eat_while(|c| c.is_ascii_hexdigit() || c == '_');
+            self.eat_while(is_ident_continue); // suffix
+            return TokKind::Int;
+        }
+        self.eat_while(|c| c.is_ascii_digit() || c == '_');
+        let mut float = false;
+        // Fractional part: `1.5` yes; `1..2` and `1.max(2)` no.
+        if self.peek() == Some('.') && self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+            float = true;
+            self.bump();
+            self.eat_while(|c| c.is_ascii_digit() || c == '_');
+        } else if self.peek() == Some('.')
+            && !self
+                .peek_at(1)
+                .is_some_and(|c| c == '.' || is_ident_start(c))
+        {
+            // Trailing-dot float (`1.`).
+            float = true;
+            self.bump();
+        }
+        // Exponent.
+        if self.peek().is_some_and(|c| c == 'e' || c == 'E') {
+            let after = self.peek_at(1);
+            let exp = match after {
+                Some(c) if c.is_ascii_digit() => true,
+                Some('+') | Some('-') => self.peek_at(2).is_some_and(|c| c.is_ascii_digit()),
+                _ => false,
+            };
+            if exp {
+                float = true;
+                self.bump();
+                if self.peek().is_some_and(|c| c == '+' || c == '-') {
+                    self.bump();
+                }
+                self.eat_while(|c| c.is_ascii_digit() || c == '_');
+            }
+        }
+        // Suffix (`u64`, `f32`, ...).
+        let suffix_start = self.pos;
+        self.eat_while(is_ident_continue);
+        let suffix = &self.src[suffix_start..self.pos];
+        if suffix.starts_with("f32") || suffix.starts_with("f64") {
+            float = true;
+        }
+        if float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        }
+    }
+}
+
+/// Lexes `src` into a token stream. Whitespace is dropped; comments are
+/// kept (the waiver scanner needs them).
+#[must_use]
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut lx = Lexer::new(src);
+    let mut toks = Vec::new();
+    loop {
+        let start = lx.pos;
+        let line = lx.line;
+        let Some(c) = lx.bump() else { break };
+        if c.is_whitespace() {
+            continue;
+        }
+        let kind = match c {
+            '/' if lx.peek() == Some('/') => {
+                lx.line_comment();
+                TokKind::LineComment
+            }
+            '/' if lx.peek() == Some('*') => {
+                lx.bump();
+                lx.block_comment();
+                TokKind::BlockComment
+            }
+            '"' => {
+                lx.string_body();
+                TokKind::Str
+            }
+            'r' if matches!(lx.peek(), Some('"') | Some('#')) => {
+                if lx.raw_string_body() {
+                    TokKind::RawStr
+                } else {
+                    // Raw identifier: `r#match`.
+                    lx.eat_while(is_ident_continue);
+                    TokKind::Ident
+                }
+            }
+            'b' if lx.peek() == Some('"') => {
+                lx.bump();
+                lx.string_body();
+                TokKind::Str
+            }
+            'b' if lx.peek() == Some('\'') => {
+                lx.bump();
+                lx.char_body();
+                TokKind::Char
+            }
+            'b' if lx.peek() == Some('r') && matches!(lx.peek_at(1), Some('"') | Some('#')) => {
+                lx.bump(); // r
+                lx.raw_string_body();
+                TokKind::RawStr
+            }
+            '\'' => {
+                // Lifetime vs char literal. `'\...'` and `'x'` are chars;
+                // `'ident` not followed by a quote is a lifetime.
+                match lx.peek() {
+                    Some('\\') => {
+                        lx.char_body();
+                        TokKind::Char
+                    }
+                    Some(c2) if is_ident_start(c2) => {
+                        if lx.peek_at(1) == Some('\'') {
+                            lx.char_body();
+                            TokKind::Char
+                        } else {
+                            lx.eat_while(is_ident_continue);
+                            TokKind::Lifetime
+                        }
+                    }
+                    _ => {
+                        lx.char_body();
+                        TokKind::Char
+                    }
+                }
+            }
+            c if is_ident_start(c) => {
+                lx.eat_while(is_ident_continue);
+                TokKind::Ident
+            }
+            c if c.is_ascii_digit() => lx.number(start),
+            _ => TokKind::Punct,
+        };
+        toks.push(Tok {
+            kind,
+            text: lx.src[start..lx.pos].to_string(),
+            line,
+        });
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds(r####"let s = r#"quote " inside"#; let t = r"plain";"####);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::RawStr && t == r####"r#"quote " inside"#"####));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::RawStr && t == r#"r"plain""#));
+    }
+
+    #[test]
+    fn raw_string_contents_are_not_tokens() {
+        // A HashMap mention inside a raw string must not surface as an
+        // identifier token.
+        let toks = kinds(r####"let s = r#"use std::collections::HashMap;"#;"####);
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "HashMap"));
+    }
+
+    #[test]
+    fn raw_identifier_is_ident_not_string() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "r#match"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokKind::BlockComment);
+        assert_eq!(toks[0].1, "a");
+        assert_eq!(toks[2].1, "b");
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|(_, t)| t == "'a"));
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0].1, "'x'");
+        assert_eq!(chars[1].1, "'\\n'");
+    }
+
+    #[test]
+    fn static_lifetime_and_quote_char() {
+        let toks = kinds("let s: &'static str = \"\"; let q = '\\'';");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'static"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Char && t == "'\\''"));
+    }
+
+    #[test]
+    fn float_vs_range_vs_method_call() {
+        let toks = kinds("let a = 1.5; let b = 1..2; let c = 1.max(2); let d = 2.;");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, vec!["1.5", "2."]);
+        let ints: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Int)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ints, vec!["1", "2", "1", "2"]);
+    }
+
+    #[test]
+    fn float_exponents_and_suffixes() {
+        let toks = kinds("let a = 1e3; let b = 2.5e-2; let c = 3f64; let d = 0xe1;");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, vec!["1e3", "2.5e-2", "3f64"]);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Int && t == "0xe1"));
+    }
+
+    #[test]
+    fn strings_with_escapes_hide_contents() {
+        let toks = kinds(r#"let s = "not an \" unsafe ident"; unsafe {}"#);
+        let unsafe_idents = toks
+            .iter()
+            .filter(|(k, t)| *k == TokKind::Ident && t == "unsafe")
+            .count();
+        assert_eq!(unsafe_idents, 1);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"multi\nline\"\n/* c\nc */\nb";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1); // a
+        assert_eq!(toks[1].line, 2); // string starts line 2
+        assert_eq!(toks[2].line, 4); // comment starts line 4
+        assert_eq!(toks[3].line, 6); // b
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r##"let a = b"bytes"; let b = b'x'; let c = br#"raw"#;"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t == "b\"bytes\""));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "b'x'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::RawStr && t.starts_with("br#")));
+    }
+}

@@ -1,0 +1,112 @@
+//! `soctam-analyze` — a std-only, dependency-free static analysis pass
+//! over the soctam workspace.
+//!
+//! The reproduction's headline guarantee — bit-identical
+//! `T_soc = T_soc_in + T_soc_si` for any `--jobs`, any cache state and
+//! any failpoint-inactive run — is enforced dynamically by golden and
+//! property tests. This crate enforces it *statically*, at CI time: a
+//! hand-rolled lexer (`lexer`) tokenizes every `.rs` file in the
+//! workspace and a registry of named lints (`lints::LINTS`) flags
+//! determinism and arithmetic hazards before they can reach an
+//! evaluator run:
+//!
+//! | lint | hazard |
+//! |------|--------|
+//! | DET-01 | `HashMap`/`HashSet` in deterministic crates |
+//! | DET-02 | wall-clock / thread identity in pure compute code |
+//! | DET-03 | floats in cost/time math |
+//! | ARITH-01 | truncating casts / unchecked `+`,`*` on test times |
+//! | UNSAFE-01 | `unsafe` outside `exec::pool` or missing `SAFETY:` |
+//! | LOCK-01 | inconsistent lock acquisition order in `exec` |
+//! | HEADER-01 | crate root missing the unified lint header |
+//! | WAIVER-01 | stale/malformed waiver comments |
+//!
+//! A genuine exception carries a written waiver:
+//!
+//! ```text
+//! // soctam-analyze: allow(DET-02) -- deadline checks are opt-in degradation
+//! ```
+//!
+//! Run `cargo run -p soctam-analyze -- check` (exit 0 only on a clean
+//! tree), or `-- check --format json` for the `soctam-analyze/1`
+//! machine-readable report. See DESIGN.md §13.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+pub mod lexer;
+pub mod lints;
+pub mod report;
+pub mod workspace;
+
+use std::io;
+use std::path::Path;
+
+pub use lints::{analyze, Analysis, Finding, LintInfo, Severity, SourceFile, LINTS};
+pub use report::{render, Format};
+
+/// Result of a full workspace check.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// The findings, waivers and stale-waiver list.
+    pub analysis: Analysis,
+}
+
+/// Runs the full pass over the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the workspace walk.
+pub fn run_check(root: &Path) -> io::Result<CheckReport> {
+    let files = workspace::collect_workspace(root)?;
+    let analysis = lints::analyze(&files);
+    Ok(CheckReport {
+        files_scanned: files.len(),
+        analysis,
+    })
+}
+
+/// Removes the stale waiver comments listed in `report` from the files
+/// on disk. Returns the number of waivers removed.
+///
+/// A waiver that is the only content of its line removes the whole
+/// line; a trailing waiver is trimmed back to the code before it.
+///
+/// # Errors
+///
+/// Propagates I/O failures reading or rewriting a file.
+pub fn fix_stale_waivers(root: &Path, report: &CheckReport) -> io::Result<usize> {
+    use std::collections::BTreeMap;
+    let mut by_file: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for stale in &report.analysis.stale {
+        by_file.entry(&stale.file).or_default().push(stale.line);
+    }
+    let mut removed = 0usize;
+    for (file, lines) in by_file {
+        let path = root.join(file);
+        let source = std::fs::read_to_string(&path)?;
+        let mut out = Vec::new();
+        for (idx, line) in source.lines().enumerate() {
+            if lines.contains(&(idx + 1)) {
+                if let Some(cut) = line.find("// soctam-analyze:") {
+                    let kept = line[..cut].trim_end();
+                    removed += 1;
+                    if kept.is_empty() {
+                        continue; // drop the whole line
+                    }
+                    out.push(kept.to_string());
+                    continue;
+                }
+            }
+            out.push(line.to_string());
+        }
+        let mut text = out.join("\n");
+        if source.ends_with('\n') {
+            text.push('\n');
+        }
+        std::fs::write(&path, text)?;
+    }
+    Ok(removed)
+}

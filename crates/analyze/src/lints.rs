@@ -1,0 +1,1067 @@
+//! The lint registry and the analysis engine.
+//!
+//! Every lint has a stable ID, a severity and a crate scope tuned to
+//! this workspace's real hazards (see `LINTS`). Findings are produced
+//! per file and then matched against *waivers* — structured comments of
+//! the form
+//!
+//! ```text
+//! // soctam-analyze: allow(DET-01) -- <written justification>
+//! // soctam-analyze: allow-file(DET-03) -- <written justification>
+//! ```
+//!
+//! A line waiver silences findings on its own line or the line directly
+//! below (comment-above-code style); a file waiver silences one lint
+//! for the whole file. A waiver that silences nothing is itself a
+//! finding (**WAIVER-01**), so the waiver list cannot rot.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// Finding severity. Both fail the run; `Warning` marks hygiene lints
+/// (stale waivers) as opposed to determinism/soundness hazards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Determinism / soundness hazard.
+    Error,
+    /// Hygiene problem (e.g. a stale waiver).
+    Warning,
+}
+
+impl Severity {
+    /// Lower-case name used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// A registered lint.
+#[derive(Clone, Copy, Debug)]
+pub struct LintInfo {
+    /// Stable ID (`DET-01`, ...). Never renumbered.
+    pub id: &'static str,
+    /// Severity of its findings.
+    pub severity: Severity,
+    /// One-line summary for `soctam-analyze lints` and the docs.
+    pub summary: &'static str,
+    /// Human description of where it applies.
+    pub scope: &'static str,
+}
+
+/// The lint registry. Adding a lint means adding a row here plus a
+/// `match` arm in [`analyze`] — see DESIGN.md §13.
+pub const LINTS: &[LintInfo] = &[
+    LintInfo {
+        id: "DET-01",
+        severity: Severity::Error,
+        summary: "HashMap/HashSet in non-test code of a deterministic crate \
+                  (iteration order is a nondeterminism hazard)",
+        scope: "src/ of tam, compaction, patterns, wrapper, hypergraph, model",
+    },
+    LintInfo {
+        id: "DET-02",
+        severity: Severity::Error,
+        summary: "Instant/SystemTime/thread::current() reachable from pure \
+                  compute code",
+        scope: "src/ of deterministic crates + core, tester, exec (metrics.rs waived)",
+    },
+    LintInfo {
+        id: "DET-03",
+        severity: Severity::Error,
+        summary: "float types or literals in cost/time math (paper arithmetic \
+                  is integral u64)",
+        scope: "src/ of tam, wrapper, tester",
+    },
+    LintInfo {
+        id: "ARITH-01",
+        severity: Severity::Error,
+        summary: "bare narrowing `as` cast, or unchecked +/* on a test-time \
+                  quantity (use the saturating helpers)",
+        scope: "src/ of tam, wrapper",
+    },
+    LintInfo {
+        id: "UNSAFE-01",
+        severity: Severity::Error,
+        summary: "unsafe outside exec::pool, or an unsafe block/fn/impl \
+                  without a SAFETY: comment",
+        scope: "whole workspace (corpus fixtures excluded)",
+    },
+    LintInfo {
+        id: "LOCK-01",
+        severity: Severity::Error,
+        summary: "inconsistent pairwise Mutex/RwLock acquisition order across \
+                  functions",
+        scope: "src/ of exec",
+    },
+    LintInfo {
+        id: "HEADER-01",
+        severity: Severity::Error,
+        summary: "crate root missing the unified lint header \
+                  (forbid(unsafe_code) / deny(unsafe_op_in_unsafe_fn) for exec, \
+                  warn(missing_docs), test panic-lint exemption)",
+        scope: "every crate's src/lib.rs",
+    },
+    LintInfo {
+        id: "WAIVER-01",
+        severity: Severity::Warning,
+        summary: "stale, malformed or unknown-lint waiver comment",
+        scope: "every scanned file",
+    },
+];
+
+/// Looks up a lint by ID.
+#[must_use]
+pub fn lint_info(id: &str) -> Option<&'static LintInfo> {
+    LINTS.iter().find(|l| l.id == id)
+}
+
+/// One analysis finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Registry ID of the lint that fired.
+    pub lint: &'static str,
+    /// Workspace-relative path of the file.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human explanation.
+    pub message: String,
+    /// For waived findings: the waiver's written justification.
+    pub waiver_reason: Option<String>,
+}
+
+/// A source file handed to the engine.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Directory name of the owning crate (`tam`, `exec`, ...; the
+    /// workspace root package is `repro`).
+    pub crate_dir: String,
+    /// Path relative to the crate directory (`src/lib.rs`, `tests/x.rs`).
+    pub rel_path: String,
+    /// Path relative to the workspace root, used in reports.
+    pub display_path: String,
+    /// File contents.
+    pub source: String,
+}
+
+/// A stale or malformed waiver, reported as WAIVER-01 and removable by
+/// `--fix-stale-waivers`.
+#[derive(Clone, Debug)]
+pub struct StaleWaiver {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the waiver comment.
+    pub line: usize,
+    /// Why it is stale ("never fired", "malformed", "unknown lint").
+    pub why: String,
+}
+
+/// The result of one engine run.
+#[derive(Clone, Debug, Default)]
+pub struct Analysis {
+    /// Unwaived findings (includes WAIVER-01 entries for stale waivers).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a waiver, with the justification attached.
+    pub waived: Vec<Finding>,
+    /// Stale waivers, for `--fix-stale-waivers`.
+    pub stale: Vec<StaleWaiver>,
+}
+
+/// Crates whose outputs must be bit-identical: DET-01 scope.
+const DET_CRATES: &[&str] = &[
+    "tam",
+    "compaction",
+    "patterns",
+    "wrapper",
+    "hypergraph",
+    "model",
+];
+
+/// DET-02 scope: pure compute crates (reachable from the deterministic
+/// pipeline). `exec/src/metrics.rs` and the whole `bench` crate are
+/// waived by construction — wall-clock timing is their job.
+const CLOCK_FREE_CRATES: &[&str] = &[
+    "tam",
+    "compaction",
+    "patterns",
+    "wrapper",
+    "hypergraph",
+    "model",
+    "core",
+    "tester",
+    "exec",
+];
+
+/// DET-03 / ARITH-01 scope: the crates holding the paper's cost/time
+/// arithmetic.
+const TIME_MATH_CRATES: &[&str] = &["tam", "wrapper", "tester"];
+const CAST_CRATES: &[&str] = &["tam", "wrapper"];
+
+/// Identifiers treated as test-time quantities by ARITH-01's
+/// unchecked-operator heuristic.
+fn is_time_quantity(ident: &str) -> bool {
+    matches!(
+        ident,
+        "t_in" | "t_si" | "t_total" | "t_soc" | "time" | "cycles" | "makespan"
+    ) || ident.ends_with("_time")
+        || ident.ends_with("_cycles")
+        || ident.starts_with("time_")
+}
+
+/// A parsed waiver comment.
+#[derive(Clone, Debug)]
+struct Waiver {
+    lint: String,
+    file_scope: bool,
+    line: usize,
+    reason: Option<String>,
+    used: std::cell::Cell<bool>,
+}
+
+const WAIVER_TAG: &str = "soctam-analyze:";
+
+/// Parses waiver comments out of a token stream.
+fn parse_waivers(toks: &[Tok]) -> Vec<Waiver> {
+    let mut waivers = Vec::new();
+    for tok in toks {
+        if tok.kind != TokKind::LineComment {
+            continue;
+        }
+        let body = tok.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix(WAIVER_TAG) else {
+            continue;
+        };
+        let rest = rest.trim();
+        let (file_scope, rest) = if let Some(r) = rest.strip_prefix("allow-file(") {
+            (true, r)
+        } else if let Some(r) = rest.strip_prefix("allow(") {
+            (false, r)
+        } else {
+            // `soctam-analyze:` tag with an unrecognized verb.
+            waivers.push(Waiver {
+                lint: String::new(),
+                file_scope: false,
+                line: tok.line,
+                reason: None,
+                used: std::cell::Cell::new(false),
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            waivers.push(Waiver {
+                lint: String::new(),
+                file_scope,
+                line: tok.line,
+                reason: None,
+                used: std::cell::Cell::new(false),
+            });
+            continue;
+        };
+        let lint = rest[..close].trim().to_string();
+        let after = rest[close + 1..].trim();
+        let reason = after
+            .strip_prefix("--")
+            .map(str::trim)
+            .filter(|r| !r.is_empty())
+            .map(ToString::to_string);
+        waivers.push(Waiver {
+            lint,
+            file_scope,
+            line: tok.line,
+            reason,
+            used: std::cell::Cell::new(false),
+        });
+    }
+    waivers
+}
+
+/// Computes token-index ranges belonging to `#[cfg(test)]` / `#[test]`
+/// items, so lints can skip test code.
+fn test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let mut k = 0usize;
+    while k < code.len() {
+        if !is_test_attr(toks, &code, k) {
+            k += 1;
+            continue;
+        }
+        let attr_start = code[k];
+        // Skip this attribute and any further attributes / the item
+        // header up to the first `{` (item body) or `;` (bodyless item).
+        let mut j = skip_attr(toks, &code, k);
+        let mut depth_paren = 0i32;
+        let mut body_end = None;
+        while let Some(&ti) = code.get(j) {
+            match toks[ti].text.as_str() {
+                "#" if depth_paren == 0 => {
+                    j = skip_attr(toks, &code, j);
+                    continue;
+                }
+                "(" | "[" => depth_paren += 1,
+                ")" | "]" => depth_paren -= 1,
+                "{" if depth_paren == 0 => {
+                    let mut depth = 1i32;
+                    let mut m = j + 1;
+                    while let Some(&mi) = code.get(m) {
+                        match toks[mi].text.as_str() {
+                            "{" => depth += 1,
+                            "}" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    body_end = Some(*code.get(m).unwrap_or(&(toks.len() - 1)));
+                    k = m;
+                    break;
+                }
+                ";" if depth_paren == 0 => {
+                    body_end = Some(ti);
+                    k = j;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        match body_end {
+            Some(end) => ranges.push((attr_start, end)),
+            None => ranges.push((attr_start, toks.len().saturating_sub(1))),
+        }
+        k += 1;
+    }
+    ranges
+}
+
+/// Is the code-token at position `k` (an index into `code`) the start of
+/// a `#[cfg(test)]` or `#[test]` attribute?
+fn is_test_attr(toks: &[Tok], code: &[usize], k: usize) -> bool {
+    let txt = |off: usize| code.get(k + off).map(|&i| toks[i].text.as_str());
+    if txt(0) != Some("#") || txt(1) != Some("[") {
+        return false;
+    }
+    match txt(2) {
+        Some("test") => txt(3) == Some("]"),
+        Some("cfg") => {
+            // Scan the attr for a bare `test` ident.
+            let mut j = k + 3;
+            let mut depth = 0i32;
+            while let Some(&ti) = code.get(j) {
+                match toks[ti].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => {
+                        depth -= 1;
+                        if depth < 0 {
+                            break;
+                        }
+                    }
+                    "test" => return true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// Skips an attribute starting at code position `k` (`#` token);
+/// returns the code position just past its closing `]`.
+fn skip_attr(toks: &[Tok], code: &[usize], k: usize) -> usize {
+    let mut j = k + 1; // at `[`
+    let mut depth = 0i32;
+    while let Some(&ti) = code.get(j) {
+        match toks[ti].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Per-file context shared by the lint passes.
+struct FileCtx<'a> {
+    file: &'a SourceFile,
+    toks: &'a [Tok],
+    /// `toks[i]` lies inside a test item.
+    in_test: Vec<bool>,
+    /// `toks[i]` lies inside a `use` declaration.
+    in_use: Vec<bool>,
+    is_src: bool,
+}
+
+impl<'a> FileCtx<'a> {
+    fn new(file: &'a SourceFile, toks: &'a [Tok]) -> Self {
+        let mut in_test = vec![false; toks.len()];
+        for (start, end) in test_ranges(toks) {
+            for flag in in_test.iter_mut().take(end + 1).skip(start) {
+                *flag = true;
+            }
+        }
+        let mut in_use = vec![false; toks.len()];
+        let mut inside = false;
+        for (i, tok) in toks.iter().enumerate() {
+            if tok.is_comment() {
+                continue;
+            }
+            if !inside && tok.kind == TokKind::Ident && tok.text == "use" {
+                inside = true;
+            }
+            in_use[i] = inside;
+            if inside && tok.text == ";" {
+                inside = false;
+            }
+        }
+        let is_src = file.rel_path.starts_with("src/")
+            || file.rel_path == "src/lib.rs"
+            || file.rel_path == "src/main.rs";
+        FileCtx {
+            file,
+            toks,
+            in_test,
+            in_use,
+            is_src,
+        }
+    }
+
+    /// Non-test, non-`use` identifier positions.
+    fn lintable(&self, i: usize) -> bool {
+        !self.in_test[i] && !self.in_use[i]
+    }
+
+    fn finding(&self, lint: &'static str, line: usize, message: String) -> Finding {
+        Finding {
+            lint,
+            file: self.file.display_path.clone(),
+            line,
+            message,
+            waiver_reason: None,
+        }
+    }
+}
+
+/// One lock acquisition extracted by LOCK-01.
+#[derive(Clone, Debug)]
+pub(crate) struct LockAcq {
+    pub file: String,
+    pub line: usize,
+    pub func: String,
+    pub label: String,
+}
+
+/// Runs every applicable lint over `files` and resolves waivers.
+#[must_use]
+pub fn analyze(files: &[SourceFile]) -> Analysis {
+    let mut out = Analysis::default();
+    // Lock sequences per function, in source order, for LOCK-01.
+    let mut lock_seqs: Vec<Vec<LockAcq>> = Vec::new();
+    // Per-file waiver tables kept until LOCK-01 findings are resolved.
+    let mut waiver_tables: Vec<(String, Vec<Waiver>)> = Vec::new();
+
+    let mut raw: Vec<Finding> = Vec::new();
+    for file in files {
+        let toks = lex(&file.source);
+        let ctx = FileCtx::new(file, &toks);
+        det01(&ctx, &mut raw);
+        det02(&ctx, &mut raw);
+        det03(&ctx, &mut raw);
+        arith01(&ctx, &mut raw);
+        unsafe01(&ctx, &mut raw);
+        header01(&ctx, &mut raw);
+        if file.crate_dir == "exec" && ctx.is_src {
+            lock_seqs.extend(extract_lock_sequences(&ctx));
+        }
+        waiver_tables.push((file.display_path.clone(), parse_waivers(&toks)));
+    }
+    raw.extend(lock01(&lock_seqs));
+
+    // Dedupe to one finding per (lint, file, line).
+    raw.sort_by(|a, b| {
+        (a.lint, &a.file, a.line)
+            .cmp(&(b.lint, &b.file, b.line))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+    raw.dedup_by(|a, b| a.lint == b.lint && a.file == b.file && a.line == b.line);
+
+    // Waiver matching.
+    for mut finding in raw {
+        let table = waiver_tables
+            .iter()
+            .find(|(path, _)| *path == finding.file)
+            .map(|(_, w)| w.as_slice())
+            .unwrap_or(&[]);
+        let hit = table.iter().find(|w| {
+            w.reason.is_some()
+                && w.lint == finding.lint
+                && (w.file_scope || w.line == finding.line || w.line + 1 == finding.line)
+        });
+        match hit {
+            Some(w) => {
+                w.used.set(true);
+                finding.waiver_reason.clone_from(&w.reason);
+                out.waived.push(finding);
+            }
+            None => out.findings.push(finding),
+        }
+    }
+
+    // WAIVER-01: stale / malformed / unknown-lint waivers.
+    for (path, table) in &waiver_tables {
+        for w in table {
+            let why = if w.lint.is_empty() || w.reason.is_none() {
+                Some(format!(
+                    "malformed waiver: expected `// {WAIVER_TAG} allow(LINT-ID) -- reason`"
+                ))
+            } else if lint_info(&w.lint).is_none() {
+                Some(format!("waiver names unknown lint `{}`", w.lint))
+            } else if !w.used.get() {
+                Some(format!(
+                    "stale waiver: {} no longer fires here (remove it or run --fix-stale-waivers)",
+                    w.lint
+                ))
+            } else {
+                None
+            };
+            if let Some(why) = why {
+                out.findings.push(Finding {
+                    lint: "WAIVER-01",
+                    file: path.clone(),
+                    line: w.line,
+                    message: why.clone(),
+                    waiver_reason: None,
+                });
+                out.stale.push(StaleWaiver {
+                    file: path.clone(),
+                    line: w.line,
+                    why,
+                });
+            }
+        }
+    }
+
+    out.findings
+        .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    out.waived
+        .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    out
+}
+
+fn det01(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.is_src || !DET_CRATES.contains(&ctx.file.crate_dir.as_str()) {
+        return;
+    }
+    for (i, tok) in ctx.toks.iter().enumerate() {
+        if tok.kind == TokKind::Ident
+            && (tok.text == "HashMap" || tok.text == "HashSet")
+            && ctx.lintable(i)
+        {
+            out.push(ctx.finding(
+                "DET-01",
+                tok.line,
+                format!(
+                    "`{}` in deterministic crate `{}`: iteration order is \
+                     nondeterministic — iterate sorted, use BTreeMap/BTreeSet, \
+                     or waive with an order-safety argument",
+                    tok.text, ctx.file.crate_dir
+                ),
+            ));
+        }
+    }
+}
+
+fn det02(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.is_src || !CLOCK_FREE_CRATES.contains(&ctx.file.crate_dir.as_str()) {
+        return;
+    }
+    // The metrics module is the sanctioned wall-clock sink.
+    if ctx.file.crate_dir == "exec" && ctx.file.rel_path == "src/metrics.rs" {
+        return;
+    }
+    for (i, tok) in ctx.toks.iter().enumerate() {
+        if tok.kind != TokKind::Ident || !ctx.lintable(i) {
+            continue;
+        }
+        let hazard = match tok.text.as_str() {
+            "Instant" | "SystemTime" => Some(tok.text.as_str()),
+            "thread" => {
+                let nxt = |off: usize| ctx.toks.get(i + off).map(|t| t.text.as_str()).unwrap_or("");
+                (nxt(1) == ":" && nxt(2) == ":" && nxt(3) == "current").then_some("thread::current")
+            }
+            _ => None,
+        };
+        if let Some(what) = hazard {
+            out.push(ctx.finding(
+                "DET-02",
+                tok.line,
+                format!(
+                    "wall-clock/thread-identity source `{what}` in pure compute \
+                     crate `{}` — results must not depend on time or scheduling",
+                    ctx.file.crate_dir
+                ),
+            ));
+        }
+    }
+}
+
+fn det03(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.is_src || !TIME_MATH_CRATES.contains(&ctx.file.crate_dir.as_str()) {
+        return;
+    }
+    for (i, tok) in ctx.toks.iter().enumerate() {
+        if !ctx.lintable(i) {
+            continue;
+        }
+        let hit = match tok.kind {
+            TokKind::Ident => tok.text == "f32" || tok.text == "f64",
+            TokKind::Float => true,
+            _ => false,
+        };
+        if hit {
+            out.push(ctx.finding(
+                "DET-03",
+                tok.line,
+                format!(
+                    "float `{}` in cost/time-math crate `{}`: all paper \
+                     arithmetic is integral u64",
+                    tok.text, ctx.file.crate_dir
+                ),
+            ));
+        }
+    }
+}
+
+fn arith01(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.is_src || !CAST_CRATES.contains(&ctx.file.crate_dir.as_str()) {
+        return;
+    }
+    const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "i64", "isize"];
+    let code: Vec<usize> = (0..ctx.toks.len())
+        .filter(|&i| !ctx.toks[i].is_comment())
+        .collect();
+    for (p, &i) in code.iter().enumerate() {
+        if !ctx.lintable(i) {
+            continue;
+        }
+        let tok = &ctx.toks[i];
+        // (a) bare truncating casts.
+        if tok.kind == TokKind::Ident && tok.text == "as" {
+            if let Some(&j) = code.get(p + 1) {
+                let target = &ctx.toks[j];
+                if target.kind == TokKind::Ident && NARROW.contains(&target.text.as_str()) {
+                    out.push(ctx.finding(
+                        "ARITH-01",
+                        tok.line,
+                        format!(
+                            "bare `as {}` cast silently truncates — use \
+                             try_from or waive with a range argument",
+                            target.text
+                        ),
+                    ));
+                }
+            }
+        }
+        // (b) unchecked +/* on test-time quantities.
+        if tok.kind == TokKind::Punct && (tok.text == "+" || tok.text == "*") {
+            // Binary position: the previous code token must terminate an
+            // operand (rules out unary deref/reference and `&*`).
+            let prev_ok = p > 0
+                && matches!(
+                    (
+                        ctx.toks[code[p - 1]].kind,
+                        ctx.toks[code[p - 1]].text.as_str()
+                    ),
+                    (TokKind::Ident, _) | (TokKind::Int, _) | (_, ")") | (_, "]")
+                );
+            // `+=`-style compound assignment also counts; `+` followed by
+            // `=` is the compound form (`==` can't follow a complete
+            // operand + `+`).
+            if !prev_ok {
+                continue;
+            }
+            let prev_ident = (ctx.toks[code[p - 1]].kind == TokKind::Ident)
+                .then(|| ctx.toks[code[p - 1]].text.as_str());
+            // Right operand: skip a compound `=` and any `&`/`(`.
+            let mut q = p + 1;
+            while code.get(q).is_some_and(|&j| {
+                matches!(ctx.toks[j].text.as_str(), "=" | "&" | "(" | "*" | "mut")
+            }) {
+                q += 1;
+            }
+            let next_ident = code.get(q).and_then(|&j| {
+                (ctx.toks[j].kind == TokKind::Ident).then(|| ctx.toks[j].text.as_str())
+            });
+            let operand = [prev_ident, next_ident]
+                .into_iter()
+                .flatten()
+                .find(|id| is_time_quantity(id));
+            if let Some(id) = operand {
+                out.push(ctx.finding(
+                    "ARITH-01",
+                    tok.line,
+                    format!(
+                        "unchecked `{}` on test-time quantity `{id}` — use \
+                         saturating_add/saturating_mul (PR 3 convention)",
+                        tok.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The single file where `unsafe` is tolerated, given a SAFETY comment.
+const UNSAFE_SANCTUARY: (&str, &str) = ("exec", "src/pool.rs");
+
+fn unsafe01(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let sanctioned =
+        ctx.file.crate_dir == UNSAFE_SANCTUARY.0 && ctx.file.rel_path == UNSAFE_SANCTUARY.1;
+    let code: Vec<usize> = (0..ctx.toks.len())
+        .filter(|&i| !ctx.toks[i].is_comment())
+        .collect();
+    for (p, &i) in code.iter().enumerate() {
+        let tok = &ctx.toks[i];
+        if tok.kind != TokKind::Ident || tok.text != "unsafe" {
+            continue;
+        }
+        let next = code.get(p + 1).map(|&j| ctx.toks[j].text.as_str());
+        // `unsafe fn(` in type position is a fn-pointer type, not a
+        // declaration — no body, nothing to justify at this site.
+        if next == Some("fn") && code.get(p + 2).map(|&j| ctx.toks[j].text.as_str()) == Some("(") {
+            continue;
+        }
+        if !sanctioned {
+            out.push(
+                ctx.finding(
+                    "UNSAFE-01",
+                    tok.line,
+                    "`unsafe` outside `exec::pool` — the pool is the workspace's \
+                 only sanctioned unsafe module"
+                        .to_string(),
+                ),
+            );
+            continue;
+        }
+        if !has_safety_comment(ctx.toks, i, tok.line) {
+            out.push(ctx.finding(
+                "UNSAFE-01",
+                tok.line,
+                "`unsafe` without a `SAFETY:` comment on the preceding lines".to_string(),
+            ));
+        }
+    }
+}
+
+/// Looks for a `SAFETY:` comment in the contiguous comment block ending
+/// directly above `line` (or on `line` itself).
+fn has_safety_comment(toks: &[Tok], unsafe_idx: usize, line: usize) -> bool {
+    let mut expected = line;
+    for tok in toks[..unsafe_idx].iter().rev() {
+        if tok.line + 1 < expected {
+            break;
+        }
+        if tok.is_comment() {
+            if tok.text.contains("SAFETY:") || tok.text.contains("# Safety") {
+                return true;
+            }
+            expected = tok.line;
+        } else if tok.line == line {
+            // Code earlier on the same line: keep scanning upward.
+            continue;
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+fn header01(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.file.rel_path != "src/lib.rs" {
+        return;
+    }
+    // Reconstruct inner attributes `#![...]`, whitespace-normalized.
+    let code: Vec<usize> = (0..ctx.toks.len())
+        .filter(|&i| !ctx.toks[i].is_comment())
+        .collect();
+    let mut attrs = Vec::new();
+    let mut p = 0usize;
+    while p + 2 < code.len() {
+        if ctx.toks[code[p]].text == "#" && ctx.toks[code[p + 1]].text == "!" {
+            let end = skip_attr_bang(ctx.toks, &code, p);
+            let text: String = code[p..end]
+                .iter()
+                .map(|&j| ctx.toks[j].text.as_str())
+                .collect();
+            attrs.push(text);
+            p = end;
+        } else {
+            p += 1;
+        }
+    }
+    let have = |needle: &str| attrs.iter().any(|a| a.contains(needle));
+    let mut missing = Vec::new();
+    if ctx.file.crate_dir == "exec" {
+        // The sole sanctioned unsafe crate trades forbid(unsafe_code)
+        // for a strict unsafe-block hygiene lint.
+        if !have("deny(unsafe_op_in_unsafe_fn)") {
+            missing.push("#![deny(unsafe_op_in_unsafe_fn)]");
+        }
+    } else if !have("forbid(unsafe_code)") {
+        missing.push("#![forbid(unsafe_code)]");
+    }
+    if !have("warn(missing_docs)") {
+        missing.push("#![warn(missing_docs)]");
+    }
+    if !have("cfg_attr(test,allow(clippy::unwrap_used,clippy::expect_used))")
+        && !have("allow(clippy::unwrap_used,clippy::expect_used)")
+    {
+        missing.push("#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]");
+    }
+    for attr in missing {
+        out.push(ctx.finding(
+            "HEADER-01",
+            1,
+            format!("crate root is missing the unified lint header attribute `{attr}`"),
+        ));
+    }
+}
+
+/// Skips an inner attribute `#![...]` starting at code position `p`;
+/// returns the code position just past the closing `]`.
+fn skip_attr_bang(toks: &[Tok], code: &[usize], p: usize) -> usize {
+    let mut j = p + 2; // at `[`
+    let mut depth = 0i32;
+    while let Some(&ti) = code.get(j) {
+        match toks[ti].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Extracts per-function ordered lock-acquisition sequences (LOCK-01).
+fn extract_lock_sequences(ctx: &FileCtx<'_>) -> Vec<Vec<LockAcq>> {
+    let code: Vec<usize> = (0..ctx.toks.len())
+        .filter(|&i| !ctx.toks[i].is_comment())
+        .collect();
+    let mut seqs: Vec<Vec<LockAcq>> = Vec::new();
+    // Stack of (function name, brace depth at body open).
+    let mut fn_stack: Vec<(String, i32, usize)> = Vec::new(); // (name, depth, seq index)
+    let mut depth = 0i32;
+    let mut pending_fn: Option<String> = None;
+    for (p, &i) in code.iter().enumerate() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let tok = &ctx.toks[i];
+        match tok.text.as_str() {
+            "fn" => {
+                if let Some(&j) = code.get(p + 1) {
+                    if ctx.toks[j].kind == TokKind::Ident {
+                        pending_fn = Some(ctx.toks[j].text.clone());
+                    }
+                }
+            }
+            "{" => {
+                depth += 1;
+                if let Some(name) = pending_fn.take() {
+                    seqs.push(Vec::new());
+                    fn_stack.push((name, depth, seqs.len() - 1));
+                }
+            }
+            "}" => {
+                if fn_stack.last().is_some_and(|(_, d, _)| *d == depth) {
+                    fn_stack.pop();
+                }
+                depth -= 1;
+            }
+            ";" => {
+                // `fn f(...);` in a trait: discard the pending name.
+                pending_fn = None;
+            }
+            _ => {}
+        }
+        let Some((fn_name, _, seq_idx)) = fn_stack.last() else {
+            continue;
+        };
+        let label = lock_label(ctx, &code, p);
+        if let Some(label) = label {
+            seqs[*seq_idx].push(LockAcq {
+                file: ctx.file.display_path.clone(),
+                line: tok.line,
+                func: fn_name.clone(),
+                label,
+            });
+        }
+    }
+    seqs
+}
+
+/// If the code token at position `p` is a lock acquisition, returns its
+/// normalized label.
+fn lock_label(ctx: &FileCtx<'_>, code: &[usize], p: usize) -> Option<String> {
+    let tok = &ctx.toks[code[p]];
+    let next_is = |off: usize, s: &str| code.get(p + off).is_some_and(|&j| ctx.toks[j].text == s);
+    if tok.kind == TokKind::Ident
+        && (tok.text == "lock_recover" || tok.text == "lock_shard")
+        && next_is(1, "(")
+    {
+        // Helper call: label is the argument path.
+        let mut parts = Vec::new();
+        let mut j = p + 2;
+        let mut depth = 1i32;
+        while let Some(&ti) = code.get(j) {
+            match ctx.toks[ti].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "&" | "mut" => {}
+                "[" => {
+                    // Normalize index expressions.
+                    let mut d = 1i32;
+                    j += 1;
+                    while let Some(&ui) = code.get(j) {
+                        match ctx.toks[ui].text.as_str() {
+                            "[" => d += 1,
+                            "]" => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    parts.push("[_]".to_string());
+                }
+                t => parts.push(t.to_string()),
+            }
+            j += 1;
+        }
+        return Some(parts.concat());
+    }
+    if tok.kind == TokKind::Ident && tok.text == "lock_registry" && next_is(1, "(") {
+        return Some("fault::registry".to_string());
+    }
+    // Method form: `<receiver>.lock()` / `.read()` / `.write()`.
+    if tok.kind == TokKind::Punct && tok.text == "." {
+        let method = code.get(p + 1).map(|&j| &ctx.toks[j]);
+        let is_acq = method.is_some_and(|m| {
+            m.kind == TokKind::Ident && matches!(m.text.as_str(), "lock" | "read" | "write")
+        });
+        if is_acq && next_is(2, "(") && next_is(3, ")") {
+            // Walk backwards over the receiver chain.
+            let mut parts: Vec<String> = Vec::new();
+            let mut j = p;
+            while j > 0 {
+                let prev = &ctx.toks[code[j - 1]];
+                match (prev.kind, prev.text.as_str()) {
+                    (TokKind::Ident, t) => {
+                        parts.push(t.to_string());
+                        j -= 1;
+                    }
+                    (TokKind::Punct, "." | ":") => {
+                        parts.push(prev.text.clone());
+                        j -= 1;
+                    }
+                    (TokKind::Punct, "]") => {
+                        // Normalize `[expr]` and continue left.
+                        let mut d = 1i32;
+                        j -= 1;
+                        while j > 0 {
+                            let t = &ctx.toks[code[j - 1]];
+                            match t.text.as_str() {
+                                "]" => d += 1,
+                                "[" => {
+                                    d -= 1;
+                                    if d == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            j -= 1;
+                        }
+                        j -= 1;
+                        parts.push("[_]".to_string());
+                    }
+                    _ => break,
+                }
+            }
+            if parts.is_empty() {
+                return None;
+            }
+            parts.reverse();
+            return Some(parts.concat());
+        }
+    }
+    None
+}
+
+/// Flags inconsistent pairwise lock orderings across all sequences.
+fn lock01(seqs: &[Vec<LockAcq>]) -> Vec<Finding> {
+    // (first, second) -> earliest witnessing acquisition of `second`.
+    let mut pairs: BTreeMap<(String, String), LockAcq> = BTreeMap::new();
+    for seq in seqs {
+        for a in 0..seq.len() {
+            for b in (a + 1)..seq.len() {
+                if seq[a].label == seq[b].label {
+                    continue;
+                }
+                pairs
+                    .entry((seq[a].label.clone(), seq[b].label.clone()))
+                    .or_insert_with(|| seq[b].clone());
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for ((a, b), site) in &pairs {
+        if a < b {
+            if let Some(rev) = pairs.get(&(b.clone(), a.clone())) {
+                out.push(Finding {
+                    lint: "LOCK-01",
+                    file: site.file.clone(),
+                    line: site.line,
+                    message: format!(
+                        "lock order inversion: `{a}` is acquired before `{b}` \
+                         in fn `{}` ({}:{}), but `{b}` before `{a}` in fn `{}` \
+                         ({}:{})",
+                        site.func, site.file, site.line, rev.func, rev.file, rev.line
+                    ),
+                    waiver_reason: None,
+                });
+            }
+        }
+    }
+    out
+}

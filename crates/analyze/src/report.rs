@@ -1,0 +1,163 @@
+//! Text and machine-readable (`soctam-analyze/1`) report rendering.
+
+use std::fmt::Write as _;
+
+use crate::lints::{lint_info, Analysis, Finding, Severity, LINTS};
+
+/// Output format selected by `--format`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// Human-readable, one finding per line.
+    Text,
+    /// The `soctam-analyze/1` JSON schema (the `soctam-bench/1`
+    /// precedent: a top-level `schema` tag plus flat arrays).
+    Json,
+}
+
+/// Renders the analysis in the requested format.
+#[must_use]
+pub fn render(analysis: &Analysis, files_scanned: usize, format: Format) -> String {
+    match format {
+        Format::Text => render_text(analysis, files_scanned),
+        Format::Json => render_json(analysis, files_scanned),
+    }
+}
+
+fn render_text(analysis: &Analysis, files_scanned: usize) -> String {
+    let mut out = String::new();
+    for f in &analysis.findings {
+        let sev = lint_info(f.lint).map_or("error", |l| l.severity.name());
+        let _ = writeln!(out, "{sev}[{}] {}:{} {}", f.lint, f.file, f.line, f.message);
+    }
+    let errors = count(analysis, Severity::Error);
+    let warnings = count(analysis, Severity::Warning);
+    let _ = writeln!(
+        out,
+        "soctam-analyze: {files_scanned} files scanned, {errors} errors, \
+         {warnings} warnings, {} waived",
+        analysis.waived.len()
+    );
+    out
+}
+
+fn count(analysis: &Analysis, sev: Severity) -> usize {
+    analysis
+        .findings
+        .iter()
+        .filter(|f| lint_info(f.lint).is_some_and(|l| l.severity == sev))
+        .count()
+}
+
+fn render_json(analysis: &Analysis, files_scanned: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"soctam-analyze/1\",\n");
+    let _ = writeln!(out, "  \"files_scanned\": {files_scanned},");
+    out.push_str("  \"lints\": [\n");
+    for (i, l) in LINTS.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"id\": {}, \"severity\": {}, \"summary\": {}}}",
+            json_str(l.id),
+            json_str(l.severity.name()),
+            json_str(l.summary)
+        );
+        out.push_str(if i + 1 < LINTS.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    json_findings(&mut out, "findings", &analysis.findings);
+    out.push_str(",\n");
+    json_findings(&mut out, "waived", &analysis.waived);
+    out.push_str(",\n");
+    let _ = write!(
+        out,
+        "  \"summary\": {{\"errors\": {}, \"warnings\": {}, \"waived\": {}}}\n}}",
+        count(analysis, Severity::Error),
+        count(analysis, Severity::Warning),
+        analysis.waived.len()
+    );
+    out.push('\n');
+    out
+}
+
+fn json_findings(out: &mut String, key: &str, findings: &[Finding]) {
+    let _ = write!(out, "  \"{key}\": [");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let sev = lint_info(f.lint).map_or("error", |l| l.severity.name());
+        let _ = write!(
+            out,
+            "    {{\"lint\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"message\": {}",
+            json_str(f.lint),
+            json_str(sev),
+            json_str(&f.file),
+            f.line,
+            json_str(&f.message)
+        );
+        if let Some(reason) = &f.waiver_reason {
+            let _ = write!(out, ", \"waiver_reason\": {}", json_str(reason));
+        }
+        out.push('}');
+    }
+    if findings.is_empty() {
+        out.push(']');
+    } else {
+        out.push_str("\n  ]");
+    }
+}
+
+/// Minimal JSON string escaping (the only non-trivial piece of the
+/// schema; everything else is numbers and fixed keys).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::Finding;
+
+    fn sample() -> Analysis {
+        Analysis {
+            findings: vec![Finding {
+                lint: "DET-01",
+                file: "crates/x/src/a.rs".into(),
+                line: 3,
+                message: "a \"quoted\" hazard".into(),
+                waiver_reason: None,
+            }],
+            waived: Vec::new(),
+            stale: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn json_has_schema_tag_and_escapes() {
+        let json = render(&sample(), 10, Format::Json);
+        assert!(json.contains("\"schema\": \"soctam-analyze/1\""));
+        assert!(json.contains("a \\\"quoted\\\" hazard"));
+        assert!(json.contains("\"files_scanned\": 10"));
+    }
+
+    #[test]
+    fn text_counts_errors() {
+        let text = render(&sample(), 10, Format::Text);
+        assert!(text.contains("1 errors"));
+        assert!(text.contains("DET-01"));
+    }
+}

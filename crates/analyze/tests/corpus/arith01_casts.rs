@@ -1,0 +1,13 @@
+//@ crate: wrapper
+//@ path: src/arith.rs
+//! ARITH-01: truncating casts and unchecked test-time arithmetic.
+
+/// Narrows a pattern index without a range check.
+pub fn widen(n: usize) -> u32 {
+    n as u32
+}
+
+/// Accumulates shift cycles with an overflow-silent `+`.
+pub fn accumulate(cycles: u64, extra: u64) -> u64 {
+    cycles + extra
+}

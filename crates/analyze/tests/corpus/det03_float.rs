@@ -1,0 +1,10 @@
+//@ crate: tester
+//@ path: src/det03.rs
+//! DET-03: float arithmetic in the cost/time crates.
+
+/// Scales a cycle count through a float ratio.
+pub fn scaled(n: u64) -> u64 {
+    let ratio = 0.75;
+    let f = n as f64;
+    (f * ratio) as u64
+}

@@ -1,0 +1,8 @@
+//@ crate: model
+//@ path: src/lib.rs
+//! HEADER-01: crate root missing part of the unified header.
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+/// Documented item.
+pub fn ok() {}

@@ -1,0 +1,9 @@
+//@ crate: tam
+//@ path: src/danger.rs
+//! UNSAFE-01: `unsafe` outside the sanctioned pool module.
+
+/// Reads the first element without a bounds check.
+pub fn first(xs: &[u64]) -> u64 {
+    // SAFETY: even with a comment, unsafe is not allowed here.
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,14 @@
+//@ crate: exec
+//@ path: src/pool.rs
+//! UNSAFE-01: the pool tolerates `unsafe` only under a SAFETY: comment.
+
+/// Dereferences a raw context pointer.
+pub fn documented(p: *const u32) -> u32 {
+    // SAFETY: the caller keeps `p` alive for the duration of the call.
+    unsafe { *p }
+}
+
+/// Same dereference, no justification.
+pub fn undocumented(p: *const u32) -> u32 {
+    unsafe { *p }
+}

@@ -1,0 +1,11 @@
+//@ crate: hypergraph
+//@ path: src/waived.rs
+//! A correctly waived DET-01 finding: no unwaived findings at all.
+use std::collections::HashSet;
+
+/// Membership-only set: iteration order is never observed.
+pub fn distinct(xs: &[u32]) -> usize {
+    // soctam-analyze: allow(DET-01) -- insert/len only, never iterated
+    let seen: HashSet<u32> = xs.iter().copied().collect();
+    seen.len()
+}

@@ -1,0 +1,15 @@
+//@ crate: tam
+//@ path: src/waivers.rs
+//! WAIVER-01: stale, malformed and unknown-lint waivers.
+
+// soctam-analyze: allow(DET-01) -- stale: nothing below uses a map
+/// Does nothing map-related.
+pub fn quiet() {}
+
+// soctam-analyze: allow(DET-01)
+/// Missing the `-- reason` clause.
+pub fn missing_reason() {}
+
+// soctam-analyze: allow(NOPE-99) -- no lint has this id
+/// Unknown lint id.
+pub fn unknown() {}

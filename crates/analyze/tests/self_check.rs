@@ -1,0 +1,34 @@
+//! Meta-test (feature `self-check`): the analyzer must come back clean
+//! on the live workspace it ships in. Run with
+//! `cargo test -p soctam-analyze --features self-check`.
+//!
+//! Kept behind a feature so plain `cargo test` stays independent of the
+//! sibling crates' sources: the default suite exercises the analyzer
+//! only through its hermetic corpus.
+
+#![cfg(feature = "self-check")]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::Path;
+
+#[test]
+fn live_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = soctam_analyze::run_check(&root).expect("workspace walk");
+    assert!(
+        report.analysis.findings.is_empty(),
+        "soctam-analyze found unwaived findings on the live tree:\n{:#?}",
+        report.analysis.findings
+    );
+    assert!(
+        report.files_scanned > 100,
+        "workspace walk looks truncated: {} files",
+        report.files_scanned
+    );
+    // Every waiver in the tree carries a written justification.
+    assert!(report
+        .analysis
+        .waived
+        .iter()
+        .all(|w| w.waiver_reason.is_some()));
+}

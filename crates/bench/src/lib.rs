@@ -6,6 +6,8 @@
 // desired behaviour for micro-benchmarks, so the panic lints are off
 // wholesale rather than per call site.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 use soctam::experiment::{run_table, ExperimentConfig, ExperimentTable};
 use soctam::{Benchmark, RandomPatternConfig, SiGroupSpec, SiPatternSet, Soc, SoctamError};
 

@@ -1,7 +1,7 @@
 //! Horizontal compaction: core grouping via hypergraph partitioning
 //! (Fig. 2 of the paper).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use soctam_hypergraph::{Hypergraph, HypergraphBuilder, Partition, PartitionConfig};
 use soctam_model::{CoreId, Soc};
@@ -56,7 +56,9 @@ pub fn build_core_hypergraph_packed(
 ) -> Hypergraph {
     let mut builder = HypergraphBuilder::new();
     builder.add_vertices(soc.iter().map(|(_, core)| u64::from(core.woc_count())));
-    let mut edge_counts: HashMap<Vec<u32>, u64> = HashMap::new();
+    // BTreeMap keeps the distinct care-core sets in sorted order, so the
+    // edge emission below is deterministic without a separate sort.
+    let mut edge_counts: BTreeMap<Vec<u32>, u64> = BTreeMap::new();
     let mut cores: Vec<CoreId> = Vec::new();
     let mut raw: Vec<u32> = Vec::new();
     for i in 0..set.len() {
@@ -75,9 +77,7 @@ pub fn build_core_hypergraph_packed(
             }
         }
     }
-    let mut edges: Vec<(Vec<u32>, u64)> = edge_counts.into_iter().collect();
-    edges.sort_unstable(); // deterministic edge order
-    for (pins, weight) in edges {
+    for (pins, weight) in edge_counts {
         builder
             .add_edge(weight, &pins)
             .expect("care cores are valid vertices");

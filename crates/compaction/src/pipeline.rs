@@ -144,6 +144,7 @@ pub fn compact_two_dimensional_with(
     // dropped keep-first: a duplicate always lands in its first copy's
     // clique and absorbing it there is a no-op, so removal cannot change
     // the compacted output.
+    // soctam-analyze: allow(DET-01) -- insert/contains only, never iterated, so hash order cannot affect output
     let mut seen: HashSet<&SiPattern> = HashSet::new();
     let mut dedup = |indices: &[usize]| -> Vec<u32> {
         seen.clear();

@@ -24,6 +24,13 @@
 //!   (`SOCTAM_FAILPOINTS`) used to prove that every error path in the
 //!   pipeline actually works.
 
+// Documented exception to the workspace-wide `#![forbid(unsafe_code)]`
+// header: `pool` spawns scoped worker threads over borrowed closures,
+// which needs two `unsafe` lifetime-erasure sites (each carries a
+// SAFETY: argument). Every other module is safe code, and unsafe inside
+// unsafe fns still requires an explicit block.
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 pub mod cache;
 pub mod check;

@@ -135,6 +135,10 @@ struct MapCtx<'a, R, F> {
     metrics: &'a Metrics,
 }
 
+// SAFETY: callers must pass a pointer obtained by erasing a `MapCtx<R, F>`
+// with exactly these `R`/`F` type parameters, and the context must stay
+// alive until the pool's completion handshake; `par_map_index` upholds
+// both by pairing the erasure and the monomorphized entry in one call.
 unsafe fn helper_entry<R, F>(ctx: *const (), home: usize)
 where
     R: Send,

@@ -85,10 +85,12 @@ fn induce(hg: &Hypergraph, vertices: &[u32]) -> (Hypergraph, Vec<u32>) {
     for &v in vertices {
         builder.add_vertex(hg.vertex_weight(v));
     }
-    let mut seen = std::collections::HashSet::new();
+    // Dense visited bitmap over edge ids: cheaper than hashing and
+    // iteration-order questions never arise.
+    let mut seen = vec![false; hg.num_edges()];
     for &v in vertices {
         for &e in hg.incident_edges(v) {
-            if !seen.insert(e) {
+            if std::mem::replace(&mut seen[e as usize], true) {
                 continue;
             }
             let pins: Vec<u32> = hg

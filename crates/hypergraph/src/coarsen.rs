@@ -2,7 +2,7 @@
 
 use soctam_exec::Rng;
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::graph::{Hypergraph, HypergraphBuilder};
 
@@ -26,7 +26,9 @@ pub(crate) fn coarsen_once(hg: &Hypergraph, rng: &mut Rng) -> Option<CoarseLevel
     let mut mate: Vec<Option<u32>> = vec![None; n];
     // Heavy-edge matching: connect v to the unmatched neighbour with the
     // largest total connectivity sum(w(e) / (|e| - 1)) over shared edges.
-    let mut score: HashMap<u32, f64> = HashMap::new();
+    // Sorted keys: `max_by` breaks score ties by vertex id, so the
+    // chosen mate never depends on map iteration order.
+    let mut score: BTreeMap<u32, f64> = BTreeMap::new();
     for &v in &order {
         if mate[v as usize].is_some() {
             continue;
@@ -82,7 +84,7 @@ pub(crate) fn coarsen_once(hg: &Hypergraph, rng: &mut Rng) -> Option<CoarseLevel
 
     // Project edges, dropping single-pin edges and merging identical pin
     // sets (summing weights).
-    let mut merged: HashMap<Vec<u32>, u64> = HashMap::new();
+    let mut merged: BTreeMap<Vec<u32>, u64> = BTreeMap::new();
     for e in 0..hg.num_edges() as u32 {
         let mut pins: Vec<u32> = hg.pins(e).iter().map(|&v| coarse_of[v as usize]).collect();
         pins.sort_unstable();
@@ -97,10 +99,8 @@ pub(crate) fn coarsen_once(hg: &Hypergraph, rng: &mut Rng) -> Option<CoarseLevel
     for &w in &coarse_weights {
         builder.add_vertex(w);
     }
-    // Deterministic edge order: sort by pin list.
-    let mut edges: Vec<(Vec<u32>, u64)> = merged.into_iter().collect();
-    edges.sort_unstable();
-    for (pins, weight) in edges {
+    // Deterministic edge order: BTreeMap iterates sorted by pin list.
+    for (pins, weight) in merged {
         builder
             .add_edge(weight, &pins)
             .expect("projected pins are in range");

@@ -32,7 +32,7 @@
 //! # }
 //! ```
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use soctam_model::topology::InterconnectTopology;
 use soctam_model::TerminalId;
@@ -119,14 +119,14 @@ pub fn ma_coverage(
     locality: Option<usize>,
 ) -> MaCoverage {
     // terminal -> (bundle, line index) occurrences.
-    let mut occurrences: HashMap<TerminalId, Vec<(usize, usize)>> = HashMap::new();
+    let mut occurrences: BTreeMap<TerminalId, Vec<(usize, usize)>> = BTreeMap::new();
     for (b, bundle) in topology.bundles().iter().enumerate() {
         for (i, &terminal) in bundle.terminals().iter().enumerate() {
             occurrences.entry(terminal).or_default().push((b, i));
         }
     }
 
-    let mut covered: HashSet<(usize, usize, MaCase)> = HashSet::new();
+    let mut covered: BTreeSet<(usize, usize, MaCase)> = BTreeSet::new();
     for pattern in patterns {
         for &(terminal, symbol) in pattern.care_bits() {
             let Some(sites) = occurrences.get(&terminal) else {

@@ -1,6 +1,6 @@
 //! Summary statistics of SI pattern sets.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use soctam_model::Soc;
 
@@ -50,7 +50,7 @@ impl PatternSetStats {
             patterns_touching_core: vec![0; soc.num_cores()],
             ..PatternSetStats::default()
         };
-        let mut core_sets: HashSet<Vec<u32>> = HashSet::new();
+        let mut core_sets: BTreeSet<Vec<u32>> = BTreeSet::new();
         for pattern in set {
             stats.total_care_bits += pattern.care_bits().len() as u64;
             if !pattern.bus_lines().is_empty() {

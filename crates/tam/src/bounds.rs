@@ -49,7 +49,7 @@ pub fn intest_lower_bound(soc: &Soc, max_width: u32) -> Result<u64, WrapperError
     let mut total_serial = 0u64;
     for (_, core) in soc.iter() {
         bottleneck = bottleneck.max(intest_time(core, max_width)?);
-        total_serial += intest_time(core, 1)?;
+        total_serial = total_serial.saturating_add(intest_time(core, 1)?);
     }
     Ok(bottleneck.max(total_serial.div_ceil(u64::from(max_width))))
 }
@@ -84,8 +84,13 @@ pub fn si_lower_bound(
     for group in groups {
         for &core in group.cores() {
             let spec = soc.core(core);
-            total_work += group.patterns() * si_shift_cycles(spec, 1)?;
-            per_core[core.index()] += group.patterns() * si_shift_cycles(spec, max_width)?;
+            total_work = total_work
+                .saturating_add(group.patterns().saturating_mul(si_shift_cycles(spec, 1)?));
+            per_core[core.index()] = per_core[core.index()].saturating_add(
+                group
+                    .patterns()
+                    .saturating_mul(si_shift_cycles(spec, max_width)?),
+            );
         }
     }
     let bandwidth = total_work.div_ceil(u64::from(max_width));

@@ -19,6 +19,7 @@
 //! result of an iteration-bounded run — is independent of the worker
 //! count.
 
+// soctam-analyze: allow-file(DET-02) -- the wall-clock deadline is the documented opt-in degradation escape hatch; iteration budgets stay deterministic
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 

@@ -117,12 +117,14 @@ impl<'a> TestBusEvaluator<'a> {
             for &core in group.cores() {
                 let bus = core_bus[core.index()];
                 let width = arch.rails()[bus].width();
-                let cycles = group.patterns() * self.table.si_shift(core, width);
+                let cycles = group
+                    .patterns()
+                    .saturating_mul(self.table.si_shift(core, width));
                 if cycles > 0 {
                     if per_bus[bus] == 0 {
                         touched.push(bus);
                     }
-                    per_bus[bus] += cycles;
+                    per_bus[bus] = per_bus[bus].saturating_add(cycles);
                 }
             }
             touched.sort_unstable();
@@ -132,6 +134,7 @@ impl<'a> TestBusEvaluator<'a> {
                 if per_bus[bus] > bottleneck.1 {
                     bottleneck = (bus, per_bus[bus]);
                 }
+                // soctam-analyze: allow(ARITH-01) -- g enumerates SI groups, whose ids are u32 by construction
                 bus_group_shift[bus].push((g as u32, per_bus[bus]));
             }
             group_times.push(SiGroupTime {

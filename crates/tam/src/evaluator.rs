@@ -281,6 +281,7 @@ impl<'a> Evaluator<'a> {
                 *w = w.saturating_add(group.patterns());
                 // Group cores are deduplicated and groups are visited
                 // in ascending order, so each list stays sorted.
+                // soctam-analyze: allow(ARITH-01) -- g enumerates SI groups, whose ids are u32 by construction
                 core_groups[core.index()].push(g as u32);
             }
         }
@@ -582,6 +583,7 @@ impl<'a> Evaluator<'a> {
     ) -> Vec<SiGroupTime> {
         let mut cursors = vec![0usize; rail_evals.len()];
         let mut group_times = Vec::with_capacity(self.groups.len());
+        // soctam-analyze: allow(ARITH-01) -- group count fits u32: group ids are u32 throughout the crate
         for g in 0..self.groups.len() as u32 {
             let mut touched = Vec::new();
             let (mut best_rail, mut best_time) = (usize::MAX, 0u64);
@@ -627,6 +629,7 @@ impl<'a> Evaluator<'a> {
             let mut pos = 0usize;
             for (r, comp) in rail_evals.iter().enumerate() {
                 let column = &comp.group_shift;
+                // soctam-analyze: allow(ARITH-01) -- compares against a stored u32 group id; group count fits u32
                 if cursors[r] < column.len() && column[cursors[r]].0 == g as u32 {
                     let cycles = column[cursors[r]].1;
                     cursors[r] += 1;

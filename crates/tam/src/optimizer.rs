@@ -685,6 +685,7 @@ impl<'a> TamOptimizer<'a> {
                 }
             } else if n < w_max {
                 (rails, _) =
+                    // soctam-analyze: allow(ARITH-01) -- w_max - n counts TAM wires, bounded by the u32 max_width
                     self.distribute_free_wires(rails, (w_max - n) as u32, tracker, false, None);
             }
         } else {
@@ -789,7 +790,9 @@ impl<'a> TamOptimizer<'a> {
         for (i, core) in ids.into_iter().enumerate() {
             buckets[i % k].push(core);
         }
+        // soctam-analyze: allow(ARITH-01) -- k is a rail count, bounded by the core count which fits u32
         let base = w_max / k as u32;
+        // soctam-analyze: allow(ARITH-01) -- same bound as above; the remainder is below k
         let extra = (w_max % k as u32) as usize;
         buckets
             .into_iter()
@@ -816,6 +819,7 @@ fn rails_key(rails: &[TestRail], i: usize) -> u128 {
 fn drop_points(staircase: &[u64], width: u32, budget: u32) -> Vec<u32> {
     let mut points = Vec::new();
     let mut best = staircase[(width - 1) as usize];
+    // soctam-analyze: allow(ARITH-01) -- the staircase has max_width entries, and max_width is u32
     let limit = budget.min((staircase.len() as u32).saturating_sub(width));
     for d in 1..=limit {
         let t = staircase[(width + d - 1) as usize];

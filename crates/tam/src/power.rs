@@ -121,7 +121,7 @@ pub fn schedule_si_tests_power(
                 let test = ScheduledSiTest {
                     group: g,
                     begin: curr_time,
-                    end: curr_time + tests[g].timing.time,
+                    end: curr_time.saturating_add(tests[g].timing.time),
                     rails: tests[g].timing.rails.clone(),
                 };
                 makespan = makespan.max(test.end);

@@ -145,6 +145,7 @@ impl TestRailArchitecture {
         }
         if let Some(missing) = seen.iter().position(|&s| !s) {
             return Err(TamError::UnassignedCore {
+                // soctam-analyze: allow(ARITH-01) -- missing indexes the per-core bitmap; core counts fit u32
                 core: CoreId::new(missing as u32),
             });
         }

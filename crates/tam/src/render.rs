@@ -1,5 +1,7 @@
 //! Text rendering of test schedules (the style of the paper's Fig. 3).
 
+// soctam-analyze: allow-file(DET-03) -- presentation-only column geometry; never feeds back into cost or time math
+// soctam-analyze: allow-file(ARITH-01) -- chart cell indices are bounded by the rendered width
 use crate::{Evaluation, TestRailArchitecture};
 
 /// Renders an architecture evaluation as an ASCII Gantt chart: one row per

@@ -6,6 +6,7 @@
 //! waste — the same `time_used(r)` bookkeeping Algorithm 2 sorts by, made
 //! inspectable.
 
+// soctam-analyze: allow-file(DET-03) -- utilization ratios are reporting output, not optimizer state
 use std::fmt;
 
 use crate::{Evaluation, TestRailArchitecture};
@@ -70,8 +71,8 @@ impl UtilizationReport {
                     width: rail.width(),
                     time_in,
                     time_si,
-                    time_used: time_in + time_si,
-                    busy_fraction: (time_in + time_si) as f64 / t_total as f64,
+                    time_used: time_in.saturating_add(time_si),
+                    busy_fraction: time_in.saturating_add(time_si) as f64 / t_total as f64,
                 }
             })
             .collect();

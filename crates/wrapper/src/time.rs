@@ -75,7 +75,7 @@ pub fn si_shift_cycles(core: &CoreSpec, width: u32) -> Result<u64, WrapperError>
 ///
 /// Returns [`WrapperError::ZeroWidth`] when `width == 0`.
 pub fn si_time(core: &CoreSpec, width: u32, patterns: u64) -> Result<u64, WrapperError> {
-    Ok(patterns * si_shift_cycles(core, width)?)
+    Ok(patterns.saturating_mul(si_shift_cycles(core, width)?))
 }
 
 /// Memoized `T_in(core, width)` and `ceil(woc/width)` tables for one SOC.
@@ -133,6 +133,7 @@ impl TimeTable {
             let mut best = u64::MAX;
             for (i, &time) in row_in.iter().enumerate() {
                 if time < best {
+                    // soctam-analyze: allow(ARITH-01) -- i indexes the width row, which has at most max_width (u32) entries
                     front.push((i as u32 + 1, time));
                     best = time;
                 }
