@@ -21,7 +21,12 @@ if [ ! -x "$BIN" ]; then
 fi
 
 WORK="$(mktemp -d)"
-trap 'rm -rf "$WORK"' EXIT
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
 
 # model.parse needs a real .soc file on disk; export one first (with the
 # registry inactive, so the export itself cannot trip).
@@ -98,6 +103,55 @@ if [ "$code" -ne 0 ]; then
     failures=$((failures + 1))
 else
     echo "ok   [clean run] -> exit 0 with no failpoints"
+fi
+
+# --- daemon failpoints -------------------------------------------------
+# An armed serve.dispatch fault must surface as a structured HTTP error
+# on the open connection — never a hung socket or a dead daemon — and
+# the daemon must still shut down cleanly afterwards.
+SERVE="${SERVE:-target/release/soctam-serve}"
+CTL="${CTL:-target/release/soctam-servectl}"
+if [ ! -x "$SERVE" ] || [ ! -x "$CTL" ]; then
+    echo "building release daemon..."
+    cargo build --release --offline -p soctam-serve || exit 1
+fi
+
+SOCTAM_FAILPOINTS="serve.dispatch=error" \
+    "$SERVE" --listen 127.0.0.1:0 >"$WORK/serve.log" 2>&1 &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^soctam-serve listening on //p' "$WORK/serve.log")"
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "FAIL [serve.dispatch=error]: daemon never reported its address"
+    sed 's/^/    /' "$WORK/serve.log"
+    failures=$((failures + 1))
+else
+    "$CTL" "$ADDR" post /v1/tools/info '{"soc":"d695"}' \
+        >"$WORK/body" 2>"$WORK/status"
+    status="$(sed -n 's/^HTTP //p' "$WORK/status")"
+    if [ "$status" != "500" ] || ! grep -q "serve.dispatch" "$WORK/body"; then
+        echo "FAIL [serve.dispatch=error]: expected a structured HTTP 500" \
+            "naming the site, got '${status:-no response}'"
+        sed 's/^/    /' "$WORK/body"
+        failures=$((failures + 1))
+    else
+        echo "ok   [serve.dispatch=error] -> structured HTTP 500 on the open socket"
+    fi
+    "$CTL" "$ADDR" post /admin/shutdown >/dev/null 2>&1
+    wait "$SERVER_PID"
+    code=$?
+    SERVER_PID=""
+    if [ "$code" -ne 0 ]; then
+        echo "FAIL [serve shutdown]: daemon exited $code after the fault"
+        failures=$((failures + 1))
+    else
+        echo "ok   [serve shutdown] -> daemon survived the fault, exited 0"
+    fi
 fi
 
 if [ "$failures" -ne 0 ]; then

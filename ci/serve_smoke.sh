@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Daemon smoke test: build the release daemon, start it on an ephemeral
+# port, drive good and malformed jobs through the std-only client
+# (`soctam-servectl`), assert the structured status codes, and shut it
+# down cleanly.
+#
+# Usage: ci/serve_smoke.sh [path/to/soctam-serve [path/to/soctam-servectl]]
+# Builds the release binaries first when no paths are given.
+
+set -u
+
+SERVE="${1:-target/release/soctam-serve}"
+CTL="${2:-target/release/soctam-servectl}"
+if [ ! -x "$SERVE" ] || [ ! -x "$CTL" ]; then
+    echo "building release daemon..."
+    cargo build --release --offline -p soctam-serve || exit 1
+fi
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$SERVE" --listen 127.0.0.1:0 --max-inflight 4 >"$WORK/serve.log" 2>&1 &
+SERVER_PID=$!
+
+# The daemon prints `soctam-serve listening on <addr>` once bound; with
+# `--listen 127.0.0.1:0` that line is the only way to learn the port.
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^soctam-serve listening on //p' "$WORK/serve.log")"
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "FAIL: daemon never reported its listen address"
+    sed 's/^/    /' "$WORK/serve.log"
+    exit 1
+fi
+echo "daemon up at $ADDR (pid $SERVER_PID)"
+
+failures=0
+
+# expect <status> <desc> <get|post> <path> [json-body] — drive one
+# request and assert the HTTP status servectl reports on stderr.
+expect() {
+    local want="$1" desc="$2" verb="$3" path="$4" body="${5:-}"
+    if [ "$verb" = get ]; then
+        "$CTL" "$ADDR" get "$path" >"$WORK/body" 2>"$WORK/status"
+    else
+        "$CTL" "$ADDR" post "$path" "$body" >"$WORK/body" 2>"$WORK/status"
+    fi
+    local got
+    got="$(sed -n 's/^HTTP //p' "$WORK/status")"
+    if [ "$got" != "$want" ]; then
+        echo "FAIL [$desc]: expected HTTP $want, got '${got:-no response}'"
+        sed 's/^/    /' "$WORK/status" "$WORK/body"
+        failures=$((failures + 1))
+        return 1
+    fi
+    echo "ok   [$desc] -> HTTP $got"
+}
+
+# body_has <desc> <needle> — assert on the last response body.
+body_has() {
+    local desc="$1" needle="$2"
+    if ! grep -q "$needle" "$WORK/body"; then
+        echo "FAIL [$desc]: response body lacks '$needle'"
+        sed 's/^/    /' "$WORK/body"
+        failures=$((failures + 1))
+        return 1
+    fi
+}
+
+expect 200 "tool schema" get /v1/tools && body_has "tool schema" '"optimize"'
+expect 200 "healthz" get /healthz
+
+expect 200 "good optimize" post /v1/tools/optimize \
+    '{"soc":"d695","params":{"patterns":300,"width":16,"partitions":2}}' &&
+    body_has "good optimize" '"request_id"'
+
+expect 400 "broken JSON" post /v1/tools/optimize '{nope' &&
+    body_has "broken JSON" '"usage"'
+expect 404 "unknown tool" post /v1/tools/frobnicate '{"soc":"d695"}' &&
+    body_has "unknown tool" '"not-found"'
+expect 400 "unknown param" post /v1/tools/optimize \
+    '{"soc":"d695","params":{"patern":7}}' &&
+    body_has "unknown param" 'patern'
+expect 422 "unresolvable SOC" post /v1/tools/info '{"soc":"/nonexistent/x.soc"}' &&
+    body_has "unresolvable SOC" '"invalid"'
+
+expect 200 "metrics" get /metrics && body_has "metrics" '"requests"'
+
+expect 200 "shutdown" post /admin/shutdown
+wait "$SERVER_PID"
+code=$?
+SERVER_PID=""
+if [ "$code" -ne 0 ]; then
+    echo "FAIL [shutdown]: daemon exited $code instead of 0"
+    sed 's/^/    /' "$WORK/serve.log"
+    failures=$((failures + 1))
+else
+    echo "ok   [shutdown] -> daemon exited 0"
+fi
+
+if [ "$failures" -ne 0 ]; then
+    echo "$failures daemon smoke check(s) failed"
+    exit 1
+fi
+echo "all daemon smoke checks passed"

@@ -1,6 +1,13 @@
 //! Implementation of the `soctam` command-line tool.
 //!
-//! The CLI wraps the [`soctam`] facade:
+//! The CLI is a thin front end over the shared tool registry
+//! ([`soctam_registry::standard_registry`]): every subcommand, every
+//! flag and all help text are **generated** from the registry's
+//! declared tool schemas — there is no hand-maintained dispatch table
+//! or flag parser to drift out of sync with the server. The
+//! `soctam-serve` daemon is generated from the same registry, so
+//! `soctam optimize d695 ...` and `POST /v1/tools/optimize` produce
+//! byte-identical reports.
 //!
 //! ```text
 //! soctam info     <soc>                     SOC summary (cores, terminals, volume)
@@ -19,18 +26,15 @@
 use std::fmt::Write as _;
 
 use soctam::exec::fault;
-use soctam::experiment::{run_table_with, ExperimentConfig};
-use soctam::model::parser::parse_soc;
-use soctam::tam::render_schedule;
-use soctam::{
-    compact_two_dimensional_with, Benchmark, CompactionConfig, Objective, OptimizerBudget, Pool,
-    RandomPatternConfig, SiOptimizer, SiPatternSet, Soc,
+use soctam::Pool;
+use soctam_registry::{
+    parse_cli, resolve_soc, standard_registry, ParamKind, Tool, ToolCtx, ToolError, ToolErrorKind,
 };
 
 /// A CLI failure: a message and the exit code to report.
 #[derive(Debug)]
 pub struct CliError {
-    /// Message printed to stderr.
+    /// Message printed to stderr (stdout when `code` is 0).
     pub message: String,
     /// Process exit code.
     pub code: i32,
@@ -43,530 +47,136 @@ impl CliError {
             code: 2,
         }
     }
+}
 
-    fn runtime(message: impl Into<String>) -> Self {
+impl From<ToolError> for CliError {
+    fn from(err: ToolError) -> Self {
         CliError {
-            message: message.into(),
-            code: 1,
+            code: match err.kind {
+                ToolErrorKind::Usage => 2,
+                ToolErrorKind::Invalid | ToolErrorKind::Failed => 1,
+            },
+            message: err.to_string(),
         }
     }
 }
 
-/// Top-level usage text.
-pub const USAGE: &str = "\
-soctam — SOC test architecture optimization for signal-integrity faults
-
-USAGE:
-    soctam <COMMAND> <SOC> [OPTIONS]
-
-COMMANDS:
-    info      print an SOC summary
-    optimize  run 2-D compaction + SI-aware TAM optimization
-    table     run the paper's Table 2/3 sweep
-    compact   run compaction only and report statistics
-    export    write the SOC back out in ITC'02 .soc format
-    bounds    print architecture-independent lower bounds per width
-    simulate  cross-check the timing model against the bit-level simulator
-
-SOC:
-    d695 | p34392 | p93791 | path/to/file.soc
-
-OPTIONS (optimize / table / compact):
-    --patterns <N>     raw SI pattern count N_r        [default: 10000]
-    --width <W>        TAM width budget W_max          [default: 32]
-    --partitions <I>   SI partition count i            [default: 4]
-    --seed <S>         RNG seed                        [default: 2007]
-    --jobs <N>         worker threads (0 = all cores)  [default: 1]
-    --stats            print runtime statistics (tasks, steals, cache)
-    --baseline         optimize for InTest only (TR-Architect)
-    --svg <file>       write the schedule as SVG (optimize)
-    --widths <list>    comma list of widths (table)    [default: 8,16,..,64]
-    --parts <list>     comma list of partitions (table)[default: 1,2,4,8]
-    --deadline-ms <MS> wall-clock budget for the TAM optimization; on
-                       expiry the best architecture found so far is
-                       reported and flagged as degraded (optimize)
-    --max-iters <N>    deterministic iteration budget (optimize)
-
-ENVIRONMENT:
-    SOCTAM_FAILPOINTS  deterministic fault injection, e.g.
-                       `tam.merge=error;exec.pool.task=panic@3`
-                       (sites fail with a structured error; see DESIGN.md)
-
-Results are bit-identical for every --jobs value; threads only change
-the wall-clock time.
-";
-
-/// Parsed command-line options.
-#[derive(Clone, Debug, PartialEq)]
-pub struct Options {
-    /// Raw pattern count `N_r`.
-    pub patterns: usize,
-    /// TAM width budget.
-    pub width: u32,
-    /// Partition count.
-    pub partitions: u32,
-    /// RNG seed.
-    pub seed: u64,
-    /// InTest-only objective.
-    pub baseline: bool,
-    /// Optional SVG output path for `optimize`.
-    pub svg: Option<String>,
-    /// Width sweep for `table`.
-    pub widths: Vec<u32>,
-    /// Partition sweep for `table`.
-    pub parts: Vec<u32>,
-    /// Worker thread count (1 = serial, 0 = all available cores).
-    pub jobs: usize,
-    /// Print runtime statistics after the command.
-    pub stats: bool,
-    /// Wall-clock budget for the TAM optimization, in milliseconds.
-    pub deadline_ms: Option<u64>,
-    /// Deterministic iteration budget for the TAM optimization.
-    pub max_iters: Option<u64>,
+/// Top-level usage text, generated from the tool registry.
+pub fn usage() -> String {
+    let mut out = String::from(
+        "soctam — SOC test architecture optimization for signal-integrity faults\n\
+         \n\
+         USAGE:\n\
+         \x20   soctam <COMMAND> <SOC> [OPTIONS]\n\
+         \n\
+         COMMANDS:\n",
+    );
+    for tool in standard_registry().tools() {
+        let _ = writeln!(out, "    {:<9} {}", tool.name, tool.summary);
+    }
+    out.push_str(
+        "\n\
+         SOC:\n\
+         \x20   d695 | p34392 | p93791 | path/to/file.soc\n\
+         \n\
+         Run `soctam <COMMAND> <SOC> --help` for that command's options.\n\
+         \n\
+         ENVIRONMENT:\n\
+         \x20   SOCTAM_FAILPOINTS  deterministic fault injection, e.g.\n\
+         \x20                      `tam.merge=error;exec.pool.task=panic@3`\n\
+         \x20                      (sites fail with a structured error; see DESIGN.md)\n\
+         \n\
+         Results are bit-identical for every --jobs value; threads only change\n\
+         the wall-clock time.\n",
+    );
+    out
 }
 
-impl Default for Options {
-    fn default() -> Self {
-        Options {
-            patterns: 10_000,
-            width: 32,
-            partitions: 4,
-            seed: 2007,
-            baseline: false,
-            svg: None,
-            widths: (1..=8).map(|i| i * 8).collect(),
-            parts: vec![1, 2, 4, 8],
-            jobs: 1,
-            stats: false,
-            deadline_ms: None,
-            max_iters: None,
+/// Per-command usage text, generated from the tool's parameter schema.
+pub fn tool_usage(tool: &Tool) -> String {
+    let mut out = format!(
+        "soctam {} — {}\n\nUSAGE:\n    soctam {} <SOC>{}\n",
+        tool.name,
+        tool.summary,
+        tool.name,
+        if tool.params.is_empty() {
+            ""
+        } else {
+            " [OPTIONS]"
+        }
+    );
+    if !tool.params.is_empty() {
+        out.push_str("\nOPTIONS:\n");
+        for param in tool.params {
+            let arg = if param.kind == ParamKind::Bool {
+                format!("--{}", param.name)
+            } else {
+                format!("--{} <{}>", param.name, param.kind.type_name())
+            };
+            let default = match (param.kind, param.default) {
+                (ParamKind::Bool, _) | (_, None) => String::new(),
+                (_, Some(d)) => format!(" [default: {d}]"),
+            };
+            let _ = writeln!(out, "    {arg:<24} {}{default}", param.help);
         }
     }
-}
-
-impl Options {
-    /// The optimizer budget the flags describe (unlimited by default).
-    pub fn budget(&self) -> OptimizerBudget {
-        let mut budget = OptimizerBudget::unlimited();
-        if let Some(ms) = self.deadline_ms {
-            budget = budget.with_deadline(std::time::Duration::from_millis(ms));
-        }
-        if let Some(iters) = self.max_iters {
-            budget = budget.with_max_iterations(iters);
-        }
-        budget
-    }
-}
-
-fn parse_list(value: &str, flag: &str) -> Result<Vec<u32>, CliError> {
-    value
-        .split(',')
-        .map(|part| {
-            part.trim()
-                .parse::<u32>()
-                .map_err(|_| CliError::usage(format!("invalid value `{part}` for {flag}")))
-        })
-        .collect()
-}
-
-/// Parses options from arguments following the command and SOC.
-///
-/// # Errors
-///
-/// [`CliError`] with a usage message on unknown flags or bad values.
-pub fn parse_options(args: &[String]) -> Result<Options, CliError> {
-    let mut options = Options::default();
-    let mut iter = args.iter();
-    while let Some(flag) = iter.next() {
-        let mut value_for = |flag: &str| -> Result<&String, CliError> {
-            iter.next()
-                .ok_or_else(|| CliError::usage(format!("{flag} needs a value")))
-        };
-        match flag.as_str() {
-            "--patterns" => {
-                options.patterns = value_for("--patterns")?
-                    .parse()
-                    .map_err(|_| CliError::usage("invalid --patterns value"))?;
-            }
-            "--width" => {
-                options.width = value_for("--width")?
-                    .parse()
-                    .map_err(|_| CliError::usage("invalid --width value"))?;
-            }
-            "--partitions" => {
-                options.partitions = value_for("--partitions")?
-                    .parse()
-                    .map_err(|_| CliError::usage("invalid --partitions value"))?;
-            }
-            "--seed" => {
-                options.seed = value_for("--seed")?
-                    .parse()
-                    .map_err(|_| CliError::usage("invalid --seed value"))?;
-            }
-            "--jobs" => {
-                options.jobs = value_for("--jobs")?
-                    .parse()
-                    .map_err(|_| CliError::usage("invalid --jobs value"))?;
-            }
-            "--stats" => options.stats = true,
-            "--baseline" => options.baseline = true,
-            "--deadline-ms" => {
-                options.deadline_ms = Some(
-                    value_for("--deadline-ms")?
-                        .parse()
-                        .map_err(|_| CliError::usage("invalid --deadline-ms value"))?,
-                );
-            }
-            "--max-iters" => {
-                options.max_iters = Some(
-                    value_for("--max-iters")?
-                        .parse()
-                        .map_err(|_| CliError::usage("invalid --max-iters value"))?,
-                );
-            }
-            "--svg" => options.svg = Some(value_for("--svg")?.clone()),
-            "--widths" => options.widths = parse_list(value_for("--widths")?, "--widths")?,
-            "--parts" => options.parts = parse_list(value_for("--parts")?, "--parts")?,
-            "--help" | "-h" => {
-                return Err(CliError {
-                    message: USAGE.into(),
-                    code: 0,
-                })
-            }
-            other => {
-                return Err(CliError::usage(format!(
-                    "unknown option `{other}` (try --help)"
-                )))
-            }
-        }
-    }
-    Ok(options)
-}
-
-/// Resolves a benchmark name or `.soc` path into an SOC.
-///
-/// # Errors
-///
-/// [`CliError`] when the name is unknown or the file does not parse.
-pub fn load_soc(spec: &str) -> Result<Soc, CliError> {
-    if let Ok(bench) = spec.parse::<Benchmark>() {
-        return Ok(bench.soc());
-    }
-    let text = std::fs::read_to_string(spec)
-        .map_err(|e| CliError::runtime(format!("cannot read `{spec}`: {e}")))?;
-    parse_soc(&text)
-        .and_then(|f| f.into_soc())
-        .map_err(|e| CliError::runtime(format!("cannot parse `{spec}`: {e}")))
+    out
 }
 
 /// Runs the CLI; returns the text to print on success.
 ///
 /// # Errors
 ///
-/// [`CliError`] carrying the message and exit code.
+/// [`CliError`] carrying the message and exit code (0 means "print the
+/// message to stdout and exit successfully", used for command help).
 pub fn run(args: &[String]) -> Result<String, CliError> {
     // Arm deterministic failpoints from SOCTAM_FAILPOINTS before any
     // work happens; a malformed spec is a usage error, not a panic.
     fault::init_from_env()
         .map_err(|e| CliError::usage(format!("invalid {}: {e}", fault::ENV_VAR)))?;
     let Some(command) = args.first() else {
-        return Err(CliError::usage(USAGE));
+        return Err(CliError::usage(usage()));
     };
     if command == "--help" || command == "-h" {
-        return Ok(USAGE.to_owned());
+        return Ok(usage());
     }
+    let Some(tool) = standard_registry().get(command) else {
+        return Err(CliError::usage(format!(
+            "unknown command `{command}` (try --help)"
+        )));
+    };
     let Some(soc_spec) = args.get(1) else {
         return Err(CliError::usage(format!(
             "`{command}` needs an SOC argument (try --help)"
         )));
     };
-    let soc = load_soc(soc_spec)?;
-    let options = parse_options(&args[2..])?;
-
-    match command.as_str() {
-        "info" => Ok(info(&soc)),
-        "optimize" => optimize(&soc, &options),
-        "table" => table(&soc, &options),
-        "compact" => compact(&soc, &options),
-        "export" => Ok(soctam::model::parser::write_soc(&soc)),
-        "bounds" => bounds(&soc, &options),
-        "simulate" => simulate_cmd(&soc, &options),
-        other => Err(CliError::usage(format!(
-            "unknown command `{other}` (try --help)"
-        ))),
+    let rest = &args[2..];
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        return Err(CliError {
+            message: tool_usage(tool),
+            code: 0,
+        });
     }
-}
+    let soc = resolve_soc(soc_spec)?;
+    let params = parse_cli(tool.params, rest).map_err(|e| CliError::usage(e.message))?;
 
-fn info(soc: &Soc) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "{soc}");
-    let _ = writeln!(
-        out,
-        "total InTest data volume: {} bits; total I/O: {}",
-        soc.total_test_data_volume(),
-        soc.total_io()
-    );
-    let _ = writeln!(
-        out,
-        "{:>4} {:>14} {:>7} {:>7} {:>7} {:>7} {:>9} {:>10}",
-        "id", "name", "in", "out", "bidir", "chains", "cells", "patterns"
-    );
-    for (id, core) in soc.iter() {
-        let _ = writeln!(
-            out,
-            "{:>4} {:>14} {:>7} {:>7} {:>7} {:>7} {:>9} {:>10}",
-            id.raw(),
-            core.name(),
-            core.inputs(),
-            core.outputs(),
-            core.bidirs(),
-            core.scan_chains().len(),
-            core.scan_cells(),
-            core.patterns()
-        );
-    }
-    out
-}
-
-/// The worker pool a command runs on (`--jobs`).
-fn pool_for(options: &Options) -> Pool {
-    Pool::new(options.jobs)
-}
-
-/// Appends the pool's runtime statistics when `--stats` was given.
-fn append_stats(out: &mut String, pool: &Pool, options: &Options) {
-    if options.stats {
-        let _ = writeln!(out, "{}", pool.metrics().snapshot());
-    }
-}
-
-fn optimize(soc: &Soc, options: &Options) -> Result<String, CliError> {
-    let pool = pool_for(options);
-    let patterns = pool
-        .metrics()
-        .time("generate", || {
-            SiPatternSet::random_with(
-                soc,
-                &RandomPatternConfig::new(options.patterns).with_seed(options.seed),
-                &pool,
-            )
-        })
-        .map_err(|e| CliError::runtime(e.to_string()))?;
-    let objective = if options.baseline {
-        Objective::InTestOnly
+    // `jobs` and `stats` are front-end concerns: the worker pool is
+    // built here (the daemon sizes its own at startup), and statistics
+    // are appended after the tool returns.
+    let jobs = if params.contains("jobs") {
+        params.usize("jobs")
     } else {
-        Objective::Total
+        1
     };
-    let result = SiOptimizer::new(soc)
-        .max_tam_width(options.width)
-        .partitions(options.partitions)
-        .seed(options.seed)
-        .objective(objective)
-        .budget(options.budget())
-        .pool(pool.clone())
-        .optimize(&patterns)
-        .map_err(|e| CliError::runtime(e.to_string()))?;
-
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{}: N_r={} -> {} compacted patterns in {} groups",
-        soc.name(),
-        options.patterns,
-        result.compacted().total_patterns(),
-        result.compacted().groups().len()
-    );
-    if result.degraded() {
-        let _ = writeln!(
-            out,
-            "note: optimization budget exhausted; reporting the best \
-             architecture found so far (degraded)"
-        );
-    }
-    let _ = writeln!(out, "{}", result.architecture());
-    let _ = writeln!(
-        out,
-        "{}",
-        render_schedule(result.architecture(), result.evaluation())
-    );
-    if let Some(path) = &options.svg {
-        let svg = soctam::tam::render_schedule_svg(result.architecture(), result.evaluation());
-        std::fs::write(path, svg)
-            .map_err(|e| CliError::runtime(format!("cannot write `{path}`: {e}")))?;
-        let _ = writeln!(out, "schedule SVG written to {path}");
-    }
-    append_stats(&mut out, &pool, options);
-    if options.stats {
-        let _ = writeln!(out, "degraded: {}", result.degraded());
-    }
-    Ok(out)
-}
-
-fn table(soc: &Soc, options: &Options) -> Result<String, CliError> {
-    let pool = pool_for(options);
-    let config = ExperimentConfig {
-        pattern_count: options.patterns,
-        widths: options.widths.clone(),
-        partitions: options.parts.clone(),
-        seed: options.seed,
-    };
-    let table =
-        run_table_with(soc, &config, &pool).map_err(|e| CliError::runtime(e.to_string()))?;
-    let mut out = table.to_string();
-    append_stats(&mut out, &pool, options);
-    Ok(out)
-}
-
-fn compact(soc: &Soc, options: &Options) -> Result<String, CliError> {
-    let pool = pool_for(options);
-    let patterns = pool
-        .metrics()
-        .time("generate", || {
-            SiPatternSet::random_with(
-                soc,
-                &RandomPatternConfig::new(options.patterns).with_seed(options.seed),
-                &pool,
-            )
-        })
-        .map_err(|e| CliError::runtime(e.to_string()))?;
-    let compacted = pool
-        .metrics()
-        .time("compact", || {
-            compact_two_dimensional_with(
-                soc,
-                &patterns,
-                &CompactionConfig::new(options.partitions).with_seed(options.seed),
-                &pool,
-            )
-        })
-        .map_err(|e| CliError::runtime(e.to_string()))?;
-    let stats = compacted.stats();
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{}: {} raw -> {} compacted (ratio {:.1}x), {} groups, cut weight {}",
-        soc.name(),
-        stats.raw_patterns,
-        compacted.total_patterns(),
-        stats.compaction_ratio(),
-        compacted.groups().len(),
-        stats.cut_weight
-    );
-    if stats.duplicate_patterns > 0 {
-        let _ = writeln!(
-            out,
-            "  {} exact duplicates removed before compaction",
-            stats.duplicate_patterns
-        );
-    }
-    for (i, group) in compacted.groups().iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "  group {i}: {} cores, {} patterns",
-            group.cores().len(),
-            group.pattern_count()
-        );
-    }
-    let _ = writeln!(out, "SI data volume: {} bits", compacted.data_volume(soc));
-    append_stats(&mut out, &pool, options);
-    Ok(out)
-}
-
-fn bounds(soc: &Soc, options: &Options) -> Result<String, CliError> {
-    use soctam::tam::bounds::{intest_lower_bound, si_lower_bound};
-    let pool = pool_for(options);
-    let patterns = SiPatternSet::random_with(
-        soc,
-        &RandomPatternConfig::new(options.patterns).with_seed(options.seed),
-        &pool,
-    )
-    .map_err(|e| CliError::runtime(e.to_string()))?;
-    let compacted = compact_two_dimensional_with(
-        soc,
-        &patterns,
-        &CompactionConfig::new(options.partitions).with_seed(options.seed),
-        &pool,
-    )
-    .map_err(|e| CliError::runtime(e.to_string()))?;
-    let groups = soctam::SiGroupSpec::from_compacted(&compacted);
-
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{}: lower bounds (N_r = {}, i = {})",
-        soc.name(),
-        options.patterns,
-        options.partitions
-    );
-    let _ = writeln!(
-        out,
-        "{:>6} {:>12} {:>12} {:>12}",
-        "Wmax", "LB(T_in)", "LB(T_si)", "LB(T_soc)"
-    );
-    for &w in &options.widths {
-        let lb_in = intest_lower_bound(soc, w).map_err(|e| CliError::runtime(e.to_string()))?;
-        let lb_si =
-            si_lower_bound(soc, &groups, w).map_err(|e| CliError::runtime(e.to_string()))?;
-        let _ = writeln!(
-            out,
-            "{:>6} {:>12} {:>12} {:>12}",
-            w,
-            lb_in,
-            lb_si,
-            lb_in + lb_si
-        );
-    }
-    Ok(out)
-}
-
-fn simulate_cmd(soc: &Soc, options: &Options) -> Result<String, CliError> {
-    let pool = pool_for(options);
-    let patterns = SiPatternSet::random_with(
-        soc,
-        &RandomPatternConfig::new(options.patterns).with_seed(options.seed),
-        &pool,
-    )
-    .map_err(|e| CliError::runtime(e.to_string()))?;
-    let result = SiOptimizer::new(soc)
-        .max_tam_width(options.width)
-        .partitions(options.partitions)
-        .seed(options.seed)
-        .pool(pool.clone())
-        .optimize(&patterns)
-        .map_err(|e| CliError::runtime(e.to_string()))?;
-    let sim = soctam::tester::simulate(
-        soc,
-        result.architecture(),
-        result.compacted().groups(),
-        false,
-    )
-    .map_err(|e| CliError::runtime(e.to_string()))?;
-
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "analytic : T_in = {} cc, T_si = {} cc",
-        result.intest_time(),
-        result.si_time()
-    );
-    let _ = writeln!(
-        out,
-        "simulated: T_in = {} cc, T_si = {} cc",
-        sim.t_in, sim.t_si
-    );
-    let agree = sim.t_in == result.intest_time() && sim.t_si == result.si_time();
-    let _ = writeln!(
-        out,
-        "{} ({} stimulus bits driven)",
-        if agree {
-            "model and bit-level simulation agree exactly"
-        } else {
-            "MISMATCH between model and simulation"
-        },
-        sim.bits_driven
-    );
-    if !agree {
-        return Err(CliError::runtime(out));
+    let pool = Pool::new(jobs);
+    let ctx = ToolCtx::new(pool.clone());
+    let output = (tool.run)(&soc, &params, &ctx)?;
+    let mut out = output.text;
+    if params.bool("stats") {
+        let _ = writeln!(out, "{}", pool.metrics().snapshot());
+        if tool.params.iter().any(|p| p.name == "deadline-ms") {
+            let _ = writeln!(out, "degraded: {}", output.degraded);
+        }
     }
     Ok(out)
 }
@@ -703,6 +313,15 @@ mod tests {
     }
 
     #[test]
+    fn flags_are_checked_against_the_commands_own_schema() {
+        // `--widths` belongs to `table`/`bounds`, not `optimize`; the
+        // registry-generated parser rejects it there.
+        let err = run(&args(&["optimize", "d695", "--widths", "8"])).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--widths"));
+    }
+
+    #[test]
     fn missing_soc_is_usage_error() {
         let err = run(&args(&["info"])).unwrap_err();
         assert_eq!(err.code, 2);
@@ -718,6 +337,23 @@ mod tests {
     fn help_exits_cleanly() {
         let out = run(&args(&["--help"])).expect("help is success");
         assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn usage_lists_every_registered_tool() {
+        let text = usage();
+        for tool in standard_registry().tools() {
+            assert!(text.contains(tool.name), "usage misses `{}`", tool.name);
+        }
+    }
+
+    #[test]
+    fn command_help_is_generated_from_the_schema() {
+        let err = run(&args(&["optimize", "d695", "--help"])).unwrap_err();
+        assert_eq!(err.code, 0, "command help prints and exits 0");
+        assert!(err.message.contains("USAGE"));
+        assert!(err.message.contains("--deadline-ms"));
+        assert!(err.message.contains("[default: 10000]"));
     }
 
     #[test]
@@ -765,14 +401,7 @@ mod tests {
     }
 
     #[test]
-    fn budget_flags_parse_and_degrade_gracefully() {
-        let opts =
-            parse_options(&args(&["--deadline-ms", "50", "--max-iters", "3"])).expect("parses");
-        assert_eq!(opts.deadline_ms, Some(50));
-        assert_eq!(opts.max_iters, Some(3));
-        assert!(!opts.budget().is_unlimited());
-        assert!(Options::default().budget().is_unlimited());
-
+    fn budget_flags_degrade_gracefully() {
         // A one-iteration budget must still produce a full report, plus
         // the degraded note.
         let out = run(&args(&[
@@ -796,36 +425,28 @@ mod tests {
 
     #[test]
     fn bad_budget_values_are_usage_errors() {
-        let err = parse_options(&args(&["--deadline-ms", "soon"])).unwrap_err();
+        let err = run(&args(&["optimize", "d695", "--deadline-ms", "soon"])).unwrap_err();
         assert_eq!(err.code, 2);
-        let err = parse_options(&args(&["--max-iters", "-1"])).unwrap_err();
+        let err = run(&args(&["optimize", "d695", "--max-iters", "-1"])).unwrap_err();
         assert_eq!(err.code, 2);
     }
 
     #[test]
-    fn option_parsing_roundtrip() {
-        let opts = parse_options(&args(&[
+    fn cache_cap_flag_bounds_the_evaluator_cache() {
+        let base = args(&[
+            "optimize",
+            "d695",
             "--patterns",
-            "123",
+            "200",
             "--width",
-            "9",
+            "8",
             "--partitions",
-            "3",
-            "--seed",
-            "7",
-            "--baseline",
-            "--widths",
-            "8,9",
-            "--parts",
-            "1,3",
-        ]))
-        .expect("parses");
-        assert_eq!(opts.patterns, 123);
-        assert_eq!(opts.width, 9);
-        assert_eq!(opts.partitions, 3);
-        assert_eq!(opts.seed, 7);
-        assert!(opts.baseline);
-        assert_eq!(opts.widths, vec![8, 9]);
-        assert_eq!(opts.parts, vec![1, 3]);
+            "2",
+        ]);
+        let unbounded = run(&base).expect("runs");
+        let mut capped = base.clone();
+        capped.extend(args(&["--cache-cap", "64"]));
+        // A tiny cache only costs recomputation, never correctness.
+        assert_eq!(run(&capped).expect("runs"), unbounded);
     }
 }

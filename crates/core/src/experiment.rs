@@ -182,6 +182,23 @@ pub fn run_table_with(
     config: &ExperimentConfig,
     pool: &Pool,
 ) -> Result<ExperimentTable, SoctamError> {
+    run_table_cached(soc, config, pool, None)
+}
+
+/// [`run_table_with`] reusing a shared evaluator cache across the grid
+/// and across calls. The cache only skips recomputation; results are
+/// bit-identical with or without it (cache keys carry a per-context
+/// fingerprint, so entries from other SOCs or sweeps can never alias).
+///
+/// # Errors
+///
+/// Same contract as [`run_table`].
+pub fn run_table_cached(
+    soc: &Soc,
+    config: &ExperimentConfig,
+    pool: &Pool,
+    cache: Option<&soctam_tam::EvalCache>,
+) -> Result<ExperimentTable, SoctamError> {
     let metrics = pool.metrics();
     let raw = metrics.time("generate", || {
         SiPatternSet::random_with(
@@ -236,12 +253,13 @@ pub fn run_table_with(
             } else {
                 (&compacted_groups[col - 1].1, Objective::Total)
             };
-            Ok(TamOptimizer::new(soc, w_max, groups.clone())?
+            let mut optimizer = TamOptimizer::new(soc, w_max, groups.clone())?
                 .objective(objective)
-                .pool(pool.clone())
-                .optimize()?
-                .evaluation()
-                .t_total())
+                .pool(pool.clone());
+            if let Some(cache) = cache {
+                optimizer = optimizer.eval_cache(cache);
+            }
+            Ok(optimizer.optimize()?.evaluation().t_total())
         })
         .into_iter()
         .collect()

@@ -8,8 +8,8 @@ use soctam_exec::{fault, Metrics, Pool};
 use soctam_model::Soc;
 use soctam_patterns::SiPatternSet;
 use soctam_tam::{
-    Evaluation, Objective, OptimizedArchitecture, OptimizerBudget, SiGroupSpec, TamOptimizer,
-    TestRailArchitecture,
+    EvalCache, Evaluation, Objective, OptimizedArchitecture, OptimizerBudget, SiGroupSpec,
+    TamOptimizer, TestRailArchitecture,
 };
 
 use crate::SoctamError;
@@ -68,6 +68,7 @@ pub struct SiOptimizer<'a> {
     restarts: u32,
     pool: Pool,
     budget: OptimizerBudget,
+    eval_cache: Option<EvalCache>,
 }
 
 impl<'a> SiOptimizer<'a> {
@@ -83,7 +84,17 @@ impl<'a> SiOptimizer<'a> {
             restarts: 1,
             pool: Pool::serial(),
             budget: OptimizerBudget::unlimited(),
+            eval_cache: None,
         }
+    }
+
+    /// Serves TAM evaluation lookups from `cache`, a store that may be
+    /// shared across pipeline runs (and, in `soctam-serve`, across
+    /// requests): identical per-rail evaluations become warm cache
+    /// hits. Results are bit-identical with or without sharing.
+    pub fn eval_cache(mut self, cache: EvalCache) -> Self {
+        self.eval_cache = Some(cache);
+        self
     }
 
     /// Bounds the TAM optimization work. When the budget trips, the
@@ -188,10 +199,13 @@ impl<'a> SiOptimizer<'a> {
     ) -> Result<SiOptimizationResult, SoctamError> {
         let optimized = contain_panics("pipeline.optimize", || {
             let groups = SiGroupSpec::from_compacted(&compacted);
-            let optimizer = TamOptimizer::new(self.soc, self.max_tam_width, groups)?
+            let mut optimizer = TamOptimizer::new(self.soc, self.max_tam_width, groups)?
                 .objective(self.objective)
                 .budget(self.budget)
                 .pool(self.pool.clone());
+            if let Some(cache) = &self.eval_cache {
+                optimizer = optimizer.eval_cache(cache);
+            }
             let optimized = self.pool.metrics().time("optimize", || {
                 if self.restarts > 1 {
                     optimizer.optimize_multi(self.restarts)

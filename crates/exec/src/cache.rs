@@ -14,16 +14,46 @@
 //! ~N²/2¹²⁹ collision odds of `fx_fingerprint128` (negligible at any
 //! reachable cache population). Either way cached and uncached runs
 //! are bit-identical (determinism is preserved).
+//!
+//! # Capacity bounds
+//!
+//! A cache created with [`MemoCache::bounded`] never holds more than
+//! its capacity: each shard tracks insertion order and evicts its
+//! oldest entries (FIFO) once full. Eviction is a pure capacity
+//! mechanism — an evicted entry is simply recomputed on the next miss —
+//! so bounded and unbounded runs stay bit-identical. Long-running
+//! services (`soctam-serve`) rely on this to keep one warm cache alive
+//! across arbitrarily many requests without unbounded growth.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::fault;
 use crate::hash::{fx_hash_one, FxBuildHasher};
 use crate::metrics::Metrics;
 
-type Shard<K, V> = Mutex<HashMap<K, V, FxBuildHasher>>;
+/// One lock domain: the bucket map plus (for bounded caches) the FIFO
+/// insertion order used for eviction.
+#[derive(Debug)]
+struct ShardState<K, V> {
+    map: HashMap<K, V, FxBuildHasher>,
+    /// Insertion order of the live keys; maintained only when the cache
+    /// has a capacity bound.
+    order: VecDeque<K>,
+}
+
+impl<K, V> Default for ShardState<K, V> {
+    fn default() -> Self {
+        ShardState {
+            map: HashMap::default(),
+            order: VecDeque::new(),
+        }
+    }
+}
+
+type Shard<K, V> = Mutex<ShardState<K, V>>;
 
 /// Namespaced 128-bit fingerprint key, letting several logical caches
 /// (e.g. rail-level and architecture-level evaluations) share one
@@ -48,7 +78,7 @@ impl FpKey {
 /// never holds a lock across user code, so a poisoned shard still
 /// contains a consistent map — a panicking compute closure must not
 /// take the whole cache down with it.
-fn lock_shard<K, V>(shard: &Shard<K, V>) -> MutexGuard<'_, HashMap<K, V, FxBuildHasher>> {
+fn lock_shard<K, V>(shard: &Shard<K, V>) -> MutexGuard<'_, ShardState<K, V>> {
     shard.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -58,33 +88,73 @@ fn lock_shard<K, V>(shard: &Shard<K, V>) -> MutexGuard<'_, HashMap<K, V, FxBuild
 pub struct MemoCache<K, V> {
     shards: Box<[Shard<K, V>]>,
     metrics: Option<Arc<Metrics>>,
+    /// Maximum live entries per shard; `None` means unbounded.
+    per_shard_cap: Option<usize>,
+    /// Total entries evicted over the cache's lifetime.
+    evictions: AtomicU64,
 }
 
-impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
-    /// Creates a cache with `shards` independent lock domains (rounded
-    /// up to at least 1).
+impl<K: Clone + Eq + Hash, V: Clone> MemoCache<K, V> {
+    /// Creates an unbounded cache with `shards` independent lock
+    /// domains (rounded up to at least 1).
     pub fn new(shards: usize) -> Self {
-        Self::build(shards, None)
+        Self::build(shards, None, None)
     }
 
     /// As [`MemoCache::new`], reporting hits and misses to `metrics`.
     pub fn with_metrics(shards: usize, metrics: Arc<Metrics>) -> Self {
-        Self::build(shards, Some(metrics))
+        Self::build(shards, Some(metrics), None)
     }
 
-    fn build(shards: usize, metrics: Option<Arc<Metrics>>) -> Self {
+    /// Creates a cache holding at most `capacity` entries in total:
+    /// each shard evicts its oldest entries (FIFO) beyond its share of
+    /// the budget. `capacity` is rounded up to at least one entry per
+    /// shard.
+    pub fn bounded(shards: usize, capacity: usize) -> Self {
+        Self::build(shards, None, Some(capacity))
+    }
+
+    /// As [`MemoCache::bounded`], reporting hits, misses and evictions
+    /// to `metrics`.
+    pub fn bounded_with_metrics(shards: usize, capacity: usize, metrics: Arc<Metrics>) -> Self {
+        Self::build(shards, Some(metrics), Some(capacity))
+    }
+
+    fn build(shards: usize, metrics: Option<Arc<Metrics>>, capacity: Option<usize>) -> Self {
         let shards = shards.max(1);
         Self {
             shards: (0..shards)
-                .map(|_| Mutex::new(HashMap::default()))
+                .map(|_| Mutex::new(ShardState::default()))
                 .collect(),
             metrics,
+            per_shard_cap: capacity.map(|c| c.div_ceil(shards).max(1)),
+            evictions: AtomicU64::new(0),
         }
     }
 
     fn shard(&self, key: &K) -> &Shard<K, V> {
         let fingerprint = fx_hash_one(key);
         &self.shards[(fingerprint as usize) % self.shards.len()]
+    }
+
+    /// Evicts the shard's oldest entries until it is back under the
+    /// capacity bound. Called with the shard lock held, after an
+    /// insertion.
+    fn enforce_cap(&self, state: &mut ShardState<K, V>) {
+        let Some(cap) = self.per_shard_cap else {
+            return;
+        };
+        while state.map.len() > cap {
+            let Some(oldest) = state.order.pop_front() else {
+                break;
+            };
+            if state.map.remove(&oldest).is_some() {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.metrics {
+                    m.count_cache_eviction();
+                }
+            }
+        }
     }
 
     /// Returns the cached value for `key`, or computes, stores and
@@ -95,7 +165,7 @@ impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
     pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
         fault::hit("exec.cache.lookup");
         let shard = self.shard(&key);
-        if let Some(value) = lock_shard(shard).get(&key) {
+        if let Some(value) = lock_shard(shard).map.get(&key) {
             if let Some(m) = &self.metrics {
                 m.count_cache_hit();
             }
@@ -106,17 +176,28 @@ impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
         }
         let value = compute();
         let mut guard = lock_shard(shard);
-        guard.entry(key).or_insert_with(|| value.clone()).clone()
+        let result = match guard.map.entry(key.clone()) {
+            std::collections::hash_map::Entry::Occupied(slot) => slot.get().clone(),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(value.clone());
+                if self.per_shard_cap.is_some() {
+                    guard.order.push_back(key);
+                }
+                value
+            }
+        };
+        self.enforce_cap(&mut guard);
+        result
     }
 
     /// Returns the cached value for `key`, if present.
     pub fn get(&self, key: &K) -> Option<V> {
-        lock_shard(self.shard(key)).get(key).cloned()
+        lock_shard(self.shard(key)).map.get(key).cloned()
     }
 
     /// Number of cached entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| lock_shard(s).len()).sum()
+        self.shards.iter().map(|s| lock_shard(s).map.len()).sum()
     }
 
     /// True when no entries are cached.
@@ -124,10 +205,24 @@ impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
         self.len() == 0
     }
 
+    /// Total entries evicted by the capacity bound over the cache's
+    /// lifetime (always 0 for unbounded caches).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The configured total capacity, when bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.per_shard_cap
+            .map(|c| c.saturating_mul(self.shards.len()))
+    }
+
     /// Drops every cached entry.
     pub fn clear(&self) {
         for shard in self.shards.iter() {
-            lock_shard(shard).clear();
+            let mut guard = lock_shard(shard);
+            guard.map.clear();
+            guard.order.clear();
         }
     }
 }
@@ -186,6 +281,47 @@ mod tests {
         let snap = metrics.snapshot();
         assert_eq!(snap.cache_hits, 1);
         assert_eq!(snap.cache_misses, 2);
+    }
+
+    #[test]
+    fn bounded_cache_never_exceeds_capacity() {
+        // One shard so the global bound is exact.
+        let cache: MemoCache<u64, u64> = MemoCache::bounded(1, 4);
+        for i in 0..100u64 {
+            cache.get_or_insert_with(i, || i * 2);
+            assert!(cache.len() <= 4, "len {} after insert {i}", cache.len());
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.evictions(), 96);
+        assert_eq!(cache.capacity(), Some(4));
+        // FIFO: the newest keys survive.
+        assert_eq!(cache.get(&99), Some(198));
+        assert_eq!(cache.get(&0), None);
+        // Evicted entries are recomputed, not wrong.
+        assert_eq!(cache.get_or_insert_with(0, || 0), 0);
+    }
+
+    #[test]
+    fn bounded_cache_reports_evictions_to_metrics() {
+        let metrics = Arc::new(Metrics::new());
+        let cache: MemoCache<u64, u64> =
+            MemoCache::bounded_with_metrics(1, 2, Arc::clone(&metrics));
+        for i in 0..5u64 {
+            cache.get_or_insert_with(i, || i);
+        }
+        assert_eq!(metrics.snapshot().cache_evictions, 3);
+        assert_eq!(cache.evictions(), 3);
+    }
+
+    #[test]
+    fn unbounded_cache_reports_no_capacity() {
+        let cache: MemoCache<u64, u64> = MemoCache::new(4);
+        assert_eq!(cache.capacity(), None);
+        for i in 0..100u64 {
+            cache.get_or_insert_with(i, || i);
+        }
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 100);
     }
 
     #[test]

@@ -116,7 +116,7 @@ const SECOND_SEED: u64 = 0x9e_37_79_b9_7f_4a_7c_15;
 
 /// Hashes a single value to a 128-bit fingerprint: the low half is the
 /// default-seed [`fx_hash_one`] digest, the high half a second pass
-/// seeded with [`SECOND_SEED`]. Suitable as a cache-key identity where
+/// seeded with `SECOND_SEED`. Suitable as a cache-key identity where
 /// the caller accepts the documented ~N²/2¹²⁹ collision odds.
 pub fn fx_fingerprint128<T: Hash>(value: &T) -> u128 {
     let lo = fx_hash_one(value);

@@ -18,6 +18,7 @@ pub struct Metrics {
     steals: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
     kernel_words_compared: AtomicU64,
     kernel_fast_rejects: AtomicU64,
     duplicates_removed: AtomicU64,
@@ -52,6 +53,11 @@ impl Metrics {
     /// Records a memoization-cache miss.
     pub fn count_cache_miss(&self) {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a memoization-cache entry evicted by a capacity bound.
+    pub fn count_cache_eviction(&self) {
+        self.cache_evictions.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Adds `n` care/symbol word comparisons of the packed
@@ -116,6 +122,7 @@ impl Metrics {
             steals: self.steals.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
             kernel_words_compared: self.kernel_words_compared.load(Ordering::Relaxed),
             kernel_fast_rejects: self.kernel_fast_rejects.load(Ordering::Relaxed),
             duplicates_removed: self.duplicates_removed.load(Ordering::Relaxed),
@@ -142,6 +149,8 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     /// Memoization-cache misses (evaluations actually computed).
     pub cache_misses: u64,
+    /// Memoization-cache entries evicted by a capacity bound.
+    pub cache_evictions: u64,
     /// Care/symbol words compared by the packed compatibility kernel.
     pub kernel_words_compared: u64,
     /// Compatibility checks rejected by the kernel's bus prefilter.
@@ -184,6 +193,9 @@ impl fmt::Display for MetricsSnapshot {
                 rate * 100.0
             )?,
             None => writeln!(f, "  cache          : unused")?,
+        }
+        if self.cache_evictions != 0 {
+            writeln!(f, "  cache evictions: {}", self.cache_evictions)?;
         }
         if self.kernel_words_compared != 0 || self.kernel_fast_rejects != 0 {
             writeln!(

@@ -1,0 +1,112 @@
+//! A minimal std-only HTTP client for the daemon's API.
+//!
+//! Exists so tests, `soctam-servectl` and the CI smoke job can talk to
+//! a running daemon without any third-party dependency. One request per
+//! connection, mirroring the server's `Connection: close` framing.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::http::IO_TIMEOUT;
+
+/// A completed exchange: status code and response body.
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (the daemon always sends JSON).
+    pub body: String,
+}
+
+/// A client-side failure (connect, I/O, malformed response).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClientError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError {
+            message: format!("socket error: {e}"),
+        }
+    }
+}
+
+/// Sends one request and reads the full response.
+///
+/// # Errors
+///
+/// [`ClientError`] on connect/I-O failure or a malformed status line.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<ClientResponse, ClientError> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| ClientError {
+        message: format!("cannot connect to `{addr}`: {e}"),
+    })?;
+    stream.set_read_timeout(Some(read_deadline()))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw.split_once("\r\n\r\n").ok_or_else(|| ClientError {
+        message: "response has no header/body separator".to_owned(),
+    })?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError {
+            message: format!(
+                "malformed status line: `{}`",
+                head.lines().next().unwrap_or("")
+            ),
+        })?;
+    Ok(ClientResponse {
+        status,
+        body: body.to_owned(),
+    })
+}
+
+/// GET convenience wrapper.
+///
+/// # Errors
+///
+/// Same contract as [`request`].
+pub fn get(addr: &str, path: &str) -> Result<ClientResponse, ClientError> {
+    request(addr, "GET", path, "")
+}
+
+/// POST convenience wrapper.
+///
+/// # Errors
+///
+/// Same contract as [`request`].
+pub fn post(addr: &str, path: &str, body: &str) -> Result<ClientResponse, ClientError> {
+    request(addr, "POST", path, body)
+}
+
+/// Optimization jobs can legitimately run far longer than a framing
+/// timeout; the client waits generously for the response to start.
+fn read_deadline() -> Duration {
+    IO_TIMEOUT.saturating_mul(10)
+}

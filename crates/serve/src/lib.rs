@@ -1,0 +1,39 @@
+//! `soctam-serve` — the multi-tenant optimization daemon.
+//!
+//! A long-running HTTP/1.1 service exposing the same schema-driven tool
+//! registry the `soctam` CLI is generated from
+//! ([`soctam_registry::standard_registry`]); a tool invoked over HTTP
+//! returns the byte-identical report the CLI prints. Std-only by
+//! workspace policy: hand-rolled HTTP framing and JSON, no third-party
+//! dependencies.
+//!
+//! Endpoints:
+//!
+//! | route | purpose |
+//! |-------|---------|
+//! | `GET /v1/tools` | the registry schema (names, summaries, typed params) |
+//! | `POST /v1/tools/<name>` | run a tool: `{"soc": "d695", "params": {...}, "deadline_ms": 500}` |
+//! | `GET /metrics` | server, cache and pool counters as JSON |
+//! | `GET /healthz` | liveness and in-flight gauge |
+//! | `POST /admin/shutdown` | graceful stop (drains running jobs) |
+//!
+//! Multi-tenant means shared, bounded resources: one worker [`Pool`]
+//! (total parallelism = `--jobs`, whatever the request mix), one warm
+//! [`EvalCache`] keyed by context-mixed fingerprints (cross-request
+//! hits are safe across different SOCs and budgets), `--max-inflight`
+//! admission control with structured `429` rejections, and per-request
+//! `deadline_ms` budgets that degrade to best-so-far results instead of
+//! failing.
+//!
+//! [`Pool`]: soctam::Pool
+//! [`EvalCache`]: soctam::EvalCache
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod client;
+pub mod http;
+mod server;
+
+pub use server::{ServeError, Server, ServerConfig};

@@ -1,0 +1,63 @@
+//! `soctam-servectl` — a dependency-free command-line client for a
+//! running `soctam-serve` daemon. Used by the CI smoke jobs; also handy
+//! interactively when `curl` is not around.
+
+use std::process::ExitCode;
+
+use soctam_serve::client;
+
+const USAGE: &str = "\
+soctam-servectl — talk to a running soctam-serve daemon
+
+USAGE:
+    soctam-servectl <addr> get  <path>
+    soctam-servectl <addr> post <path> [json-body]
+
+EXAMPLES:
+    soctam-servectl 127.0.0.1:8080 get /v1/tools
+    soctam-servectl 127.0.0.1:8080 post /v1/tools/optimize \\
+        '{\"soc\":\"d695\",\"params\":{\"patterns\":300,\"width\":16}}'
+    soctam-servectl 127.0.0.1:8080 post /admin/shutdown
+
+The response body goes to stdout, `HTTP <status>` to stderr; the exit
+code is 0 for 2xx responses and 1 otherwise.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let (addr, verb, path) = match (args.first(), args.get(1), args.get(2)) {
+        (Some(addr), Some(verb), Some(path)) => (addr, verb.as_str(), path),
+        _ => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let empty = String::new();
+    let result = match verb {
+        "get" => client::get(addr, path),
+        "post" => client::post(addr, path, args.get(3).unwrap_or(&empty)),
+        other => {
+            eprintln!("error: unknown verb `{other}` (try --help)");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(response) => {
+            eprintln!("HTTP {}", response.status);
+            println!("{}", response.body);
+            if (200..300).contains(&response.status) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

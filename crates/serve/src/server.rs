@@ -1,0 +1,560 @@
+//! The daemon: connection-per-thread HTTP server over the shared tool
+//! registry.
+//!
+//! Every worker connection shares one [`Pool`] (so `--jobs` bounds
+//! total parallelism, not per-request parallelism) and one warm
+//! [`EvalCache`]; identical sub-evaluations across requests — same SOC,
+//! same width budget, same groups — hit the cache instead of
+//! recomputing. Admission control caps concurrently-running jobs and
+//! rejects the overflow with a structured `429` body instead of
+//! queueing unboundedly.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use soctam::{EvalCache, MetricsSnapshot, Pool, Soc};
+use soctam_exec::fault;
+use soctam_registry::{
+    parse_json, resolve_soc, resolve_soc_text, standard_registry, Json, ParamValue, ToolCtx,
+    ToolError, ToolErrorKind,
+};
+
+use crate::http::{read_request, write_response, Request};
+
+/// How the daemon is configured; see `soctam-serve --help`.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:8080` (`:0` picks a free port).
+    pub listen: String,
+    /// Worker threads in the shared pool (0 = all cores).
+    pub jobs: usize,
+    /// Maximum concurrently-running tool jobs; further requests get a
+    /// structured 429. 0 = unlimited.
+    pub max_inflight: usize,
+    /// Entry bound for the shared evaluator cache (FIFO eviction);
+    /// 0 = unbounded.
+    pub cache_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen: "127.0.0.1:8080".to_owned(),
+            jobs: 0,
+            max_inflight: 0,
+            // A long-running daemon must not grow without bound; one
+            // million entries is roomy (a d695 optimize needs ~10^3).
+            cache_cap: 1 << 20,
+        }
+    }
+}
+
+/// A daemon failure (bind error, accept-loop I/O failure).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+struct ServerState {
+    pool: Pool,
+    cache: EvalCache,
+    max_inflight: usize,
+    inflight: AtomicUsize,
+    requests: AtomicU64,
+    rejected: AtomicU64,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// A bound, not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the listen address and builds the shared state (pool and
+    /// warm cache). No connection is accepted until [`Server::run`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] when the address cannot be bound.
+    pub fn bind(config: &ServerConfig) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&config.listen).map_err(|e| ServeError {
+            message: format!("cannot bind `{}`: {e}", config.listen),
+        })?;
+        let local_addr = listener.local_addr().map_err(|e| ServeError {
+            message: format!("cannot resolve local address: {e}"),
+        })?;
+        let pool = Pool::new(config.jobs);
+        let cache = if config.cache_cap > 0 {
+            EvalCache::with_capacity_and_metrics(config.cache_cap, pool.metrics())
+        } else {
+            EvalCache::new()
+        };
+        Ok(Server {
+            listener,
+            local_addr,
+            state: Arc::new(ServerState {
+                pool,
+                cache,
+                max_inflight: config.max_inflight,
+                inflight: AtomicUsize::new(0),
+                requests: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                next_id: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the picked port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Serves until `POST /admin/shutdown`; joins every connection
+    /// thread before returning, so a clean return means no job was
+    /// abandoned mid-flight.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] when the accept loop cannot continue.
+    pub fn run(self) -> Result<(), ServeError> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| ServeError {
+                message: format!("cannot configure listener: {e}"),
+            })?;
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.state.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let state = Arc::clone(&self.state);
+                    workers.push(std::thread::spawn(move || {
+                        handle_connection(stream, &state);
+                    }));
+                    workers.retain(|handle| !handle.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => {
+                    return Err(ServeError {
+                        message: format!("accept failed: {e}"),
+                    });
+                }
+            }
+        }
+        for handle in workers {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+/// RAII admission slot; drops decrement the in-flight gauge even when
+/// the job panics.
+struct InflightGuard<'a>(&'a ServerState);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+struct Response {
+    status: u16,
+    body: String,
+}
+
+impl Response {
+    fn json(status: u16, value: &Json) -> Response {
+        Response {
+            status,
+            body: value.render(),
+        }
+    }
+
+    fn error(status: u16, request_id: Option<&str>, kind: &str, err: &ToolError) -> Response {
+        let mut error_fields = vec![
+            ("kind", Json::str(kind)),
+            ("message", Json::str(err.message.clone())),
+        ];
+        if !err.codes.is_empty() {
+            error_fields.push((
+                "codes",
+                Json::Arr(err.codes.iter().map(Json::str).collect()),
+            ));
+        }
+        let mut fields = Vec::new();
+        if let Some(id) = request_id {
+            fields.push(("request_id", Json::str(id)));
+        }
+        fields.push(("error", Json::obj(error_fields)));
+        Response::json(status, &Json::obj(fields))
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &ServerState) {
+    // Read the request before any rejection: closing a socket with
+    // unread data sends a TCP RST, which clients see instead of the
+    // structured response we wrote.
+    let request = read_request(&mut stream);
+    // Failpoint: an injected accept-path fault must still produce a
+    // structured response on the open socket, never a hung connection.
+    if let Err(e) = fault::check("serve.accept") {
+        let response = Response::error(503, None, "unavailable", &ToolError::failed(e.to_string()));
+        let _ = write_response(&mut stream, response.status, &response.body);
+        return;
+    }
+    let request = match request {
+        Ok(request) => request,
+        Err(e) => {
+            let response = Response::error(400, None, "malformed", &ToolError::failed(e.message));
+            let _ = write_response(&mut stream, response.status, &response.body);
+            return;
+        }
+    };
+    let response = route(&request, state);
+    let _ = write_response(&mut stream, response.status, &response.body);
+}
+
+fn route(request: &Request, state: &ServerState) -> Response {
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    let path = request.path.split('?').next().unwrap_or("");
+    match (request.method.as_str(), path) {
+        ("GET", "/v1/tools") => Response::json(
+            200,
+            &Json::obj(vec![("tools", standard_registry().schema())]),
+        ),
+        ("POST", _) if path.starts_with("/v1/tools/") => {
+            let name = &path["/v1/tools/".len()..];
+            invoke_tool(name, &request.body, state)
+        }
+        ("GET", "/metrics") => Response::json(200, &metrics_json(state)),
+        ("GET", "/healthz") => Response::json(
+            200,
+            &Json::obj(vec![
+                ("status", Json::str("ok")),
+                (
+                    "inflight",
+                    Json::Int(state.inflight.load(Ordering::SeqCst) as i128),
+                ),
+            ]),
+        ),
+        ("POST", "/admin/shutdown") => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            Response::json(
+                200,
+                &Json::obj(vec![("status", Json::str("shutting-down"))]),
+            )
+        }
+        _ => Response::error(
+            404,
+            None,
+            "not-found",
+            &ToolError::failed(format!("no route for {} {}", request.method, request.path)),
+        ),
+    }
+}
+
+fn invoke_tool(name: &str, body: &str, state: &ServerState) -> Response {
+    let request_id = format!("r{}", state.next_id.fetch_add(1, Ordering::SeqCst) + 1);
+    let id = Some(request_id.as_str());
+    let Some(tool) = standard_registry().get(name) else {
+        return Response::error(
+            404,
+            id,
+            "not-found",
+            &ToolError::failed(format!("unknown tool `{name}` (GET /v1/tools lists them)")),
+        );
+    };
+
+    // Admission control: reserve a slot before any parsing work; the
+    // rejection is cheap and structured, not a queued or dropped socket.
+    let occupied = state.inflight.fetch_add(1, Ordering::SeqCst);
+    let guard = InflightGuard(state);
+    if state.max_inflight > 0 && occupied >= state.max_inflight {
+        drop(guard);
+        state.rejected.fetch_add(1, Ordering::Relaxed);
+        return Response::error(
+            429,
+            id,
+            "rejected",
+            &ToolError::failed(format!(
+                "server is at its --max-inflight limit ({}); retry later",
+                state.max_inflight
+            )),
+        );
+    }
+
+    let parsed = match parse_body(tool_body(body)) {
+        Ok(parsed) => parsed,
+        Err(response) => return respond_with_id(response, &request_id),
+    };
+    let (soc, params) = match build_invocation(tool.params, &parsed) {
+        Ok(pair) => pair,
+        Err(response) => return respond_with_id(response, &request_id),
+    };
+
+    // Failpoint: dispatch-path fault → structured 500.
+    if let Err(e) = fault::check("serve.dispatch") {
+        return Response::error(500, id, "failed", &ToolError::failed(e.to_string()));
+    }
+
+    let ctx = ToolCtx {
+        pool: state.pool.clone(),
+        eval_cache: Some(state.cache.clone()),
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| (tool.run)(&soc, &params, &ctx)));
+    match outcome {
+        Ok(Ok(output)) => Response::json(
+            200,
+            &Json::obj(vec![
+                ("request_id", Json::str(&request_id)),
+                ("tool", Json::str(tool.name)),
+                ("degraded", Json::Bool(output.degraded)),
+                ("output", Json::str(output.text)),
+            ]),
+        ),
+        Ok(Err(err)) => {
+            let (status, kind) = match err.kind {
+                ToolErrorKind::Usage => (400, "usage"),
+                ToolErrorKind::Invalid => (422, "invalid"),
+                ToolErrorKind::Failed => (500, "failed"),
+            };
+            Response::error(status, id, kind, &err)
+        }
+        Err(panic) => {
+            let message = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                .unwrap_or_else(|| "tool panicked".to_owned());
+            Response::error(500, id, "internal", &ToolError::failed(message))
+        }
+    }
+}
+
+/// The parsed fields of a tool-invocation body.
+struct ParsedBody {
+    soc: Option<String>,
+    soc_text: Option<String>,
+    params: Json,
+    deadline_ms: Option<u64>,
+}
+
+fn tool_body(body: &str) -> &str {
+    if body.trim().is_empty() {
+        "{}"
+    } else {
+        body
+    }
+}
+
+fn parse_body(body: &str) -> Result<ParsedBody, Response> {
+    let value = Json::parse(body)
+        .map_err(|e| Response::error(400, None, "usage", &ToolError::usage(e.to_string())))?;
+    let entries = value.as_obj().ok_or_else(|| {
+        Response::error(
+            400,
+            None,
+            "usage",
+            &ToolError::usage("request body must be a JSON object"),
+        )
+    })?;
+    let mut parsed = ParsedBody {
+        soc: None,
+        soc_text: None,
+        params: Json::Null,
+        deadline_ms: None,
+    };
+    for (key, field) in entries {
+        match key.as_str() {
+            "soc" => {
+                parsed.soc = Some(
+                    field
+                        .as_str()
+                        .ok_or_else(|| bad_field("`soc` must be a string"))?
+                        .to_owned(),
+                );
+            }
+            "soc_text" => {
+                parsed.soc_text = Some(
+                    field
+                        .as_str()
+                        .ok_or_else(|| bad_field("`soc_text` must be a string"))?
+                        .to_owned(),
+                );
+            }
+            "params" => parsed.params = field.clone(),
+            "deadline_ms" => {
+                parsed.deadline_ms =
+                    Some(field.as_u64().ok_or_else(|| {
+                        bad_field("`deadline_ms` must be a non-negative integer")
+                    })?);
+            }
+            other => {
+                return Err(bad_field(format!(
+                    "unknown request field `{other}` (expected soc, soc_text, params, deadline_ms)"
+                )));
+            }
+        }
+    }
+    Ok(parsed)
+}
+
+fn bad_field(message: impl Into<String>) -> Response {
+    Response::error(400, None, "usage", &ToolError::usage(message))
+}
+
+fn build_invocation(
+    specs: &'static [soctam_registry::ParamSpec],
+    parsed: &ParsedBody,
+) -> Result<(Soc, soctam_registry::ParamValues), Response> {
+    let soc = match (&parsed.soc, &parsed.soc_text) {
+        (Some(spec), None) => resolve_soc(spec),
+        (None, Some(text)) => resolve_soc_text(text, "soc_text"),
+        (Some(_), Some(_)) => {
+            return Err(bad_field("give either `soc` or `soc_text`, not both"));
+        }
+        (None, None) => {
+            return Err(bad_field(
+                "missing `soc` (benchmark name or path) or `soc_text` (inline .soc)",
+            ));
+        }
+    }
+    // A SOC the client named but the server cannot resolve is the
+    // client's problem, whatever stage detected it: 422, not 500.
+    .map_err(|e| {
+        Response::error(
+            422,
+            None,
+            "invalid",
+            &ToolError {
+                kind: ToolErrorKind::Invalid,
+                message: e.message,
+                codes: e.codes,
+            },
+        )
+    })?;
+    let mut params = parse_json(specs, &parsed.params)
+        .map_err(|e| Response::error(400, None, "usage", &ToolError::usage(e.message)))?;
+    if let Some(ms) = parsed.deadline_ms {
+        if !specs.iter().any(|spec| spec.name == "deadline-ms") {
+            return Err(bad_field("this tool does not accept `deadline_ms`"));
+        }
+        params.set("deadline-ms", ParamValue::U64(ms));
+    }
+    Ok((soc, params))
+}
+
+/// Re-renders an error response so it carries the request ID (body
+/// parsing happens before the ID is known to the helpers).
+fn respond_with_id(response: Response, request_id: &str) -> Response {
+    match Json::parse(&response.body) {
+        Ok(Json::Obj(mut fields)) => {
+            fields.insert(0, ("request_id".to_owned(), Json::str(request_id)));
+            Response::json(response.status, &Json::Obj(fields))
+        }
+        _ => response,
+    }
+}
+
+fn metrics_json(state: &ServerState) -> Json {
+    let snapshot: MetricsSnapshot = state.pool.metrics().snapshot();
+    let cache_capacity = match state.cache.capacity() {
+        Some(cap) => Json::Int(cap as i128),
+        None => Json::Null,
+    };
+    Json::obj(vec![
+        (
+            "server",
+            Json::obj(vec![
+                (
+                    "requests",
+                    Json::Int(state.requests.load(Ordering::Relaxed) as i128),
+                ),
+                (
+                    "inflight",
+                    Json::Int(state.inflight.load(Ordering::SeqCst) as i128),
+                ),
+                (
+                    "rejected",
+                    Json::Int(state.rejected.load(Ordering::Relaxed) as i128),
+                ),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj(vec![
+                ("entries", Json::Int(state.cache.len() as i128)),
+                ("capacity", cache_capacity),
+                ("evictions", Json::Int(state.cache.evictions() as i128)),
+            ]),
+        ),
+        (
+            "pool",
+            Json::obj(vec![
+                ("tasks_executed", Json::Int(snapshot.tasks_executed as i128)),
+                ("steals", Json::Int(snapshot.steals as i128)),
+                ("cache_hits", Json::Int(snapshot.cache_hits as i128)),
+                ("cache_misses", Json::Int(snapshot.cache_misses as i128)),
+                (
+                    "cache_evictions",
+                    Json::Int(snapshot.cache_evictions as i128),
+                ),
+                (
+                    "kernel_words_compared",
+                    Json::Int(snapshot.kernel_words_compared as i128),
+                ),
+                (
+                    "kernel_fast_rejects",
+                    Json::Int(snapshot.kernel_fast_rejects as i128),
+                ),
+                (
+                    "duplicates_removed",
+                    Json::Int(snapshot.duplicates_removed as i128),
+                ),
+                ("rail_eval_hits", Json::Int(snapshot.rail_eval_hits as i128)),
+                (
+                    "rail_eval_misses",
+                    Json::Int(snapshot.rail_eval_misses as i128),
+                ),
+                (
+                    "schedule_reuses",
+                    Json::Int(snapshot.schedule_reuses as i128),
+                ),
+                (
+                    "phases",
+                    Json::Arr(
+                        snapshot
+                            .phases
+                            .iter()
+                            .map(|(name, duration)| {
+                                Json::obj(vec![
+                                    ("name", Json::str(name.clone())),
+                                    ("micros", Json::Int(duration.as_micros() as i128)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ])
+}

@@ -1,0 +1,143 @@
+//! Daemon behavior under injected faults and admission pressure.
+//!
+//! Failpoints are process-global, so every test here serializes on one
+//! mutex — a fault armed for one test must never leak into another
+//! running concurrently.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use soctam_exec::fault::{FaultAction, ScopedFault};
+use soctam_registry::Json;
+use soctam_serve::{client, Server, ServerConfig};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serialize() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn start(jobs: usize, max_inflight: usize) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind(&ServerConfig {
+        listen: "127.0.0.1:0".to_owned(),
+        jobs,
+        max_inflight,
+        cache_cap: 1 << 20,
+    })
+    .expect("binds");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("serves"));
+    (addr, handle)
+}
+
+fn stop(addr: &str, handle: std::thread::JoinHandle<()>) {
+    let response = client::post(addr, "/admin/shutdown", "").expect("shutdown");
+    assert_eq!(response.status, 200);
+    handle.join().expect("accept loop exits cleanly");
+}
+
+#[test]
+fn admission_control_rejects_the_overflow_with_a_structured_429() {
+    let _serial = serialize();
+    let (addr, handle) = start(1, 1);
+    // Hold the single slot open by delaying dispatch of the first job.
+    let _fault = ScopedFault::new(
+        "serve.dispatch",
+        FaultAction::Delay(Duration::from_millis(800)),
+    );
+    let first = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            client::post(&addr, "/v1/tools/info", r#"{"soc":"d695"}"#).unwrap()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(200));
+    let second = client::post(&addr, "/v1/tools/info", r#"{"soc":"d695"}"#).unwrap();
+    assert_eq!(second.status, 429, "{}", second.body);
+    let parsed = Json::parse(&second.body).unwrap();
+    let error = parsed.get("error").unwrap();
+    assert_eq!(error.get("kind").unwrap().as_str(), Some("rejected"));
+    assert!(parsed.get("request_id").is_some());
+
+    let first = first.join().unwrap();
+    assert_eq!(first.status, 200, "the admitted job still completes");
+
+    let metrics = Json::parse(&client::get(&addr, "/metrics").unwrap().body).unwrap();
+    let rejected = metrics.get("server").unwrap().get("rejected").unwrap();
+    assert_eq!(rejected.as_u64(), Some(1));
+    stop(&addr, handle);
+}
+
+#[test]
+fn accept_failpoint_yields_a_structured_503_not_a_hang() {
+    let _serial = serialize();
+    let (addr, handle) = start(1, 0);
+    {
+        let _fault = ScopedFault::new("serve.accept", FaultAction::Error);
+        let response = client::get(&addr, "/healthz").unwrap();
+        assert_eq!(response.status, 503, "{}", response.body);
+        let parsed = Json::parse(&response.body).unwrap();
+        assert_eq!(
+            parsed.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("unavailable")
+        );
+        assert!(response.body.contains("serve.accept"));
+    }
+    // The daemon recovers once the fault is cleared.
+    let response = client::get(&addr, "/healthz").unwrap();
+    assert_eq!(response.status, 200);
+    stop(&addr, handle);
+}
+
+#[test]
+fn dispatch_failpoint_yields_a_structured_500() {
+    let _serial = serialize();
+    let (addr, handle) = start(1, 0);
+    {
+        let _fault = ScopedFault::new("serve.dispatch", FaultAction::Error);
+        let response = client::post(&addr, "/v1/tools/info", r#"{"soc":"d695"}"#).unwrap();
+        assert_eq!(response.status, 500, "{}", response.body);
+        assert!(response.body.contains("serve.dispatch"));
+    }
+    stop(&addr, handle);
+}
+
+#[test]
+fn tool_panics_are_contained_to_a_500_response() {
+    let _serial = serialize();
+    let (addr, handle) = start(1, 0);
+    {
+        // A panic-action failpoint inside the pipeline must not take the
+        // connection thread (or the daemon) down with it: either the
+        // pipeline boundary converts it to a structured failure or the
+        // dispatch catch_unwind does.
+        let _fault = ScopedFault::new("exec.cache.lookup", FaultAction::Panic);
+        let response = client::post(
+            &addr,
+            "/v1/tools/optimize",
+            r#"{"soc":"d695","params":{"patterns":100,"width":8}}"#,
+        )
+        .unwrap();
+        assert_eq!(response.status, 500, "{}", response.body);
+        let kind = Json::parse(&response.body)
+            .unwrap()
+            .get("error")
+            .unwrap()
+            .get("kind")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned();
+        assert!(
+            kind == "internal" || kind == "failed",
+            "unexpected error kind `{kind}`"
+        );
+    }
+    let response = client::get(&addr, "/healthz").unwrap();
+    assert_eq!(response.status, 200, "daemon survives the panic");
+    stop(&addr, handle);
+}

@@ -1,0 +1,263 @@
+//! End-to-end daemon tests: an in-process server on an ephemeral port,
+//! driven through the std-only client — the same path the CI smoke job
+//! exercises against the release binary.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use soctam_registry::{standard_registry, Json};
+use soctam_serve::{client, Server, ServerConfig};
+
+/// Starts a daemon on an ephemeral port; returns its address and the
+/// accept-loop handle (joined after `POST /admin/shutdown`).
+fn start(jobs: usize, max_inflight: usize) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind(&ServerConfig {
+        listen: "127.0.0.1:0".to_owned(),
+        jobs,
+        max_inflight,
+        cache_cap: 1 << 20,
+    })
+    .expect("binds");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("serves"));
+    (addr, handle)
+}
+
+fn stop(addr: &str, handle: std::thread::JoinHandle<()>) {
+    let response = client::post(addr, "/admin/shutdown", "").expect("shutdown");
+    assert_eq!(response.status, 200);
+    handle.join().expect("accept loop exits cleanly");
+}
+
+fn output_field(body: &str) -> String {
+    Json::parse(body)
+        .expect("response is JSON")
+        .get("output")
+        .expect("has output")
+        .as_str()
+        .expect("output is a string")
+        .to_owned()
+}
+
+#[test]
+fn tools_endpoint_publishes_the_registry_schema() {
+    let (addr, handle) = start(1, 0);
+    let response = client::get(&addr, "/v1/tools").unwrap();
+    assert_eq!(response.status, 200);
+    let listed = Json::parse(&response.body).unwrap();
+    // Byte-for-byte the registry's own schema: CLI subcommands and
+    // server routes cannot drift apart.
+    assert_eq!(listed.get("tools").unwrap(), &standard_registry().schema());
+    stop(&addr, handle);
+}
+
+#[test]
+fn cli_and_server_reports_are_byte_identical() {
+    let (addr, handle) = start(1, 0);
+    // One golden per benchmark: d695 (optimize) and p34392 (optimize).
+    for (soc, body, cli_args) in [
+        (
+            "d695",
+            r#"{"soc":"d695","params":{"patterns":300,"width":16,"partitions":2}}"#,
+            vec![
+                "optimize",
+                "d695",
+                "--patterns",
+                "300",
+                "--width",
+                "16",
+                "--partitions",
+                "2",
+            ],
+        ),
+        (
+            "p34392",
+            r#"{"soc":"p34392","params":{"patterns":200,"width":16}}"#,
+            vec!["optimize", "p34392", "--patterns", "200", "--width", "16"],
+        ),
+    ] {
+        let via_cli = soctam_cli::run(&cli_args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+            .expect("CLI runs");
+        let response = client::post(&addr, "/v1/tools/optimize", body).unwrap();
+        assert_eq!(response.status, 200, "{soc}: {}", response.body);
+        // Identical modulo the request ID (which lives outside `output`).
+        assert_eq!(output_field(&response.body), via_cli, "{soc}");
+        let parsed = Json::parse(&response.body).unwrap();
+        assert!(parsed
+            .get("request_id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .starts_with('r'));
+        assert_eq!(parsed.get("degraded").unwrap(), &Json::Bool(false));
+    }
+    stop(&addr, handle);
+}
+
+#[test]
+fn concurrent_clients_get_deterministic_results_at_any_pool_size() {
+    let body = r#"{"soc":"d695","params":{"patterns":200,"width":8,"partitions":2}}"#;
+    let mut reference: Option<String> = None;
+    for jobs in [1usize, 4, 8] {
+        let (addr, handle) = start(jobs, 0);
+        let clients: Vec<_> = (0..4)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let response = client::post(&addr, "/v1/tools/optimize", body).unwrap();
+                    assert_eq!(response.status, 200, "{}", response.body);
+                    output_field(&response.body)
+                })
+            })
+            .collect();
+        for client_thread in clients {
+            let output = client_thread.join().unwrap();
+            match &reference {
+                Some(expected) => assert_eq!(&output, expected, "jobs={jobs}"),
+                None => reference = Some(output),
+            }
+        }
+        stop(&addr, handle);
+    }
+}
+
+#[test]
+fn per_request_deadline_degrades_to_best_so_far() {
+    let (addr, handle) = start(1, 0);
+    let response = client::post(
+        &addr,
+        "/v1/tools/optimize",
+        r#"{"soc":"d695","params":{"patterns":200,"width":8,"max-iters":1},"deadline_ms":60000}"#,
+    )
+    .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let parsed = Json::parse(&response.body).unwrap();
+    assert_eq!(parsed.get("degraded").unwrap(), &Json::Bool(true));
+    assert!(output_field(&response.body).contains("optimization budget exhausted"));
+
+    // deadline_ms is rejected on tools that cannot degrade.
+    let response =
+        client::post(&addr, "/v1/tools/info", r#"{"soc":"d695","deadline_ms":5}"#).unwrap();
+    assert_eq!(response.status, 400, "{}", response.body);
+    stop(&addr, handle);
+}
+
+#[test]
+fn malformed_requests_get_structured_errors_with_stable_codes() {
+    let (addr, handle) = start(1, 0);
+
+    // Broken JSON → 400 usage.
+    let r = client::post(&addr, "/v1/tools/optimize", "{nope").unwrap();
+    assert_eq!(r.status, 400, "{}", r.body);
+    let kind = |body: &str| {
+        Json::parse(body)
+            .unwrap()
+            .get("error")
+            .unwrap()
+            .get("kind")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned()
+    };
+    assert_eq!(kind(&r.body), "usage");
+
+    // Unknown tool → 404.
+    let r = client::post(&addr, "/v1/tools/frobnicate", r#"{"soc":"d695"}"#).unwrap();
+    assert_eq!(r.status, 404);
+    assert_eq!(kind(&r.body), "not-found");
+
+    // Unknown parameter → 400 (strict schema, same as the CLI).
+    let r = client::post(
+        &addr,
+        "/v1/tools/optimize",
+        r#"{"soc":"d695","params":{"patern":7}}"#,
+    )
+    .unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("patern"));
+
+    // Missing SOC → 400.
+    let r = client::post(&addr, "/v1/tools/optimize", "{}").unwrap();
+    assert_eq!(r.status, 400);
+
+    // Unresolvable SOC → 422 invalid.
+    let r = client::post(&addr, "/v1/tools/info", r#"{"soc":"/nonexistent/x.soc"}"#).unwrap();
+    assert_eq!(r.status, 422);
+    assert_eq!(kind(&r.body), "invalid");
+
+    // Inline SOC text that fails validation → 422 with SOC-V* codes.
+    let r = client::post(&addr, "/v1/tools/info", r#"{"soc_text":"not an soc file"}"#).unwrap();
+    assert_eq!(r.status, 422, "{}", r.body);
+
+    // Unknown route → 404.
+    let r = client::get(&addr, "/v2/everything").unwrap();
+    assert_eq!(r.status, 404);
+
+    stop(&addr, handle);
+}
+
+#[test]
+fn inline_soc_text_matches_the_embedded_benchmark() {
+    let (addr, handle) = start(1, 0);
+    let export = client::post(&addr, "/v1/tools/export", r#"{"soc":"d695"}"#).unwrap();
+    assert_eq!(export.status, 200);
+    let soc_text = output_field(&export.body);
+    let body = Json::obj(vec![
+        ("soc_text", Json::str(soc_text)),
+        (
+            "params",
+            Json::parse(r#"{"patterns":200,"width":8}"#).unwrap(),
+        ),
+    ])
+    .render();
+    let via_text = client::post(&addr, "/v1/tools/optimize", &body).unwrap();
+    assert_eq!(via_text.status, 200, "{}", via_text.body);
+    assert!(output_field(&via_text.body).contains("T_soc"));
+    stop(&addr, handle);
+}
+
+#[test]
+fn cross_request_cache_hits_show_up_in_metrics() {
+    let (addr, handle) = start(1, 0);
+    let body = r#"{"soc":"d695","params":{"patterns":200,"width":8,"partitions":2}}"#;
+    let cache_stats = |addr: &str| {
+        let metrics = Json::parse(&client::get(addr, "/metrics").unwrap().body).unwrap();
+        let entries = metrics
+            .get("cache")
+            .unwrap()
+            .get("entries")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        let hits = metrics
+            .get("pool")
+            .unwrap()
+            .get("cache_hits")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        (entries, hits)
+    };
+
+    let first = client::post(&addr, "/v1/tools/optimize", body).unwrap();
+    assert_eq!(first.status, 200);
+    let (entries_after_first, hits_after_first) = cache_stats(&addr);
+    assert!(
+        entries_after_first > 0,
+        "first run must warm the shared cache"
+    );
+
+    let second = client::post(&addr, "/v1/tools/optimize", body).unwrap();
+    assert_eq!(second.status, 200);
+    assert_eq!(output_field(&second.body), output_field(&first.body));
+    let (entries_after_second, hits_after_second) = cache_stats(&addr);
+    assert_eq!(
+        entries_after_second, entries_after_first,
+        "an identical request adds no cache entries"
+    );
+    assert!(
+        hits_after_second > hits_after_first,
+        "the second request must be served (partly) from the warm cache"
+    );
+    stop(&addr, handle);
+}

@@ -51,6 +51,86 @@ enum Cached {
     Makespan(u64),
 }
 
+/// A shareable evaluation store, usable across many [`Evaluator`]s —
+/// and, in `soctam-serve`, across many requests: every key an
+/// evaluator issues is mixed with a fingerprint of its full evaluation
+/// context (SOC, width budget, SI groups), so evaluators with
+/// different contexts can share one warm store without aliasing while
+/// identical contexts get cross-run cache hits.
+///
+/// Cheap to clone (an `Arc` handle). An optional capacity bound evicts
+/// the oldest entries FIFO so a long-running service cannot grow
+/// without limit; eviction only costs recomputation, never changes
+/// results.
+#[derive(Clone, Debug)]
+pub struct EvalCache {
+    store: Arc<MemoCache<FpKey, Cached>>,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EvalCache {
+    /// Shard count for shared stores: higher than the per-run default
+    /// because many concurrent requests may hit one store.
+    const SHARED_SHARDS: usize = 64;
+
+    /// Creates an unbounded shared store.
+    pub fn new() -> Self {
+        EvalCache {
+            store: Arc::new(MemoCache::new(Self::SHARED_SHARDS)),
+        }
+    }
+
+    /// Creates a shared store holding at most `capacity` entries;
+    /// beyond that the oldest entries are evicted (FIFO).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EvalCache {
+            store: Arc::new(MemoCache::bounded(Self::SHARED_SHARDS, capacity)),
+        }
+    }
+
+    /// As [`EvalCache::with_capacity`], reporting hits, misses and
+    /// evictions to `metrics`.
+    pub fn with_capacity_and_metrics(capacity: usize, metrics: Arc<Metrics>) -> Self {
+        EvalCache {
+            store: Arc::new(MemoCache::bounded_with_metrics(
+                Self::SHARED_SHARDS,
+                capacity,
+                metrics,
+            )),
+        }
+    }
+
+    /// Number of live entries across every namespace.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True when the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Entries evicted by the capacity bound over the store's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.store.evictions()
+    }
+
+    /// The configured capacity bound, when one was set.
+    pub fn capacity(&self) -> Option<usize> {
+        self.store.capacity()
+    }
+
+    /// Drops every cached entry.
+    pub fn clear(&self) {
+        self.store.clear();
+    }
+}
+
 /// Fingerprint identifying a rail's evaluation-relevant content: its
 /// width and hosted cores. Collision odds are the documented
 /// ~N²/2¹²⁹ of [`fx_fingerprint128`] — negligible for any reachable
@@ -243,8 +323,16 @@ pub struct Evaluator<'a> {
     /// namespaced fingerprint. The optimizer revisits the same rails
     /// and candidate architectures constantly (merge sweeps, wire
     /// redistribution, sort passes); evaluation is pure, so results are
-    /// shared.
-    cache: MemoCache<FpKey, Cached>,
+    /// shared. May be a private per-run store or a shared [`EvalCache`]
+    /// serving many evaluators (see [`Evaluator::attach_cache`]).
+    cache: Arc<MemoCache<FpKey, Cached>>,
+    /// True when `cache` is a shared [`EvalCache`]; a shared store is
+    /// never cleared by this evaluator's bookkeeping.
+    cache_shared: bool,
+    /// Fingerprint of the full evaluation context (SOC contents, width
+    /// budget, SI groups), mixed into every cache key so evaluators
+    /// with different contexts can share one store without aliasing.
+    ctx_fp: u128,
     /// Optional sink for cache-hit/miss, rail-eval and schedule-reuse
     /// counters (the CLI `--stats` report).
     metrics: Option<Arc<Metrics>>,
@@ -285,6 +373,10 @@ impl<'a> Evaluator<'a> {
                 core_groups[core.index()].push(g as u32);
             }
         }
+        // The context fingerprint covers everything a cached value can
+        // depend on: the SOC's full contents (via its canonical ITC'02
+        // rendering), the width budget and the ordered SI group list.
+        let ctx_fp = fx_fingerprint128(&(soctam_model::parser::write_soc(soc), max_width, &groups));
         Ok(Evaluator {
             soc,
             table: TimeTable::new(soc, max_width),
@@ -292,17 +384,41 @@ impl<'a> Evaluator<'a> {
             groups,
             core_si_weight,
             core_groups,
-            cache: MemoCache::new(CACHE_SHARDS),
+            cache: Arc::new(MemoCache::new(CACHE_SHARDS)),
+            cache_shared: false,
+            ctx_fp,
             metrics: None,
         })
     }
 
     /// Counts cache hits, misses, rail-eval and schedule-reuse events
     /// into `metrics` (typically a pool's [`Metrics`]) from now on.
-    /// Call before evaluating; any already-cached entries are dropped.
+    /// Call before evaluating; a private per-run store is cleared so
+    /// the counters cover the whole run, a shared [`EvalCache`] is left
+    /// warm.
     pub fn attach_metrics(&mut self, metrics: Arc<Metrics>) {
         self.metrics = Some(metrics);
-        self.cache.clear();
+        if !self.cache_shared {
+            self.cache.clear();
+        }
+    }
+
+    /// Serves every cache lookup from `cache`, a store that may be
+    /// shared with other evaluators (and, in a long-running service,
+    /// with other requests). Keys are mixed with this evaluator's
+    /// context fingerprint, so a shared store is safe across different
+    /// SOCs, width budgets and group sets — and identical contexts get
+    /// warm cross-run hits. Results stay bit-identical either way.
+    pub fn attach_cache(&mut self, cache: &EvalCache) {
+        self.cache = Arc::clone(&cache.store);
+        self.cache_shared = true;
+    }
+
+    /// The cache key for `fp` in `space`, mixed with the context
+    /// fingerprint. XOR keeps per-context collision odds identical to
+    /// the raw fingerprint's while separating contexts from each other.
+    fn cache_key(&self, space: u8, fp: u128) -> FpKey {
+        FpKey::new(space, fp ^ self.ctx_fp)
     }
 
     /// [`Evaluator::evaluate`] through the memo cache: architectures
@@ -317,7 +433,7 @@ impl<'a> Evaluator<'a> {
     /// optimizer's candidate representation — no architecture needs to
     /// be constructed to probe the cache).
     pub fn evaluate_rails_cached(&self, rails: &[TestRail]) -> Arc<Evaluation> {
-        let key = FpKey::new(SPACE_ARCH, arch_fingerprint(rails));
+        let key = self.cache_key(SPACE_ARCH, arch_fingerprint(rails));
         if let Some(Cached::Arch(eval)) = self.cache.get(&key) {
             if let Some(m) = &self.metrics {
                 m.count_cache_hit();
@@ -466,7 +582,7 @@ impl<'a> Evaluator<'a> {
 
     /// The memoized per-rail component for (`width`, `cores`).
     fn rail_eval_cached(&self, width: u32, cores: &[CoreId]) -> Arc<RailEval> {
-        let key = FpKey::new(SPACE_RAIL, rail_fingerprint(width, cores));
+        let key = self.cache_key(SPACE_RAIL, rail_fingerprint(width, cores));
         if let Some(Cached::Rail(rail_eval)) = self.cache.get(&key) {
             if let Some(m) = &self.metrics {
                 m.count_rail_eval_hit();
@@ -689,13 +805,13 @@ impl<'a> Evaluator<'a> {
     /// schedule on the candidate-costing path.
     fn makespan_cached(&self, group_times: &[SiGroupTime]) -> u64 {
         let fp = fx_fingerprint128(&group_times);
-        if let Some(Cached::Sched(schedule)) = self.cache.get(&FpKey::new(SPACE_SCHED, fp)) {
+        if let Some(Cached::Sched(schedule)) = self.cache.get(&self.cache_key(SPACE_SCHED, fp)) {
             if let Some(m) = &self.metrics {
                 m.count_schedule_reuse();
             }
             return schedule.makespan();
         }
-        let key = FpKey::new(SPACE_MAKESPAN, fp);
+        let key = self.cache_key(SPACE_MAKESPAN, fp);
         if let Some(Cached::Makespan(makespan)) = self.cache.get(&key) {
             if let Some(m) = &self.metrics {
                 m.count_schedule_reuse();
@@ -712,7 +828,7 @@ impl<'a> Evaluator<'a> {
     /// recur across candidates (very common — most moves shift work
     /// within a group without changing its bottleneck) schedule once.
     fn schedule_cached(&self, group_times: &[SiGroupTime]) -> Arc<SiSchedule> {
-        let key = FpKey::new(SPACE_SCHED, fx_fingerprint128(&group_times));
+        let key = self.cache_key(SPACE_SCHED, fx_fingerprint128(&group_times));
         if let Some(Cached::Sched(schedule)) = self.cache.get(&key) {
             if let Some(m) = &self.metrics {
                 m.count_schedule_reuse();
@@ -736,7 +852,7 @@ impl<'a> Evaluator<'a> {
     /// rebalancing scan these arrays instead of recomputing point
     /// values.
     pub fn rail_used_staircase(&self, cores: &[CoreId]) -> Arc<Vec<u64>> {
-        let key = FpKey::new(SPACE_USED, fx_fingerprint128(&cores));
+        let key = self.cache_key(SPACE_USED, fx_fingerprint128(&cores));
         if let Some(Cached::Used(staircase)) = self.cache.get(&key) {
             return staircase;
         }

@@ -61,7 +61,9 @@ pub use budget::OptimizerBudget;
 pub use bus::TestBusEvaluator;
 
 pub use error::TamError;
-pub use evaluator::{DeltaCost, Evaluation, Evaluator, RailEval, SiGroupSpec, SiGroupTime};
+pub use evaluator::{
+    DeltaCost, EvalCache, Evaluation, Evaluator, RailEval, SiGroupSpec, SiGroupTime,
+};
 pub use optimizer::{Objective, OptimizedArchitecture, TamOptimizer};
 pub use rail::{TestRail, TestRailArchitecture};
 pub use render::{render_schedule, render_schedule_svg};

@@ -9,7 +9,7 @@ use soctam_model::{CoreId, Soc};
 
 use crate::budget::BudgetTracker;
 use crate::{
-    DeltaCost, Evaluation, Evaluator, OptimizerBudget, SiGroupSpec, TamError, TestRail,
+    DeltaCost, EvalCache, Evaluation, Evaluator, OptimizerBudget, SiGroupSpec, TamError, TestRail,
     TestRailArchitecture,
 };
 
@@ -64,6 +64,7 @@ pub struct TamOptimizer<'a> {
     objective: Objective,
     pool: Pool,
     budget: OptimizerBudget,
+    shared_cache: Option<EvalCache>,
 }
 
 impl<'a> TamOptimizer<'a> {
@@ -84,7 +85,19 @@ impl<'a> TamOptimizer<'a> {
             objective: Objective::Total,
             pool,
             budget: OptimizerBudget::unlimited(),
+            shared_cache: None,
         })
+    }
+
+    /// Serves evaluation lookups from `cache`, a store shared across
+    /// runs (and, in a service, across requests). Results are
+    /// bit-identical with or without sharing; identical contexts get
+    /// warm cross-run cache hits. Call after [`TamOptimizer::pool`] —
+    /// attaching metrics leaves a shared store warm.
+    pub fn eval_cache(mut self, cache: &EvalCache) -> Self {
+        self.evaluator.attach_cache(cache);
+        self.shared_cache = Some(cache.clone());
+        self
     }
 
     /// Sets the optimization objective (builder style).
@@ -542,12 +555,16 @@ impl<'a> TamOptimizer<'a> {
         let mut alt_evaluator =
             Evaluator::new(self.soc(), self.max_width, self.evaluator.groups().to_vec())?;
         alt_evaluator.attach_metrics(self.pool.metrics());
+        if let Some(cache) = &self.shared_cache {
+            alt_evaluator.attach_cache(cache);
+        }
         let alt = TamOptimizer {
             evaluator: alt_evaluator,
             max_width: self.max_width,
             objective: Objective::InTestOnly,
             pool: self.pool.clone(),
             budget: self.budget,
+            shared_cache: self.shared_cache.clone(),
         };
         let secondary = alt.optimize_perturbed(0, tracker)?;
         if secondary.evaluation().t_total() < primary.evaluation().t_total() {
