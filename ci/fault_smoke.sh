@@ -95,6 +95,35 @@ else
     echo "ok   [bad spec] -> rejected as usage error"
 fi
 
+# --- speculative probe failpoint ---------------------------------------
+# tam.probe is the one shipped failpoint that must NOT fail the run: a
+# faulted speculative probe is discarded (counted as wasted) and the
+# step falls back to the surviving candidates — deterministically at
+# every --probe-jobs value, so the faulted outputs must be identical.
+probe_run() {
+    local spec="$1" probe_jobs="$2" out="$3"
+    SOCTAM_FAILPOINTS="$spec" "$BIN" optimize d695 \
+        --patterns 500 --width 8 --partitions 2 --probe-jobs "$probe_jobs" \
+        >"$out" 2>"$WORK/probe.stderr"
+}
+for spec in "tam.probe=error@5" "tam.probe=panic@3"; do
+    probe_run "$spec" 1 "$WORK/probe.serial"
+    code_serial=$?
+    probe_run "$spec" 4 "$WORK/probe.par"
+    code_par=$?
+    if [ "$code_serial" -ne 0 ] || [ "$code_par" -ne 0 ]; then
+        echo "FAIL [$spec]: faulted probes must degrade, not fail" \
+            "(exit $code_serial serial, $code_par parallel)"
+        sed 's/^/    /' "$WORK/probe.stderr"
+        failures=$((failures + 1))
+    elif ! cmp -s "$WORK/probe.serial" "$WORK/probe.par"; then
+        echo "FAIL [$spec]: output diverges between --probe-jobs 1 and 4"
+        failures=$((failures + 1))
+    else
+        echo "ok   [$spec] -> contained at every --probe-jobs, identical output"
+    fi
+done
+
 # With the variable unset the same invocation must succeed.
 "$BIN" optimize d695 --patterns 500 --width 8 --partitions 2 >/dev/null 2>&1
 code=$?

@@ -32,6 +32,20 @@ pub mod harness {
             .unwrap_or(default)
     }
 
+    /// Where the sample counts came from: the `SOCTAM_BENCH_SAMPLES`
+    /// override when it is set to a positive integer, the binary's
+    /// built-in defaults otherwise. Recorded in the JSON report so a
+    /// shipped number can be traced back to how many samples backed it.
+    #[must_use]
+    pub fn samples_source() -> String {
+        match std::env::var("SOCTAM_BENCH_SAMPLES") {
+            Ok(v) if v.parse::<usize>().is_ok_and(|n| n > 0) => {
+                format!("SOCTAM_BENCH_SAMPLES={v}")
+            }
+            _ => String::from("default"),
+        }
+    }
+
     fn measure<R>(samples: usize, mut f: impl FnMut() -> R) -> (Duration, Duration, Duration) {
         std::hint::black_box(f());
         let mut times: Vec<Duration> = (0..samples)
@@ -118,7 +132,12 @@ pub mod harness {
         /// schema, nanosecond integers).
         #[must_use]
         pub fn to_json(&self) -> String {
-            let mut out = String::from("{\n  \"schema\": \"soctam-bench/1\",\n  \"entries\": [\n");
+            let mut out = String::from("{\n  \"schema\": \"soctam-bench/1\",\n");
+            out.push_str(&format!(
+                "  \"samples_source\": \"{}\",\n",
+                samples_source().replace('\\', "\\\\").replace('"', "\\\"")
+            ));
+            out.push_str("  \"entries\": [\n");
             for (i, e) in self.entries.iter().enumerate() {
                 let comma = if i + 1 < self.entries.len() { "," } else { "" };
                 out.push_str(&format!(
@@ -257,6 +276,7 @@ mod tests {
         session.bench("kernel/smoke", 2, || 1 + 1);
         let json = session.to_json();
         assert!(json.contains("\"schema\": \"soctam-bench/1\""));
+        assert!(json.contains("\"samples_source\": "));
         assert!(json.contains("\"label\": \"kernel/smoke\""));
         assert!(json.contains("\"samples\": 2"));
         assert!(json.contains("\"min_ns\": "));

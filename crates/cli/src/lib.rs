@@ -24,11 +24,16 @@
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 use std::fmt::Write as _;
+use std::io::IsTerminal as _;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
-use soctam::exec::fault;
+use soctam::exec::{fault, Progress};
 use soctam::Pool;
 use soctam_registry::{
-    parse_cli, resolve_soc, standard_registry, ParamKind, Tool, ToolCtx, ToolError, ToolErrorKind,
+    expand_profile, parse_cli, resolve_soc, standard_registry, ParamKind, Tool, ToolCtx, ToolError,
+    ToolErrorKind,
 };
 
 /// A CLI failure: a message and the exit code to report.
@@ -58,6 +63,47 @@ impl From<ToolError> for CliError {
             },
             message: err.to_string(),
         }
+    }
+}
+
+/// The `--progress` stderr ticker: a background thread that redraws
+/// one status line (current phase, candidates probed, best `T_soc`)
+/// ten times a second while a tool runs, then erases it. The sink it
+/// polls is advisory — the ticker can never change results.
+struct ProgressTicker {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl ProgressTicker {
+    fn spawn(progress: Arc<Progress>) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut stderr = std::io::stderr().lock();
+            while !stop_flag.load(Ordering::Relaxed) {
+                let phase = progress.phase();
+                if !phase.is_empty() {
+                    let best = progress
+                        .best()
+                        .map_or_else(String::new, |b| format!("  best T_soc {b}"));
+                    let line = format!("{phase}  probed {}{best}", progress.probed());
+                    let _ = write!(stderr, "\r{line:<78}");
+                    let _ = stderr.flush();
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+        });
+        ProgressTicker { stop, handle }
+    }
+
+    /// Stops the ticker and erases its status line.
+    fn finish(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = self.handle.join();
+        let mut stderr = std::io::stderr().lock();
+        let _ = write!(stderr, "\r{:<78}\r", "");
+        let _ = stderr.flush();
     }
 }
 
@@ -158,7 +204,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         });
     }
     let soc = resolve_soc(soc_spec)?;
-    let params = parse_cli(tool.params, rest).map_err(|e| CliError::usage(e.message))?;
+    let mut params = parse_cli(tool.params, rest).map_err(|e| CliError::usage(e.message))?;
+    expand_profile(tool.params, &mut params)?;
 
     // `jobs` and `stats` are front-end concerns: the worker pool is
     // built here (the daemon sizes its own at startup), and statistics
@@ -169,8 +216,25 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         1
     };
     let pool = Pool::new(jobs);
-    let ctx = ToolCtx::new(pool.clone());
-    let output = (tool.run)(&soc, &params, &ctx)?;
+    let mut ctx = ToolCtx::new(pool.clone());
+    // The `--progress` ticker is display-only and goes to stderr; it
+    // stays silent when stdout is piped so `soctam ... > file` and
+    // captured test output never see it.
+    let ticker = if params.bool("progress")
+        && std::io::stdout().is_terminal()
+        && std::io::stderr().is_terminal()
+    {
+        let progress = Arc::new(Progress::new());
+        ctx.progress = Some(Arc::clone(&progress));
+        Some(ProgressTicker::spawn(progress))
+    } else {
+        None
+    };
+    let result = (tool.run)(&soc, &params, &ctx);
+    if let Some(ticker) = ticker {
+        ticker.finish();
+    }
+    let output = result?;
     let mut out = output.text;
     if params.bool("stats") {
         let _ = writeln!(out, "{}", pool.metrics().snapshot());
@@ -377,6 +441,74 @@ mod tests {
     }
 
     #[test]
+    fn probe_jobs_values_produce_identical_output() {
+        let base = args(&[
+            "optimize",
+            "d695",
+            "--patterns",
+            "300",
+            "--width",
+            "8",
+            "--partitions",
+            "2",
+        ]);
+        let serial = run(&base).expect("runs");
+        for (jobs, probe_jobs) in [("1", "4"), ("1", "8"), ("4", "4")] {
+            let mut parallel = base.clone();
+            parallel.extend(args(&["--jobs", jobs, "--probe-jobs", probe_jobs]));
+            assert_eq!(
+                run(&parallel).expect("runs"),
+                serial,
+                "--jobs {jobs} --probe-jobs {probe_jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn profile_fills_defaults_and_explicit_flags_win() {
+        let path = std::env::temp_dir().join("soctam_cli_profile_test.profile");
+        std::fs::write(&path, "patterns = 150\nwidth = 16\npartitions = 2\n")
+            .expect("temp dir is writable");
+        let path = path.to_string_lossy().to_string();
+        let explicit = run(&args(&[
+            "optimize",
+            "d695",
+            "--patterns",
+            "150",
+            "--width",
+            "8",
+            "--partitions",
+            "2",
+        ]))
+        .expect("runs");
+        // `--width 8` overrides the profile's 16; the other two keys
+        // come from the file.
+        let profiled = run(&args(&[
+            "optimize",
+            "d695",
+            "--profile",
+            &path,
+            "--width",
+            "8",
+        ]))
+        .expect("runs");
+        assert_eq!(profiled, explicit);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn profile_with_unknown_key_is_invalid_with_stable_code() {
+        let path = std::env::temp_dir().join("soctam_cli_profile_bad.profile");
+        std::fs::write(&path, "bogus = 1\n").expect("temp dir is writable");
+        let path = path.to_string_lossy().to_string();
+        let err = run(&args(&["optimize", "d695", "--profile", &path])).unwrap_err();
+        assert_eq!(err.code, 1, "invalid profile is a runtime error, not usage");
+        assert!(err.message.contains("PRF-V2"), "{}", err.message);
+        assert!(err.message.contains("bogus"), "{}", err.message);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn stats_flag_reports_runtime_stats() {
         let out = run(&args(&[
             "optimize",
@@ -398,6 +530,10 @@ mod tests {
         // both lines (gated on nonzero) must be present.
         assert!(out.contains("rail evals"));
         assert!(out.contains("schedule reuse"));
+        // The optimizer's move loops probe candidates speculatively even
+        // at --probe-jobs 1, so the probe counters must be reported.
+        assert!(out.contains("speculative"), "{out}");
+        assert!(out.contains("batches"), "{out}");
     }
 
     #[test]

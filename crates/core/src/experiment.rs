@@ -33,9 +33,10 @@
 //! ```
 
 use std::fmt;
+use std::sync::Arc;
 
 use soctam_compaction::{compact_two_dimensional_with, CompactionConfig};
-use soctam_exec::Pool;
+use soctam_exec::{Pool, Progress};
 use soctam_model::Soc;
 use soctam_patterns::{RandomPatternConfig, SiPatternSet};
 use soctam_tam::{Objective, SiGroupSpec, TamOptimizer};
@@ -199,6 +200,40 @@ pub fn run_table_cached(
     pool: &Pool,
     cache: Option<&soctam_tam::EvalCache>,
 ) -> Result<ExperimentTable, SoctamError> {
+    let opts = TableOpts {
+        cache: cache.cloned(),
+        ..TableOpts::default()
+    };
+    run_table_opts(soc, config, pool, &opts)
+}
+
+/// Optional extras for a table run, all defaulting to off. None of them
+/// changes results — the cache only skips recomputation, the probe pool
+/// only reschedules speculative candidate probes (reduced in candidate
+/// order either way) and the progress sink is purely advisory.
+#[derive(Clone, Debug, Default)]
+pub struct TableOpts {
+    /// Shared evaluator cache (see [`run_table_cached`]).
+    pub cache: Option<soctam_tam::EvalCache>,
+    /// Pool for the optimizer's speculative candidate probing; `None`
+    /// keeps probes on the calling worker.
+    pub probe_pool: Option<Pool>,
+    /// Progress sink for a live display (phase, probes, best `T_soc`).
+    pub progress: Option<Arc<Progress>>,
+}
+
+/// [`run_table_cached`] with the full option set ([`TableOpts`]).
+///
+/// # Errors
+///
+/// Same contract as [`run_table`].
+pub fn run_table_opts(
+    soc: &Soc,
+    config: &ExperimentConfig,
+    pool: &Pool,
+    opts: &TableOpts,
+) -> Result<ExperimentTable, SoctamError> {
+    let cache = opts.cache.as_ref();
     let metrics = pool.metrics();
     let raw = metrics.time("generate", || {
         SiPatternSet::random_with(
@@ -256,6 +291,12 @@ pub fn run_table_cached(
             let mut optimizer = TamOptimizer::new(soc, w_max, groups.clone())?
                 .objective(objective)
                 .pool(pool.clone());
+            if let Some(probe_pool) = &opts.probe_pool {
+                optimizer = optimizer.probe_pool(probe_pool.clone());
+            }
+            if let Some(progress) = &opts.progress {
+                optimizer = optimizer.progress(Arc::clone(progress));
+            }
             if let Some(cache) = cache {
                 optimizer = optimizer.eval_cache(cache);
             }

@@ -4,7 +4,7 @@ use std::panic;
 use std::sync::Arc;
 
 use soctam_compaction::{compact_two_dimensional_with, CompactedSiTests, CompactionConfig};
-use soctam_exec::{fault, Metrics, Pool};
+use soctam_exec::{fault, Metrics, Pool, Progress};
 use soctam_model::Soc;
 use soctam_patterns::SiPatternSet;
 use soctam_tam::{
@@ -67,6 +67,8 @@ pub struct SiOptimizer<'a> {
     objective: Objective,
     restarts: u32,
     pool: Pool,
+    probe_pool: Option<Pool>,
+    progress: Option<Arc<Progress>>,
     budget: OptimizerBudget,
     eval_cache: Option<EvalCache>,
 }
@@ -83,6 +85,8 @@ impl<'a> SiOptimizer<'a> {
             objective: Objective::Total,
             restarts: 1,
             pool: Pool::serial(),
+            probe_pool: None,
+            progress: None,
             budget: OptimizerBudget::unlimited(),
             eval_cache: None,
         }
@@ -116,6 +120,29 @@ impl<'a> SiOptimizer<'a> {
     /// metrics accumulate in the pool's [`Metrics`]).
     pub fn pool(mut self, pool: Pool) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Probes optimizer move candidates on `jobs` threads (0 = all
+    /// available cores), independent of the compaction pool. Results
+    /// are bit-identical for every probe-job count; only wall-clock
+    /// changes. Shorthand for [`SiOptimizer::probe_pool`].
+    pub fn probe_jobs(self, jobs: usize) -> Self {
+        self.probe_pool(Pool::new(jobs))
+    }
+
+    /// Probes optimizer move candidates on an existing [`Pool`]. When
+    /// unset, candidate probing shares the pipeline's main pool.
+    pub fn probe_pool(mut self, pool: Pool) -> Self {
+        self.probe_pool = Some(pool);
+        self
+    }
+
+    /// Publishes optimizer phase / probe-count / best-objective updates
+    /// into `progress` for a live display such as the CLI `--progress`
+    /// stderr ticker. Purely advisory; never affects results.
+    pub fn progress(mut self, progress: Arc<Progress>) -> Self {
+        self.progress = Some(progress);
         self
     }
 
@@ -203,6 +230,12 @@ impl<'a> SiOptimizer<'a> {
                 .objective(self.objective)
                 .budget(self.budget)
                 .pool(self.pool.clone());
+            if let Some(probe_pool) = &self.probe_pool {
+                optimizer = optimizer.probe_pool(probe_pool.clone());
+            }
+            if let Some(progress) = &self.progress {
+                optimizer = optimizer.progress(Arc::clone(progress));
+            }
             if let Some(cache) = &self.eval_cache {
                 optimizer = optimizer.eval_cache(cache);
             }

@@ -126,6 +126,50 @@ pub fn fx_fingerprint128<T: Hash>(value: &T) -> u128 {
     (u128::from(hi) << 64) | u128::from(lo)
 }
 
+/// Incremental version of [`fx_fingerprint128`] for fingerprinting a
+/// sequence without materializing it: feed each part with
+/// [`Fingerprinter::write`], then [`Fingerprinter::finish`].
+///
+/// Two fingerprinters fed the same sequence of parts produce the same
+/// digest; the encoding is *not* the same as hashing an equivalent
+/// container in one [`fx_fingerprint128`] call (slice hashing adds a
+/// length prefix), so a given cache keyspace must pick one scheme and
+/// stay with it. Callers that need slice-compatible digests can write
+/// the length themselves first.
+#[derive(Debug)]
+pub struct Fingerprinter {
+    lo: FxHasher,
+    hi: FxHasher,
+}
+
+impl Default for Fingerprinter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprinter {
+    /// Creates a fingerprinter with the same two seeds as
+    /// [`fx_fingerprint128`].
+    pub fn new() -> Self {
+        Fingerprinter {
+            lo: FxHasher::default(),
+            hi: FxHasher::with_seed(SECOND_SEED),
+        }
+    }
+
+    /// Feeds one value into both passes.
+    pub fn write<T: Hash + ?Sized>(&mut self, value: &T) {
+        value.hash(&mut self.lo);
+        value.hash(&mut self.hi);
+    }
+
+    /// The 128-bit digest of everything written so far.
+    pub fn finish(&self) -> u128 {
+        (u128::from(self.hi.finish()) << 64) | u128::from(self.lo.finish())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +203,43 @@ mod tests {
             seen.insert(fx_fingerprint128(&i));
         }
         assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn fingerprinter_matches_slice_fingerprint_with_length_prefix() {
+        // Struct elements hash element-wise in a slice, so writing the
+        // length followed by each element reproduces the one-shot
+        // digest — the property the evaluator's patched-rows cache key
+        // relies on.
+        #[derive(Hash)]
+        struct Row {
+            time: u64,
+            rails: Vec<usize>,
+        }
+        let rows = vec![
+            Row {
+                time: 10,
+                rails: vec![0, 2],
+            },
+            Row {
+                time: 7,
+                rails: vec![1],
+            },
+        ];
+        let mut fp = Fingerprinter::new();
+        fp.write(&rows.len());
+        for row in &rows {
+            fp.write(row);
+        }
+        assert_eq!(fp.finish(), fx_fingerprint128(&rows));
+
+        // Order-sensitive and prefix-free enough for cache keys.
+        let mut swapped = Fingerprinter::new();
+        swapped.write(&rows.len());
+        for row in rows.iter().rev() {
+            swapped.write(row);
+        }
+        assert_ne!(swapped.finish(), fx_fingerprint128(&rows));
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! * [`cache`] — a sharded memoization cache for expensive evaluations.
 //! * [`metrics`] — atomic counters and phase timers surfaced by the CLI
 //!   `--stats` flag.
+//! * [`progress`] — shared progress state for long optimizer sweeps,
+//!   polled by the CLI `--progress` stderr ticker.
 //! * [`check`] — a miniature property-test harness used by the test
 //!   suites (the `proptest` cargo feature raises the case counts; it
 //!   adds no dependencies).
@@ -38,11 +40,13 @@ pub mod fault;
 pub mod hash;
 pub mod metrics;
 pub mod pool;
+pub mod progress;
 pub mod rng;
 
 pub use cache::{FpKey, MemoCache};
 pub use fault::{FaultAction, FaultError, ScopedFault};
-pub use hash::{fx_fingerprint128, fx_hash_one, FxBuildHasher, FxHasher};
+pub use hash::{fx_fingerprint128, fx_hash_one, Fingerprinter, FxBuildHasher, FxHasher};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use pool::Pool;
+pub use progress::Progress;
 pub use rng::Rng;

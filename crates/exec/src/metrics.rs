@@ -25,6 +25,9 @@ pub struct Metrics {
     rail_eval_hits: AtomicU64,
     rail_eval_misses: AtomicU64,
     schedule_reuses: AtomicU64,
+    speculative_probes: AtomicU64,
+    probe_batches: AtomicU64,
+    probe_wasted: AtomicU64,
     phases: Mutex<Vec<(String, Duration)>>,
 }
 
@@ -94,6 +97,24 @@ impl Metrics {
         self.schedule_reuses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Adds `n` speculative candidate probes evaluated by the
+    /// optimizer's batched move loops.
+    pub fn add_speculative_probes(&self, n: u64) {
+        self.speculative_probes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one batched probe round (one candidate set evaluated
+    /// speculatively before the ordered reduction).
+    pub fn count_probe_batch(&self) {
+        self.probe_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one speculative probe whose result was discarded before
+    /// evaluation (budget exhausted mid-batch or poisoned by a fault).
+    pub fn count_probe_wasted(&self) {
+        self.probe_wasted.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Times `f` and records the elapsed wall-clock under `name`.
     /// Repeated phases with the same name accumulate.
     pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
@@ -129,6 +150,9 @@ impl Metrics {
             rail_eval_hits: self.rail_eval_hits.load(Ordering::Relaxed),
             rail_eval_misses: self.rail_eval_misses.load(Ordering::Relaxed),
             schedule_reuses: self.schedule_reuses.load(Ordering::Relaxed),
+            speculative_probes: self.speculative_probes.load(Ordering::Relaxed),
+            probe_batches: self.probe_batches.load(Ordering::Relaxed),
+            probe_wasted: self.probe_wasted.load(Ordering::Relaxed),
             phases: self
                 .phases
                 .lock()
@@ -163,6 +187,12 @@ pub struct MetricsSnapshot {
     pub rail_eval_misses: u64,
     /// `ScheduleSITest` passes skipped by schedule reuse.
     pub schedule_reuses: u64,
+    /// Speculative candidate probes evaluated by the optimizer.
+    pub speculative_probes: u64,
+    /// Batched probe rounds (candidate sets) evaluated speculatively.
+    pub probe_batches: u64,
+    /// Speculative probes discarded (budget exhausted or faulted).
+    pub probe_wasted: u64,
     /// Accumulated wall-clock per named phase, in recording order.
     pub phases: Vec<(String, Duration)>,
 }
@@ -220,6 +250,13 @@ impl fmt::Display for MetricsSnapshot {
         }
         if self.schedule_reuses != 0 {
             writeln!(f, "  schedule reuse : {}", self.schedule_reuses)?;
+        }
+        if self.speculative_probes != 0 || self.probe_batches != 0 {
+            writeln!(
+                f,
+                "  probes         : {} speculative in {} batches ({} wasted)",
+                self.speculative_probes, self.probe_batches, self.probe_wasted
+            )?;
         }
         for (name, elapsed) in &self.phases {
             writeln!(
@@ -289,6 +326,7 @@ mod tests {
         assert!(!text.contains("dedup"));
         assert!(!text.contains("rail evals"));
         assert!(!text.contains("schedule reuse"));
+        assert!(!text.contains("probes"));
     }
 
     #[test]
@@ -305,6 +343,22 @@ mod tests {
         let text = snap.to_string();
         assert!(text.contains("rail evals     : 2 hits / 1 misses"));
         assert!(text.contains("schedule reuse : 1"));
+    }
+
+    #[test]
+    fn probe_counters_accumulate() {
+        let m = Metrics::new();
+        m.add_speculative_probes(7);
+        m.add_speculative_probes(3);
+        m.count_probe_batch();
+        m.count_probe_batch();
+        m.count_probe_wasted();
+        let snap = m.snapshot();
+        assert_eq!(snap.speculative_probes, 10);
+        assert_eq!(snap.probe_batches, 2);
+        assert_eq!(snap.probe_wasted, 1);
+        let text = snap.to_string();
+        assert!(text.contains("probes         : 10 speculative in 2 batches (1 wasted)"));
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Lightweight progress reporting for long-running optimizer sweeps.
+//!
+//! A [`Progress`] sink is shared (via `Arc`) between the optimizer and
+//! a display loop (the CLI `--progress` stderr ticker). The optimizer
+//! publishes the current phase, the number of candidates probed so far
+//! and the best objective seen; the ticker polls and renders. All
+//! fields are advisory diagnostics — publishing is lock-light and never
+//! affects results, and a sink with no reader costs a few relaxed
+//! atomic stores per accepted move.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Sentinel for "no objective published yet".
+const UNSET: u64 = u64::MAX;
+
+/// Shared progress state for one optimization run.
+#[derive(Debug, Default)]
+pub struct Progress {
+    phase: Mutex<String>,
+    probed: AtomicU64,
+    best: AtomicU64,
+}
+
+impl Progress {
+    /// Creates an empty sink (no phase, nothing probed, no best yet).
+    pub fn new() -> Self {
+        Progress {
+            phase: Mutex::new(String::new()),
+            probed: AtomicU64::new(0),
+            best: AtomicU64::new(UNSET),
+        }
+    }
+
+    /// Publishes the current optimizer phase (e.g. `"merge bottom-up"`).
+    pub fn set_phase(&self, phase: &str) {
+        let mut slot = self.phase.lock().unwrap_or_else(PoisonError::into_inner);
+        if *slot != phase {
+            slot.clear();
+            slot.push_str(phase);
+        }
+    }
+
+    /// The most recently published phase (empty before the first).
+    pub fn phase(&self) -> String {
+        self.phase
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Adds `n` probed candidates to the running total.
+    pub fn add_probed(&self, n: u64) {
+        self.probed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Candidates probed so far.
+    pub fn probed(&self) -> u64 {
+        self.probed.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the best objective seen so far, keeping the minimum of
+    /// all published values.
+    pub fn record_best(&self, t_soc: u64) {
+        self.best.fetch_min(t_soc, Ordering::Relaxed);
+    }
+
+    /// The best objective published so far, or `None` before the first.
+    pub fn best(&self) -> Option<u64> {
+        match self.best.load(Ordering::Relaxed) {
+            UNSET => None,
+            best => Some(best),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let p = Progress::new();
+        assert_eq!(p.phase(), "");
+        assert_eq!(p.probed(), 0);
+        assert_eq!(p.best(), None);
+    }
+
+    #[test]
+    fn publishes_phase_probes_and_best() {
+        let p = Progress::new();
+        p.set_phase("merge bottom-up");
+        p.add_probed(10);
+        p.add_probed(5);
+        p.record_best(900);
+        p.record_best(1200);
+        p.record_best(850);
+        assert_eq!(p.phase(), "merge bottom-up");
+        assert_eq!(p.probed(), 15);
+        assert_eq!(p.best(), Some(850));
+    }
+
+    #[test]
+    fn best_keeps_minimum() {
+        let p = Progress::new();
+        p.record_best(5);
+        p.record_best(7);
+        assert_eq!(p.best(), Some(5));
+    }
+}

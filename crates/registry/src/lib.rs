@@ -39,10 +39,12 @@
 
 pub mod json;
 mod param;
+mod profile;
 mod tool;
 mod tools;
 
 pub use json::{Json, JsonError};
 pub use param::{parse_cli, parse_json, ParamError, ParamKind, ParamSpec, ParamValue, ParamValues};
+pub use profile::{expand_profile, parse_profile};
 pub use tool::{Tool, ToolCtx, ToolError, ToolErrorKind, ToolFn, ToolOutput, ToolRegistry};
 pub use tools::{budget_from, resolve_soc, resolve_soc_text, standard_registry};

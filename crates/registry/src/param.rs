@@ -7,7 +7,7 @@
 //! surface produces the same [`ParamValues`], so a tool body cannot tell
 //! (and must not care) which front end invoked it.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use crate::json::Json;
@@ -90,7 +90,7 @@ impl ParamSpec {
     }
 
     /// Parses a CLI-style text value against this spec.
-    fn parse_text(&self, text: &str) -> Result<ParamValue, ParamError> {
+    pub(crate) fn parse_text(&self, text: &str) -> Result<ParamValue, ParamError> {
         let bad = || ParamError::new(format!("invalid --{} value", self.name));
         match self.kind {
             ParamKind::U64 => text.parse().map(ParamValue::U64).map_err(|_| bad()),
@@ -202,6 +202,11 @@ impl std::error::Error for ParamError {}
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ParamValues {
     map: BTreeMap<&'static str, ParamValue>,
+    /// Names whose value came from user input (CLI flag, JSON field or
+    /// [`ParamValues::set`]) rather than a spec default. Profiles fill
+    /// only non-explicit slots, so the precedence is always
+    /// defaults < profile < explicit input.
+    explicit: BTreeSet<&'static str>,
 }
 
 impl ParamValues {
@@ -222,8 +227,23 @@ impl ParamValues {
     }
 
     /// Sets a value directly (used by front ends for derived settings).
+    /// Counts as explicit input: a profile never overrides it.
     pub fn set(&mut self, name: &'static str, value: ParamValue) {
         self.map.insert(name, value);
+        self.explicit.insert(name);
+    }
+
+    /// Sets a value without marking it explicit (profile entries: they
+    /// beat spec defaults but lose to flags and JSON fields).
+    pub(crate) fn set_soft(&mut self, name: &'static str, value: ParamValue) {
+        if !self.explicit.contains(name) {
+            self.map.insert(name, value);
+        }
+    }
+
+    /// Whether `name` was supplied by user input (not defaulted).
+    pub fn was_explicit(&self, name: &str) -> bool {
+        self.explicit.contains(name)
     }
 
     /// Whether `name` was supplied or defaulted.
@@ -293,7 +313,7 @@ impl ParamValues {
     }
 }
 
-fn find_spec(specs: &'static [ParamSpec], name: &str) -> Option<&'static ParamSpec> {
+pub(crate) fn find_spec(specs: &'static [ParamSpec], name: &str) -> Option<&'static ParamSpec> {
     specs.iter().find(|spec| spec.name == name)
 }
 
@@ -319,13 +339,14 @@ pub fn parse_cli(specs: &'static [ParamSpec], args: &[String]) -> Result<ParamVa
             )));
         };
         if spec.kind == ParamKind::Bool {
-            values.map.insert(spec.name, ParamValue::Bool(true));
+            values.set(spec.name, ParamValue::Bool(true));
             continue;
         }
         let Some(text) = iter.next() else {
             return Err(ParamError::new(format!("--{name} needs a value")));
         };
-        values.map.insert(spec.name, spec.parse_text(text)?);
+        let value = spec.parse_text(text)?;
+        values.set(spec.name, value);
     }
     Ok(values)
 }
@@ -349,7 +370,8 @@ pub fn parse_json(specs: &'static [ParamSpec], params: &Json) -> Result<ParamVal
         let Some(spec) = find_spec(specs, name) else {
             return Err(ParamError::new(format!("unknown parameter `{name}`")));
         };
-        values.map.insert(spec.name, spec.parse_json(value)?);
+        let value = spec.parse_json(value)?;
+        values.set(spec.name, value);
     }
     Ok(values)
 }

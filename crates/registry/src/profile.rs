@@ -1,0 +1,194 @@
+//! Named parameter profiles: reusable `key=value` files that pre-fill
+//! tool parameters.
+//!
+//! A profile file holds one `name=value` pair per line, in the same
+//! text syntax the CLI flags use (`#` starts a comment, blank lines are
+//! ignored):
+//!
+//! ```text
+//! # quick iteration: small sweep, all cores
+//! patterns = 2000
+//! widths = 8,16
+//! jobs = 0
+//! ```
+//!
+//! Both front ends accept `profile` (CLI `--profile <path>`, daemon
+//! `"profile": "<path>"` in `params`), because the parameter lives in
+//! the shared registry schema like every other. Precedence is fixed:
+//! spec defaults < profile entries < explicit flags / JSON fields — a
+//! value the user typed is never overridden by the file.
+//!
+//! Failures carry stable diagnostic codes so scripts and the daemon's
+//! JSON error surface can match on them:
+//!
+//! | code   | meaning                                          |
+//! |--------|--------------------------------------------------|
+//! | PRF-V1 | the profile file cannot be read                  |
+//! | PRF-V2 | a key the tool does not declare                  |
+//! | PRF-V3 | a value that does not parse against the spec     |
+
+use crate::param::{find_spec, ParamSpec, ParamValues};
+use crate::tool::{ToolError, ToolErrorKind};
+
+fn profile_error(code: &str, message: String) -> ToolError {
+    ToolError {
+        kind: ToolErrorKind::Invalid,
+        message,
+        codes: vec![code.to_owned()],
+    }
+}
+
+/// Parses profile text into `(line_number, key, value)` entries.
+///
+/// # Errors
+///
+/// `PRF-V3` when a non-comment line has no `=`.
+pub fn parse_profile(text: &str, origin: &str) -> Result<Vec<(usize, String, String)>, ToolError> {
+    let mut entries = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(profile_error(
+                "PRF-V3",
+                format!("{origin}:{}: expected `key = value`, got `{line}`", i + 1),
+            ));
+        };
+        entries.push((i + 1, key.trim().to_owned(), value.trim().to_owned()));
+    }
+    Ok(entries)
+}
+
+/// Expands the `profile` parameter, if present: reads the named file
+/// and fills every non-explicit parameter slot from its entries. A
+/// no-op when the invocation carries no `profile`.
+///
+/// # Errors
+///
+/// [`ToolError`] with kind `Invalid` and a stable `PRF-V*` code: an
+/// unreadable file (`PRF-V1`), a key the tool does not declare
+/// (`PRF-V2`) or a value that does not parse (`PRF-V3`).
+pub fn expand_profile(
+    specs: &'static [ParamSpec],
+    params: &mut ParamValues,
+) -> Result<(), ToolError> {
+    let Some(path) = params.opt_str("profile").map(str::to_owned) else {
+        return Ok(());
+    };
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| profile_error("PRF-V1", format!("cannot read profile `{path}`: {e}")))?;
+    for (line, key, value) in parse_profile(&text, &path)? {
+        if key == "profile" {
+            return Err(profile_error(
+                "PRF-V2",
+                format!("{path}:{line}: profiles cannot nest (`profile` key)"),
+            ));
+        }
+        let Some(spec) = find_spec(specs, &key) else {
+            return Err(profile_error(
+                "PRF-V2",
+                format!("{path}:{line}: unknown key `{key}` for this tool"),
+            ));
+        };
+        let parsed = spec.parse_text(&value).map_err(|e| {
+            profile_error(
+                "PRF-V3",
+                format!("{path}:{line}: {} (`{key} = {value}`)", e),
+            )
+        })?;
+        params.set_soft(spec.name, parsed);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::{parse_cli, ParamKind};
+
+    static SPECS: &[ParamSpec] = &[
+        ParamSpec::new("patterns", ParamKind::Usize, Some("10000"), "pattern count"),
+        ParamSpec::new("width", ParamKind::U32, Some("32"), "TAM width"),
+        ParamSpec::new("stats", ParamKind::Bool, Some("false"), "print stats"),
+        ParamSpec::new("profile", ParamKind::Str, None, "profile path"),
+    ];
+
+    fn write_profile(name: &str, text: &str) -> String {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, text).expect("temp dir is writable");
+        path.to_string_lossy().into_owned()
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn profile_fills_defaults_but_not_explicit_flags() {
+        let path = write_profile(
+            "soctam_profile_basic.profile",
+            "# comment\n\npatterns = 42\nwidth = 8\nstats = true\n",
+        );
+        let mut params =
+            parse_cli(SPECS, &args(&["--profile", &path, "--width", "64"])).expect("parses");
+        expand_profile(SPECS, &mut params).expect("expands");
+        assert_eq!(params.usize("patterns"), 42, "profile beats the default");
+        assert_eq!(params.u32("width"), 64, "flag beats the profile");
+        assert!(params.bool("stats"), "bool values parse as text");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn no_profile_is_a_no_op() {
+        let mut params = parse_cli(SPECS, &args(&["--width", "16"])).expect("parses");
+        let before = params.clone();
+        expand_profile(SPECS, &mut params).expect("no-op");
+        assert_eq!(params, before);
+    }
+
+    #[test]
+    fn missing_file_is_prf_v1() {
+        let mut params =
+            parse_cli(SPECS, &args(&["--profile", "/nonexistent/x.profile"])).expect("parses");
+        let err = expand_profile(SPECS, &mut params).unwrap_err();
+        assert_eq!(err.kind, ToolErrorKind::Invalid);
+        assert_eq!(err.codes, vec!["PRF-V1".to_owned()]);
+    }
+
+    #[test]
+    fn unknown_key_is_prf_v2_with_location() {
+        let path = write_profile("soctam_profile_unknown.profile", "bogus = 3\n");
+        let mut params = parse_cli(SPECS, &args(&["--profile", &path])).expect("parses");
+        let err = expand_profile(SPECS, &mut params).unwrap_err();
+        assert_eq!(err.codes, vec!["PRF-V2".to_owned()]);
+        assert!(err.message.contains(":1:"), "{}", err.message);
+        assert!(err.message.contains("bogus"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn nested_profile_is_rejected() {
+        let path = write_profile("soctam_profile_nested.profile", "profile = other.profile\n");
+        let mut params = parse_cli(SPECS, &args(&["--profile", &path])).expect("parses");
+        let err = expand_profile(SPECS, &mut params).unwrap_err();
+        assert_eq!(err.codes, vec!["PRF-V2".to_owned()]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bad_value_and_bad_syntax_are_prf_v3() {
+        let path = write_profile("soctam_profile_badval.profile", "width = lots\n");
+        let mut params = parse_cli(SPECS, &args(&["--profile", &path])).expect("parses");
+        let err = expand_profile(SPECS, &mut params).unwrap_err();
+        assert_eq!(err.codes, vec!["PRF-V3".to_owned()]);
+        let _ = std::fs::remove_file(&path);
+
+        let path = write_profile("soctam_profile_syntax.profile", "just words\n");
+        let mut params = parse_cli(SPECS, &args(&["--profile", &path])).expect("parses");
+        let err = expand_profile(SPECS, &mut params).unwrap_err();
+        assert_eq!(err.codes, vec!["PRF-V3".to_owned()]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -3,6 +3,9 @@
 
 use std::fmt;
 
+use std::sync::Arc;
+
+use soctam::exec::Progress;
 use soctam::{EvalCache, Pool, Soc, SoctamError};
 
 use crate::json::Json;
@@ -108,6 +111,10 @@ pub struct ToolCtx {
     pub pool: Pool,
     /// Cross-invocation evaluator cache, if the front end keeps one.
     pub eval_cache: Option<EvalCache>,
+    /// Progress sink the front end polls for a live display (the CLI
+    /// `--progress` ticker). Tools publish into it when present; it is
+    /// advisory and never changes results.
+    pub progress: Option<Arc<Progress>>,
 }
 
 impl ToolCtx {
@@ -116,6 +123,7 @@ impl ToolCtx {
         ToolCtx {
             pool,
             eval_cache: None,
+            progress: None,
         }
     }
 }

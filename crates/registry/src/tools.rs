@@ -10,7 +10,7 @@
 use std::fmt::Write as _;
 use std::sync::OnceLock;
 
-use soctam::experiment::{run_table_cached, ExperimentConfig};
+use soctam::experiment::{run_table_opts, ExperimentConfig, TableOpts};
 use soctam::model::parser::{parse_soc, write_soc};
 use soctam::tam::bounds::{intest_lower_bound, si_lower_bound};
 use soctam::tam::{render_schedule, render_schedule_svg};
@@ -52,6 +52,26 @@ const STATS: ParamSpec = ParamSpec::new(
     ParamKind::Bool,
     Some("false"),
     "print runtime statistics (tasks, steals, cache); CLI only",
+);
+const PROBE_JOBS: ParamSpec = ParamSpec::new(
+    "probe-jobs",
+    ParamKind::Usize,
+    Some("1"),
+    "threads for speculative candidate probing (0 = all cores); \
+     bit-identical results at every value",
+);
+const PROFILE: ParamSpec = ParamSpec::new(
+    "profile",
+    ParamKind::Str,
+    None,
+    "key=value parameter file; explicit flags and fields win over it",
+);
+const PROGRESS: ParamSpec = ParamSpec::new(
+    "progress",
+    ParamKind::Bool,
+    Some("false"),
+    "live stderr ticker (phase, probes, best T_soc); CLI only, \
+     silent when stdout is piped",
 );
 const BASELINE: ParamSpec = ParamSpec::new(
     "baseline",
@@ -105,14 +125,19 @@ static OPTIMIZE_PARAMS: &[ParamSpec] = &[
     PARTITIONS,
     SEED,
     JOBS,
+    PROBE_JOBS,
     STATS,
+    PROGRESS,
+    PROFILE,
     BASELINE,
     SVG,
     DEADLINE_MS,
     MAX_ITERS,
     CACHE_CAP,
 ];
-static TABLE_PARAMS: &[ParamSpec] = &[PATTERNS, WIDTHS, PARTS, SEED, JOBS, STATS, CACHE_CAP];
+static TABLE_PARAMS: &[ParamSpec] = &[
+    PATTERNS, WIDTHS, PARTS, SEED, JOBS, PROBE_JOBS, STATS, PROGRESS, PROFILE, CACHE_CAP,
+];
 static COMPACT_PARAMS: &[ParamSpec] = &[PATTERNS, PARTITIONS, SEED, JOBS, STATS];
 static EXPORT_PARAMS: &[ParamSpec] = &[];
 static BOUNDS_PARAMS: &[ParamSpec] = &[PATTERNS, PARTITIONS, WIDTHS, SEED, JOBS];
@@ -220,6 +245,17 @@ fn effective_cache(params: &ParamValues, ctx: &ToolCtx) -> Option<EvalCache> {
         .map(|cap| EvalCache::with_capacity_and_metrics(cap, ctx.pool.metrics()))
 }
 
+/// The probe pool an invocation runs with: `None` keeps speculative
+/// candidate probing on the main pool's calling worker; any other
+/// `probe-jobs` value gets its own pool (0 = all cores). Results are
+/// bit-identical either way — probes are reduced in candidate order.
+fn probe_pool_from(params: &ParamValues) -> Option<soctam::Pool> {
+    match params.usize("probe-jobs") {
+        1 => None,
+        jobs => Some(soctam::Pool::new(jobs)),
+    }
+}
+
 fn pipeline_err(err: impl Into<SoctamError>) -> ToolError {
     ToolError::from_soctam(&err.into())
 }
@@ -289,6 +325,12 @@ fn optimize_tool(soc: &Soc, params: &ParamValues, ctx: &ToolCtx) -> Result<ToolO
         .objective(objective)
         .budget(budget_from(params))
         .pool(pool.clone());
+    if let Some(probe_pool) = probe_pool_from(params) {
+        optimizer = optimizer.probe_pool(probe_pool);
+    }
+    if let Some(progress) = &ctx.progress {
+        optimizer = optimizer.progress(std::sync::Arc::clone(progress));
+    }
     if let Some(cache) = effective_cache(params, ctx) {
         optimizer = optimizer.eval_cache(cache);
     }
@@ -335,8 +377,12 @@ fn table_tool(soc: &Soc, params: &ParamValues, ctx: &ToolCtx) -> Result<ToolOutp
         partitions: params.u32_list("parts"),
         seed: params.u64("seed"),
     };
-    let cache = effective_cache(params, ctx);
-    let table = run_table_cached(soc, &config, &ctx.pool, cache.as_ref()).map_err(pipeline_err)?;
+    let opts = TableOpts {
+        cache: effective_cache(params, ctx),
+        probe_pool: probe_pool_from(params),
+        progress: ctx.progress.clone(),
+    };
+    let table = run_table_opts(soc, &config, &ctx.pool, &opts).map_err(pipeline_err)?;
     Ok(ToolOutput::text(table.to_string()))
 }
 

@@ -319,6 +319,7 @@ fn invoke_tool(name: &str, body: &str, state: &ServerState) -> Response {
     let ctx = ToolCtx {
         pool: state.pool.clone(),
         eval_cache: Some(state.cache.clone()),
+        progress: None,
     };
     let outcome = catch_unwind(AssertUnwindSafe(|| (tool.run)(&soc, &params, &ctx)));
     match outcome {
@@ -460,6 +461,10 @@ fn build_invocation(
         }
         params.set("deadline-ms", ParamValue::U64(ms));
     }
+    // Profiles resolve on the server's filesystem; a bad file or key is
+    // the client's problem and carries its stable PRF-V* code.
+    soctam_registry::expand_profile(specs, &mut params)
+        .map_err(|e| Response::error(422, None, "invalid", &e))?;
     Ok((soc, params))
 }
 
@@ -539,6 +544,12 @@ fn metrics_json(state: &ServerState) -> Json {
                     "schedule_reuses",
                     Json::Int(snapshot.schedule_reuses as i128),
                 ),
+                (
+                    "speculative_probes",
+                    Json::Int(snapshot.speculative_probes as i128),
+                ),
+                ("probe_batches", Json::Int(snapshot.probe_batches as i128)),
+                ("probe_wasted", Json::Int(snapshot.probe_wasted as i128)),
                 (
                     "phases",
                     Json::Arr(

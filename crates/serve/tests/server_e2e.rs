@@ -247,6 +247,21 @@ fn cross_request_cache_hits_show_up_in_metrics() {
         "first run must warm the shared cache"
     );
 
+    // The optimizer probes candidates even with a serial probe pool, so
+    // one optimize request must surface the speculative-probe counters.
+    let pool = Json::parse(&client::get(&addr, "/metrics").unwrap().body).unwrap();
+    let pool = pool.get("pool").unwrap().clone();
+    let counter = |name: &str| pool.get(name).unwrap().as_u64().unwrap();
+    assert!(
+        counter("speculative_probes") > 0,
+        "an optimize run must record speculative probes"
+    );
+    assert!(
+        counter("probe_batches") > 0,
+        "an optimize run must record probe batches"
+    );
+    let _ = counter("probe_wasted"); // present (zero on a fault-free run)
+
     let second = client::post(&addr, "/v1/tools/optimize", body).unwrap();
     assert_eq!(second.status, 200);
     assert_eq!(output_field(&second.body), output_field(&first.body));

@@ -163,11 +163,16 @@ impl<'a> TestBusEvaluator<'a> {
             .iter()
             .zip(rail_time_in.iter().zip(bus_group_shift))
             .map(|(bus, (&t_in, group_shift))| {
+                let group_shift: Vec<(u32, u64)> = group_shift;
+                let si_sum = group_shift
+                    .iter()
+                    .fold(0u64, |acc, &(_, cycles)| acc.saturating_add(cycles));
                 Arc::new(RailEval {
                     t_in,
                     width: bus.width(),
                     cores_fp: fx_fingerprint128(&bus.cores()),
                     group_shift,
+                    si_sum,
                 })
             })
             .collect();

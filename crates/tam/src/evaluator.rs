@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use soctam_exec::{fault, fx_fingerprint128, FpKey, MemoCache, Metrics};
+use soctam_exec::{fault, fx_fingerprint128, Fingerprinter, FpKey, MemoCache, Metrics};
 use soctam_model::{CoreId, Soc};
 use soctam_wrapper::TimeTable;
 
@@ -37,11 +37,14 @@ const SPACE_USED: u8 = 3;
 /// Cache namespace: Algorithm 1 makespans keyed by group-times
 /// fingerprint (the cost-only sibling of [`SPACE_SCHED`]).
 const SPACE_MAKESPAN: u8 = 4;
+/// Cache namespace: objective costs of speculative wire
+/// redistributions, keyed by (candidate rails, freed wires, objective).
+const SPACE_DIST: u8 = 5;
 
-/// One value of the shared evaluation store. All five logical caches
+/// One value of the shared evaluation store. All six logical caches
 /// (rail components, assembled architectures, schedules, staircases,
-/// makespans) live in a single sharded [`MemoCache`], disambiguated by
-/// the [`FpKey`] namespace tag.
+/// makespans, redistribution costs) live in a single sharded
+/// [`MemoCache`], disambiguated by the [`FpKey`] namespace tag.
 #[derive(Clone, Debug)]
 enum Cached {
     Rail(Arc<RailEval>),
@@ -49,6 +52,7 @@ enum Cached {
     Sched(Arc<SiSchedule>),
     Used(Arc<Vec<u64>>),
     Makespan(u64),
+    Cost(u64),
 }
 
 /// A shareable evaluation store, usable across many [`Evaluator`]s —
@@ -135,8 +139,11 @@ impl EvalCache {
 /// width and hosted cores. Collision odds are the documented
 /// ~N²/2¹²⁹ of [`fx_fingerprint128`] — negligible for any reachable
 /// number of distinct rails.
-fn rail_fingerprint(width: u32, cores: &[CoreId]) -> u128 {
-    fx_fingerprint128(&(width, cores))
+/// The fingerprint is composed from the core list's own fingerprint so
+/// width-only probes (the optimizer's hottest lookup) can key the rail
+/// cache without rehashing the core list.
+fn rail_fingerprint_fp(width: u32, cores_fp: u128) -> u128 {
+    fx_fingerprint128(&(width, cores_fp))
 }
 
 /// Fingerprint identifying an architecture: the exact rail list (width
@@ -145,6 +152,29 @@ fn rail_fingerprint(width: u32, cores: &[CoreId]) -> u128 {
 /// pass.
 fn arch_fingerprint(rails: &[TestRail]) -> u128 {
     fx_fingerprint128(&rails)
+}
+
+/// Fingerprint of `base` with the sorted `(index, row)` substitutions
+/// in `changed` applied — without building the patched vector. The
+/// digest is slice-compatible: with `changed` empty it equals
+/// `fx_fingerprint128(&base)` (length prefix, then rows element-wise),
+/// so patched and owned group-times key the same schedule/makespan
+/// cache entries.
+fn group_times_fp(base: &[SiGroupTime], changed: &[(usize, SiGroupTime)]) -> u128 {
+    debug_assert!(changed.windows(2).all(|w| w[0].0 < w[1].0));
+    let mut fp = Fingerprinter::new();
+    fp.write(&base.len());
+    let mut pending = changed.iter().peekable();
+    for (g, row) in base.iter().enumerate() {
+        match pending.peek() {
+            Some((cg, crow)) if *cg == g => {
+                fp.write(crow);
+                pending.next();
+            }
+            _ => fp.write(row),
+        }
+    }
+    fp.finish()
 }
 
 /// A compacted SI test group as the TAM layer sees it: the involved cores
@@ -228,6 +258,10 @@ pub struct RailEval {
     /// cycles, ascending by group index. This is the rail's column of
     /// the `CalculateSITestTime` table.
     pub group_shift: Vec<(u32, u64)>,
+    /// `time_si(r)`: the saturating sum of `group_shift`'s cycles —
+    /// precomputed so the probe hot path charges the rail's utilized SI
+    /// time without re-folding the column.
+    pub si_sum: u64,
 }
 
 /// Complete timing evaluation of one architecture.
@@ -267,6 +301,156 @@ pub struct DeltaCost {
     /// `Σ_r time_used(r)` — the secondary key wire rebalancing breaks
     /// ties with (equals `Evaluation::rail_time_used().iter().sum()`).
     pub rail_used_sum: u64,
+}
+
+/// Precomputed reduction state over one base [`Evaluation`], built by
+/// [`Evaluator::probe_ctx`] and consumed by [`Evaluator::cost_swap`]:
+/// the top-two per-rail InTest times (so the max excluding any one rail
+/// is O(1)), the utilized-time sum, and the per-group transpose of the
+/// rails' sparse shift columns (each row ascending by rail index, as
+/// the group walk visits them). Immutable once built.
+#[derive(Clone, Debug)]
+pub struct ProbeCtx<'b> {
+    base: &'b Evaluation,
+    t_in_max: u64,
+    t_in_argmax: usize,
+    t_in_second: u64,
+    used_sum: u64,
+    rows: Vec<Vec<(usize, u64)>>,
+    /// Per-group `(max, argmax, second-max, second-argmax)` over the
+    /// transpose row, with the same first-strict-maximum tie-break as
+    /// the row scan in [`patched_row`]: `argmax` is the lowest rail
+    /// index holding `max`, `second` the maximum over the remaining
+    /// rails. Lets [`Evaluator::swap_t_si`] decide "did this group's
+    /// time or bottleneck change?" in O(1) without rebuilding the row.
+    tops: Vec<(u64, usize, u64, usize)>,
+}
+
+impl ProbeCtx<'_> {
+    /// The base evaluation the context was built over.
+    pub fn base(&self) -> &Evaluation {
+        self.base
+    }
+}
+
+/// Owned, patchable probe state: the reductions a [`ProbeCtx`]
+/// precomputes plus the group-times vector and makespan, all mutable,
+/// so a *sequence* of speculative width swaps — the mergeTAMs nested
+/// wire redistribution — can accept steps in place without
+/// materializing an [`Evaluation`] per step.
+///
+/// Rail indices keep the labels of the evaluation the state was seeded
+/// from: a rail removed by [`Evaluator::swap_state_merged`] leaves a
+/// `None` hole so every surviving rail keeps its label. The quantities
+/// read out of the state (`T_soc^in`, `T_soc^si`) are label-invariant —
+/// the scheduler consumes only group times and rail *sharing*, which
+/// any relabeling preserves — so costs computed here are bit-identical
+/// to those of the compacted candidate rail list the optimizer would
+/// otherwise materialize.
+#[derive(Clone, Debug)]
+pub struct SwapState {
+    comps: Vec<Option<Arc<RailEval>>>,
+    t_in_max: u64,
+    t_in_argmax: usize,
+    t_in_second: u64,
+    rows: Vec<Vec<(usize, u64)>>,
+    tops: Vec<(u64, usize, u64, usize)>,
+    group_times: Vec<SiGroupTime>,
+    t_si: u64,
+}
+
+impl SwapState {
+    /// `T_soc^in` of the state's architecture.
+    pub fn t_in(&self) -> u64 {
+        self.t_in_max
+    }
+
+    /// `T_soc^si` of the state's architecture.
+    pub fn t_si(&self) -> u64 {
+        self.t_si
+    }
+
+    /// The current component of rail `i`, or `None` for a removed rail.
+    pub fn component(&self, i: usize) -> Option<&RailEval> {
+        self.comps[i].as_deref()
+    }
+
+    /// Rebuilds the top-two InTest reduction after a component change,
+    /// with the same first-strict-maximum argmax tie-break as
+    /// [`Evaluator::probe_ctx`]'s scan.
+    fn recompute_t_in(&mut self) {
+        let (mut max, mut argmax, mut second) = (0u64, usize::MAX, 0u64);
+        for (r, comp) in self.comps.iter().enumerate() {
+            let Some(comp) = comp else { continue };
+            if comp.t_in > max {
+                second = max;
+                max = comp.t_in;
+                argmax = r;
+            } else if comp.t_in > second {
+                second = comp.t_in;
+            }
+        }
+        self.t_in_max = max;
+        self.t_in_argmax = argmax;
+        self.t_in_second = second;
+    }
+}
+
+/// One pass over a transpose row: its top-two reduction and its
+/// [`SiGroupTime`], both with the first-strict-maximum tie-break of
+/// [`patched_row`] and [`Evaluator::probe_ctx`].
+fn row_reduction(row: &[(usize, u64)]) -> ((u64, usize, u64, usize), SiGroupTime) {
+    let (mut m1, mut r1, mut m2, mut r2) = (0u64, usize::MAX, 0u64, usize::MAX);
+    let mut rails = Vec::with_capacity(row.len());
+    for &(r, cycles) in row {
+        if cycles > m1 {
+            (m2, r2) = (m1, r1);
+            (m1, r1) = (cycles, r);
+        } else if cycles > m2 {
+            (m2, r2) = (cycles, r);
+        }
+        rails.push(r);
+    }
+    (
+        (m1, r1, m2, r2),
+        SiGroupTime {
+            time: m1,
+            rails,
+            bottleneck_rail: r1,
+        },
+    )
+}
+
+/// Rebuilds one group's [`SiGroupTime`] row from its transpose row with
+/// rail `i`'s cycles replaced by `new_c` (`None` removes the rail from
+/// the group). Rails stay in ascending index order and the bottleneck
+/// keeps the first-strict-maximum tie-break, matching
+/// [`Evaluator::group_times_of`] exactly.
+fn patched_row(row: &[(usize, u64)], i: usize, new_c: Option<u64>) -> SiGroupTime {
+    let mut entries: Vec<(usize, u64)> = Vec::with_capacity(row.len() + 1);
+    for &(r, cycles) in row {
+        if r != i {
+            entries.push((r, cycles));
+        }
+    }
+    if let Some(cycles) = new_c {
+        let pos = entries.partition_point(|&(r, _)| r < i);
+        entries.insert(pos, (i, cycles));
+    }
+    let mut rails = Vec::with_capacity(entries.len());
+    let (mut best_rail, mut best_time) = (usize::MAX, 0u64);
+    for &(r, cycles) in &entries {
+        if cycles > best_time {
+            best_time = cycles;
+            best_rail = r;
+        }
+        rails.push(r);
+    }
+    SiGroupTime {
+        time: best_time,
+        rails,
+        bottleneck_rail: best_rail,
+    }
 }
 
 impl Evaluation {
@@ -412,6 +596,29 @@ impl<'a> Evaluator<'a> {
     pub fn attach_cache(&mut self, cache: &EvalCache) {
         self.cache = Arc::clone(&cache.store);
         self.cache_shared = true;
+    }
+
+    /// A second evaluator over the same context sharing this one's memo
+    /// store. The fork skips the full construction pass (SOC
+    /// fingerprinting, wrapper time table) by cloning the ingested
+    /// state, and — because the context fingerprint is identical —
+    /// every rail component, schedule and staircase either evaluator
+    /// computes is immediately visible to the other. Objective-dependent
+    /// entries carry the objective in their caller-side fingerprint, so
+    /// forks running different objectives cannot alias.
+    pub(crate) fn fork(&self) -> Evaluator<'a> {
+        Evaluator {
+            soc: self.soc,
+            table: self.table.clone(),
+            max_width: self.max_width,
+            groups: self.groups.clone(),
+            core_si_weight: self.core_si_weight.clone(),
+            core_groups: self.core_groups.clone(),
+            cache: Arc::clone(&self.cache),
+            cache_shared: self.cache_shared,
+            ctx_fp: self.ctx_fp,
+            metrics: self.metrics.clone(),
+        }
     }
 
     /// The cache key for `fp` in `space`, mixed with the context
@@ -567,6 +774,556 @@ impl<'a> Evaluator<'a> {
             .collect()
     }
 
+    /// Precomputed reduction state for repeated width-only probes
+    /// against one base evaluation (see [`Evaluator::cost_swap`]).
+    /// Read-only once built, so one context can serve many concurrent
+    /// speculative probes.
+    pub fn probe_ctx<'b>(&self, base: &'b Evaluation) -> ProbeCtx<'b> {
+        debug_assert_eq!(base.group_times.len(), self.groups.len());
+        let (mut t_in_max, mut t_in_argmax, mut t_in_second) = (0u64, usize::MAX, 0u64);
+        for (r, &t) in base.rail_time_in.iter().enumerate() {
+            if t > t_in_max {
+                t_in_second = t_in_max;
+                t_in_max = t;
+                t_in_argmax = r;
+            } else if t > t_in_second {
+                t_in_second = t;
+            }
+        }
+        // Matches `cost_of_components`'s plain sum in release builds;
+        // wrapping accumulation only diverges where the plain sum would
+        // abort a debug build on degenerate inputs.
+        let mut used_sum = 0u64;
+        for (t_in, t_si) in base.rail_time_in.iter().zip(&base.rail_time_si) {
+            used_sum = used_sum.wrapping_add(t_in.saturating_add(*t_si));
+        }
+        let mut rows: Vec<Vec<(usize, u64)>> = vec![Vec::new(); self.groups.len()];
+        for (r, comp) in base.rail_evals.iter().enumerate() {
+            for &(g, cycles) in &comp.group_shift {
+                rows[g as usize].push((r, cycles));
+            }
+        }
+        let tops = rows
+            .iter()
+            .map(|row| {
+                let (mut m1, mut r1, mut m2, mut r2) = (0u64, usize::MAX, 0u64, usize::MAX);
+                for &(r, cycles) in row {
+                    if cycles > m1 {
+                        (m2, r2) = (m1, r1);
+                        (m1, r1) = (cycles, r);
+                    } else if cycles > m2 {
+                        (m2, r2) = (cycles, r);
+                    }
+                }
+                (m1, r1, m2, r2)
+            })
+            .collect();
+        ProbeCtx {
+            base,
+            t_in_max,
+            t_in_argmax,
+            t_in_second,
+            used_sum,
+            rows,
+            tops,
+        }
+    }
+
+    /// The cost of swapping rail `i` of `ctx`'s base to `width` —
+    /// bit-identical to [`Evaluator::cost_from`] with `changed = [i]`
+    /// and the base rail list with rail `i` rebuilt at `width`, but in
+    /// ~O(groups touched by rail i) with no rail clone and no per-rail
+    /// `Arc` traffic. This is the optimizer's innermost probe: the
+    /// rail component comes from the cache via the base component's
+    /// precomputed core fingerprint, `T_soc^in` from the context's
+    /// top-two reduction, and the schedule is reused whenever rail
+    /// `i`'s patched group rows match the base's (the common case on
+    /// width plateaus).
+    ///
+    /// `cores` must be rail `i`'s core list (checked in debug builds) —
+    /// it is only consulted to compute the component on a cache miss.
+    pub fn cost_swap(
+        &self,
+        ctx: &ProbeCtx<'_>,
+        i: usize,
+        cores: &[CoreId],
+        width: u32,
+    ) -> DeltaCost {
+        let comp = self.swap_component(ctx.base, i, cores, width);
+        self.cost_swap_with(ctx, i, &comp)
+    }
+
+    /// The memoized rail component for swapping rail `i` of `base` to
+    /// `width`, fetched via the base component's precomputed core
+    /// fingerprint. Callers that probe the same `(rail, width)` pair
+    /// many times against one base (the optimizer's wire-distribution
+    /// loop) fetch the component once and feed it to
+    /// [`Evaluator::cost_swap_with`] per probe, keeping all cache
+    /// traffic out of the probe batch.
+    ///
+    /// `cores` must be rail `i`'s core list (checked in debug builds) —
+    /// it is only consulted to compute the component on a cache miss.
+    pub fn swap_component(
+        &self,
+        base: &Evaluation,
+        i: usize,
+        cores: &[CoreId],
+        width: u32,
+    ) -> Arc<RailEval> {
+        let old = &base.rail_evals[i];
+        debug_assert_eq!(
+            old.cores_fp,
+            fx_fingerprint128(&cores),
+            "cost_swap changes rail {i}'s width only; cores must match the base rail"
+        );
+        self.rail_eval_cached_fp(width, old.cores_fp, cores)
+    }
+
+    /// The pure-math half of [`Evaluator::cost_swap`]: scores replacing
+    /// rail `i`'s component with `comp` (any width, same cores) against
+    /// the context's precomputed reductions. No cache lookups, no
+    /// allocation on the schedule-reuse path.
+    pub fn cost_swap_with(&self, ctx: &ProbeCtx<'_>, i: usize, comp: &RailEval) -> DeltaCost {
+        let base = ctx.base;
+        let old = &base.rail_evals[i];
+        debug_assert_eq!(
+            old.cores_fp, comp.cores_fp,
+            "cost_swap changes rail {i}'s width only; cores must match the base rail"
+        );
+
+        let others_max = if ctx.t_in_argmax == i {
+            ctx.t_in_second
+        } else {
+            ctx.t_in_max
+        };
+        let t_in = comp.t_in.max(others_max);
+
+        // Rail i's utilized SI time: the component's precomputed column
+        // sum accumulates per group in ascending order, exactly as
+        // `cost_of_components` folds its column.
+        let new_si = comp.si_sum;
+        let old_used = base.rail_time_in[i].saturating_add(base.rail_time_si[i]);
+        let rail_used_sum = ctx
+            .used_sum
+            .wrapping_sub(old_used)
+            .wrapping_add(comp.t_in.saturating_add(new_si));
+
+        let t_si = if old.group_shift == comp.group_shift {
+            // The swap changed no group column (a width plateau): every
+            // group row — and therefore the schedule — is the base's.
+            if let Some(m) = &self.metrics {
+                m.count_schedule_reuse();
+            }
+            base.t_si
+        } else {
+            self.swap_t_si(ctx, i, &old.group_shift, &comp.group_shift)
+        };
+        DeltaCost {
+            t_in,
+            t_si,
+            rail_used_sum,
+        }
+    }
+
+    /// `T_soc^si` after swapping rail `i`'s sparse group column from
+    /// `old_col` to `new_col`: walks the union of the two columns,
+    /// recomputes only the group rows whose cycles for rail `i`
+    /// actually changed, and reuses the base schedule when every
+    /// patched row still equals the base's.
+    fn swap_t_si(
+        &self,
+        ctx: &ProbeCtx<'_>,
+        i: usize,
+        old_col: &[(u32, u64)],
+        new_col: &[(u32, u64)],
+    ) -> u64 {
+        let base = ctx.base;
+        let changed_rows = self.swap_changed_rows(ctx, i, old_col, new_col);
+        if changed_rows.is_empty() {
+            if let Some(m) = &self.metrics {
+                m.count_schedule_reuse();
+            }
+            base.t_si
+        } else {
+            self.makespan_patched(&base.group_times, &changed_rows)
+        }
+    }
+
+    /// The group rows that actually differ from `ctx`'s base after
+    /// swapping rail `i`'s sparse column from `old_col` to `new_col`,
+    /// ascending by group index; empty means every row — and therefore
+    /// the schedule — is the base's. Rows whose cycles change but whose
+    /// time, membership and bottleneck do not are *not* reported: the
+    /// patched [`SiGroupTime`] would equal the base's bit for bit.
+    fn swap_changed_rows(
+        &self,
+        ctx: &ProbeCtx<'_>,
+        i: usize,
+        old_col: &[(u32, u64)],
+        new_col: &[(u32, u64)],
+    ) -> Vec<(usize, SiGroupTime)> {
+        changed_rows_for(
+            &ctx.rows,
+            &ctx.tops,
+            &ctx.base.group_times,
+            i,
+            old_col,
+            new_col,
+        )
+    }
+}
+
+/// [`Evaluator::swap_changed_rows`] generalized over any reduction
+/// triple — a [`ProbeCtx`]'s borrowed state or a [`SwapState`]'s owned
+/// one: `rows` is the per-group transpose, `tops` its top-two
+/// reduction, `group_times` the matching [`SiGroupTime`] vector.
+fn changed_rows_for(
+    rows: &[Vec<(usize, u64)>],
+    tops: &[(u64, usize, u64, usize)],
+    group_times: &[SiGroupTime],
+    i: usize,
+    old_col: &[(u32, u64)],
+    new_col: &[(u32, u64)],
+) -> Vec<(usize, SiGroupTime)> {
+    {
+        let mut changed_rows: Vec<(usize, SiGroupTime)> = Vec::new();
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < old_col.len() || b < new_col.len() {
+            let ga = old_col.get(a).map(|&(g, _)| g);
+            let gb = new_col.get(b).map(|&(g, _)| g);
+            let (g, old_c, new_c) = match (ga, gb) {
+                (Some(x), Some(y)) if x == y => {
+                    let pair = (x, Some(old_col[a].1), Some(new_col[b].1));
+                    a += 1;
+                    b += 1;
+                    pair
+                }
+                (Some(x), gy) if gy.map_or(true, |y| x < y) => {
+                    let pair = (x, Some(old_col[a].1), None);
+                    a += 1;
+                    pair
+                }
+                (_, Some(y)) => {
+                    let pair = (y, None, Some(new_col[b].1));
+                    b += 1;
+                    pair
+                }
+                // Both cursors dead contradicts the loop condition, and
+                // the second arm's guard caught a live `a` with a dead
+                // `b` — only the checker can reach this arm.
+                (_, None) => break,
+            };
+            if old_c == new_c {
+                continue;
+            }
+            let g = g as usize;
+            if let (Some(_), Some(new_cycles)) = (old_c, new_c) {
+                // Membership unchanged: the patched row keeps the base's
+                // rail list, and its time/bottleneck follow in O(1) from
+                // the precomputed top-two (max excluding rail `i`, then
+                // the candidate cycles; ties resolve to the lowest rail
+                // index, matching the row scan's first-strict-maximum).
+                let (m1, r1, m2, r2) = tops[g];
+                let (excl_max, excl_arg) = if r1 == i { (m2, r2) } else { (m1, r1) };
+                let (time, bottleneck) = if new_cycles > excl_max {
+                    (new_cycles, i)
+                } else if new_cycles == excl_max {
+                    (excl_max, excl_arg.min(i))
+                } else {
+                    (excl_max, excl_arg)
+                };
+                let bg = &group_times[g];
+                if time == bg.time && bottleneck == bg.bottleneck_rail {
+                    // Patched row equals the base row exactly — writing
+                    // it back would be a no-op, so skip the rebuild.
+                    continue;
+                }
+                changed_rows.push((g, patched_row(&rows[g], i, new_c)));
+            } else {
+                // Rail i enters or leaves the group: the rail list —
+                // and therefore the row — always changes.
+                changed_rows.push((g, patched_row(&rows[g], i, new_c)));
+            }
+        }
+        changed_rows
+    }
+}
+
+impl<'a> Evaluator<'a> {
+    /// Materializes the evaluation of swapping rail `i` of `ctx`'s base
+    /// to `comp` — the accept half of a probed width swap, bit-identical
+    /// to [`Evaluator::evaluate_from`] with `changed = [i]` on the
+    /// swapped rail list, but assembled by patching the base's vectors
+    /// instead of re-reducing every component.
+    pub fn evaluate_swap_with(
+        &self,
+        ctx: &ProbeCtx<'_>,
+        i: usize,
+        comp: Arc<RailEval>,
+    ) -> Evaluation {
+        let base = ctx.base;
+        let old = &base.rail_evals[i];
+        debug_assert_eq!(
+            old.cores_fp, comp.cores_fp,
+            "evaluate_swap_with changes rail {i}'s width only; cores must match the base rail"
+        );
+
+        let others_max = if ctx.t_in_argmax == i {
+            ctx.t_in_second
+        } else {
+            ctx.t_in_max
+        };
+        let t_in = comp.t_in.max(others_max);
+
+        let mut rail_time_in = base.rail_time_in.clone();
+        rail_time_in[i] = comp.t_in;
+        // Other rails' utilized SI times depend only on their own
+        // columns, which the swap leaves untouched.
+        let mut rail_time_si = base.rail_time_si.clone();
+        rail_time_si[i] = comp.si_sum;
+
+        let changed_rows = self.swap_changed_rows(ctx, i, &old.group_shift, &comp.group_shift);
+        let mut group_times = base.group_times.clone();
+        let schedule = if changed_rows.is_empty() {
+            // Same reuse condition — and the same metrics event — as
+            // `assemble` comparing the full group-times vectors.
+            if let Some(m) = &self.metrics {
+                m.count_schedule_reuse();
+            }
+            Arc::clone(&base.schedule)
+        } else {
+            for (g, row) in changed_rows {
+                group_times[g] = row;
+            }
+            self.schedule_cached(&group_times)
+        };
+        let t_si = schedule.makespan();
+
+        let mut rail_evals = base.rail_evals.clone();
+        rail_evals[i] = comp;
+        Evaluation {
+            rail_time_in,
+            rail_time_si,
+            group_times,
+            schedule,
+            t_in,
+            t_si,
+            rail_evals,
+        }
+    }
+
+    /// Seeds an owned [`SwapState`] from `base`: the same reductions as
+    /// [`Evaluator::probe_ctx`], detached from the base's lifetime and
+    /// patchable.
+    pub fn swap_state(&self, base: &Evaluation) -> SwapState {
+        let ProbeCtx {
+            t_in_max,
+            t_in_argmax,
+            t_in_second,
+            rows,
+            tops,
+            ..
+        } = self.probe_ctx(base);
+        SwapState {
+            comps: base
+                .rail_evals
+                .iter()
+                .map(|c| Some(Arc::clone(c)))
+                .collect(),
+            t_in_max,
+            t_in_argmax,
+            t_in_second,
+            rows,
+            tops,
+            group_times: base.group_times.clone(),
+            t_si: base.t_si,
+        }
+    }
+
+    /// Derives the state of merging rail `dead` into rail `target`:
+    /// rail `dead` is removed (its label left as a hole) and `target`'s
+    /// component replaced by `merged` — the merged rail keeps `target`'s
+    /// label. `T_soc^si` and every patched reduction are bit-identical
+    /// to evaluating the compacted candidate rail list, because all of
+    /// them are invariant under the relabeling (see [`SwapState`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` or `dead` is not a live rail of `parent`.
+    #[allow(clippy::expect_used)]
+    pub fn swap_state_merged(
+        &self,
+        parent: &SwapState,
+        target: usize,
+        dead: usize,
+        merged: Arc<RailEval>,
+    ) -> SwapState {
+        let mut st = parent.clone();
+        let old_target = st.comps[target].take().expect("target rail is live");
+        let old_dead = st.comps[dead].take().expect("dead rail is live");
+        // Groups whose rows the merge touches: any group appearing in
+        // the replaced, removed, or merged columns.
+        let mut affected: Vec<usize> = Vec::new();
+        for col in [
+            &old_target.group_shift,
+            &old_dead.group_shift,
+            &merged.group_shift,
+        ] {
+            affected.extend(col.iter().map(|&(g, _)| g as usize));
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        let mut changed: Vec<(usize, SiGroupTime)> = Vec::new();
+        let mut cursor = 0usize;
+        for &g in &affected {
+            while cursor < merged.group_shift.len() && (merged.group_shift[cursor].0 as usize) < g {
+                cursor += 1;
+            }
+            let merged_c = (cursor < merged.group_shift.len()
+                && merged.group_shift[cursor].0 as usize == g)
+                .then(|| merged.group_shift[cursor].1);
+            let row = &mut st.rows[g];
+            row.retain(|&(r, _)| r != target && r != dead);
+            if let Some(cycles) = merged_c {
+                let pos = row.partition_point(|&(r, _)| r < target);
+                row.insert(pos, (target, cycles));
+            }
+            let (tops, row_time) = row_reduction(row);
+            st.tops[g] = tops;
+            if row_time != st.group_times[g] {
+                changed.push((g, row_time));
+            }
+        }
+        if changed.is_empty() {
+            if let Some(m) = &self.metrics {
+                m.count_schedule_reuse();
+            }
+        } else {
+            st.t_si = self.makespan_patched(&st.group_times, &changed);
+            for (g, row) in changed {
+                st.group_times[g] = row;
+            }
+        }
+        st.comps[target] = Some(merged);
+        st.recompute_t_in();
+        st
+    }
+
+    /// The `(T_soc^in, T_soc^si)` of swapping live rail `i` of `st` to
+    /// `comp` — [`Evaluator::cost_swap_with`] against an owned state.
+    /// Read-only: many concurrent probes may share one state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rail `i` is not live in `st`.
+    #[allow(clippy::expect_used)]
+    pub fn state_cost_swap(&self, st: &SwapState, i: usize, comp: &RailEval) -> (u64, u64) {
+        let old = st.comps[i].as_deref().expect("swapped rail is live");
+        debug_assert_eq!(
+            old.cores_fp, comp.cores_fp,
+            "state_cost_swap changes rail {i}'s width only; cores must match"
+        );
+        let others_max = if st.t_in_argmax == i {
+            st.t_in_second
+        } else {
+            st.t_in_max
+        };
+        let t_in = comp.t_in.max(others_max);
+        let t_si = if old.group_shift == comp.group_shift {
+            if let Some(m) = &self.metrics {
+                m.count_schedule_reuse();
+            }
+            st.t_si
+        } else {
+            let changed = changed_rows_for(
+                &st.rows,
+                &st.tops,
+                &st.group_times,
+                i,
+                &old.group_shift,
+                &comp.group_shift,
+            );
+            if changed.is_empty() {
+                if let Some(m) = &self.metrics {
+                    m.count_schedule_reuse();
+                }
+                st.t_si
+            } else {
+                self.makespan_patched(&st.group_times, &changed)
+            }
+        };
+        (t_in, t_si)
+    }
+
+    /// Accepts a probed width swap on `st`: replaces live rail `i`'s
+    /// component with `comp` and patches every reduction in place. The
+    /// resulting `T_soc^si` equals [`Evaluator::state_cost_swap`]'s for
+    /// the same swap (the change detection is shared).
+    ///
+    /// # Panics
+    ///
+    /// Panics if rail `i` is not live in `st`.
+    #[allow(clippy::expect_used)]
+    pub fn state_apply_swap(&self, st: &mut SwapState, i: usize, comp: Arc<RailEval>) {
+        let old = st.comps[i].take().expect("swapped rail is live");
+        debug_assert_eq!(
+            old.cores_fp, comp.cores_fp,
+            "state_apply_swap changes rail {i}'s width only; cores must match"
+        );
+        let (old_col, new_col) = (&old.group_shift, &comp.group_shift);
+        let mut changed: Vec<(usize, SiGroupTime)> = Vec::new();
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < old_col.len() || b < new_col.len() {
+            let ga = old_col.get(a).map(|&(g, _)| g);
+            let gb = new_col.get(b).map(|&(g, _)| g);
+            let (g, old_c, new_c) = match (ga, gb) {
+                (Some(x), Some(y)) if x == y => {
+                    let pair = (x, Some(old_col[a].1), Some(new_col[b].1));
+                    a += 1;
+                    b += 1;
+                    pair
+                }
+                (Some(x), gy) if gy.map_or(true, |y| x < y) => {
+                    let pair = (x, Some(old_col[a].1), None);
+                    a += 1;
+                    pair
+                }
+                _ => {
+                    let pair = (gb.expect("one cursor is live"), None, Some(new_col[b].1));
+                    b += 1;
+                    pair
+                }
+            };
+            if old_c == new_c {
+                continue;
+            }
+            let g = g as usize;
+            let row = &mut st.rows[g];
+            row.retain(|&(r, _)| r != i);
+            if let Some(cycles) = new_c {
+                let pos = row.partition_point(|&(r, _)| r < i);
+                row.insert(pos, (i, cycles));
+            }
+            let (tops, row_time) = row_reduction(row);
+            st.tops[g] = tops;
+            if row_time != st.group_times[g] {
+                changed.push((g, row_time));
+            }
+        }
+        if changed.is_empty() {
+            if let Some(m) = &self.metrics {
+                m.count_schedule_reuse();
+            }
+        } else {
+            st.t_si = self.makespan_patched(&st.group_times, &changed);
+            for (g, row) in changed {
+                st.group_times[g] = row;
+            }
+        }
+        st.comps[i] = Some(comp);
+        st.recompute_t_in();
+    }
+
     /// Publishes an assembled evaluation under `key`, returning the
     /// store's copy (first insert wins under concurrency).
     fn insert_arch(&self, key: FpKey, eval: Arc<Evaluation>) -> Arc<Evaluation> {
@@ -580,9 +1337,20 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// The memoized per-rail component for (`width`, `cores`).
-    fn rail_eval_cached(&self, width: u32, cores: &[CoreId]) -> Arc<RailEval> {
-        let key = self.cache_key(SPACE_RAIL, rail_fingerprint(width, cores));
+    /// The memoized per-rail component for (`width`, `cores`). Crate
+    /// visibility lets the optimizer prefetch merged-rail components
+    /// (rails not present in any base evaluation) for its fused merge
+    /// probes.
+    pub(crate) fn rail_eval_cached(&self, width: u32, cores: &[CoreId]) -> Arc<RailEval> {
+        self.rail_eval_cached_fp(width, fx_fingerprint128(&cores), cores)
+    }
+
+    /// [`Evaluator::rail_eval_cached`] with a precomputed core-list
+    /// fingerprint: the cache key hashes two words instead of the core
+    /// list, which is what makes [`Evaluator::cost_swap`] O(1) on the
+    /// (overwhelmingly common) cache-hit path.
+    fn rail_eval_cached_fp(&self, width: u32, cores_fp: u128, cores: &[CoreId]) -> Arc<RailEval> {
+        let key = self.cache_key(SPACE_RAIL, rail_fingerprint_fp(width, cores_fp));
         if let Some(Cached::Rail(rail_eval)) = self.cache.get(&key) {
             if let Some(m) = &self.metrics {
                 m.count_rail_eval_hit();
@@ -636,12 +1404,17 @@ impl<'a> Evaluator<'a> {
             }
         }
         touched.sort_unstable();
-        let group_shift = touched.iter().map(|&g| (g, shift[g as usize])).collect();
+        let group_shift: Vec<(u32, u64)> =
+            touched.iter().map(|&g| (g, shift[g as usize])).collect();
+        let si_sum = group_shift
+            .iter()
+            .fold(0u64, |acc, &(_, cycles)| acc.saturating_add(cycles));
         RailEval {
             t_in,
             width,
             cores_fp: fx_fingerprint128(&cores),
             group_shift,
+            si_sum,
         }
     }
 
@@ -804,13 +1577,34 @@ impl<'a> Evaluator<'a> {
     /// cache, or the makespan-only scheduler — never materializing a
     /// schedule on the candidate-costing path.
     fn makespan_cached(&self, group_times: &[SiGroupTime]) -> u64 {
-        let fp = fx_fingerprint128(&group_times);
-        if let Some(Cached::Sched(schedule)) = self.cache.get(&self.cache_key(SPACE_SCHED, fp)) {
-            if let Some(m) = &self.metrics {
-                m.count_schedule_reuse();
+        let fp = group_times_fp(group_times, &[]);
+        self.makespan_for_fp(fp, || group_times.to_vec())
+    }
+
+    /// [`Evaluator::makespan_cached`] over `base` with the sorted
+    /// `changed` rows substituted, without materializing the patched
+    /// vector on the (overwhelmingly common) cache-hit path: the key is
+    /// fingerprinted through the substitution, and the vector is only
+    /// built when the makespan actually needs recomputing.
+    fn makespan_patched(&self, base: &[SiGroupTime], changed: &[(usize, SiGroupTime)]) -> u64 {
+        let fp = group_times_fp(base, changed);
+        self.makespan_for_fp(fp, || {
+            let mut group_times = base.to_vec();
+            for (g, row) in changed {
+                group_times[*g] = row.clone();
             }
-            return schedule.makespan();
-        }
+            group_times
+        })
+    }
+
+    /// Cache core shared by the makespan paths: `fp` must be the
+    /// [`group_times_fp`] digest of exactly the vector `build` returns.
+    fn makespan_for_fp(&self, fp: u128, build: impl FnOnce() -> Vec<SiGroupTime>) -> u64 {
+        // Probe the cost-only namespace first: repeated probes of the
+        // same patched rows land there, so the hot path pays a single
+        // shard lookup. The schedule namespace is only consulted on a
+        // makespan miss (e.g. the vector was first seen by a full
+        // `schedule_cached` evaluation).
         let key = self.cache_key(SPACE_MAKESPAN, fp);
         if let Some(Cached::Makespan(makespan)) = self.cache.get(&key) {
             if let Some(m) = &self.metrics {
@@ -818,17 +1612,52 @@ impl<'a> Evaluator<'a> {
             }
             return makespan;
         }
-        let makespan = crate::schedule::si_makespan(group_times);
+        if let Some(Cached::Sched(schedule)) = self.cache.get(&self.cache_key(SPACE_SCHED, fp)) {
+            if let Some(m) = &self.metrics {
+                m.count_schedule_reuse();
+            }
+            return schedule.makespan();
+        }
+        let makespan = crate::schedule::si_makespan(&build());
         self.cache
             .get_or_insert_with(key, || Cached::Makespan(makespan));
         makespan
+    }
+
+    /// The memoized objective cost of a speculative wire
+    /// redistribution (`SPACE_DIST`), or `None` when not yet computed.
+    /// `fp` is the caller's fingerprint of everything the cost depends
+    /// on (candidate rails, freed wire count, optimizer objective);
+    /// like every cache key it is additionally mixed with this
+    /// evaluator's context fingerprint.
+    ///
+    /// Merge probing hits this hard: the same (survivor rails, merged
+    /// rail, leftover) candidate recurs across partner sweeps — every
+    /// unordered rail pair is probed from both ends — and the nested
+    /// water-filling pass is a pure function of the candidate and the
+    /// wire count, so its final cost can be reused verbatim.
+    pub fn dist_cost_cached(&self, fp: u128) -> Option<u64> {
+        match self.cache.get(&self.cache_key(SPACE_DIST, fp)) {
+            Some(Cached::Cost(cost)) => Some(cost),
+            _ => None,
+        }
+    }
+
+    /// Publishes a redistribution cost for [`Evaluator::dist_cost_cached`].
+    ///
+    /// Callers must only store costs of *completed* redistributions
+    /// (the budget did not trip mid-pass), so a later lookup observes
+    /// the same value a fresh computation would produce.
+    pub fn store_dist_cost(&self, fp: u128, cost: u64) {
+        self.cache
+            .get_or_insert_with(self.cache_key(SPACE_DIST, fp), || Cached::Cost(cost));
     }
 
     /// Algorithm 1 through the schedule cache: group-times vectors that
     /// recur across candidates (very common — most moves shift work
     /// within a group without changing its bottleneck) schedule once.
     fn schedule_cached(&self, group_times: &[SiGroupTime]) -> Arc<SiSchedule> {
-        let key = self.cache_key(SPACE_SCHED, fx_fingerprint128(&group_times));
+        let key = self.cache_key(SPACE_SCHED, group_times_fp(group_times, &[]));
         if let Some(Cached::Sched(schedule)) = self.cache.get(&key) {
             if let Some(m) = &self.metrics {
                 m.count_schedule_reuse();
@@ -994,6 +1823,70 @@ mod tests {
     }
 
     #[test]
+    fn swap_state_merge_and_swaps_match_materialized_evaluations() {
+        let soc = Benchmark::D695.soc();
+        let rails = vec![
+            TestRail::new((0..3).map(c).collect(), 6).expect("valid"),
+            TestRail::new((3..6).map(c).collect(), 4).expect("valid"),
+            TestRail::new((6..10).map(c).collect(), 5).expect("valid"),
+        ];
+        let groups = vec![
+            SiGroupSpec::new(soc.core_ids().collect(), 25),
+            SiGroupSpec::new((0..6).map(c).collect(), 40),
+            SiGroupSpec::new((4..10).map(c).collect(), 15),
+        ];
+        let evaluator = Evaluator::new(&soc, 32, groups).expect("valid");
+        let arch = TestRailArchitecture::new(&soc, rails.clone()).expect("valid");
+        let base = evaluator.evaluate(&arch);
+        let parent = evaluator.swap_state(&base);
+        assert_eq!((parent.t_in(), parent.t_si()), (base.t_in, base.t_si));
+
+        // Merge rail 1 into rail 0 (labels: merged keeps 0, 1 dies) and
+        // compare against evaluating the compacted candidate rail list
+        // — the relabeling must not move `T_soc^in` or `T_soc^si`.
+        let merged = rails[0].merged(&rails[1], 7).expect("valid");
+        let merged_comp = evaluator.rail_eval_cached(7, merged.cores());
+        let mut st = evaluator.swap_state_merged(&parent, 0, 1, merged_comp);
+        let cand_arch =
+            TestRailArchitecture::new(&soc, vec![rails[2].clone(), merged.clone()]).expect("valid");
+        let cand = evaluator.evaluate(&cand_arch);
+        assert_eq!((st.t_in(), st.t_si()), (cand.t_in, cand.t_si));
+
+        // Probing a survivor width swap must agree with evaluating the
+        // swapped candidate, and accepting it must land on the probe.
+        let wider = evaluator.rail_eval_cached(9, rails[2].cores());
+        let probed = evaluator.state_cost_swap(&st, 2, &wider);
+        let swapped_arch = TestRailArchitecture::new(
+            &soc,
+            vec![rails[2].with_width(9).expect("valid"), merged.clone()],
+        )
+        .expect("valid");
+        let swapped = evaluator.evaluate(&swapped_arch);
+        assert_eq!(probed, (swapped.t_in, swapped.t_si));
+        evaluator.state_apply_swap(&mut st, 2, wider);
+        assert_eq!((st.t_in(), st.t_si()), (swapped.t_in, swapped.t_si));
+
+        // And the merged rail itself can widen (label 0, appended last
+        // in the materialized list).
+        let merged_wide = evaluator.rail_eval_cached(8, merged.cores());
+        let probed = evaluator.state_cost_swap(&st, 0, &merged_wide);
+        let final_arch = TestRailArchitecture::new(
+            &soc,
+            vec![
+                rails[2].with_width(9).expect("valid"),
+                rails[0].merged(&rails[1], 8).expect("valid"),
+            ],
+        )
+        .expect("valid");
+        let fin = evaluator.evaluate(&final_arch);
+        assert_eq!(probed, (fin.t_in, fin.t_si));
+        evaluator.state_apply_swap(&mut st, 0, merged_wide);
+        assert_eq!((st.t_in(), st.t_si()), (fin.t_in, fin.t_si));
+        assert_eq!(st.component(1), None);
+        assert_eq!(st.component(0).map(|comp| comp.width), Some(8));
+    }
+
+    #[test]
     fn evaluate_cached_matches_and_counts_hits() {
         let soc = Benchmark::D695.soc();
         let rails = vec![
@@ -1117,6 +2010,77 @@ mod tests {
             Evaluator::new(&soc, 0, vec![]),
             Err(TamError::ZeroWidthBudget)
         ));
+    }
+
+    #[test]
+    fn cost_swap_matches_cost_from_at_every_width() {
+        let soc = Benchmark::D695.soc();
+        let rails = vec![
+            TestRail::new((0..4).map(c).collect(), 6).expect("valid"),
+            TestRail::new((4..7).map(c).collect(), 3).expect("valid"),
+            TestRail::new((7..10).map(c).collect(), 5).expect("valid"),
+        ];
+        let arch = TestRailArchitecture::new(&soc, rails.clone()).expect("valid");
+        let groups = vec![
+            SiGroupSpec::new(soc.core_ids().collect(), 40),
+            SiGroupSpec::new((0..6).map(c).collect(), 15),
+            SiGroupSpec::new(vec![c(8), c(9)], 9),
+        ];
+        let evaluator = Evaluator::new(&soc, 16, groups).expect("valid");
+        let base = evaluator.evaluate(&arch);
+        let ctx = evaluator.probe_ctx(&base);
+        for i in 0..rails.len() {
+            for w in 1..=16u32 {
+                let mut cand = rails.clone();
+                cand[i] = rails[i].with_width(w).expect("valid");
+                let expected = evaluator.cost_from(&base, &[i], &cand);
+                let got = evaluator.cost_swap(&ctx, i, rails[i].cores(), w);
+                assert_eq!(got, expected, "rail {i} at width {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_swap_matches_without_groups() {
+        // The SI-free (InTestOnly baseline) configuration exercises the
+        // empty-transpose path: every swap must reuse t_si = 0.
+        let soc = Benchmark::D695.soc();
+        let rails = vec![
+            TestRail::new((0..5).map(c).collect(), 4).expect("valid"),
+            TestRail::new((5..10).map(c).collect(), 4).expect("valid"),
+        ];
+        let arch = TestRailArchitecture::new(&soc, rails.clone()).expect("valid");
+        let evaluator = Evaluator::new(&soc, 8, vec![]).expect("valid");
+        let base = evaluator.evaluate(&arch);
+        let ctx = evaluator.probe_ctx(&base);
+        for i in 0..rails.len() {
+            for w in 1..=8u32 {
+                let mut cand = rails.clone();
+                cand[i] = rails[i].with_width(w).expect("valid");
+                let expected = evaluator.cost_from(&base, &[i], &cand);
+                let got = evaluator.cost_swap(&ctx, i, rails[i].cores(), w);
+                assert_eq!(got, expected, "rail {i} at width {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_swap_single_rail_architecture() {
+        // n = 1: the max-excluding-i reduction falls back to 0.
+        let soc = Benchmark::D695.soc();
+        let rails = vec![TestRail::new(soc.core_ids().collect(), 8).expect("valid")];
+        let arch = TestRailArchitecture::new(&soc, rails.clone()).expect("valid");
+        let groups = vec![SiGroupSpec::new(soc.core_ids().collect(), 25)];
+        let evaluator = Evaluator::new(&soc, 16, groups).expect("valid");
+        let base = evaluator.evaluate(&arch);
+        let ctx = evaluator.probe_ctx(&base);
+        for w in 1..=16u32 {
+            let mut cand = rails.clone();
+            cand[0] = rails[0].with_width(w).expect("valid");
+            let expected = evaluator.cost_from(&base, &[0], &cand);
+            let got = evaluator.cost_swap(&ctx, 0, rails[0].cores(), w);
+            assert_eq!(got, expected, "width {w}");
+        }
     }
 
     #[test]

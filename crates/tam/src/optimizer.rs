@@ -2,15 +2,17 @@
 //! TR-Architect baseline as the [`Objective::InTestOnly`] special case.
 
 use std::collections::BTreeSet;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
-use soctam_exec::{fault, fx_fingerprint128, Pool};
+use soctam_exec::{fault, fx_fingerprint128, FaultError, Pool, Progress};
 use soctam_model::{CoreId, Soc};
 
 use crate::budget::BudgetTracker;
+use crate::evaluator::SwapState;
 use crate::{
-    DeltaCost, EvalCache, Evaluation, Evaluator, OptimizerBudget, SiGroupSpec, TamError, TestRail,
-    TestRailArchitecture,
+    DeltaCost, EvalCache, Evaluation, Evaluator, OptimizerBudget, RailEval, SiGroupSpec, TamError,
+    TestRail, TestRailArchitecture,
 };
 
 /// What the optimizer minimizes.
@@ -63,8 +65,10 @@ pub struct TamOptimizer<'a> {
     max_width: u32,
     objective: Objective,
     pool: Pool,
+    probe_pool: Pool,
     budget: OptimizerBudget,
     shared_cache: Option<EvalCache>,
+    progress: Option<Arc<Progress>>,
 }
 
 impl<'a> TamOptimizer<'a> {
@@ -84,8 +88,10 @@ impl<'a> TamOptimizer<'a> {
             max_width,
             objective: Objective::Total,
             pool,
+            probe_pool: Pool::serial(),
             budget: OptimizerBudget::unlimited(),
             shared_cache: None,
+            progress: None,
         })
     }
 
@@ -122,6 +128,23 @@ impl<'a> TamOptimizer<'a> {
     pub fn pool(mut self, pool: Pool) -> Self {
         self.evaluator.attach_metrics(pool.metrics());
         self.pool = pool;
+        self
+    }
+
+    /// Runs speculative candidate probes of the four move loops on
+    /// `pool` (builder style). Probes are reduced in candidate order on
+    /// the calling thread, so — like [`TamOptimizer::pool`] — the
+    /// result is bit-identical for every probe-pool size.
+    pub fn probe_pool(mut self, pool: Pool) -> Self {
+        self.probe_pool = pool;
+        self
+    }
+
+    /// Publishes phase, probe-count and best-objective progress into
+    /// `progress` (builder style) for a live display such as the CLI
+    /// `--progress` ticker. Purely advisory; never affects results.
+    pub fn progress(mut self, progress: Arc<Progress>) -> Self {
+        self.progress = Some(progress);
         self
     }
 
@@ -169,8 +192,111 @@ impl<'a> TamOptimizer<'a> {
         }
     }
 
+    /// [`TamOptimizer::cost_of`] from the two makespans of a fused
+    /// swap state.
+    fn cost_of_parts(&self, t_in: u64, t_si: u64) -> u64 {
+        match self.objective {
+            Objective::Total => t_in.saturating_add(t_si),
+            Objective::InTestOnly => t_in,
+        }
+    }
+
     fn cost(&self, rails: &[TestRail]) -> u64 {
         self.cost_of(&self.eval(rails))
+    }
+
+    /// Publishes the current optimizer phase to the progress sink.
+    fn set_phase(&self, phase: &str) {
+        if let Some(p) = &self.progress {
+            p.set_phase(phase);
+        }
+    }
+
+    /// Publishes a best-so-far objective value to the progress sink.
+    /// Only the total objective is published — the InTest-only
+    /// portfolio leg's costs are not `T_soc` values and would read as
+    /// spurious improvements.
+    fn publish_best(&self, cost: u64) {
+        if self.objective == Objective::Total {
+            if let Some(p) = &self.progress {
+                p.record_best(cost);
+            }
+        }
+    }
+
+    /// Speculatively evaluates one batch of move candidates, returning
+    /// per-candidate results in candidate order so callers can reduce
+    /// deterministically (first minimum wins) regardless of how the
+    /// probes were scheduled.
+    ///
+    /// Probes run on the probe pool, except `nested` batches (probes
+    /// issued from inside another speculative candidate, like the
+    /// mergeTAMs wire redistribution), which stay on the calling worker.
+    ///
+    /// A probe yields `None` — and counts as wasted — instead of a
+    /// result when the budget tripped before it ran, or when the
+    /// `tam.probe` failpoint fired (`Err` *or* panic: a panicking probe
+    /// is caught and poisoned, proving one lost speculation cannot
+    /// change what the step selects — dropping a non-winning candidate
+    /// never changes the first minimum, and a lost winner degrades to
+    /// the serial no-move outcome). Panics from any other site unwind
+    /// normally.
+    fn probe<T, R, F>(
+        &self,
+        tracker: &BudgetTracker,
+        nested: bool,
+        candidates: &[T],
+        f: F,
+    ) -> Vec<Option<R>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let metrics = self.pool.metrics();
+        metrics.count_probe_batch();
+        metrics.add_speculative_probes(candidates.len() as u64);
+        if let Some(p) = &self.progress {
+            p.add_probed(candidates.len() as u64);
+        }
+        let task = |cand: &T| -> Option<R> {
+            if !tracker.within() {
+                metrics.count_probe_wasted();
+                return None;
+            }
+            if !fault::any_active() {
+                // No failpoint configured anywhere: `tam.probe` cannot
+                // fire, and a panic from `f` itself would be resumed
+                // verbatim below — so skip the unwind guard and its
+                // inlining barrier on the hot path.
+                return Some(f(cand));
+            }
+            match panic::catch_unwind(AssertUnwindSafe(|| {
+                fault::check("tam.probe").map(|()| f(cand))
+            })) {
+                Ok(Ok(result)) => Some(result),
+                Ok(Err(_)) => {
+                    metrics.count_probe_wasted();
+                    None
+                }
+                Err(payload) => match payload.downcast::<FaultError>() {
+                    Ok(fault) if fault.site() == "tam.probe" => {
+                        metrics.count_probe_wasted();
+                        None
+                    }
+                    Ok(fault) => panic::resume_unwind(fault),
+                    Err(payload) => panic::resume_unwind(payload),
+                },
+            }
+        };
+        if nested {
+            candidates.iter().map(task).collect()
+        } else {
+            self.probe_pool.par_map(candidates, task)
+        }
     }
 
     /// The rails whose time bounds the objective: all rails achieving
@@ -224,15 +350,74 @@ impl<'a> TamOptimizer<'a> {
         tracker: &BudgetTracker,
         speculative: bool,
         incumbent: Option<Evaluation>,
+        staircases: Option<&[Arc<Vec<u64>>]>,
     ) -> (Vec<TestRail>, Evaluation) {
         let mut incumbent = incumbent.unwrap_or_else(|| (*self.eval(&rails)).clone());
         let mut remaining = wires;
         // Core sets never change below — only widths do — so every
-        // iteration reads the same memoized staircases; probe them once.
-        let staircases: Vec<Arc<Vec<u64>>> = rails
-            .iter()
-            .map(|r| self.evaluator.rail_used_staircase(r.cores()))
-            .collect();
+        // iteration reads the same memoized staircases; probe them once
+        // — or reuse the caller's, aligned with `rails`: merge probing
+        // passes its precomputed per-partner set so the thousands of
+        // nested speculative calls skip the per-rail cache fetches.
+        let built: Vec<Arc<Vec<u64>>>;
+        let staircases: &[Arc<Vec<u64>>] = match staircases {
+            Some(shared) => {
+                debug_assert_eq!(shared.len(), rails.len());
+                shared
+            }
+            None => {
+                built = rails
+                    .iter()
+                    .map(|r| self.evaluator.rail_used_staircase(r.cores()))
+                    .collect();
+                &built
+            }
+        };
+        // Dense `(rail, width) -> component` memo for the whole call:
+        // candidate widths repeat heavily across iterations, and
+        // prefetching during the serial enumeration keeps every cache
+        // lookup (hash + shard lock + `Arc` clone) out of the probe
+        // batch, where it would otherwise dominate the probe cost.
+        // Flat and sized by the wire budget — every probed width
+        // satisfies `w - initial_width(i) <= wires` — so the nested
+        // speculative calls (small `wires`, many invocations) allocate
+        // a few hundred bytes, not a rails x max_width matrix.
+        let init_widths: Vec<u32> = rails.iter().map(TestRail::width).collect();
+        let stride = wires as usize + 1;
+        let mut components: Vec<Option<Arc<RailEval>>> = vec![None; rails.len() * stride];
+        let slot_of = |i: usize, w: u32| i * stride + (w - init_widths[i]) as usize;
+        // Per-rail strict drop points `(d, neg_rate)` at the rail's
+        // current width, ascending in `d`. The walk is prefix-stable
+        // (each verdict depends only on earlier staircase entries), so
+        // a list built under a larger budget truncated to `d <=
+        // remaining` equals the list built under `remaining` — lists
+        // are built once per rail and rebuilt only when that rail's
+        // width changes, not on every accepted step.
+        let drops_for = |i: usize, width: u32, budget: u32, mut out: Vec<(u32, u128)>| {
+            out.clear();
+            let staircase = &staircases[i];
+            let before = staircase[(width - 1) as usize];
+            // soctam-analyze: allow(ARITH-01) -- the staircase has max_width entries, and max_width is u32
+            let limit = budget.min((staircase.len() as u32).saturating_sub(width));
+            let mut best = before;
+            for d in 1..=limit {
+                let after = staircase[(width + d - 1) as usize];
+                if after < best {
+                    best = after;
+                    let gain = before - after;
+                    // Rate comparison without floats: encode gain/d as a
+                    // scaled fixed-point value (negated so smaller = better).
+                    let neg_rate = u128::MAX - (u128::from(gain) << 32) / u128::from(d);
+                    out.push((d, neg_rate));
+                }
+            }
+            out
+        };
+        let mut per_rail: Vec<Vec<(u32, u128)>> = Vec::with_capacity(rails.len());
+        for (i, rail) in rails.iter().enumerate() {
+            per_rail.push(drops_for(i, rail.width(), wires, Vec::new()));
+        }
+        let mut candidates: Vec<(usize, u32, u128)> = Vec::new();
         while remaining > 0
             && if speculative {
                 tracker.within()
@@ -245,29 +430,58 @@ impl<'a> TamOptimizer<'a> {
             // gain at +1 must not mask a large InTest cliff at +6), pick
             // the steepest descent: lowest resulting cost first, then the
             // highest time reduction *per wire spent*, then fewest wires.
-            let mut best: Option<(usize, u32)> = None;
-            let mut best_key: Option<(u64, u128, u32)> = None;
-            for i in 0..rails.len() {
+            // The `(rail, jump)` candidates are enumerated serially,
+            // probed as one speculative batch, and reduced in
+            // enumeration order, so the first-best tie-break is
+            // identical at every probe-pool size.
+            candidates.clear();
+            for (i, drops) in per_rail.iter().enumerate() {
                 let width = rails[i].width();
-                let staircase = &staircases[i];
-                let before = staircase[(width - 1) as usize];
-                for d in drop_points(staircase, width, remaining) {
-                    let after = staircase[(width + d - 1) as usize];
-                    let gain = before - after;
-                    // Toggle the width in place: the candidate differs
-                    // from the incumbent only at rail `i`.
-                    rails[i] = rails[i].with_width(width + d).expect("width > 0");
-                    let cost =
-                        self.cost_of_delta(&self.evaluator.cost_from(&incumbent, &[i], &rails));
-                    rails[i] = rails[i].with_width(width).expect("width > 0");
-                    // Rate comparison without floats: encode gain/d as a
-                    // scaled fixed-point value (negated so smaller = better).
-                    let neg_rate = u128::MAX - (u128::from(gain) << 32) / u128::from(d);
+                for &(d, neg_rate) in drops {
+                    if d > remaining {
+                        break;
+                    }
+                    let slot = slot_of(i, width + d);
+                    if components[slot].is_none() {
+                        components[slot] = Some(self.evaluator.swap_component(
+                            &incumbent,
+                            i,
+                            rails[i].cores(),
+                            width + d,
+                        ));
+                    }
+                    candidates.push((i, d, neg_rate));
+                }
+            }
+            let mut best: Option<(usize, u32)> = None;
+            let mut staged: Option<Evaluation> = None;
+            {
+                // Each candidate differs from the incumbent only at
+                // rail `i`'s width, so the width-swap fast path applies.
+                let ctx = self.evaluator.probe_ctx(&incumbent);
+                let costed = self.probe(tracker, speculative, &candidates, |&(i, d, _)| {
+                    let comp = components[slot_of(i, rails[i].width() + d)]
+                        .as_deref()
+                        .expect("prefetched during enumeration");
+                    self.cost_of_delta(&self.evaluator.cost_swap_with(&ctx, i, comp))
+                });
+                let mut best_key: Option<(u64, u128, u32)> = None;
+                for (&(i, d, neg_rate), cost) in candidates.iter().zip(costed) {
+                    let Some(cost) = cost else { continue };
                     let key = (cost, neg_rate, d);
                     if best_key.map_or(true, |b| key < b) {
                         best_key = Some(key);
                         best = Some((i, d));
                     }
+                }
+                // Materialize the winner's evaluation while the probe
+                // context is still alive: patching the incumbent beats
+                // re-reducing all components on every accepted step.
+                if let Some((i, d)) = best {
+                    let comp = components[slot_of(i, rails[i].width() + d)]
+                        .clone()
+                        .expect("prefetched during enumeration");
+                    staged = Some(self.evaluator.evaluate_swap_with(&ctx, i, comp));
                 }
             }
             match best {
@@ -276,7 +490,9 @@ impl<'a> TamOptimizer<'a> {
                         .with_width(rails[i].width() + d)
                         .expect("width > 0");
                     remaining -= d;
-                    incumbent = self.eval_from(&incumbent, &[i], &rails);
+                    incumbent = staged.expect("staged alongside best");
+                    let buf = std::mem::take(&mut per_rail[i]);
+                    per_rail[i] = drops_for(i, rails[i].width(), remaining, buf);
                 }
                 None => break, // no affordable jump improves any rail
             }
@@ -320,7 +536,7 @@ impl<'a> TamOptimizer<'a> {
         let current_eval = self.eval(&rails);
         let current = self.cost_of(&current_eval);
         // Every (partner, merged-width) candidate is independent:
-        // evaluate them on the pool, then reduce sequentially in the
+        // probe them speculatively, then reduce sequentially in the
         // original visit order so the winning tie-break — first
         // strictly-better candidate — is identical for any pool size.
         let mut candidates: Vec<(usize, u32)> = Vec::new();
@@ -334,16 +550,11 @@ impl<'a> TamOptimizer<'a> {
                 candidates.push((i, w));
             }
         }
-        let costed = self.pool.par_map(&candidates, |&(i, w)| {
-            if !tracker.within() {
-                // Budget tripped mid-sweep: poison this candidate so the
-                // reduction below cannot pick it over the current rails.
-                return (Vec::new(), u64::MAX);
-            }
+        // Builds one merge candidate: survivors keep their original
+        // order (and, via `source`, their incumbent components); the
+        // merged rail joins at the tail.
+        let build = |i: usize, w: u32| -> (Vec<Option<usize>>, Vec<TestRail>) {
             let merged = rails[r1].merged(&rails[i], w).expect("merged width >= 1");
-            // Track each candidate rail's provenance in the incumbent:
-            // survivors shift position but keep their component; the
-            // merged tail rail is new.
             let mut source: Vec<Option<usize>> = Vec::with_capacity(rails.len() - 1);
             let mut cand: Vec<TestRail> = Vec::with_capacity(rails.len() - 1);
             for (j, rail) in rails.iter().enumerate() {
@@ -354,36 +565,313 @@ impl<'a> TamOptimizer<'a> {
             }
             source.push(None);
             cand.push(merged);
+            (source, cand)
+        };
+        // Redistribution costs are memoized under a canonical
+        // (rails, unordered pair, merged width, objective) key:
+        // `merged` sorts its cores, so probing the pair from either
+        // end builds the identical candidate. Probes return only the
+        // cost; the winner's rail list is rebuilt once after the
+        // reduction (deterministic: the redistribution is a pure
+        // function of the candidate while the budget holds, and
+        // budget ticks never advance inside a probe batch).
+        let rails_fp = fx_fingerprint128(&rails);
+        let tag = match self.objective {
+            Objective::Total => 0u8,
+            Objective::InTestOnly => 1u8,
+        };
+        // Every candidate for a given partner shares one core layout
+        // (survivors unchanged, merged core set independent of `w`), so
+        // fetch each rail staircase once here and hand the nested
+        // redistributions a ready-made set instead of letting every
+        // probe re-fetch all of them from the evaluator cache.
+        let parent_stairs: Vec<Arc<Vec<u64>>> = rails
+            .iter()
+            .map(|r| self.evaluator.rail_used_staircase(r.cores()))
+            .collect();
+        let mut partner_stairs: Vec<Option<Vec<Arc<Vec<u64>>>>> = vec![None; rails.len()];
+        // Per partner, the merged rail's memoized components at every
+        // candidate width `max(w1, wi)..=w1 + wi` (redistribution can
+        // only grow the merged rail within that same range), indexed by
+        // `width - max(w1, wi)`.
+        let mut partner_merged: Vec<Option<Vec<Arc<RailEval>>>> = vec![None; rails.len()];
+        for &(i, _) in &candidates {
+            if partner_stairs[i].is_some() {
+                continue;
+            }
+            let w_lo = rails[r1].width().max(rails[i].width());
+            let w_hi = rails[r1].width() + rails[i].width();
+            let merged = rails[r1]
+                .merged(&rails[i], w_lo)
+                .expect("merged width >= 1");
+            let mut stairs: Vec<Arc<Vec<u64>>> = Vec::with_capacity(rails.len() - 1);
+            for (j, s) in parent_stairs.iter().enumerate() {
+                if j != r1 && j != i {
+                    stairs.push(Arc::clone(s));
+                }
+            }
+            stairs.push(self.evaluator.rail_used_staircase(merged.cores()));
+            partner_stairs[i] = Some(stairs);
+            // Widths never exceed the budget: the architecture always
+            // holds `Σ widths <= max_width`, so `w1 + wi` is in range.
+            partner_merged[i] = Some(
+                (w_lo..=w_hi)
+                    .map(|w| self.evaluator.rail_eval_cached(w, merged.cores()))
+                    .collect(),
+            );
+        }
+        // Fused probing shares one owned copy of the parent reduction
+        // state plus each survivor's drop list and components, bounded
+        // by the largest leftover any candidate can free. Probes patch
+        // a clone of the state instead of materializing candidate
+        // evaluations, and the nested redistribution runs cost-only.
+        let parent_state = self.evaluator.swap_state(&current_eval);
+        let l_max = candidates
+            .iter()
+            .map(|&(i, w)| rails[r1].width() + rails[i].width() - w)
+            .max()
+            .unwrap_or(0);
+        let mut rail_drops: Vec<Vec<(u32, u128)>> = Vec::with_capacity(rails.len());
+        let mut rail_comps: Vec<Vec<Arc<RailEval>>> = Vec::with_capacity(rails.len());
+        for (j, rail) in rails.iter().enumerate() {
+            let drops = staircase_drops(&parent_stairs[j], rail.width(), l_max);
+            let comps = drops
+                .iter()
+                .map(|&(wt, _)| {
+                    self.evaluator
+                        .swap_component(&current_eval, j, rail.cores(), wt)
+                })
+                .collect();
+            rail_drops.push(drops);
+            rail_comps.push(comps);
+        }
+        let costed = self.probe(tracker, false, &candidates, |&(i, w)| {
             let leftover = rails[r1].width() + rails[i].width() - w;
-            let cost = if leftover > 0 {
-                // Freed wires to spread: seed the redistribution with the
-                // candidate's full delta evaluation and let it carry the
-                // incumbent forward.
-                let eval = self
-                    .evaluator
-                    .evaluate_from_mapped(&current_eval, &source, &cand);
-                let final_eval;
-                (cand, final_eval) =
-                    self.distribute_free_wires(cand, leftover, tracker, true, Some(eval));
-                self.cost_of(&final_eval)
-            } else {
-                self.cost_of_delta(
-                    &self
-                        .evaluator
-                        .cost_from_mapped(&current_eval, &source, &cand),
-                )
-            };
-            (cand, cost)
+            // Admissible prune (Total objective only): groups sharing a
+            // rail are serialized (SCH-V02), so `T_soc >= time_used(j)`
+            // for every rail j of the final architecture, and the used
+            // staircase is non-increasing in width — rail j ends at
+            // width at most `w_j + leftover`, so its staircase value
+            // there lower-bounds the candidate's cost no matter how the
+            // freed wires are spread. A candidate whose bound already
+            // meets the incumbent cost loses the `cost < current` gate
+            // whatever its exact cost is, so `u64::MAX` stands in and
+            // the reduction outcome is bit-identical — without paying
+            // for the nested redistribution. The bound only involves
+            // the candidate and `current`, so the prune is
+            // deterministic at every pool size.
+            if self.objective == Objective::Total {
+                let stairs = partner_stairs[i]
+                    .as_ref()
+                    .expect("precomputed for every partner");
+                let mut lb = 0u64;
+                let mut k = 0usize;
+                for (j, rail) in rails.iter().enumerate() {
+                    if j == r1 || j == i {
+                        continue;
+                    }
+                    let wj = (rail.width() + leftover).min(self.max_width);
+                    lb = lb.max(stairs[k][(wj - 1) as usize]);
+                    k += 1;
+                }
+                let wm = (w + leftover).min(self.max_width);
+                lb = lb.max(stairs[k][(wm - 1) as usize]);
+                if lb >= current {
+                    return u64::MAX;
+                }
+            }
+            let dist_fp = (leftover > 0)
+                .then(|| fx_fingerprint128(&(rails_fp, r1.min(i), r1.max(i), w, tag)));
+            if let Some(fp) = dist_fp {
+                if let Some(cost) = self.evaluator.dist_cost_cached(fp) {
+                    return cost;
+                }
+            }
+            // Fused cost-only evaluation: patch the shared parent state
+            // (rail i dies, the merged rail takes label r1) and spend
+            // the freed wires with the same greedy the committed path
+            // runs — every lookup below hits the precomputed lists, so
+            // the probe allocates one state clone and nothing else.
+            let merged_comps = partner_merged[i].as_ref().expect("prefetched per partner");
+            let w_lo = rails[r1].width().max(rails[i].width());
+            let mut st = self.evaluator.swap_state_merged(
+                &parent_state,
+                r1,
+                i,
+                Arc::clone(&merged_comps[(w - w_lo) as usize]),
+            );
+            if leftover > 0 {
+                let merged_stairs = partner_stairs[i]
+                    .as_ref()
+                    .expect("precomputed for every partner")
+                    .last()
+                    .expect("stairs hold at least the merged rail");
+                self.fused_redistribute(
+                    &mut st,
+                    tracker,
+                    r1,
+                    i,
+                    leftover,
+                    &parent_stairs,
+                    &rail_drops,
+                    &rail_comps,
+                    merged_comps,
+                    merged_stairs,
+                    w_lo,
+                );
+            }
+            let cost = self.cost_of_parts(st.t_in(), st.t_si());
+            if let Some(fp) = dist_fp {
+                if tracker.within() {
+                    self.evaluator.store_dist_cost(fp, cost);
+                }
+            }
+            cost
         });
-        let mut best: Option<(Vec<TestRail>, u64)> = None;
-        for (cand, cost) in costed {
-            if best.as_ref().map_or(true, |&(_, b)| cost < b) {
-                best = Some((cand, cost));
+        let mut best: Option<(usize, u64)> = None;
+        for (idx, probed) in costed.into_iter().enumerate() {
+            // Budget-tripped or faulted probes are poisoned to `None`;
+            // skipping them is equivalent to the old explicit
+            // `u64::MAX` poison because the `cost < current` gate below
+            // rejected those candidates anyway.
+            let Some(cost) = probed else { continue };
+            if best.map_or(true, |(_, b)| cost < b) {
+                best = Some((idx, cost));
             }
         }
         match best {
-            Some((cand, cost)) if cost < current => (cand, true),
+            Some((idx, cost)) if cost < current => {
+                let (i, w) = candidates[idx];
+                let (source, cand) = build(i, w);
+                let leftover = rails[r1].width() + rails[i].width() - w;
+                if leftover > 0 {
+                    let eval = self
+                        .evaluator
+                        .evaluate_from_mapped(&current_eval, &source, &cand);
+                    let (cand, _) = self.distribute_free_wires(
+                        cand,
+                        leftover,
+                        tracker,
+                        true,
+                        Some(eval),
+                        partner_stairs[i].as_deref(),
+                    );
+                    (cand, true)
+                } else {
+                    (cand, true)
+                }
+            }
             _ => (rails, false),
+        }
+    }
+
+    /// The cost-only twin of the nested
+    /// [`TamOptimizer::distribute_free_wires`] call a merge probe used
+    /// to make: spends `leftover` freed wires on the fused state `st`
+    /// (merged rail labelled `r1`, rail `dead` removed), reproducing
+    /// the committed redistribution's candidate enumeration order,
+    /// selection key, and budget semantics exactly — so the final
+    /// `(T_soc^in, T_soc^si)` is bit-identical to the cost of the
+    /// materialized redistribution.
+    ///
+    /// Candidate order: the committed path lists survivors in their
+    /// original order followed by the merged rail (appended last); here
+    /// survivors keep their parent labels (ascending, skipping `r1` and
+    /// `dead`) and the merged rail — labelled `r1` — closes the sweep:
+    /// the same order under the relabeling, so the first-best reduction
+    /// picks the same move.
+    ///
+    /// The committed path's trailing parking pass (leftover wires no
+    /// strict drop can absorb) is skipped: parking only runs when no
+    /// rail has a strict drop within the remaining budget, so each +1
+    /// parking step leaves that rail's `time_used` flat — and since the
+    /// InTest and SI staircases are individually non-increasing, a flat
+    /// sum pins both addends and every group column, and therefore
+    /// every makespan. The committed rails still park (feasibility: all
+    /// wires must be placed); only the probe's cost skips the
+    /// cost-invariant tail.
+    #[allow(clippy::expect_used, clippy::too_many_arguments)]
+    fn fused_redistribute(
+        &self,
+        st: &mut SwapState,
+        tracker: &BudgetTracker,
+        r1: usize,
+        dead: usize,
+        leftover: u32,
+        parent_stairs: &[Arc<Vec<u64>>],
+        rail_drops: &[Vec<(u32, u128)>],
+        rail_comps: &[Vec<Arc<RailEval>>],
+        merged_comps: &[Arc<RailEval>],
+        merged_stairs: &Arc<Vec<u64>>,
+        w_lo: u32,
+    ) {
+        let mut remaining = leftover;
+        // Rails that accepted wires get a rebuilt drop list relative to
+        // their new width (the committed path rebuilds exactly the
+        // accepted rail's list per step); everyone else reads the
+        // shared parent list, truncated to the live budget below.
+        let mut local_drops: Vec<Option<Vec<(u32, u128)>>> = vec![None; rail_drops.len()];
+        local_drops[r1] = Some(staircase_drops(
+            merged_stairs,
+            st.component(r1).expect("merged rail is live").width,
+            leftover,
+        ));
+        let comp_at = |j: usize, wt: u32| -> &Arc<RailEval> {
+            if j == r1 {
+                &merged_comps[(wt - w_lo) as usize]
+            } else {
+                let k = rail_drops[j]
+                    .iter()
+                    .position(|&(a, _)| a == wt)
+                    .expect("rebuilt lists target prefetched widths");
+                &rail_comps[j][k]
+            }
+        };
+        let mut cands: Vec<(usize, u32, u32, u128)> = Vec::new();
+        while remaining > 0 && tracker.within() {
+            cands.clear();
+            for j in (0..rail_drops.len())
+                .filter(|&j| j != r1 && j != dead)
+                .chain([r1])
+            {
+                let cur = st.component(j).expect("live rail").width;
+                let list = local_drops[j].as_deref().unwrap_or(&rail_drops[j]);
+                for &(wt, neg_rate) in list {
+                    let d = wt - cur;
+                    if d > remaining {
+                        break;
+                    }
+                    cands.push((j, wt, d, neg_rate));
+                }
+            }
+            let costed = self.probe(tracker, true, &cands, |&(j, wt, _, _)| {
+                let (t_in, t_si) = self.evaluator.state_cost_swap(st, j, comp_at(j, wt));
+                self.cost_of_parts(t_in, t_si)
+            });
+            let mut best: Option<(usize, u32, u32)> = None;
+            let mut best_key: Option<(u64, u128, u32)> = None;
+            for (&(j, wt, d, neg_rate), cost) in cands.iter().zip(costed) {
+                let Some(cost) = cost else { continue };
+                let key = (cost, neg_rate, d);
+                if best_key.map_or(true, |b| key < b) {
+                    best_key = Some(key);
+                    best = Some((j, wt, d));
+                }
+            }
+            match best {
+                Some((j, wt, d)) => {
+                    self.evaluator
+                        .state_apply_swap(st, j, Arc::clone(comp_at(j, wt)));
+                    remaining -= d;
+                    let stairs = if j == r1 {
+                        merged_stairs
+                    } else {
+                        &parent_stairs[j]
+                    };
+                    local_drops[j] = Some(staircase_drops(stairs, wt, remaining));
+                }
+                None => break,
+            }
         }
     }
 
@@ -406,47 +894,62 @@ impl<'a> TamOptimizer<'a> {
                 self.cost_of(&eval),
                 eval.rail_time_used().iter().sum::<u64>(),
             );
+            self.publish_best(key.0);
             // All donor selections read the same memoized staircases.
             let staircases: Vec<Arc<Vec<u64>>> = rails
                 .iter()
                 .map(|r| self.evaluator.rail_used_staircase(r.cores()))
                 .collect();
-            let mut best: Option<(Vec<TestRail>, (u64, u64))> = None;
+            // Enumerate the (funded rail, jump) candidates serially,
+            // probe them as one speculative batch, and reduce in
+            // enumeration order (first strict improvement wins).
+            let mut candidates: Vec<(usize, u32)> = Vec::new();
             for b in 0..rails.len() {
                 let donor_budget: u32 =
                     rails.iter().map(|r| r.width() - 1).sum::<u32>() - (rails[b].width() - 1);
                 for delta in drop_points(&staircases[b], rails[b].width(), donor_budget) {
-                    // Collect `delta` wires, one at a time, from the donors
-                    // whose marginal slowdown for giving up a wire is
-                    // smallest (zero on a width plateau).
-                    let mut cand = rails.clone();
-                    let mut funded = 0;
-                    let mut touched = BTreeSet::new();
-                    while funded < delta {
-                        let donor = (0..cand.len())
-                            .filter(|&o| o != b && cand[o].width() > 1)
-                            .min_by_key(|&o| {
-                                let at = |w: u32| staircases[o][(w - 1) as usize];
-                                at(cand[o].width() - 1) - at(cand[o].width())
-                            });
-                        let Some(o) = donor else { break };
-                        cand[o] = cand[o].with_width(cand[o].width() - 1).expect("width > 1");
-                        touched.insert(o);
-                        funded += 1;
-                    }
-                    if funded < delta {
-                        continue; // not enough donor wires
-                    }
-                    cand[b] = cand[b]
-                        .with_width(cand[b].width() + delta)
-                        .expect("width > 0");
-                    touched.insert(b);
-                    let changed: Vec<usize> = touched.into_iter().collect();
-                    let delta = self.evaluator.cost_from(&eval, &changed, &cand);
-                    let cand_key = (self.cost_of_delta(&delta), delta.rail_used_sum);
-                    if cand_key < key && best.as_ref().map_or(true, |&(_, k)| cand_key < k) {
-                        best = Some((cand, cand_key));
-                    }
+                    candidates.push((b, delta));
+                }
+            }
+            let costed = self.probe(tracker, false, &candidates, |&(b, delta)| {
+                // Collect `delta` wires, one at a time, from the donors
+                // whose marginal slowdown for giving up a wire is
+                // smallest (zero on a width plateau). The greedy donor
+                // walk is a pure function of the current rails, so the
+                // probe is deterministic wherever it runs.
+                let mut cand = rails.clone();
+                let mut funded = 0;
+                let mut touched = BTreeSet::new();
+                while funded < delta {
+                    let donor = (0..cand.len())
+                        .filter(|&o| o != b && cand[o].width() > 1)
+                        .min_by_key(|&o| {
+                            let at = |w: u32| staircases[o][(w - 1) as usize];
+                            at(cand[o].width() - 1) - at(cand[o].width())
+                        });
+                    let Some(o) = donor else { break };
+                    cand[o] = cand[o].with_width(cand[o].width() - 1).expect("width > 1");
+                    touched.insert(o);
+                    funded += 1;
+                }
+                if funded < delta {
+                    return None; // not enough donor wires
+                }
+                cand[b] = cand[b]
+                    .with_width(cand[b].width() + delta)
+                    .expect("width > 0");
+                touched.insert(b);
+                let changed: Vec<usize> = touched.into_iter().collect();
+                let dc = self.evaluator.cost_from(&eval, &changed, &cand);
+                Some((cand, (self.cost_of_delta(&dc), dc.rail_used_sum)))
+            });
+            let mut best: Option<(Vec<TestRail>, (u64, u64))> = None;
+            for probed in costed {
+                let Some(Some((cand, cand_key))) = probed else {
+                    continue;
+                };
+                if cand_key < key && best.as_ref().map_or(true, |&(_, k)| cand_key < k) {
+                    best = Some((cand, cand_key));
                 }
             }
             match best {
@@ -483,36 +986,46 @@ impl<'a> TamOptimizer<'a> {
             }
             let eval = self.eval(&rails);
             let current = self.cost_of(&eval);
+            self.publish_best(current);
             let bottlenecks = self.bottleneck_rails(&eval);
-            let mut best: Option<(Vec<TestRail>, u64)> = None;
+            // Enumerate the (source, core, target) moves serially, probe
+            // them as one speculative batch, and reduce in enumeration
+            // order (first lowest cost wins).
+            let mut candidates: Vec<(usize, CoreId, usize)> = Vec::new();
             for &b in &bottlenecks {
                 if rails[b].cores().len() < 2 {
                     continue;
                 }
                 for &core in rails[b].cores() {
                     for t in 0..rails.len() {
-                        if t == b {
-                            continue;
-                        }
-                        let mut cand = rails.clone();
-                        let remaining: Vec<CoreId> = cand[b]
-                            .cores()
-                            .iter()
-                            .copied()
-                            .filter(|&c| c != core)
-                            .collect();
-                        cand[b] = TestRail::new(remaining, cand[b].width())
-                            .expect("source keeps at least one core");
-                        let mut target_cores = cand[t].cores().to_vec();
-                        target_cores.push(core);
-                        cand[t] = TestRail::new(target_cores, cand[t].width())
-                            .expect("target keeps its width");
-                        let cost =
-                            self.cost_of_delta(&self.evaluator.cost_from(&eval, &[b, t], &cand));
-                        if best.as_ref().map_or(true, |&(_, c)| cost < c) {
-                            best = Some((cand, cost));
+                        if t != b {
+                            candidates.push((b, core, t));
                         }
                     }
+                }
+            }
+            let costed = self.probe(tracker, false, &candidates, |&(b, core, t)| {
+                let mut cand = rails.clone();
+                let remaining: Vec<CoreId> = cand[b]
+                    .cores()
+                    .iter()
+                    .copied()
+                    .filter(|&c| c != core)
+                    .collect();
+                cand[b] = TestRail::new(remaining, cand[b].width())
+                    .expect("source keeps at least one core");
+                let mut target_cores = cand[t].cores().to_vec();
+                target_cores.push(core);
+                cand[t] =
+                    TestRail::new(target_cores, cand[t].width()).expect("target keeps its width");
+                let cost = self.cost_of_delta(&self.evaluator.cost_from(&eval, &[b, t], &cand));
+                (cand, cost)
+            });
+            let mut best: Option<(Vec<TestRail>, u64)> = None;
+            for probed in costed {
+                let Some((cand, cost)) = probed else { continue };
+                if best.as_ref().map_or(true, |&(_, c)| cost < c) {
+                    best = Some((cand, cost));
                 }
             }
             match best {
@@ -552,26 +1065,29 @@ impl<'a> TamOptimizer<'a> {
         if self.objective != Objective::Total || !tracker.within() {
             return Ok(primary);
         }
-        let mut alt_evaluator =
-            Evaluator::new(self.soc(), self.max_width, self.evaluator.groups().to_vec())?;
-        alt_evaluator.attach_metrics(self.pool.metrics());
-        if let Some(cache) = &self.shared_cache {
-            alt_evaluator.attach_cache(cache);
-        }
+        // The secondary leg forks the primary's evaluator: same context
+        // fingerprint, shared memo store — every rail component and
+        // schedule the primary leg computed is already warm, and
+        // objective-dependent cost entries cannot alias because their
+        // fingerprints carry the objective.
         let alt = TamOptimizer {
-            evaluator: alt_evaluator,
+            evaluator: self.evaluator.fork(),
             max_width: self.max_width,
             objective: Objective::InTestOnly,
             pool: self.pool.clone(),
+            probe_pool: self.probe_pool.clone(),
             budget: self.budget,
             shared_cache: self.shared_cache.clone(),
+            progress: self.progress.clone(),
         };
         let secondary = alt.optimize_perturbed(0, tracker)?;
-        if secondary.evaluation().t_total() < primary.evaluation().t_total() {
-            Ok(secondary)
+        let winner = if secondary.evaluation().t_total() < primary.evaluation().t_total() {
+            secondary
         } else {
-            Ok(primary)
-        }
+            primary
+        };
+        self.publish_best(winner.evaluation().t_total());
+        Ok(winner)
     }
 
     /// Multi-start optimization: runs Algorithm 2 from `restarts`
@@ -703,15 +1219,17 @@ impl<'a> TamOptimizer<'a> {
             } else if n < w_max {
                 (rails, _) =
                     // soctam-analyze: allow(ARITH-01) -- w_max - n counts TAM wires, bounded by the u32 max_width
-                    self.distribute_free_wires(rails, (w_max - n) as u32, tracker, false, None);
+                    self.distribute_free_wires(rails, (w_max - n) as u32, tracker, false, None, None);
             }
         } else {
             rails = self.packed_start(perturbation);
         }
 
         // --- Optimize bottom-up (lines 17-23): merge the least-used rail.
+        self.set_phase("merge bottom-up");
         while rails.len() > 1 && tracker.tick() {
             let init = self.cost(&rails);
+            self.publish_best(init);
             self.sort_by_time_used(&mut rails);
             let last = rails.len() - 1;
             let (new_rails, improved) = self.merge_tams(rails, last, tracker);
@@ -722,9 +1240,11 @@ impl<'a> TamOptimizer<'a> {
         }
 
         // --- Optimize top-down (lines 24-30): merge the most-used rail.
+        self.set_phase("merge top-down");
         let mut skip: BTreeSet<u128> = BTreeSet::new();
         while rails.len() > 1 && tracker.tick() {
             let init = self.cost(&rails);
+            self.publish_best(init);
             self.sort_by_time_used(&mut rails);
             let (new_rails, improved) = self.merge_tams(rails, 0, tracker);
             rails = new_rails;
@@ -735,6 +1255,7 @@ impl<'a> TamOptimizer<'a> {
         }
 
         // --- Merge the remaining rails (lines 31-36). ---
+        self.set_phase("merge remaining");
         loop {
             if !tracker.tick() {
                 break;
@@ -753,9 +1274,11 @@ impl<'a> TamOptimizer<'a> {
         }
 
         // --- Reshuffle cores off bottleneck rails (line 37). ---
+        self.set_phase("core reshuffle");
         rails = self.core_reshuffle(rails, tracker);
 
         // --- Wire rebalance polish (beyond the paper; see rebalance_wires).
+        self.set_phase("wire rebalance");
         rails = self.rebalance_wires(rails, tracker);
 
         // Safety net beyond the paper: the trivial single-rail architecture
@@ -775,6 +1298,7 @@ impl<'a> TamOptimizer<'a> {
             .expect("optimizer maintains a consistent core assignment");
         debug_assert!(architecture.check_width(self.max_width).is_ok());
         let evaluation = (*self.evaluator.evaluate_cached(&architecture)).clone();
+        self.publish_best(evaluation.t_total());
         Ok(OptimizedArchitecture {
             architecture,
             evaluation,
@@ -846,6 +1370,35 @@ fn drop_points(staircase: &[u64], width: u32, budget: u32) -> Vec<u32> {
         }
     }
     points
+}
+
+/// [`drop_points`] in the absolute-width form the fused merge probes
+/// share across candidates: `(target width, neg_rate)` per strict drop,
+/// with the identical fixed-point `neg_rate` encoding the wire
+/// distribution ranks jumps by. The walk is prefix-stable (each verdict
+/// depends only on earlier staircase entries), so a list built under a
+/// larger budget truncated to `target - width <= remaining` equals the
+/// list built under `remaining` — and because every later strict drop
+/// is also a strict drop from any drop point in between, a list rebuilt
+/// at an accepted drop's width targets a subset of these widths (its
+/// `neg_rate`s are rebuilt relative to the new width, but its
+/// components are already prefetched).
+fn staircase_drops(staircase: &[u64], width: u32, budget: u32) -> Vec<(u32, u128)> {
+    let before = staircase[(width - 1) as usize];
+    // soctam-analyze: allow(ARITH-01) -- the staircase has max_width entries, and max_width is u32
+    let limit = budget.min((staircase.len() as u32).saturating_sub(width));
+    let mut best = before;
+    let mut out = Vec::new();
+    for d in 1..=limit {
+        let after = staircase[(width + d - 1) as usize];
+        if after < best {
+            best = after;
+            let gain = before - after;
+            let neg_rate = u128::MAX - (u128::from(gain) << 32) / u128::from(d);
+            out.push((width + d, neg_rate));
+        }
+    }
+    out
 }
 
 /// Deterministic Fisher–Yates shuffle driven by a splitmix64 stream (the

@@ -1,0 +1,11 @@
+# Quick-turnaround settings for local iteration: a small pattern set
+# and every core put to work, including speculative candidate probing.
+# Usable with both `optimize` and `table` (only keys the two tools
+# share). Explicit flags and JSON fields always win over this file:
+#
+#   soctam optimize d695 --profile profiles/quick.profile
+#   soctam table p34392 --profile profiles/quick.profile --patterns 500
+#
+patterns = 2000
+jobs = 0
+probe-jobs = 0

@@ -1,23 +1,37 @@
 //! Thread-count independence of the parallel runtime.
 //!
 //! Every parallel stage in the pipeline (pattern generation, vertical
-//! compaction per bucket, the optimizer's candidate sweep, the experiment
-//! grid) reduces its results in serial order with the serial tie-break, so
-//! the outcome must be **bit-identical** for every `--jobs` value. These
-//! tests pin that contract on two benchmarks across pools of 1, 4 and 8
-//! workers; only wall-clock time may differ.
+//! compaction per bucket, the optimizer's candidate sweep, speculative
+//! candidate probing, the experiment grid) reduces its results in serial
+//! order with the serial tie-break, so the outcome must be
+//! **bit-identical** for every `--jobs` and `--probe-jobs` value. These
+//! tests pin that contract on two benchmarks across the full cross
+//! product of worker pools (1, 4, 8) and probe pools (1, 4, 8); only
+//! wall-clock time may differ.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use soctam::experiment::{run_table_with, ExperimentConfig};
+use soctam::experiment::{run_table_opts, run_table_with, ExperimentConfig, TableOpts};
 use soctam::{
     Benchmark, OptimizerBudget, Pool, RandomPatternConfig, SiOptimizationResult, SiOptimizer,
     SiPatternSet,
 };
 
 const JOBS: [usize; 3] = [1, 4, 8];
+const PROBE_JOBS: [usize; 3] = [1, 4, 8];
 
-fn optimize(bench: Benchmark, patterns: usize, jobs: usize) -> SiOptimizationResult {
+/// The full `--jobs` x `--probe-jobs` grid, baseline (1, 1) first.
+fn job_grid() -> impl Iterator<Item = (usize, usize)> {
+    JOBS.into_iter()
+        .flat_map(|jobs| PROBE_JOBS.into_iter().map(move |probe| (jobs, probe)))
+}
+
+fn optimize(
+    bench: Benchmark,
+    patterns: usize,
+    jobs: usize,
+    probe_jobs: usize,
+) -> SiOptimizationResult {
     let soc = bench.soc();
     let set = SiPatternSet::random_with(
         &soc,
@@ -25,33 +39,35 @@ fn optimize(bench: Benchmark, patterns: usize, jobs: usize) -> SiOptimizationRes
         &Pool::new(jobs),
     )
     .expect("valid patterns");
-    SiOptimizer::new(&soc)
+    let mut opt = SiOptimizer::new(&soc)
         .max_tam_width(16)
         .partitions(2)
         .seed(3)
-        .jobs(jobs)
-        .optimize(&set)
-        .expect("optimizes")
+        .jobs(jobs);
+    if probe_jobs != 1 {
+        opt = opt.probe_jobs(probe_jobs);
+    }
+    opt.optimize(&set).expect("optimizes")
 }
 
 fn assert_identical_runs(bench: Benchmark, patterns: usize) {
-    let baseline = optimize(bench, patterns, JOBS[0]);
-    for &jobs in &JOBS[1..] {
-        let run = optimize(bench, patterns, jobs);
+    let baseline = optimize(bench, patterns, 1, 1);
+    for (jobs, probe_jobs) in job_grid().skip(1) {
+        let run = optimize(bench, patterns, jobs, probe_jobs);
         assert_eq!(
             run.compacted().groups(),
             baseline.compacted().groups(),
-            "{bench}: compacted groups diverge at jobs={jobs}"
+            "{bench}: compacted groups diverge at jobs={jobs} probe-jobs={probe_jobs}"
         );
         assert_eq!(
             run.architecture(),
             baseline.architecture(),
-            "{bench}: architecture diverges at jobs={jobs}"
+            "{bench}: architecture diverges at jobs={jobs} probe-jobs={probe_jobs}"
         );
         assert_eq!(
             run.evaluation(),
             baseline.evaluation(),
-            "{bench}: schedule diverges at jobs={jobs}"
+            "{bench}: schedule diverges at jobs={jobs} probe-jobs={probe_jobs}"
         );
     }
 }
@@ -68,7 +84,12 @@ fn p34392_is_bit_identical_across_jobs() {
 
 /// Like [`optimize`], but with an active iteration-bounded
 /// [`OptimizerBudget`] (deadline unset, so the bound is deterministic).
-fn optimize_budgeted(bench: Benchmark, patterns: usize, jobs: usize) -> SiOptimizationResult {
+fn optimize_budgeted(
+    bench: Benchmark,
+    patterns: usize,
+    jobs: usize,
+    probe_jobs: usize,
+) -> SiOptimizationResult {
     let soc = bench.soc();
     let set = SiPatternSet::random_with(
         &soc,
@@ -76,38 +97,41 @@ fn optimize_budgeted(bench: Benchmark, patterns: usize, jobs: usize) -> SiOptimi
         &Pool::new(jobs),
     )
     .expect("valid patterns");
-    SiOptimizer::new(&soc)
+    let mut opt = SiOptimizer::new(&soc)
         .max_tam_width(16)
         .partitions(2)
         .seed(3)
         .jobs(jobs)
-        .budget(OptimizerBudget::unlimited().with_max_iterations(6))
-        .optimize(&set)
-        .expect("optimizes")
+        .budget(OptimizerBudget::unlimited().with_max_iterations(6));
+    if probe_jobs != 1 {
+        opt = opt.probe_jobs(probe_jobs);
+    }
+    opt.optimize(&set).expect("optimizes")
 }
 
 /// An iteration-bounded budget must trip at the same point regardless of
-/// the worker count: candidate probes are speculative (they never tick
-/// the tracker), so the committed-move sequence — and therefore the
-/// result — is identical for every `--jobs` through the delta path.
+/// the worker or probe-worker count: candidate probes are speculative
+/// (they never tick the tracker; the budget is charged once per accepted
+/// step), so the committed-move sequence — and therefore the result — is
+/// identical for every `--jobs` x `--probe-jobs` combination.
 fn assert_identical_budgeted_runs(bench: Benchmark, patterns: usize) {
-    let baseline = optimize_budgeted(bench, patterns, JOBS[0]);
-    for &jobs in &JOBS[1..] {
-        let run = optimize_budgeted(bench, patterns, jobs);
+    let baseline = optimize_budgeted(bench, patterns, 1, 1);
+    for (jobs, probe_jobs) in job_grid().skip(1) {
+        let run = optimize_budgeted(bench, patterns, jobs, probe_jobs);
         assert_eq!(
             run.architecture(),
             baseline.architecture(),
-            "{bench}: budgeted architecture diverges at jobs={jobs}"
+            "{bench}: budgeted architecture diverges at jobs={jobs} probe-jobs={probe_jobs}"
         );
         assert_eq!(
             run.evaluation(),
             baseline.evaluation(),
-            "{bench}: budgeted schedule diverges at jobs={jobs}"
+            "{bench}: budgeted schedule diverges at jobs={jobs} probe-jobs={probe_jobs}"
         );
         assert_eq!(
             run.degraded(),
             baseline.degraded(),
-            "{bench}: budgeted degradation flag diverges at jobs={jobs}"
+            "{bench}: budgeted degradation flag diverges at jobs={jobs} probe-jobs={probe_jobs}"
         );
     }
 }
@@ -143,8 +167,15 @@ fn experiment_table_is_bit_identical_across_jobs() {
         seed: 5,
     };
     let baseline = run_table_with(&soc, &config, &Pool::serial()).expect("runs");
-    for &jobs in &JOBS[1..] {
-        let table = run_table_with(&soc, &config, &Pool::new(jobs)).expect("runs");
-        assert_eq!(table, baseline, "table diverges at jobs={jobs}");
+    for (jobs, probe_jobs) in job_grid().skip(1) {
+        let opts = TableOpts {
+            probe_pool: (probe_jobs != 1).then(|| Pool::new(probe_jobs)),
+            ..TableOpts::default()
+        };
+        let table = run_table_opts(&soc, &config, &Pool::new(jobs), &opts).expect("runs");
+        assert_eq!(
+            table, baseline,
+            "table diverges at jobs={jobs} probe-jobs={probe_jobs}"
+        );
     }
 }
