@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Chaos-soak gate: run the seeded fault-injection soak against the job
+# subsystem with a pinned seed and a hard wall-clock watchdog, then
+# prove the SIGTERM drain path on the release daemon (graceful exit 0
+# with a journaled, terminal job table).
+#
+# Usage: ci/chaos_soak.sh [artifact-dir]
+# Artifacts (soak log, daemon log, journal) land in the artifact dir —
+# uploaded by CI on failure so a red soak reproduces from its seed.
+#
+# Exit codes: 0 = every invariant held, 1 = soak or drain failure,
+# 2 = usage/build error.
+
+set -u
+
+ARTIFACTS="${1:-chaos-artifacts}"
+mkdir -p "$ARTIFACTS" || exit 2
+
+# Pinned seed: a red run reproduces with
+#   SOCTAM_CHAOS_SEED=20260807 cargo test -p soctam-serve --test chaos_soak
+SEED="${SOCTAM_CHAOS_SEED:-20260807}"
+ROUNDS="${SOCTAM_CHAOS_ROUNDS:-6}"
+# Hard watchdog: the soak's own per-wait watchdogs are 120 s; anything
+# beyond 15 minutes wall-clock is a hang, not a slow runner.
+HARD_TIMEOUT="${SOCTAM_CHAOS_TIMEOUT:-900}"
+
+failures=0
+
+echo "== chaos soak (seed=$SEED rounds=$ROUNDS timeout=${HARD_TIMEOUT}s) =="
+if SOCTAM_CHAOS_SEED="$SEED" SOCTAM_CHAOS_ROUNDS="$ROUNDS" \
+    timeout "$HARD_TIMEOUT" \
+    cargo test --release --offline -p soctam-serve --test chaos_soak -- --nocapture \
+    >"$ARTIFACTS/chaos_soak.log" 2>&1; then
+    echo "ok: soak held every invariant"
+else
+    status=$?
+    if [ "$status" -eq 124 ]; then
+        echo "FAIL: soak exceeded the ${HARD_TIMEOUT}s hard watchdog (hang)"
+    else
+        echo "FAIL: soak failed (exit $status)"
+    fi
+    tail -40 "$ARTIFACTS/chaos_soak.log" | sed 's/^/    /'
+    # Keep the soak journal for the artifact upload: the log names it.
+    journal="$(sed -n 's/^chaos soak: .*journal=//p' "$ARTIFACTS/chaos_soak.log" | head -1)"
+    [ -n "$journal" ] && [ -f "$journal" ] && cp "$journal" "$ARTIFACTS/" 2>/dev/null
+    failures=$((failures + 1))
+fi
+
+echo "== SIGTERM drain (release daemon, journaled) =="
+SERVE="target/release/soctam-serve"
+CTL="target/release/soctam-servectl"
+if [ ! -x "$SERVE" ] || [ ! -x "$CTL" ]; then
+    echo "building release daemon..."
+    cargo build --release --offline -p soctam-serve || exit 2
+fi
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$SERVE" --listen 127.0.0.1:0 --journal "$WORK/jobs.wal" --stats \
+    >"$WORK/serve.log" 2>&1 &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^soctam-serve listening on //p' "$WORK/serve.log")"
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "FAIL: daemon never reported its listen address"
+    sed 's/^/    /' "$WORK/serve.log"
+    exit 1
+fi
+
+# A job in flight when SIGTERM lands must still leave the daemon free
+# to exit 0: the drain cancels it down to a best-so-far result.
+"$CTL" "$ADDR" submit optimize \
+    '{"soc":"d695","params":{"patterns":300,"width":16}}' >/dev/null 2>&1
+kill -TERM "$SERVER_PID"
+DRAIN_OK=0
+for _ in $(seq 1 100); do
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        DRAIN_OK=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$DRAIN_OK" -eq 1 ] && wait "$SERVER_PID" 2>/dev/null; then
+    echo "ok: SIGTERM drained the daemon to exit 0"
+    SERVER_PID=""
+else
+    echo "FAIL: daemon did not exit 0 after SIGTERM"
+    sed 's/^/    /' "$WORK/serve.log"
+    cp "$WORK/serve.log" "$WORK/jobs.wal" "$ARTIFACTS/" 2>/dev/null
+    failures=$((failures + 1))
+fi
+if [ -z "$SERVER_PID" ] && ! grep -q '"jobs":' "$WORK/serve.log"; then
+    echo "FAIL: --stats printed no final metrics on shutdown"
+    sed 's/^/    /' "$WORK/serve.log"
+    failures=$((failures + 1))
+fi
+
+if [ "$failures" -gt 0 ]; then
+    echo "chaos soak: $failures failure(s); artifacts in $ARTIFACTS/"
+    exit 1
+fi
+echo "chaos soak: all invariants held"

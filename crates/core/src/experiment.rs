@@ -36,7 +36,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use soctam_compaction::{compact_two_dimensional_with, CompactionConfig};
-use soctam_exec::{Pool, Progress};
+use soctam_exec::{CancelToken, Pool, Progress};
 use soctam_model::Soc;
 use soctam_patterns::{RandomPatternConfig, SiPatternSet};
 use soctam_tam::{Objective, SiGroupSpec, TamOptimizer};
@@ -220,6 +220,10 @@ pub struct TableOpts {
     pub probe_pool: Option<Pool>,
     /// Progress sink for a live display (phase, probes, best `T_soc`).
     pub progress: Option<Arc<Progress>>,
+    /// Cooperative cancellation: a tripped token makes every remaining
+    /// grid cell degrade to its best-so-far architecture (the run still
+    /// returns a complete, valid table).
+    pub cancel: Option<CancelToken>,
 }
 
 /// [`run_table_cached`] with the full option set ([`TableOpts`]).
@@ -299,6 +303,9 @@ pub fn run_table_opts(
             }
             if let Some(cache) = cache {
                 optimizer = optimizer.eval_cache(cache);
+            }
+            if let Some(cancel) = &opts.cancel {
+                optimizer = optimizer.cancel(cancel.clone());
             }
             Ok(optimizer.optimize()?.evaluation().t_total())
         })

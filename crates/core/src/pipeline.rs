@@ -4,7 +4,7 @@ use std::panic;
 use std::sync::Arc;
 
 use soctam_compaction::{compact_two_dimensional_with, CompactedSiTests, CompactionConfig};
-use soctam_exec::{fault, Metrics, Pool, Progress};
+use soctam_exec::{fault, CancelToken, Metrics, Pool, Progress};
 use soctam_model::Soc;
 use soctam_patterns::SiPatternSet;
 use soctam_tam::{
@@ -71,6 +71,7 @@ pub struct SiOptimizer<'a> {
     progress: Option<Arc<Progress>>,
     budget: OptimizerBudget,
     eval_cache: Option<EvalCache>,
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> SiOptimizer<'a> {
@@ -89,6 +90,7 @@ impl<'a> SiOptimizer<'a> {
             progress: None,
             budget: OptimizerBudget::unlimited(),
             eval_cache: None,
+            cancel: None,
         }
     }
 
@@ -143,6 +145,14 @@ impl<'a> SiOptimizer<'a> {
     /// stderr ticker. Purely advisory; never affects results.
     pub fn progress(mut self, progress: Arc<Progress>) -> Self {
         self.progress = Some(progress);
+        self
+    }
+
+    /// Observes `cancel` at every optimizer budget checkpoint. A
+    /// tripped token degrades the run to its best-so-far architecture
+    /// ([`SiOptimizationResult::degraded`]) — never an error.
+    pub fn cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 
@@ -238,6 +248,9 @@ impl<'a> SiOptimizer<'a> {
             }
             if let Some(cache) = &self.eval_cache {
                 optimizer = optimizer.eval_cache(cache);
+            }
+            if let Some(cancel) = &self.cancel {
+                optimizer = optimizer.cancel(cancel.clone());
             }
             let optimized = self.pool.metrics().time("optimize", || {
                 if self.restarts > 1 {

@@ -1,0 +1,90 @@
+//! Cooperative cancellation for long-running pipeline work.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag shared between a
+//! controller (the daemon's job manager, a signal handler) and the
+//! worker executing an optimization. Cancellation is *cooperative*:
+//! the worker polls [`CancelToken::is_cancelled`] at its existing
+//! budget checkpoints and degrades to the best result found so far —
+//! exactly the same graceful path a tripped `OptimizerBudget` takes.
+//! Nothing is ever torn down mid-move, so a cancelled run still
+//! returns a valid (merely less optimized) architecture.
+//!
+//! The flag is sticky: once [`cancel`](CancelToken::cancel) is called
+//! every clone observes it forever. Tokens default to the
+//! never-cancelled state, so plumbing one through an API is free for
+//! callers that never cancel.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A sticky, shared cancellation flag.
+///
+/// Clones share the same underlying flag; `Default` builds a fresh,
+/// not-yet-cancelled token.
+///
+/// # Example
+///
+/// ```
+/// use soctam_exec::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let worker_view = token.clone();
+/// assert!(!worker_view.is_cancelled());
+/// token.cancel();
+/// assert!(worker_view.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh token in the not-cancelled state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; every clone observes it.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True once any clone of this token has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_uncancelled_and_sticks() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        token.cancel();
+        assert!(token.is_cancelled());
+        token.cancel(); // idempotent
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_flag_across_threads() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        let handle = std::thread::spawn(move || {
+            clone.cancel();
+        });
+        handle.join().expect("cancelling thread joins");
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn independent_tokens_do_not_interfere() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+}

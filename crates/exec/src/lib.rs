@@ -25,16 +25,23 @@
 //! * [`fault`] — a deterministic failpoint registry
 //!   (`SOCTAM_FAILPOINTS`) used to prove that every error path in the
 //!   pipeline actually works.
+//! * [`cancel`] — a sticky, cloneable [`CancelToken`] that lets job
+//!   managers and signal handlers degrade running optimizations to
+//!   their best-so-far result instead of dropping work.
+//! * [`signal`] — a SIGTERM/SIGINT latch polled by the daemon so
+//!   container stops drain like `/admin/shutdown`.
 
-// Documented exception to the workspace-wide `#![forbid(unsafe_code)]`
+// Documented exceptions to the workspace-wide `#![forbid(unsafe_code)]`
 // header: `pool` spawns scoped worker threads over borrowed closures,
-// which needs two `unsafe` lifetime-erasure sites (each carries a
-// SAFETY: argument). Every other module is safe code, and unsafe inside
-// unsafe fns still requires an explicit block.
+// which needs two `unsafe` lifetime-erasure sites, and `signal`
+// registers POSIX handlers through the libc `signal` FFI (each site
+// carries a SAFETY: argument). Every other module is safe code, and
+// unsafe inside unsafe fns still requires an explicit block.
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 pub mod cache;
+pub mod cancel;
 pub mod check;
 pub mod fault;
 pub mod hash;
@@ -42,8 +49,10 @@ pub mod metrics;
 pub mod pool;
 pub mod progress;
 pub mod rng;
+pub mod signal;
 
 pub use cache::{FpKey, MemoCache};
+pub use cancel::CancelToken;
 pub use fault::{FaultAction, FaultError, ScopedFault};
 pub use hash::{fx_fingerprint128, fx_hash_one, Fingerprinter, FxBuildHasher, FxHasher};
 pub use metrics::{Metrics, MetricsSnapshot};

@@ -20,6 +20,7 @@ pub struct Progress {
     phase: Mutex<String>,
     probed: AtomicU64,
     best: AtomicU64,
+    iterations: AtomicU64,
 }
 
 impl Progress {
@@ -29,6 +30,7 @@ impl Progress {
             phase: Mutex::new(String::new()),
             probed: AtomicU64::new(0),
             best: AtomicU64::new(UNSET),
+            iterations: AtomicU64::new(0),
         }
     }
 
@@ -65,6 +67,16 @@ impl Progress {
         self.best.fetch_min(t_soc, Ordering::Relaxed);
     }
 
+    /// Counts one committed improvement iteration (a budget tick).
+    pub fn count_iteration(&self) {
+        self.iterations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Committed improvement iterations so far.
+    pub fn iterations(&self) -> u64 {
+        self.iterations.load(Ordering::Relaxed)
+    }
+
     /// The best objective published so far, or `None` before the first.
     pub fn best(&self) -> Option<u64> {
         match self.best.load(Ordering::Relaxed) {
@@ -84,6 +96,15 @@ mod tests {
         assert_eq!(p.phase(), "");
         assert_eq!(p.probed(), 0);
         assert_eq!(p.best(), None);
+        assert_eq!(p.iterations(), 0);
+    }
+
+    #[test]
+    fn counts_iterations() {
+        let p = Progress::new();
+        p.count_iteration();
+        p.count_iteration();
+        assert_eq!(p.iterations(), 2);
     }
 
     #[test]

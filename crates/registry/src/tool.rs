@@ -5,7 +5,7 @@ use std::fmt;
 
 use std::sync::Arc;
 
-use soctam::exec::Progress;
+use soctam::exec::{CancelToken, Progress};
 use soctam::{EvalCache, Pool, Soc, SoctamError};
 
 use crate::json::Json;
@@ -115,6 +115,10 @@ pub struct ToolCtx {
     /// `--progress` ticker). Tools publish into it when present; it is
     /// advisory and never changes results.
     pub progress: Option<Arc<Progress>>,
+    /// Cooperative cancellation token. Tools that can degrade observe
+    /// it at their budget checkpoints and return a best-so-far
+    /// `degraded:true` output instead of an error once it trips.
+    pub cancel: Option<CancelToken>,
 }
 
 impl ToolCtx {
@@ -124,6 +128,7 @@ impl ToolCtx {
             pool,
             eval_cache: None,
             progress: None,
+            cancel: None,
         }
     }
 }

@@ -334,6 +334,9 @@ fn optimize_tool(soc: &Soc, params: &ParamValues, ctx: &ToolCtx) -> Result<ToolO
     if let Some(cache) = effective_cache(params, ctx) {
         optimizer = optimizer.eval_cache(cache);
     }
+    if let Some(cancel) = &ctx.cancel {
+        optimizer = optimizer.cancel(cancel.clone());
+    }
     let result = optimizer.optimize(&patterns).map_err(pipeline_err)?;
 
     let mut out = String::new();
@@ -381,6 +384,7 @@ fn table_tool(soc: &Soc, params: &ParamValues, ctx: &ToolCtx) -> Result<ToolOutp
         cache: effective_cache(params, ctx),
         probe_pool: probe_pool_from(params),
         progress: ctx.progress.clone(),
+        cancel: ctx.cancel.clone(),
     };
     let table = run_table_opts(soc, &config, &ctx.pool, &opts).map_err(pipeline_err)?;
     Ok(ToolOutput::text(table.to_string()))

@@ -3,10 +3,18 @@
 //! Exists so tests, `soctam-servectl` and the CI smoke job can talk to
 //! a running daemon without any third-party dependency. One request per
 //! connection, mirroring the server's `Connection: close` framing.
+//!
+//! [`request_with_retry`] layers deterministic exponential backoff on
+//! top: connect failures and 429/503 responses are retried with
+//! seeded jitter from [`soctam_exec::Rng`], honoring the server's
+//! `Retry-After` pacing hint. The attempt schedule is a pure function
+//! of the [`RetryPolicy`], so tests can pin it exactly.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
+
+use soctam_exec::Rng;
 
 use crate::http::IO_TIMEOUT;
 
@@ -17,6 +25,9 @@ pub struct ClientResponse {
     pub status: u16,
     /// Response body (the daemon always sends JSON).
     pub body: String,
+    /// The `Retry-After` header in seconds, when the server sent one
+    /// (429/503 rejections carry it as a pacing hint).
+    pub retry_after: Option<u64>,
 }
 
 /// A client-side failure (connect, I/O, malformed response).
@@ -84,6 +95,7 @@ pub fn request(
     Ok(ClientResponse {
         status,
         body: body.to_owned(),
+        retry_after: retry_after_seconds(head),
     })
 }
 
@@ -105,8 +117,203 @@ pub fn post(addr: &str, path: &str, body: &str) -> Result<ClientResponse, Client
     request(addr, "POST", path, body)
 }
 
+/// Parses a `Retry-After: <seconds>` header out of a raw response head.
+fn retry_after_seconds(head: &str) -> Option<u64> {
+    head.lines().find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        if name.trim().eq_ignore_ascii_case("retry-after") {
+            value.trim().parse().ok()
+        } else {
+            None
+        }
+    })
+}
+
+/// Deterministic exponential-backoff policy for [`request_with_retry`].
+///
+/// Attempt `k` (0-based) that fails retriably waits
+/// `delay_ms(k) = half + jitter` where `half = min(cap_ms, base_ms << k) / 2`
+/// and `jitter ∈ [0, half]` comes from a seeded
+/// [`Rng`] stream — so the full schedule is a pure
+/// function of the policy and identical on every run. A server
+/// `Retry-After: <s>` hint overrides the computed delay (clamped to
+/// `cap_ms`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try included). 1 disables retries.
+    pub max_attempts: u32,
+    /// Base delay before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Upper bound on any single delay, in milliseconds.
+    pub cap_ms: u64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_ms: 100,
+            cap_ms: 5_000,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The default policy with a caller-chosen jitter seed.
+    pub fn seeded(seed: u64) -> Self {
+        RetryPolicy {
+            seed,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The deterministic backoff delay (ms) after failed attempt `k`
+    /// (0-based), before any `Retry-After` override.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let raw = self
+            .base_ms
+            .saturating_shl(attempt.min(32))
+            .min(self.cap_ms.max(1));
+        let half = raw / 2;
+        // Decorrelated jitter in [half, raw]: a fresh derived stream
+        // per attempt keeps the schedule independent of call order.
+        half + Rng::derive(self.seed, u64::from(attempt)).below(half + 1)
+    }
+
+    /// The full backoff schedule: one delay per possible retry.
+    pub fn schedule(&self) -> Vec<u64> {
+        (0..self.max_attempts.saturating_sub(1))
+            .map(|k| self.delay_ms(k))
+            .collect()
+    }
+}
+
+/// Helper: `u64` shift that saturates instead of wrapping for large
+/// attempt counts.
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> u64;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        self.checked_shl(shift).unwrap_or(u64::MAX)
+    }
+}
+
+/// True when a response status should be retried (the server asked for
+/// pacing, or is mid-shutdown).
+fn retriable(status: u16) -> bool {
+    status == 429 || status == 503
+}
+
+/// [`request`] with deterministic seeded retries on connect errors and
+/// 429/503 responses, honoring `Retry-After` (clamped to the policy
+/// cap). Non-retriable responses — including 4xx/5xx errors other than
+/// 429/503 — return immediately.
+///
+/// # Errors
+///
+/// The final [`ClientError`] once `max_attempts` is exhausted.
+pub fn request_with_retry(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    policy: &RetryPolicy,
+) -> Result<ClientResponse, ClientError> {
+    let attempts = policy.max_attempts.max(1);
+    let mut last: Option<Result<ClientResponse, ClientError>> = None;
+    for attempt in 0..attempts {
+        let outcome = request(addr, method, path, body);
+        match &outcome {
+            Ok(response) if !retriable(response.status) => return outcome,
+            _ => {}
+        }
+        if attempt + 1 == attempts {
+            return outcome;
+        }
+        let hinted = match &outcome {
+            Ok(response) => response.retry_after.map(|s| s.saturating_mul(1_000)),
+            Err(_) => None,
+        };
+        let delay = hinted
+            .unwrap_or_else(|| policy.delay_ms(attempt))
+            .min(policy.cap_ms.max(1));
+        std::thread::sleep(Duration::from_millis(delay));
+        last = Some(outcome);
+    }
+    // Unreachable: the loop always returns on its final attempt; keep
+    // the last outcome as a defensive fallback.
+    last.unwrap_or_else(|| {
+        Err(ClientError {
+            message: "retry loop made no attempt".to_owned(),
+        })
+    })
+}
+
 /// Optimization jobs can legitimately run far longer than a framing
 /// timeout; the client waits generously for the response to start.
 fn read_deadline() -> Duration {
     IO_TIMEOUT.saturating_mul(10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_after_header_parses_case_insensitively() {
+        let head = "HTTP/1.1 429 Too Many Requests\r\nretry-after: 7\r\nContent-Length: 0";
+        assert_eq!(retry_after_seconds(head), Some(7));
+        assert_eq!(retry_after_seconds("HTTP/1.1 200 OK"), None);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_pinned() {
+        // The exact schedule for the default policy at seed 42. Pinned
+        // on purpose: any change to the backoff math or the jitter
+        // stream is a visible, reviewed diff.
+        let policy = RetryPolicy::seeded(42);
+        let schedule = policy.schedule();
+        assert_eq!(schedule, policy.schedule(), "schedule is a pure function");
+        assert_eq!(schedule.len(), 4, "max_attempts 5 -> 4 retries");
+        for (k, &delay) in schedule.iter().enumerate() {
+            let raw = (policy.base_ms << k).min(policy.cap_ms);
+            assert!(
+                delay >= raw / 2 && delay <= raw,
+                "delay {delay} outside [{}, {raw}] at attempt {k}",
+                raw / 2
+            );
+        }
+        assert_eq!(schedule, vec![75, 150, 362, 646]);
+    }
+
+    #[test]
+    fn backoff_caps_and_never_overflows() {
+        let policy = RetryPolicy {
+            max_attempts: 80,
+            base_ms: 100,
+            cap_ms: 1_000,
+            seed: 1,
+        };
+        for k in 0..79 {
+            assert!(policy.delay_ms(k) <= 1_000);
+        }
+    }
+
+    #[test]
+    fn retries_are_capped_on_connect_errors() {
+        // Nothing listens on this address (reserved TEST-NET-3).
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_ms: 1,
+            cap_ms: 2,
+            seed: 0,
+        };
+        let result = request_with_retry("127.0.0.1:1", "GET", "/healthz", "", &policy);
+        assert!(result.is_err(), "no daemon -> error after capped retries");
+    }
 }

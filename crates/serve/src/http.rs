@@ -126,11 +126,33 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
 ///
 /// Forwards socket failures.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_with(stream, status, body, &[])
+}
+
+/// [`write_response`] with extra response headers (e.g. `Retry-After`).
+/// Header names and values must be ASCII without CR/LF.
+///
+/// # Errors
+///
+/// Forwards socket failures.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    headers: &[(&str, String)],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
         reason(status),
         body.len()
     );
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
@@ -140,7 +162,9 @@ pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::i
 pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
+        409 => "Conflict",
         404 => "Not Found",
         405 => "Method Not Allowed",
         422 => "Unprocessable Entity",

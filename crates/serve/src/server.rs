@@ -1,28 +1,48 @@
 //! The daemon: connection-per-thread HTTP server over the shared tool
-//! registry.
+//! registry, plus an asynchronous job subsystem.
 //!
 //! Every worker connection shares one [`Pool`] (so `--jobs` bounds
 //! total parallelism, not per-request parallelism) and one warm
 //! [`EvalCache`]; identical sub-evaluations across requests — same SOC,
 //! same width budget, same groups — hit the cache instead of
-//! recomputing. Admission control caps concurrently-running jobs and
-//! rejects the overflow with a structured `429` body instead of
-//! queueing unboundedly.
+//! recomputing. Admission control caps concurrently-running synchronous
+//! jobs and rejects the overflow with a structured `429` (carrying a
+//! `Retry-After` pacing hint) instead of queueing unboundedly.
+//!
+//! Long invocations go through `POST /v1/jobs` instead: a bounded FIFO
+//! drained by background job workers, with `GET /v1/jobs/{id}` status
+//! polling, `DELETE /v1/jobs/{id}` cooperative cancellation and an
+//! optional write-ahead journal (`--journal`) that makes acknowledged
+//! outcomes survive `kill -9` — see [`crate::journal`] and the job
+//! module docs for the recovery contract.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use soctam::{EvalCache, MetricsSnapshot, Pool, Soc};
-use soctam_exec::fault;
+use soctam_exec::fault::panic_message;
+use soctam_exec::{fault, signal, CancelToken, Progress};
 use soctam_registry::{
     parse_json, resolve_soc, resolve_soc_text, standard_registry, Json, ParamValue, ToolCtx,
     ToolError, ToolErrorKind,
 };
 
-use crate::http::{read_request, write_response, Request};
+use crate::http::{read_request, write_response_with, Request};
+use crate::job::{parse_job_id, CancelOutcome, JobManager, JobResult, SubmitRejected};
+use crate::journal::Journal;
+
+pub use crate::job::RecoverMode;
+
+/// `Retry-After` seconds suggested on admission/queue rejections.
+const RETRY_AFTER_SECS: u64 = 1;
+/// Longest accept-loop idle backoff; accepts reset it to 1 ms.
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(8);
+/// How often the monitor thread journals job checkpoints.
+const CHECKPOINT_INTERVAL: Duration = Duration::from_millis(100);
 
 /// How the daemon is configured; see `soctam-serve --help`.
 #[derive(Clone, Debug)]
@@ -31,12 +51,23 @@ pub struct ServerConfig {
     pub listen: String,
     /// Worker threads in the shared pool (0 = all cores).
     pub jobs: usize,
-    /// Maximum concurrently-running tool jobs; further requests get a
-    /// structured 429. 0 = unlimited.
+    /// Maximum concurrently-running synchronous tool jobs; further
+    /// requests get a structured 429. 0 = unlimited.
     pub max_inflight: usize,
     /// Entry bound for the shared evaluator cache (FIFO eviction);
     /// 0 = unbounded.
     pub cache_cap: usize,
+    /// Bound on the async job queue; overflow gets a structured 429
+    /// with `Retry-After`. 0 = unbounded.
+    pub queue_cap: usize,
+    /// Background job-worker threads draining the queue (minimum 1).
+    pub job_workers: usize,
+    /// Write-ahead journal path; `None` disables crash recovery.
+    pub journal: Option<PathBuf>,
+    /// How replay treats jobs interrupted by a crash.
+    pub recover: RecoverMode,
+    /// Print final metrics JSON to stderr on clean shutdown.
+    pub stats: bool,
 }
 
 impl Default for ServerConfig {
@@ -48,11 +79,17 @@ impl Default for ServerConfig {
             // A long-running daemon must not grow without bound; one
             // million entries is roomy (a d695 optimize needs ~10^3).
             cache_cap: 1 << 20,
+            queue_cap: 64,
+            job_workers: 2,
+            journal: None,
+            recover: RecoverMode::Rerun,
+            stats: false,
         }
     }
 }
 
-/// A daemon failure (bind error, accept-loop I/O failure).
+/// A daemon failure (bind error, accept-loop I/O failure, unusable
+/// journal).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ServeError {
     /// Human-readable description.
@@ -76,6 +113,7 @@ struct ServerState {
     rejected: AtomicU64,
     next_id: AtomicU64,
     shutdown: AtomicBool,
+    jobs: JobManager,
 }
 
 /// A bound, not-yet-running daemon.
@@ -83,15 +121,20 @@ pub struct Server {
     listener: TcpListener,
     local_addr: SocketAddr,
     state: Arc<ServerState>,
+    job_workers: usize,
+    stats: bool,
+    replay_note: Option<String>,
 }
 
 impl Server {
-    /// Binds the listen address and builds the shared state (pool and
-    /// warm cache). No connection is accepted until [`Server::run`].
+    /// Binds the listen address and builds the shared state (pool,
+    /// warm cache, job manager — replaying the journal when one is
+    /// configured). No connection is accepted until [`Server::run`].
     ///
     /// # Errors
     ///
-    /// [`ServeError`] when the address cannot be bound.
+    /// [`ServeError`] when the address cannot be bound or the journal
+    /// cannot be opened.
     pub fn bind(config: &ServerConfig) -> Result<Server, ServeError> {
         let listener = TcpListener::bind(&config.listen).map_err(|e| ServeError {
             message: format!("cannot bind `{}`: {e}", config.listen),
@@ -105,6 +148,29 @@ impl Server {
         } else {
             EvalCache::new()
         };
+        let (jobs, replay_note) = match &config.journal {
+            Some(path) => {
+                let (journal, replay) = Journal::open(path).map_err(|e| ServeError {
+                    message: format!("cannot open journal `{}`: {e}", path.display()),
+                })?;
+                let note = format!(
+                    "journal `{}`: {} records replayed, {} corrupt skipped{}",
+                    path.display(),
+                    replay.records.len(),
+                    replay.corrupt,
+                    if replay.torn_tail {
+                        ", torn tail truncated"
+                    } else {
+                        ""
+                    }
+                );
+                (
+                    JobManager::with_journal(config.queue_cap, journal, &replay, config.recover),
+                    Some(note),
+                )
+            }
+            None => (JobManager::new(config.queue_cap), None),
+        };
         Ok(Server {
             listener,
             local_addr,
@@ -117,7 +183,11 @@ impl Server {
                 rejected: AtomicU64::new(0),
                 next_id: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
+                jobs,
             }),
+            job_workers: config.job_workers.max(1),
+            stats: config.stats,
+            replay_note,
         })
     }
 
@@ -126,9 +196,17 @@ impl Server {
         self.local_addr
     }
 
-    /// Serves until `POST /admin/shutdown`; joins every connection
-    /// thread before returning, so a clean return means no job was
-    /// abandoned mid-flight.
+    /// A one-line journal replay summary (record/corruption counts),
+    /// when a journal is configured. For startup logging.
+    pub fn replay_summary(&self) -> Option<&str> {
+        self.replay_note.as_deref()
+    }
+
+    /// Serves until `POST /admin/shutdown` or a SIGTERM/SIGINT latch
+    /// (see [`soctam_exec::signal`]); drains the job queue (running
+    /// jobs degrade to best-so-far via their cancel tokens), joins
+    /// every worker thread and fsyncs the journal before returning —
+    /// so a clean return means no job was abandoned mid-flight.
     ///
     /// # Errors
     ///
@@ -139,10 +217,33 @@ impl Server {
             .map_err(|e| ServeError {
                 message: format!("cannot configure listener: {e}"),
             })?;
+
+        let mut job_workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for _ in 0..self.job_workers {
+            let state = Arc::clone(&self.state);
+            job_workers.push(std::thread::spawn(move || job_worker_loop(&state)));
+        }
+        let monitor_stop = Arc::new(AtomicBool::new(false));
+        let monitor = {
+            let state = Arc::clone(&self.state);
+            let stop = Arc::clone(&monitor_stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    state.jobs.checkpoint_sweep();
+                    std::thread::sleep(CHECKPOINT_INTERVAL);
+                }
+            })
+        };
+
         let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        while !self.state.shutdown.load(Ordering::SeqCst) {
+        let mut backoff = Duration::from_millis(1);
+        let accept_result = loop {
+            if self.state.shutdown.load(Ordering::SeqCst) || signal::terminate_requested() {
+                break Ok(());
+            }
             match self.listener.accept() {
                 Ok((stream, _)) => {
+                    backoff = Duration::from_millis(1);
                     let state = Arc::clone(&self.state);
                     workers.push(std::thread::spawn(move || {
                         handle_connection(stream, &state);
@@ -150,19 +251,37 @@ impl Server {
                     workers.retain(|handle| !handle.is_finished());
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
+                    // Poll-with-backoff: stay responsive right after
+                    // traffic, back off to 8 ms when idle.
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
                 }
                 Err(e) => {
-                    return Err(ServeError {
+                    break Err(ServeError {
                         message: format!("accept failed: {e}"),
                     });
                 }
             }
-        }
+        };
+
+        // Drain: no new admissions, queued jobs cancel terminally,
+        // running jobs degrade to best-so-far; then every thread joins
+        // and the journal is fsynced. Runs even when the accept loop
+        // failed, so no thread is leaked.
+        self.state.jobs.drain();
         for handle in workers {
             let _ = handle.join();
         }
-        Ok(())
+        for handle in job_workers {
+            let _ = handle.join();
+        }
+        monitor_stop.store(true, Ordering::SeqCst);
+        let _ = monitor.join();
+        self.state.jobs.sync_journal();
+        if self.stats {
+            eprintln!("{}", metrics_json(&self.state).render());
+        }
+        accept_result
     }
 }
 
@@ -179,6 +298,7 @@ impl Drop for InflightGuard<'_> {
 struct Response {
     status: u16,
     body: String,
+    retry_after: Option<u64>,
 }
 
 impl Response {
@@ -186,6 +306,7 @@ impl Response {
         Response {
             status,
             body: value.render(),
+            retry_after: None,
         }
     }
 
@@ -207,6 +328,12 @@ impl Response {
         fields.push(("error", Json::obj(error_fields)));
         Response::json(status, &Json::obj(fields))
     }
+
+    /// Attaches a `Retry-After` pacing hint (429/503 rejections).
+    fn retry_after(mut self, secs: u64) -> Response {
+        self.retry_after = Some(secs);
+        self
+    }
 }
 
 fn handle_connection(mut stream: TcpStream, state: &ServerState) {
@@ -217,20 +344,29 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) {
     // Failpoint: an injected accept-path fault must still produce a
     // structured response on the open socket, never a hung connection.
     if let Err(e) = fault::check("serve.accept") {
-        let response = Response::error(503, None, "unavailable", &ToolError::failed(e.to_string()));
-        let _ = write_response(&mut stream, response.status, &response.body);
+        let response = Response::error(503, None, "unavailable", &ToolError::failed(e.to_string()))
+            .retry_after(RETRY_AFTER_SECS);
+        send(&mut stream, &response);
         return;
     }
     let request = match request {
         Ok(request) => request,
         Err(e) => {
             let response = Response::error(400, None, "malformed", &ToolError::failed(e.message));
-            let _ = write_response(&mut stream, response.status, &response.body);
+            send(&mut stream, &response);
             return;
         }
     };
     let response = route(&request, state);
-    let _ = write_response(&mut stream, response.status, &response.body);
+    send(&mut stream, &response);
+}
+
+fn send(stream: &mut TcpStream, response: &Response) {
+    let mut headers: Vec<(&str, String)> = Vec::new();
+    if let Some(secs) = response.retry_after {
+        headers.push(("Retry-After", secs.to_string()));
+    }
+    let _ = write_response_with(stream, response.status, &response.body, &headers);
 }
 
 fn route(request: &Request, state: &ServerState) -> Response {
@@ -245,6 +381,14 @@ fn route(request: &Request, state: &ServerState) -> Response {
             let name = &path["/v1/tools/".len()..];
             invoke_tool(name, &request.body, state)
         }
+        ("POST", "/v1/jobs") => submit_job(&request.body, state),
+        ("GET", "/v1/jobs") => Response::json(200, &state.jobs.list_json()),
+        ("GET", _) if path.starts_with("/v1/jobs/") => {
+            job_status(&path["/v1/jobs/".len()..], state)
+        }
+        ("DELETE", _) if path.starts_with("/v1/jobs/") => {
+            cancel_job(&path["/v1/jobs/".len()..], state)
+        }
         ("GET", "/metrics") => Response::json(200, &metrics_json(state)),
         ("GET", "/healthz") => Response::json(
             200,
@@ -257,6 +401,9 @@ fn route(request: &Request, state: &ServerState) -> Response {
             ]),
         ),
         ("POST", "/admin/shutdown") => {
+            // Drain first so running jobs see their tokens trip before
+            // the accept loop even notices the flag.
+            state.jobs.drain();
             state.shutdown.store(true, Ordering::SeqCst);
             Response::json(
                 200,
@@ -275,14 +422,14 @@ fn route(request: &Request, state: &ServerState) -> Response {
 fn invoke_tool(name: &str, body: &str, state: &ServerState) -> Response {
     let request_id = format!("r{}", state.next_id.fetch_add(1, Ordering::SeqCst) + 1);
     let id = Some(request_id.as_str());
-    let Some(tool) = standard_registry().get(name) else {
+    if standard_registry().get(name).is_none() {
         return Response::error(
             404,
             id,
             "not-found",
             &ToolError::failed(format!("unknown tool `{name}` (GET /v1/tools lists them)")),
         );
-    };
+    }
 
     // Admission control: reserve a slot before any parsing work; the
     // rejection is cheap and structured, not a queued or dropped socket.
@@ -299,34 +446,57 @@ fn invoke_tool(name: &str, body: &str, state: &ServerState) -> Response {
                 "server is at its --max-inflight limit ({}); retry later",
                 state.max_inflight
             )),
-        );
+        )
+        .retry_after(RETRY_AFTER_SECS);
     }
 
+    respond_with_id(execute(name, body, state, None, None), &request_id)
+}
+
+/// Runs one tool invocation to a response envelope. The body never
+/// contains a request ID: the synchronous path prepends one via
+/// [`respond_with_id`], while job results must be byte-identical
+/// across runs and restarts.
+fn execute(
+    name: &str,
+    body: &str,
+    state: &ServerState,
+    cancel: Option<CancelToken>,
+    progress: Option<Arc<Progress>>,
+) -> Response {
+    let Some(tool) = standard_registry().get(name) else {
+        return Response::error(
+            404,
+            None,
+            "not-found",
+            &ToolError::failed(format!("unknown tool `{name}` (GET /v1/tools lists them)")),
+        );
+    };
     let parsed = match parse_body(tool_body(body)) {
         Ok(parsed) => parsed,
-        Err(response) => return respond_with_id(response, &request_id),
+        Err(response) => return response,
     };
     let (soc, params) = match build_invocation(tool.params, &parsed) {
         Ok(pair) => pair,
-        Err(response) => return respond_with_id(response, &request_id),
+        Err(response) => return response,
     };
 
     // Failpoint: dispatch-path fault → structured 500.
     if let Err(e) = fault::check("serve.dispatch") {
-        return Response::error(500, id, "failed", &ToolError::failed(e.to_string()));
+        return Response::error(500, None, "failed", &ToolError::failed(e.to_string()));
     }
 
     let ctx = ToolCtx {
         pool: state.pool.clone(),
         eval_cache: Some(state.cache.clone()),
-        progress: None,
+        progress,
+        cancel,
     };
     let outcome = catch_unwind(AssertUnwindSafe(|| (tool.run)(&soc, &params, &ctx)));
     match outcome {
         Ok(Ok(output)) => Response::json(
             200,
             &Json::obj(vec![
-                ("request_id", Json::str(&request_id)),
                 ("tool", Json::str(tool.name)),
                 ("degraded", Json::Bool(output.degraded)),
                 ("output", Json::str(output.text)),
@@ -338,16 +508,169 @@ fn invoke_tool(name: &str, body: &str, state: &ServerState) -> Response {
                 ToolErrorKind::Invalid => (422, "invalid"),
                 ToolErrorKind::Failed => (500, "failed"),
             };
-            Response::error(status, id, kind, &err)
+            Response::error(status, None, kind, &err)
         }
-        Err(panic) => {
-            let message = panic
-                .downcast_ref::<String>()
-                .cloned()
-                .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_owned()))
-                .unwrap_or_else(|| "tool panicked".to_owned());
-            Response::error(500, id, "internal", &ToolError::failed(message))
+        Err(panic) => Response::error(
+            500,
+            None,
+            "internal",
+            &ToolError::failed(panic_message(panic.as_ref())),
+        ),
+    }
+}
+
+/// One background job worker: drains the queue until the manager says
+/// to exit. A panicking job (including an armed `serve.job` panic
+/// failpoint) costs that job, never the worker.
+fn job_worker_loop(state: &Arc<ServerState>) {
+    while let Some(item) = state.jobs.take_next() {
+        state.inflight.fetch_add(1, Ordering::SeqCst);
+        let guard = InflightGuard(state);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // Failpoint: job-path fault after `started` is journaled,
+            // before dispatch — the window a crash leaves a job
+            // interrupted.
+            if let Err(e) = fault::check("serve.job") {
+                return Response::error(500, None, "failed", &ToolError::failed(e.to_string()));
+            }
+            execute(
+                &item.tool,
+                &item.body,
+                state,
+                Some(item.cancel.clone()),
+                Some(Arc::clone(&item.progress)),
+            )
+        }));
+        drop(guard);
+        let response = match outcome {
+            Ok(response) => response,
+            Err(panic) => Response::error(
+                500,
+                None,
+                "internal",
+                &ToolError::failed(panic_message(panic.as_ref())),
+            ),
+        };
+        state.jobs.finish(
+            item.id,
+            JobResult {
+                status: response.status,
+                body: response.body,
+            },
+        );
+    }
+}
+
+/// `POST /v1/jobs`: `{"tool": "<name>", "request": {...}}` → 202 with
+/// the job ID, or a structured rejection.
+fn submit_job(body: &str, state: &ServerState) -> Response {
+    let value = match Json::parse(tool_body(body)) {
+        Ok(value) => value,
+        Err(e) => return Response::error(400, None, "usage", &ToolError::usage(e.to_string())),
+    };
+    let Some(tool) = value.get("tool").and_then(Json::as_str) else {
+        return Response::error(
+            400,
+            None,
+            "usage",
+            &ToolError::usage("job body must carry a `tool` name"),
+        );
+    };
+    if standard_registry().get(tool).is_none() {
+        return Response::error(
+            404,
+            None,
+            "not-found",
+            &ToolError::failed(format!("unknown tool `{tool}` (GET /v1/tools lists them)")),
+        );
+    }
+    let request = value
+        .get("request")
+        .map_or_else(|| "{}".to_owned(), Json::render);
+    match state.jobs.submit(tool, &request) {
+        Ok(id) => Response::json(
+            202,
+            &Json::obj(vec![
+                ("job", Json::str(format!("j{id}"))),
+                ("state", Json::str("queued")),
+            ]),
+        ),
+        Err(SubmitRejected::QueueFull) => {
+            state.rejected.fetch_add(1, Ordering::Relaxed);
+            Response::error(
+                429,
+                None,
+                "rejected",
+                &ToolError::failed("job queue is full; retry later"),
+            )
+            .retry_after(RETRY_AFTER_SECS)
         }
+        Err(SubmitRejected::Draining) => Response::error(
+            503,
+            None,
+            "unavailable",
+            &ToolError::failed("server is shutting down"),
+        )
+        .retry_after(RETRY_AFTER_SECS),
+    }
+}
+
+fn job_status(segment: &str, state: &ServerState) -> Response {
+    let Some(id) = parse_job_id(segment) else {
+        return Response::error(
+            400,
+            None,
+            "usage",
+            &ToolError::usage(format!("malformed job id `{segment}` (expected jN)")),
+        );
+    };
+    match state.jobs.status_json(id) {
+        Some(status) => Response::json(200, &status),
+        None => Response::error(
+            404,
+            None,
+            "not-found",
+            &ToolError::failed(format!("no such job `{segment}`")),
+        ),
+    }
+}
+
+fn cancel_job(segment: &str, state: &ServerState) -> Response {
+    let Some(id) = parse_job_id(segment) else {
+        return Response::error(
+            400,
+            None,
+            "usage",
+            &ToolError::usage(format!("malformed job id `{segment}` (expected jN)")),
+        );
+    };
+    match state.jobs.cancel(id) {
+        CancelOutcome::NotFound => Response::error(
+            404,
+            None,
+            "not-found",
+            &ToolError::failed(format!("no such job `{segment}`")),
+        ),
+        CancelOutcome::CancelledQueued => Response::json(
+            200,
+            &Json::obj(vec![
+                ("job", Json::str(segment)),
+                ("state", Json::str("cancelled")),
+            ]),
+        ),
+        CancelOutcome::Requested => Response::json(
+            202,
+            &Json::obj(vec![
+                ("job", Json::str(segment)),
+                ("state", Json::str("cancelling")),
+            ]),
+        ),
+        CancelOutcome::AlreadyTerminal(terminal) => Response::error(
+            409,
+            None,
+            "conflict",
+            &ToolError::failed(format!("job `{segment}` is already {terminal}")),
+        ),
     }
 }
 
@@ -468,13 +791,16 @@ fn build_invocation(
     Ok((soc, params))
 }
 
-/// Re-renders an error response so it carries the request ID (body
-/// parsing happens before the ID is known to the helpers).
+/// Re-renders a response so it carries the request ID first (the
+/// envelope helpers build ID-free bodies shared with the job path).
 fn respond_with_id(response: Response, request_id: &str) -> Response {
     match Json::parse(&response.body) {
         Ok(Json::Obj(mut fields)) => {
             fields.insert(0, ("request_id".to_owned(), Json::str(request_id)));
-            Response::json(response.status, &Json::Obj(fields))
+            Response {
+                body: Json::Obj(fields).render(),
+                ..response
+            }
         }
         _ => response,
     }
@@ -504,6 +830,7 @@ fn metrics_json(state: &ServerState) -> Json {
                 ),
             ]),
         ),
+        ("jobs", state.jobs.metrics_json()),
         (
             "cache",
             Json::obj(vec![

@@ -15,6 +15,7 @@ fn start(jobs: usize, max_inflight: usize) -> (String, std::thread::JoinHandle<(
         jobs,
         max_inflight,
         cache_cap: 1 << 20,
+        ..ServerConfig::default()
     })
     .expect("binds");
     let addr = server.local_addr().to_string();

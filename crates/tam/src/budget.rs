@@ -21,7 +21,10 @@
 
 // soctam-analyze: allow-file(DET-02) -- the wall-clock deadline is the documented opt-in degradation escape hatch; iteration budgets stay deterministic
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use soctam_exec::{CancelToken, Progress};
 
 /// Work limits for a TAM optimization run. The default is unlimited.
 ///
@@ -83,31 +86,68 @@ pub(crate) struct BudgetTracker {
     max_iterations: Option<u64>,
     iterations: AtomicU64,
     exhausted: AtomicBool,
+    /// Cooperative cancellation: treated exactly like an exhausted
+    /// budget — sticky, degrades to best-so-far.
+    cancel: Option<CancelToken>,
+    /// Optional sink receiving one `count_iteration` per tick, so job
+    /// status can report checkpoint progress. Advisory only.
+    progress: Option<Arc<Progress>>,
 }
 
 impl BudgetTracker {
     /// Starts tracking `budget`, anchoring the deadline at *now*.
+    /// Production callers go through `start_with`; tests use this
+    /// shorthand when neither cancellation nor progress matters.
+    #[cfg(test)]
     pub(crate) fn start(budget: OptimizerBudget) -> Self {
+        Self::start_with(budget, None, None)
+    }
+
+    /// Starts tracking `budget` with an optional cancellation token and
+    /// an optional progress sink counting committed iterations.
+    pub(crate) fn start_with(
+        budget: OptimizerBudget,
+        cancel: Option<CancelToken>,
+        progress: Option<Arc<Progress>>,
+    ) -> Self {
         BudgetTracker {
             deadline: budget.deadline.map(|d| Instant::now() + d),
             max_iterations: budget.max_iterations,
             iterations: AtomicU64::new(0),
             exhausted: AtomicBool::new(false),
+            cancel,
+            progress,
         }
     }
 
     fn unlimited(&self) -> bool {
-        self.deadline.is_none() && self.max_iterations.is_none()
+        self.deadline.is_none() && self.max_iterations.is_none() && self.cancel.is_none()
+    }
+
+    /// True when a cancellation request arrived; latches `exhausted` so
+    /// the run degrades exactly like a tripped budget.
+    fn cancelled(&self) -> bool {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            self.exhausted.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
     }
 
     /// Records one improvement iteration and reports whether the run is
     /// still within budget. Free (no atomics, no clock read) when the
-    /// budget is unlimited.
+    /// budget is unlimited and nothing can cancel it.
     pub(crate) fn tick(&self) -> bool {
+        if let Some(p) = &self.progress {
+            p.count_iteration();
+        }
         if self.unlimited() {
             return true;
         }
         if self.exhausted.load(Ordering::Relaxed) {
+            return false;
+        }
+        if self.cancelled() {
             return false;
         }
         let n = self.iterations.fetch_add(1, Ordering::Relaxed) + 1;
@@ -128,6 +168,9 @@ impl BudgetTracker {
             return true;
         }
         if self.exhausted.load(Ordering::Relaxed) {
+            return false;
+        }
+        if self.cancelled() {
             return false;
         }
         if self.deadline.is_some_and(|dl| Instant::now() >= dl) {
@@ -177,6 +220,33 @@ mod tests {
         let tracker = BudgetTracker::start(budget);
         assert!(!tracker.tick());
         assert!(tracker.exhausted());
+    }
+
+    #[test]
+    fn cancellation_trips_like_an_exhausted_budget() {
+        let token = CancelToken::new();
+        let tracker =
+            BudgetTracker::start_with(OptimizerBudget::unlimited(), Some(token.clone()), None);
+        assert!(tracker.tick());
+        assert!(tracker.within());
+        assert!(!tracker.exhausted());
+        token.cancel();
+        assert!(!tracker.tick());
+        assert!(!tracker.within());
+        assert!(tracker.exhausted(), "cancel latches the degraded flag");
+    }
+
+    #[test]
+    fn progress_sink_counts_ticks_even_when_unlimited() {
+        let progress = Arc::new(Progress::new());
+        let tracker = BudgetTracker::start_with(
+            OptimizerBudget::unlimited(),
+            None,
+            Some(Arc::clone(&progress)),
+        );
+        assert!(tracker.tick());
+        assert!(tracker.tick());
+        assert_eq!(progress.iterations(), 2);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::collections::BTreeSet;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
-use soctam_exec::{fault, fx_fingerprint128, FaultError, Pool, Progress};
+use soctam_exec::{fault, fx_fingerprint128, CancelToken, FaultError, Pool, Progress};
 use soctam_model::{CoreId, Soc};
 
 use crate::budget::BudgetTracker;
@@ -69,6 +69,7 @@ pub struct TamOptimizer<'a> {
     budget: OptimizerBudget,
     shared_cache: Option<EvalCache>,
     progress: Option<Arc<Progress>>,
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> TamOptimizer<'a> {
@@ -92,6 +93,7 @@ impl<'a> TamOptimizer<'a> {
             budget: OptimizerBudget::unlimited(),
             shared_cache: None,
             progress: None,
+            cancel: None,
         })
     }
 
@@ -145,6 +147,16 @@ impl<'a> TamOptimizer<'a> {
     /// `--progress` ticker. Purely advisory; never affects results.
     pub fn progress(mut self, progress: Arc<Progress>) -> Self {
         self.progress = Some(progress);
+        self
+    }
+
+    /// Observes `cancel` at every budget checkpoint (builder style).
+    /// Once the token trips the run stops improving and returns its
+    /// best-so-far architecture flagged
+    /// [`OptimizedArchitecture::degraded`] — the same graceful path an
+    /// exhausted budget takes, never an error.
+    pub fn cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 
@@ -1052,10 +1064,16 @@ impl<'a> TamOptimizer<'a> {
     /// error — the run returns its best-so-far architecture with
     /// [`OptimizedArchitecture::degraded`] set.
     pub fn optimize(&self) -> Result<OptimizedArchitecture, TamError> {
-        let tracker = BudgetTracker::start(self.budget);
+        let tracker = self.start_tracker();
         let mut result = self.optimize_tracked(&tracker)?;
         result.degraded = tracker.exhausted();
         Ok(result)
+    }
+
+    /// Builds the run's budget tracker, wiring in the cancellation
+    /// token and the progress sink (for checkpoint iteration counts).
+    fn start_tracker(&self) -> BudgetTracker {
+        BudgetTracker::start_with(self.budget, self.cancel.clone(), self.progress.clone())
     }
 
     fn optimize_tracked(&self, tracker: &BudgetTracker) -> Result<OptimizedArchitecture, TamError> {
@@ -1079,6 +1097,7 @@ impl<'a> TamOptimizer<'a> {
             budget: self.budget,
             shared_cache: self.shared_cache.clone(),
             progress: self.progress.clone(),
+            cancel: self.cancel.clone(),
         };
         let secondary = alt.optimize_perturbed(0, tracker)?;
         let winner = if secondary.evaluation().t_total() < primary.evaluation().t_total() {
@@ -1119,7 +1138,7 @@ impl<'a> TamOptimizer<'a> {
     pub fn optimize_multi(&self, restarts: u32) -> Result<OptimizedArchitecture, TamError> {
         // One tracker for the whole multi-start run: the budget bounds the
         // total work, not each restart individually.
-        let tracker = BudgetTracker::start(self.budget);
+        let tracker = self.start_tracker();
         let mut best = self.optimize_tracked(&tracker)?;
         // Restarts are independent runs; farm them out and reduce in
         // perturbation order (ties keep the earlier start, exactly as
