@@ -154,10 +154,10 @@ pub fn tool_usage(tool: &Tool) -> String {
     if !tool.params.is_empty() {
         out.push_str("\nOPTIONS:\n");
         for param in tool.params {
-            let arg = if param.kind == ParamKind::Bool {
-                format!("--{}", param.name)
-            } else {
-                format!("--{} <{}>", param.name, param.kind.type_name())
+            let arg = match param.kind {
+                ParamKind::Bool => format!("--{}", param.name),
+                ParamKind::Enum(values) => format!("--{} <{}>", param.name, values.join("|")),
+                _ => format!("--{} <{}>", param.name, param.kind.type_name()),
             };
             let default = match (param.kind, param.default) {
                 (ParamKind::Bool, _) | (_, None) => String::new(),
@@ -418,6 +418,38 @@ mod tests {
         assert!(err.message.contains("USAGE"));
         assert!(err.message.contains("--deadline-ms"));
         assert!(err.message.contains("[default: 10000]"));
+        // Enum flags spell their allowed values inline.
+        assert!(err.message.contains("--backend <tr-architect|rect-pack>"));
+    }
+
+    #[test]
+    fn backend_flag_round_trips_and_rejects_unknown_names() {
+        let base = &[
+            "optimize",
+            "d695",
+            "--patterns",
+            "200",
+            "--width",
+            "8",
+            "--partitions",
+            "2",
+        ][..];
+        let default_run = run(&args(base)).expect("runs");
+        let mut explicit = args(base);
+        explicit.extend(args(&["--backend", "tr-architect"]));
+        assert_eq!(
+            run(&explicit).expect("runs"),
+            default_run,
+            "explicit default backend must be byte-identical"
+        );
+        let mut rect = args(base);
+        rect.extend(args(&["--backend", "rect-pack"]));
+        assert!(run(&rect).expect("runs").contains("T_soc"));
+        let mut bogus = args(base);
+        bogus.extend(args(&["--backend", "annealing"]));
+        let err = run(&bogus).unwrap_err();
+        assert_eq!(err.code, 2, "unknown backend is a usage error");
+        assert!(err.message.contains("tr-architect"));
     }
 
     #[test]

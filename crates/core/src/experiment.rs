@@ -39,7 +39,7 @@ use soctam_compaction::{compact_two_dimensional_with, CompactionConfig};
 use soctam_exec::{CancelToken, Pool, Progress};
 use soctam_model::Soc;
 use soctam_patterns::{RandomPatternConfig, SiPatternSet};
-use soctam_tam::{Objective, SiGroupSpec, TamOptimizer};
+use soctam_tam::{backend_for, BackendCtx, BackendKind, Objective, SiGroupSpec};
 
 use crate::SoctamError;
 
@@ -224,6 +224,9 @@ pub struct TableOpts {
     /// grid cell degrade to its best-so-far architecture (the run still
     /// returns a complete, valid table).
     pub cancel: Option<CancelToken>,
+    /// TAM-optimization backend used for every grid cell (baseline
+    /// column included). Defaults to [`BackendKind::TrArchitect`].
+    pub backend: BackendKind,
 }
 
 /// [`run_table_cached`] with the full option set ([`TableOpts`]).
@@ -292,22 +295,20 @@ pub fn run_table_opts(
             } else {
                 (&compacted_groups[col - 1].1, Objective::Total)
             };
-            let mut optimizer = TamOptimizer::new(soc, w_max, groups.clone())?
-                .objective(objective)
-                .pool(pool.clone());
-            if let Some(probe_pool) = &opts.probe_pool {
-                optimizer = optimizer.probe_pool(probe_pool.clone());
-            }
-            if let Some(progress) = &opts.progress {
-                optimizer = optimizer.progress(Arc::clone(progress));
-            }
-            if let Some(cache) = cache {
-                optimizer = optimizer.eval_cache(cache);
-            }
-            if let Some(cancel) = &opts.cancel {
-                optimizer = optimizer.cancel(cancel.clone());
-            }
-            Ok(optimizer.optimize()?.evaluation().t_total())
+            let ctx = BackendCtx {
+                soc,
+                max_width: w_max,
+                groups,
+                objective,
+                restarts: 1,
+                pool: pool.clone(),
+                probe_pool: opts.probe_pool.clone(),
+                budget: Default::default(),
+                eval_cache: cache.cloned(),
+                progress: opts.progress.as_ref().map(Arc::clone),
+                cancel: opts.cancel.clone(),
+            };
+            Ok(backend_for(opts.backend).optimize(&ctx)?.evaluation().t_total())
         })
         .into_iter()
         .collect()

@@ -8,8 +8,8 @@ use soctam_exec::{fault, CancelToken, Metrics, Pool, Progress};
 use soctam_model::Soc;
 use soctam_patterns::SiPatternSet;
 use soctam_tam::{
-    EvalCache, Evaluation, Objective, OptimizedArchitecture, OptimizerBudget, SiGroupSpec,
-    TamOptimizer, TestRailArchitecture,
+    backend_for, BackendCtx, BackendKind, EvalCache, Evaluation, Objective, OptimizedArchitecture,
+    OptimizerBudget, SiGroupSpec, TestRailArchitecture,
 };
 
 use crate::SoctamError;
@@ -65,6 +65,7 @@ pub struct SiOptimizer<'a> {
     partitions: u32,
     seed: u64,
     objective: Objective,
+    backend: BackendKind,
     restarts: u32,
     pool: Pool,
     probe_pool: Option<Pool>,
@@ -84,6 +85,7 @@ impl<'a> SiOptimizer<'a> {
             partitions: 4,
             seed: 0,
             objective: Objective::Total,
+            backend: BackendKind::TrArchitect,
             restarts: 1,
             pool: Pool::serial(),
             probe_pool: None,
@@ -195,6 +197,15 @@ impl<'a> SiOptimizer<'a> {
         self
     }
 
+    /// Selects the TAM-optimization backend. The default,
+    /// [`BackendKind::TrArchitect`], is the paper's bandwidth-matching
+    /// `TAM_Optimization`; every backend reports the shared
+    /// `Evaluator`'s verdict on its architecture.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Runs compaction and optimization on `patterns`, with strict
     /// validation at every stage boundary: the SOC and the pattern set
     /// are validated before compaction, and the final SI schedule is
@@ -236,29 +247,23 @@ impl<'a> SiOptimizer<'a> {
     ) -> Result<SiOptimizationResult, SoctamError> {
         let optimized = contain_panics("pipeline.optimize", || {
             let groups = SiGroupSpec::from_compacted(&compacted);
-            let mut optimizer = TamOptimizer::new(self.soc, self.max_tam_width, groups)?
-                .objective(self.objective)
-                .budget(self.budget)
-                .pool(self.pool.clone());
-            if let Some(probe_pool) = &self.probe_pool {
-                optimizer = optimizer.probe_pool(probe_pool.clone());
-            }
-            if let Some(progress) = &self.progress {
-                optimizer = optimizer.progress(Arc::clone(progress));
-            }
-            if let Some(cache) = &self.eval_cache {
-                optimizer = optimizer.eval_cache(cache);
-            }
-            if let Some(cancel) = &self.cancel {
-                optimizer = optimizer.cancel(cancel.clone());
-            }
-            let optimized = self.pool.metrics().time("optimize", || {
-                if self.restarts > 1 {
-                    optimizer.optimize_multi(self.restarts)
-                } else {
-                    optimizer.optimize()
-                }
-            })?;
+            let ctx = BackendCtx {
+                soc: self.soc,
+                max_width: self.max_tam_width,
+                groups: &groups,
+                objective: self.objective,
+                restarts: self.restarts,
+                pool: self.pool.clone(),
+                probe_pool: self.probe_pool.clone(),
+                budget: self.budget,
+                eval_cache: self.eval_cache.clone(),
+                progress: self.progress.as_ref().map(Arc::clone),
+                cancel: self.cancel.clone(),
+            };
+            let optimized = self
+                .pool
+                .metrics()
+                .time("optimize", || backend_for(self.backend).optimize(&ctx))?;
             Ok(optimized)
         })?;
         optimized.evaluation().schedule.validate().into_result()?;

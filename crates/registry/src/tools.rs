@@ -15,7 +15,7 @@ use soctam::model::parser::{parse_soc, write_soc};
 use soctam::tam::bounds::{intest_lower_bound, si_lower_bound};
 use soctam::tam::{render_schedule, render_schedule_svg};
 use soctam::{
-    compact_two_dimensional_with, Benchmark, CompactionConfig, EvalCache, Objective,
+    compact_two_dimensional_with, BackendKind, Benchmark, CompactionConfig, EvalCache, Objective,
     OptimizerBudget, RandomPatternConfig, SiGroupSpec, SiOptimizer, SiPatternSet, Soc, SoctamError,
 };
 
@@ -110,6 +110,13 @@ const MAX_ITERS: ParamSpec = ParamSpec::new(
     None,
     "deterministic iteration budget for the TAM optimization",
 );
+const BACKEND: ParamSpec = ParamSpec::new(
+    "backend",
+    ParamKind::Enum(BackendKind::NAMES),
+    Some("tr-architect"),
+    "TAM-optimization backend: tr-architect (bandwidth matching, \
+     Algorithm 2) or rect-pack (Pareto rectangle packing)",
+);
 const CACHE_CAP: ParamSpec = ParamSpec::new(
     "cache-cap",
     ParamKind::Usize,
@@ -130,13 +137,14 @@ static OPTIMIZE_PARAMS: &[ParamSpec] = &[
     PROGRESS,
     PROFILE,
     BASELINE,
+    BACKEND,
     SVG,
     DEADLINE_MS,
     MAX_ITERS,
     CACHE_CAP,
 ];
 static TABLE_PARAMS: &[ParamSpec] = &[
-    PATTERNS, WIDTHS, PARTS, SEED, JOBS, PROBE_JOBS, STATS, PROGRESS, PROFILE, CACHE_CAP,
+    PATTERNS, WIDTHS, PARTS, SEED, JOBS, PROBE_JOBS, STATS, PROGRESS, PROFILE, BACKEND, CACHE_CAP,
 ];
 static COMPACT_PARAMS: &[ParamSpec] = &[PATTERNS, PARTITIONS, SEED, JOBS, STATS];
 static EXPORT_PARAMS: &[ParamSpec] = &[];
@@ -232,6 +240,19 @@ pub fn budget_from(params: &ParamValues) -> OptimizerBudget {
     budget
 }
 
+/// The TAM-optimization backend the parameters select. The enum spec
+/// already validated membership, so a parse failure here would be a
+/// drift bug between [`BackendKind::NAMES`] and the spec — surfaced as
+/// a usage error rather than a panic.
+pub fn backend_from(params: &ParamValues) -> Result<BackendKind, ToolError> {
+    match params.opt_str("backend") {
+        None => Ok(BackendKind::default()),
+        Some(name) => name
+            .parse::<BackendKind>()
+            .map_err(|e| ToolError::usage(e.to_string())),
+    }
+}
+
 /// The evaluator cache an invocation runs with: the front end's shared
 /// store when one is attached (the daemon), else a fresh bounded store
 /// when `cache-cap` was given, else none (the optimizer's private
@@ -323,6 +344,7 @@ fn optimize_tool(soc: &Soc, params: &ParamValues, ctx: &ToolCtx) -> Result<ToolO
         .partitions(params.u32("partitions"))
         .seed(params.u64("seed"))
         .objective(objective)
+        .backend(backend_from(params)?)
         .budget(budget_from(params))
         .pool(pool.clone());
     if let Some(probe_pool) = probe_pool_from(params) {
@@ -385,6 +407,7 @@ fn table_tool(soc: &Soc, params: &ParamValues, ctx: &ToolCtx) -> Result<ToolOutp
         probe_pool: probe_pool_from(params),
         progress: ctx.progress.clone(),
         cancel: ctx.cancel.clone(),
+        backend: backend_from(params)?,
     };
     let table = run_table_opts(soc, &config, &ctx.pool, &opts).map_err(pipeline_err)?;
     Ok(ToolOutput::text(table.to_string()))
@@ -606,6 +629,52 @@ mod tests {
         let second = invoke("optimize", &soc, flags, &ctx);
         assert_eq!(first, second, "warm cache must not change the result");
         assert_eq!(cache.len(), warm, "identical request adds no entries");
+    }
+
+    #[test]
+    fn backend_flag_selects_rect_pack_on_optimize_and_table() {
+        let soc = Benchmark::D695.soc();
+        let base = &["--patterns", "150", "--width", "8", "--partitions", "2"][..];
+        let default_run = invoke("optimize", &soc, base, &ctx());
+        let explicit = [base, &["--backend", "tr-architect"]].concat();
+        assert_eq!(
+            invoke("optimize", &soc, &explicit, &ctx()),
+            default_run,
+            "explicit tr-architect must equal the default"
+        );
+        let rect = [base, &["--backend", "rect-pack"]].concat();
+        let rect_run = invoke("optimize", &soc, &rect, &ctx());
+        assert!(rect_run.text.contains("T_soc"));
+        let table = invoke(
+            "table",
+            &soc,
+            &[
+                "--patterns",
+                "150",
+                "--widths",
+                "8",
+                "--parts",
+                "1",
+                "--backend",
+                "rect-pack",
+            ],
+            &ctx(),
+        );
+        assert!(table.text.contains("8"));
+    }
+
+    #[test]
+    fn backend_schema_is_the_canonical_enum() {
+        let tool = standard_registry().get("optimize").expect("registered");
+        let spec = tool
+            .params
+            .iter()
+            .find(|p| p.name == "backend")
+            .expect("backend param declared");
+        assert_eq!(spec.kind, ParamKind::Enum(BackendKind::NAMES));
+        assert_eq!(spec.default, Some("tr-architect"));
+        let schema = spec.schema().render();
+        assert!(schema.contains(r#""values":["tr-architect","rect-pack"]"#));
     }
 
     #[test]

@@ -28,7 +28,7 @@ use soctam_serve::journal::Journal;
 use soctam_serve::{client, Server, ServerConfig};
 
 /// Every failpoint site in the workspace; the soak must cover at least
-/// ten (the ISSUE floor) and this list is the exhaustive fourteen.
+/// ten (the ISSUE floor) and this list is the exhaustive fifteen.
 const SITES: &[&str] = &[
     "compaction.bucket",
     "compaction.partition",
@@ -43,6 +43,7 @@ const SITES: &[&str] = &[
     "tam.merge",
     "tam.probe",
     "tam.rail_eval",
+    "tam.rectpack",
     "tam.schedule",
 ];
 
@@ -52,6 +53,10 @@ const SHAPES: &[(&str, &str)] = &[
     (
         "optimize",
         r#"{"soc":"d695","params":{"patterns":100,"width":8,"partitions":2}}"#,
+    ),
+    (
+        "optimize",
+        r#"{"soc":"d695","params":{"patterns":100,"width":8,"partitions":2,"backend":"rect-pack"}}"#,
     ),
     ("info", r#"{"soc":"d695"}"#),
     ("bounds", r#"{"soc":"d695","params":{"patterns":100}}"#),

@@ -52,9 +52,26 @@ fn tools_endpoint_publishes_the_registry_schema() {
 }
 
 #[test]
+fn tools_schema_declares_the_backend_enum() {
+    let (addr, handle) = start(1, 0);
+    let response = client::get(&addr, "/v1/tools").unwrap();
+    assert_eq!(response.status, 200);
+    // The optimize/table tools publish `backend` as a closed enum, so
+    // API clients see the same value set the CLI accepts.
+    assert!(response.body.contains(r#""name":"backend""#));
+    assert!(response.body.contains(r#""type":"enum""#));
+    assert!(response
+        .body
+        .contains(r#""values":["tr-architect","rect-pack"]"#));
+    assert!(response.body.contains(r#""default":"tr-architect""#));
+    stop(&addr, handle);
+}
+
+#[test]
 fn cli_and_server_reports_are_byte_identical() {
     let (addr, handle) = start(1, 0);
-    // One golden per benchmark: d695 (optimize) and p34392 (optimize).
+    // One golden per benchmark: d695 (optimize, both backends) and
+    // p34392 (optimize).
     for (soc, body, cli_args) in [
         (
             "d695",
@@ -68,6 +85,22 @@ fn cli_and_server_reports_are_byte_identical() {
                 "16",
                 "--partitions",
                 "2",
+            ],
+        ),
+        (
+            "d695",
+            r#"{"soc":"d695","params":{"patterns":300,"width":16,"partitions":2,"backend":"rect-pack"}}"#,
+            vec![
+                "optimize",
+                "d695",
+                "--patterns",
+                "300",
+                "--width",
+                "16",
+                "--partitions",
+                "2",
+                "--backend",
+                "rect-pack",
             ],
         ),
         (
@@ -91,6 +124,12 @@ fn cli_and_server_reports_are_byte_identical() {
             .starts_with('r'));
         assert_eq!(parsed.get("degraded").unwrap(), &Json::Bool(false));
     }
+    // /metrics counts each request under the backend it ran with.
+    let metrics = Json::parse(&client::get(&addr, "/metrics").unwrap().body).unwrap();
+    let backends = metrics.get("backends").unwrap();
+    let runs = |name: &str| backends.get(name).unwrap().as_u64().unwrap();
+    assert_eq!(runs("tr-architect"), 2);
+    assert_eq!(runs("rect-pack"), 1);
     stop(&addr, handle);
 }
 

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+mod backend;
 pub mod bounds;
 mod budget;
 mod bus;
@@ -57,6 +58,10 @@ mod render;
 pub mod report;
 mod schedule;
 
+pub use backend::{
+    backend_for, BackendCaps, BackendCtx, BackendKind, RectPackBackend, TamBackend,
+    TrArchitectBackend,
+};
 pub use budget::OptimizerBudget;
 pub use bus::TestBusEvaluator;
 

@@ -13,8 +13,8 @@
 
 use soctam::experiment::{run_table_opts, run_table_with, ExperimentConfig, TableOpts};
 use soctam::{
-    Benchmark, OptimizerBudget, Pool, RandomPatternConfig, SiOptimizationResult, SiOptimizer,
-    SiPatternSet,
+    BackendKind, Benchmark, OptimizerBudget, Pool, RandomPatternConfig, SiOptimizationResult,
+    SiOptimizer, SiPatternSet,
 };
 
 const JOBS: [usize; 3] = [1, 4, 8];
@@ -26,11 +26,12 @@ fn job_grid() -> impl Iterator<Item = (usize, usize)> {
         .flat_map(|jobs| PROBE_JOBS.into_iter().map(move |probe| (jobs, probe)))
 }
 
-fn optimize(
+fn optimize_backend(
     bench: Benchmark,
     patterns: usize,
     jobs: usize,
     probe_jobs: usize,
+    backend: BackendKind,
 ) -> SiOptimizationResult {
     let soc = bench.soc();
     let set = SiPatternSet::random_with(
@@ -43,33 +44,38 @@ fn optimize(
         .max_tam_width(16)
         .partitions(2)
         .seed(3)
-        .jobs(jobs);
+        .jobs(jobs)
+        .backend(backend);
     if probe_jobs != 1 {
         opt = opt.probe_jobs(probe_jobs);
     }
     opt.optimize(&set).expect("optimizes")
 }
 
-fn assert_identical_runs(bench: Benchmark, patterns: usize) {
-    let baseline = optimize(bench, patterns, 1, 1);
+fn assert_identical_backend_runs(bench: Benchmark, patterns: usize, backend: BackendKind) {
+    let baseline = optimize_backend(bench, patterns, 1, 1, backend);
     for (jobs, probe_jobs) in job_grid().skip(1) {
-        let run = optimize(bench, patterns, jobs, probe_jobs);
+        let run = optimize_backend(bench, patterns, jobs, probe_jobs, backend);
         assert_eq!(
             run.compacted().groups(),
             baseline.compacted().groups(),
-            "{bench}: compacted groups diverge at jobs={jobs} probe-jobs={probe_jobs}"
+            "{bench}/{backend}: compacted groups diverge at jobs={jobs} probe-jobs={probe_jobs}"
         );
         assert_eq!(
             run.architecture(),
             baseline.architecture(),
-            "{bench}: architecture diverges at jobs={jobs} probe-jobs={probe_jobs}"
+            "{bench}/{backend}: architecture diverges at jobs={jobs} probe-jobs={probe_jobs}"
         );
         assert_eq!(
             run.evaluation(),
             baseline.evaluation(),
-            "{bench}: schedule diverges at jobs={jobs} probe-jobs={probe_jobs}"
+            "{bench}/{backend}: schedule diverges at jobs={jobs} probe-jobs={probe_jobs}"
         );
     }
+}
+
+fn assert_identical_runs(bench: Benchmark, patterns: usize) {
+    assert_identical_backend_runs(bench, patterns, BackendKind::TrArchitect);
 }
 
 #[test]
@@ -80,6 +86,19 @@ fn d695_is_bit_identical_across_jobs() {
 #[test]
 fn p34392_is_bit_identical_across_jobs() {
     assert_identical_runs(Benchmark::P34392, 400);
+}
+
+/// The rect-pack backend places rectangles serially, so the worker and
+/// probe pools must have no influence at all: the full jobs grid is
+/// bit-identical on both benchmarks.
+#[test]
+fn d695_rect_pack_is_bit_identical_across_jobs() {
+    assert_identical_backend_runs(Benchmark::D695, 600, BackendKind::RectPack);
+}
+
+#[test]
+fn p34392_rect_pack_is_bit_identical_across_jobs() {
+    assert_identical_backend_runs(Benchmark::P34392, 400, BackendKind::RectPack);
 }
 
 /// Like [`optimize`], but with an active iteration-bounded
