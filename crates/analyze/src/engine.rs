@@ -1,0 +1,76 @@
+//! The engine driver: per-file fact extraction fans out on the
+//! `soctam-exec` pool (ordered `par_map`, so the facts vector — and
+//! every finding derived from it — is bit-identical at any `--jobs`),
+//! with an on-disk parse cache consulted per file. The interprocedural
+//! stage (`lints::analyze_facts`) then runs over the collected facts
+//! sequentially; it is pure graph work and already fast.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use soctam_exec::{fx_fingerprint128, Pool};
+
+use crate::cache;
+use crate::facts::{self, FileFacts};
+use crate::lints;
+use crate::workspace;
+use crate::CheckReport;
+
+/// Engine options.
+#[derive(Clone, Debug, Default)]
+pub struct Options {
+    /// Worker count for the per-file parse fan-out; `0` uses the
+    /// process-global pool sized to the machine.
+    pub jobs: usize,
+    /// Parse-cache directory; `None` disables the cache.
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// Runs the full pass over the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the workspace walk or from creating
+/// the cache directory. Per-entry cache I/O failures degrade to cache
+/// misses (reads) or are dropped (writes) — never a wrong answer.
+pub fn run(root: &Path, opts: &Options) -> io::Result<CheckReport> {
+    let files = workspace::collect_workspace(root)?;
+    let cache_dir = opts.cache_dir.as_deref();
+    if let Some(dir) = cache_dir {
+        fs::create_dir_all(dir)?;
+    }
+    let local;
+    let pool = if opts.jobs == 0 {
+        Pool::global()
+    } else {
+        local = Pool::new(opts.jobs);
+        &local
+    };
+    let per_file: Vec<(FileFacts, bool)> = pool.par_map(&files, |file| {
+        let fp = fx_fingerprint128(&file.source);
+        if let Some(dir) = cache_dir {
+            if let Some(cached) = cache::load(dir, &file.display_path, fp) {
+                return (cached, true);
+            }
+        }
+        (facts::build(file), false)
+    });
+    let cache_hits = per_file.iter().filter(|(_, hit)| *hit).count();
+    let cache_misses = per_file.len() - cache_hits;
+    if let Some(dir) = cache_dir {
+        for (file_facts, hit) in &per_file {
+            if !*hit {
+                let _ = cache::store(dir, file_facts);
+            }
+        }
+    }
+    let all: Vec<FileFacts> = per_file.into_iter().map(|(f, _)| f).collect();
+    let analysis = lints::analyze_facts(&all);
+    Ok(CheckReport {
+        files_scanned: files.len(),
+        cache_hits,
+        cache_misses,
+        analysis,
+    })
+}

@@ -1,0 +1,296 @@
+//! The over-approximate workspace call graph.
+//!
+//! Nodes are non-test functions from every scanned file; edges come
+//! from name-based resolution of each call event, preferring precise
+//! candidates (same crate, `use`-declared crate, matching `impl` type)
+//! and falling back to a global name match with an ambiguity cap so a
+//! common method name cannot fan out into hundreds of false edges.
+//! Every container is a `BTreeMap`/sorted `Vec`, and files arrive in
+//! display-path order, so the graph — and everything the passes derive
+//! from it — is bit-identical run to run (the analyzer obeys its own
+//! DET lints).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::CallKind;
+use crate::facts::{Event, FileFacts, FnFact};
+
+/// Resolution gives up past this many candidates for a global name
+/// match — an edge fan-out that wide is noise, not signal.
+const MAX_CANDIDATES: usize = 8;
+
+/// One resolved call edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    /// Callee node index.
+    pub to: usize,
+    /// 1-based call-site line in the caller's file.
+    pub line: usize,
+}
+
+/// A node's location in the facts: `facts[file].fns[idx]`.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeRef {
+    /// Index into the facts slice.
+    pub file: usize,
+    /// Index into that file's `fns`.
+    pub idx: usize,
+}
+
+/// The workspace call graph over non-test functions.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Node table, in (file, fn) order.
+    pub nodes: Vec<NodeRef>,
+    /// Resolved out-edges per node, sorted and deduplicated.
+    pub edges: Vec<Vec<Edge>>,
+    name_index: BTreeMap<String, Vec<usize>>,
+    crate_name: BTreeMap<(String, String), Vec<usize>>,
+    impl_index: BTreeMap<(String, String), Vec<usize>>,
+    method_index: BTreeMap<String, Vec<usize>>,
+    crate_dirs: BTreeSet<String>,
+    /// Per-node impl types, parallel to `nodes` (resolution hot path).
+    impl_types: Vec<String>,
+}
+
+/// Where a `use` root or path qualifier points.
+enum RootTarget {
+    /// A workspace crate directory.
+    Crate(String),
+    /// `std`/`core`/`alloc`/unknown — no workspace candidates.
+    External,
+}
+
+impl CallGraph {
+    /// The [`FnFact`] behind node `n`.
+    #[must_use]
+    pub fn fact<'a>(&self, facts: &'a [FileFacts], n: usize) -> &'a FnFact {
+        &facts[self.nodes[n].file].fns[self.nodes[n].idx]
+    }
+
+    /// The [`FileFacts`] owning node `n`.
+    #[must_use]
+    pub fn file<'a>(&self, facts: &'a [FileFacts], n: usize) -> &'a FileFacts {
+        &facts[self.nodes[n].file]
+    }
+
+    fn root_target(&self, caller_crate: &str, root: &str) -> RootTarget {
+        match root {
+            "crate" | "self" | "super" => RootTarget::Crate(caller_crate.to_string()),
+            "soctam" => RootTarget::Crate("core".to_string()),
+            _ => {
+                if let Some(rest) = root.strip_prefix("soctam_") {
+                    if self.crate_dirs.contains(rest) {
+                        return RootTarget::Crate(rest.to_string());
+                    }
+                }
+                RootTarget::External
+            }
+        }
+    }
+
+    fn use_root<'a>(&self, file: &'a FileFacts, leaf: &str) -> Option<&'a str> {
+        file.uses
+            .iter()
+            .rev()
+            .find(|(l, _)| l == leaf)
+            .map(|(_, r)| r.as_str())
+    }
+
+    fn crate_lookup(&self, crate_dir: &str, name: &str, free_only: bool) -> Vec<usize> {
+        let hits = self
+            .crate_name
+            .get(&(crate_dir.to_string(), name.to_string()))
+            .cloned()
+            .unwrap_or_default();
+        if !free_only {
+            return hits;
+        }
+        hits.into_iter()
+            .filter(|&n| self.impl_of(n).is_empty())
+            .collect()
+    }
+
+    fn impl_of(&self, n: usize) -> &str {
+        // Set during build; nodes always index valid facts.
+        &self.impl_types[n]
+    }
+
+    /// Resolves one call event from `caller` to candidate node indices
+    /// (sorted ascending; empty when external or too ambiguous).
+    #[must_use]
+    pub fn resolve(
+        &self,
+        facts: &[FileFacts],
+        caller: usize,
+        kind: CallKind,
+        qualifier: &str,
+        name: &str,
+    ) -> Vec<usize> {
+        let file = self.file(facts, caller);
+        let crate_dir = file.crate_dir.clone();
+        match kind {
+            CallKind::Plain => {
+                let same = self.crate_lookup(&crate_dir, name, true);
+                if !same.is_empty() {
+                    return same;
+                }
+                if let Some(root) = self.use_root(file, name) {
+                    return match self.root_target(&crate_dir, root) {
+                        RootTarget::Crate(c) => self.crate_lookup(&c, name, true),
+                        RootTarget::External => Vec::new(),
+                    };
+                }
+                self.capped(
+                    self.name_index
+                        .get(name)
+                        .map(|v| {
+                            v.iter()
+                                .copied()
+                                .filter(|&n| self.impl_of(n).is_empty())
+                                .collect()
+                        })
+                        .unwrap_or_default(),
+                )
+            }
+            CallKind::Path => self.resolve_path(facts, caller, qualifier, name),
+            CallKind::Method => {
+                if qualifier == "self" {
+                    let impl_type = self.fact(facts, caller).impl_type.clone();
+                    let own = self
+                        .impl_index
+                        .get(&(impl_type, name.to_string()))
+                        .cloned()
+                        .unwrap_or_default();
+                    if !own.is_empty() {
+                        return own;
+                    }
+                }
+                let all = self.method_index.get(name).cloned().unwrap_or_default();
+                let same: Vec<usize> = all
+                    .iter()
+                    .copied()
+                    .filter(|&n| self.file(facts, n).crate_dir == crate_dir)
+                    .collect();
+                self.capped(if same.is_empty() { all } else { same })
+            }
+        }
+    }
+
+    fn resolve_path(
+        &self,
+        facts: &[FileFacts],
+        caller: usize,
+        qualifier: &str,
+        name: &str,
+    ) -> Vec<usize> {
+        let file = self.file(facts, caller);
+        let crate_dir = file.crate_dir.clone();
+        if qualifier.is_empty() {
+            return Vec::new();
+        }
+        if matches!(qualifier, "crate" | "super") {
+            return self.crate_lookup(&crate_dir, name, false);
+        }
+        if qualifier == "Self" {
+            let impl_type = self.fact(facts, caller).impl_type.clone();
+            return self
+                .impl_index
+                .get(&(impl_type, name.to_string()))
+                .cloned()
+                .unwrap_or_default();
+        }
+        if qualifier.starts_with(|c: char| c.is_ascii_uppercase()) {
+            // Type-qualified: only a matching impl counts. `Vec::new`
+            // and friends resolve to nothing rather than to every
+            // workspace `fn new`.
+            return self
+                .impl_index
+                .get(&(qualifier.to_string(), name.to_string()))
+                .cloned()
+                .unwrap_or_default();
+        }
+        // Module-qualified. A `use`d crate name wins, then the crate
+        // naming convention, then a module of the caller's own crate,
+        // then a capped global match.
+        if let Some(root) = self.use_root(file, qualifier) {
+            return match self.root_target(&crate_dir, root) {
+                RootTarget::Crate(c) => self.crate_lookup(&c, name, false),
+                RootTarget::External => Vec::new(),
+            };
+        }
+        if let RootTarget::Crate(c) = self.root_target(&crate_dir, qualifier) {
+            if qualifier.starts_with("soctam") {
+                return self.crate_lookup(&c, name, false);
+            }
+        }
+        let same = self.crate_lookup(&crate_dir, name, false);
+        if !same.is_empty() {
+            return same;
+        }
+        self.capped(self.name_index.get(name).cloned().unwrap_or_default())
+    }
+
+    fn capped(&self, v: Vec<usize>) -> Vec<usize> {
+        if v.len() > MAX_CANDIDATES {
+            Vec::new()
+        } else {
+            v
+        }
+    }
+}
+
+/// Builds the graph over every non-test function in `facts`.
+#[must_use]
+pub fn build(facts: &[FileFacts]) -> CallGraph {
+    let mut g = CallGraph::default();
+    for dir in facts.iter().map(|f| f.crate_dir.clone()) {
+        g.crate_dirs.insert(dir);
+    }
+    for (fi, file) in facts.iter().enumerate() {
+        for (i, f) in file.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let n = g.nodes.len();
+            g.nodes.push(NodeRef { file: fi, idx: i });
+            g.impl_types.push(f.impl_type.clone());
+            g.name_index.entry(f.name.clone()).or_default().push(n);
+            g.crate_name
+                .entry((file.crate_dir.clone(), f.name.clone()))
+                .or_default()
+                .push(n);
+            if !f.impl_type.is_empty() {
+                g.impl_index
+                    .entry((f.impl_type.clone(), f.name.clone()))
+                    .or_default()
+                    .push(n);
+                g.method_index.entry(f.name.clone()).or_default().push(n);
+            }
+        }
+    }
+    g.edges = (0..g.nodes.len())
+        .map(|n| {
+            let mut out = Vec::new();
+            for event in &g.fact(facts, n).events {
+                let Event::Call {
+                    kind,
+                    qualifier,
+                    name,
+                    line,
+                    ..
+                } = event
+                else {
+                    continue;
+                };
+                for to in g.resolve(facts, n, *kind, qualifier, name) {
+                    out.push(Edge { to, line: *line });
+                }
+            }
+            out.sort();
+            out.dedup();
+            out
+        })
+        .collect();
+    g
+}

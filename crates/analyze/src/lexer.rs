@@ -44,6 +44,11 @@ pub struct Tok {
     pub text: String,
     /// 1-based line the token starts on.
     pub line: usize,
+    /// Byte offset of the token's first character in the source. The
+    /// token ends at `lo + text.len()`; the bytes between consecutive
+    /// tokens are whitespace (the span round-trip property pinned by
+    /// `tests/parser_fuzz.rs`).
+    pub lo: usize,
 }
 
 impl Tok {
@@ -51,6 +56,12 @@ impl Tok {
     #[must_use]
     pub fn is_comment(&self) -> bool {
         matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// Byte offset one past the token's last character.
+    #[must_use]
+    pub fn hi(&self) -> usize {
+        self.lo + self.text.len()
     }
 }
 
@@ -342,6 +353,7 @@ pub fn lex(src: &str) -> Vec<Tok> {
             kind,
             text: lx.src[start..lx.pos].to_string(),
             line,
+            lo: start,
         });
     }
     toks
@@ -478,5 +490,21 @@ mod tests {
         assert!(toks
             .iter()
             .any(|(k, t)| *k == TokKind::RawStr && t.starts_with("br#")));
+    }
+    #[test]
+    fn raw_strings_containing_comment_openers_are_opaque() {
+        // `//` or `/*` inside a raw string must not open a phantom
+        // comment that swallows the rest of the file.
+        let src = "let a = r#\"url://host//path\"#; let b = r##\"half /* block\"##; after();";
+        let toks = lex(src);
+        assert!(toks.iter().all(|t| !t.is_comment()));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::RawStr && t.text.contains("//host")));
+        assert!(
+            toks.iter()
+                .any(|t| t.kind == TokKind::Ident && t.text == "after"),
+            "tokens after the raw strings were swallowed"
+        );
     }
 }

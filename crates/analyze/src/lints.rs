@@ -17,7 +17,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::lexer::{lex, Tok, TokKind};
+use crate::lexer::{Tok, TokKind};
 
 /// Finding severity. Both fail the run; `Warning` marks hygiene lints
 /// (stale waivers) as opposed to determinism/soundness hazards.
@@ -99,6 +99,29 @@ pub const LINTS: &[LintInfo] = &[
         scope: "src/ of exec",
     },
     LintInfo {
+        id: "DET-10",
+        severity: Severity::Error,
+        summary: "determinism taint: a wall-clock/thread/env/hash-iteration \
+                  source reaches a fingerprint, ordered-reduction, golden or \
+                  journal sink through the call graph (path reported)",
+        scope: "src/ of every crate except bench (exec/src/metrics.rs is the \
+                sanctioned wall-clock module); waivable at sink or source site",
+    },
+    LintInfo {
+        id: "LOCK-02",
+        severity: Severity::Error,
+        summary: "lock-order cycle with at least one acquisition held across \
+                  a call into another function (generalizes LOCK-01)",
+        scope: "src/ of exec, serve",
+    },
+    LintInfo {
+        id: "ARITH-02",
+        severity: Severity::Error,
+        summary: "unchecked +/*/narrowing-as on the result of a call that \
+                  resolves to a pattern-count/width/test-time function",
+        scope: "src/ of tam, wrapper, patterns",
+    },
+    LintInfo {
         id: "HEADER-01",
         severity: Severity::Error,
         summary: "crate root missing the unified lint header \
@@ -120,6 +143,18 @@ pub fn lint_info(id: &str) -> Option<&'static LintInfo> {
     LINTS.iter().find(|l| l.id == id)
 }
 
+/// One hop of an interprocedural finding's call-path evidence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathStep {
+    /// `Type::name`-qualified function at this hop.
+    pub func: String,
+    /// Workspace-relative path of the function's file.
+    pub file: String,
+    /// 1-based line: the call site to the next hop, or (last step) the
+    /// source/acquisition expression itself.
+    pub line: usize,
+}
+
 /// One analysis finding.
 #[derive(Clone, Debug)]
 pub struct Finding {
@@ -133,6 +168,9 @@ pub struct Finding {
     pub message: String,
     /// For waived findings: the waiver's written justification.
     pub waiver_reason: Option<String>,
+    /// Call-path evidence for interprocedural lints (DET-10, LOCK-02,
+    /// ARITH-02); empty for token-level lints.
+    pub path: Vec<PathStep>,
 }
 
 /// A source file handed to the engine.
@@ -203,8 +241,9 @@ const TIME_MATH_CRATES: &[&str] = &["tam", "wrapper", "tester"];
 const CAST_CRATES: &[&str] = &["tam", "wrapper"];
 
 /// Identifiers treated as test-time quantities by ARITH-01's
-/// unchecked-operator heuristic.
-fn is_time_quantity(ident: &str) -> bool {
+/// unchecked-operator heuristic (ARITH-02 extends this to function
+/// names — see `facts::is_quantity_fn`).
+pub(crate) fn is_time_quantity(ident: &str) -> bool {
     matches!(
         ident,
         "t_in" | "t_si" | "t_total" | "t_soc" | "time" | "cycles" | "makespan"
@@ -213,76 +252,12 @@ fn is_time_quantity(ident: &str) -> bool {
         || ident.starts_with("time_")
 }
 
-/// A parsed waiver comment.
-#[derive(Clone, Debug)]
-struct Waiver {
-    lint: String,
-    file_scope: bool,
-    line: usize,
-    reason: Option<String>,
-    used: std::cell::Cell<bool>,
-}
-
-const WAIVER_TAG: &str = "soctam-analyze:";
-
-/// Parses waiver comments out of a token stream.
-fn parse_waivers(toks: &[Tok]) -> Vec<Waiver> {
-    let mut waivers = Vec::new();
-    for tok in toks {
-        if tok.kind != TokKind::LineComment {
-            continue;
-        }
-        let body = tok.text.trim_start_matches('/').trim();
-        let Some(rest) = body.strip_prefix(WAIVER_TAG) else {
-            continue;
-        };
-        let rest = rest.trim();
-        let (file_scope, rest) = if let Some(r) = rest.strip_prefix("allow-file(") {
-            (true, r)
-        } else if let Some(r) = rest.strip_prefix("allow(") {
-            (false, r)
-        } else {
-            // `soctam-analyze:` tag with an unrecognized verb.
-            waivers.push(Waiver {
-                lint: String::new(),
-                file_scope: false,
-                line: tok.line,
-                reason: None,
-                used: std::cell::Cell::new(false),
-            });
-            continue;
-        };
-        let Some(close) = rest.find(')') else {
-            waivers.push(Waiver {
-                lint: String::new(),
-                file_scope,
-                line: tok.line,
-                reason: None,
-                used: std::cell::Cell::new(false),
-            });
-            continue;
-        };
-        let lint = rest[..close].trim().to_string();
-        let after = rest[close + 1..].trim();
-        let reason = after
-            .strip_prefix("--")
-            .map(str::trim)
-            .filter(|r| !r.is_empty())
-            .map(ToString::to_string);
-        waivers.push(Waiver {
-            lint,
-            file_scope,
-            line: tok.line,
-            reason,
-            used: std::cell::Cell::new(false),
-        });
-    }
-    waivers
-}
+/// The waiver-comment tag (parsing lives in `facts::parse_waivers`).
+pub(crate) const WAIVER_TAG: &str = "soctam-analyze:";
 
 /// Computes token-index ranges belonging to `#[cfg(test)]` / `#[test]`
 /// items, so lints can skip test code.
-fn test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+pub(crate) fn test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
     let mut ranges = Vec::new();
     let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
     let mut k = 0usize;
@@ -454,8 +429,29 @@ impl<'a> FileCtx<'a> {
             line,
             message,
             waiver_reason: None,
+            path: Vec::new(),
         }
     }
+}
+
+/// Runs every single-file (token-level) lint over one file. The result
+/// is owned-string [`FindingRec`]s so it can live in the parse cache.
+pub(crate) fn local_findings(file: &SourceFile, toks: &[Tok]) -> Vec<crate::facts::FindingRec> {
+    let ctx = FileCtx::new(file, toks);
+    let mut raw = Vec::new();
+    det01(&ctx, &mut raw);
+    det02(&ctx, &mut raw);
+    det03(&ctx, &mut raw);
+    arith01(&ctx, &mut raw);
+    unsafe01(&ctx, &mut raw);
+    header01(&ctx, &mut raw);
+    raw.into_iter()
+        .map(|f| crate::facts::FindingRec {
+            lint: f.lint.to_string(),
+            line: f.line,
+            message: f.message,
+        })
+        .collect()
 }
 
 /// One lock acquisition extracted by LOCK-01.
@@ -468,55 +464,141 @@ pub(crate) struct LockAcq {
 }
 
 /// Runs every applicable lint over `files` and resolves waivers.
+///
+/// This is the sequential, cache-free entry point (corpus tests, small
+/// trees); the parallel incremental engine (`engine::run`) builds the
+/// same per-file facts on the `soctam-exec` pool and calls
+/// [`analyze_facts`] — one code path for both.
 #[must_use]
 pub fn analyze(files: &[SourceFile]) -> Analysis {
+    let facts: Vec<crate::facts::FileFacts> = files.iter().map(crate::facts::build).collect();
+    analyze_facts(&facts)
+}
+
+/// The engine core: local findings from the facts, the global
+/// (interprocedural) passes over the call graph, deduplication, waiver
+/// resolution and waiver-staleness accounting.
+pub(crate) fn analyze_facts(facts: &[crate::facts::FileFacts]) -> Analysis {
+    use crate::facts::Event;
     let mut out = Analysis::default();
-    // Lock sequences per function, in source order, for LOCK-01.
-    let mut lock_seqs: Vec<Vec<LockAcq>> = Vec::new();
-    // Per-file waiver tables kept until LOCK-01 findings are resolved.
-    let mut waiver_tables: Vec<(String, Vec<Waiver>)> = Vec::new();
 
     let mut raw: Vec<Finding> = Vec::new();
-    for file in files {
-        let toks = lex(&file.source);
-        let ctx = FileCtx::new(file, &toks);
-        det01(&ctx, &mut raw);
-        det02(&ctx, &mut raw);
-        det03(&ctx, &mut raw);
-        arith01(&ctx, &mut raw);
-        unsafe01(&ctx, &mut raw);
-        header01(&ctx, &mut raw);
-        if file.crate_dir == "exec" && ctx.is_src {
-            lock_seqs.extend(extract_lock_sequences(&ctx));
+    for file in facts {
+        for rec in &file.findings {
+            // Cached facts may name a lint that was since retired;
+            // skipping it beats inventing an unregistered ID.
+            if let Some(info) = lint_info(&rec.lint) {
+                raw.push(Finding {
+                    lint: info.id,
+                    file: file.display_path.clone(),
+                    line: rec.line,
+                    message: rec.message.clone(),
+                    waiver_reason: None,
+                    path: Vec::new(),
+                });
+            }
         }
-        waiver_tables.push((file.display_path.clone(), parse_waivers(&toks)));
+    }
+
+    // LOCK-01: same-function pairwise inversions, from the per-function
+    // event streams.
+    let mut lock_seqs: Vec<Vec<LockAcq>> = Vec::new();
+    for file in facts {
+        if file.crate_dir != "exec" || !file.is_src {
+            continue;
+        }
+        for f in &file.fns {
+            if f.is_test {
+                continue;
+            }
+            let seq: Vec<LockAcq> = f
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::Acq { label, line } => Some(LockAcq {
+                        file: file.display_path.clone(),
+                        line: *line,
+                        func: f.name.clone(),
+                        label: label.clone(),
+                    }),
+                    Event::Call { .. } => None,
+                })
+                .collect();
+            if !seq.is_empty() {
+                lock_seqs.push(seq);
+            }
+        }
     }
     raw.extend(lock01(&lock_seqs));
 
-    // Dedupe to one finding per (lint, file, line).
+    // Interprocedural passes over the call graph.
+    let graph = crate::graph::build(facts);
+    raw.extend(crate::passes::det10(facts, &graph));
+    raw.extend(crate::passes::lock02(facts, &graph));
+    raw.extend(crate::passes::arith02(facts, &graph));
+
+    // Dedupe to one finding per (lint, file, line). DET-10 additionally
+    // keeps one finding per distinct *source file*, so a source-site
+    // waiver for one source cannot shadow an unwaived source elsewhere.
+    fn src_file(f: &Finding) -> &str {
+        f.path.last().map(|s| s.file.as_str()).unwrap_or("")
+    }
     raw.sort_by(|a, b| {
         (a.lint, &a.file, a.line)
             .cmp(&(b.lint, &b.file, b.line))
+            .then_with(|| src_file(a).cmp(src_file(b)))
             .then_with(|| a.message.cmp(&b.message))
     });
-    raw.dedup_by(|a, b| a.lint == b.lint && a.file == b.file && a.line == b.line);
+    raw.dedup_by(|a, b| {
+        a.lint == b.lint
+            && a.file == b.file
+            && a.line == b.line
+            && (a.lint != "DET-10" || src_file(a) == src_file(b))
+    });
 
-    // Waiver matching.
-    for mut finding in raw {
-        let table = waiver_tables
-            .iter()
-            .find(|(path, _)| *path == finding.file)
-            .map(|(_, w)| w.as_slice())
-            .unwrap_or(&[]);
-        let hit = table.iter().find(|w| {
+    // ARITH-02 defers to an ARITH-01 finding on the same line (one
+    // waiver, one hazard).
+    let arith01_sites: std::collections::BTreeSet<(String, usize)> = raw
+        .iter()
+        .filter(|f| f.lint == "ARITH-01")
+        .map(|f| (f.file.clone(), f.line))
+        .collect();
+    raw.retain(|f| f.lint != "ARITH-02" || !arith01_sites.contains(&(f.file.clone(), f.line)));
+
+    // Waiver matching. DET-10 findings may be waived at the sink site
+    // *or* at the source site (the last call-path step): one reasoned
+    // waiver next to a sanctioned nondeterminism source covers every
+    // sink it taints.
+    let file_idx: BTreeMap<&str, usize> = facts
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.display_path.as_str(), i))
+        .collect();
+    let mut used: Vec<Vec<bool>> = facts.iter().map(|f| vec![false; f.waivers.len()]).collect();
+    let match_in = |fi: usize, lint: &str, line: usize| -> Option<usize> {
+        facts[fi].waivers.iter().position(|w| {
             w.reason.is_some()
-                && w.lint == finding.lint
-                && (w.file_scope || w.line == finding.line || w.line + 1 == finding.line)
-        });
+                && w.lint == lint
+                && (w.file_scope || w.line == line || w.line + 1 == line)
+        })
+    };
+    for mut finding in raw {
+        let mut hit = file_idx
+            .get(finding.file.as_str())
+            .and_then(|&fi| match_in(fi, finding.lint, finding.line).map(|w| (fi, w)));
+        if hit.is_none() && finding.lint == "DET-10" {
+            if let Some(last) = finding.path.last() {
+                hit = file_idx
+                    .get(last.file.as_str())
+                    .and_then(|&fi| match_in(fi, finding.lint, last.line).map(|w| (fi, w)));
+            }
+        }
         match hit {
-            Some(w) => {
-                w.used.set(true);
-                finding.waiver_reason.clone_from(&w.reason);
+            Some((fi, w)) => {
+                used[fi][w] = true;
+                finding
+                    .waiver_reason
+                    .clone_from(&facts[fi].waivers[w].reason);
                 out.waived.push(finding);
             }
             None => out.findings.push(finding),
@@ -524,15 +606,15 @@ pub fn analyze(files: &[SourceFile]) -> Analysis {
     }
 
     // WAIVER-01: stale / malformed / unknown-lint waivers.
-    for (path, table) in &waiver_tables {
-        for w in table {
+    for (fi, file) in facts.iter().enumerate() {
+        for (wi, w) in file.waivers.iter().enumerate() {
             let why = if w.lint.is_empty() || w.reason.is_none() {
                 Some(format!(
                     "malformed waiver: expected `// {WAIVER_TAG} allow(LINT-ID) -- reason`"
                 ))
             } else if lint_info(&w.lint).is_none() {
                 Some(format!("waiver names unknown lint `{}`", w.lint))
-            } else if !w.used.get() {
+            } else if !used[fi][wi] {
                 Some(format!(
                     "stale waiver: {} no longer fires here (remove it or run --fix-stale-waivers)",
                     w.lint
@@ -543,13 +625,14 @@ pub fn analyze(files: &[SourceFile]) -> Analysis {
             if let Some(why) = why {
                 out.findings.push(Finding {
                     lint: "WAIVER-01",
-                    file: path.clone(),
+                    file: file.display_path.clone(),
                     line: w.line,
                     message: why.clone(),
                     waiver_reason: None,
+                    path: Vec::new(),
                 });
                 out.stale.push(StaleWaiver {
-                    file: path.clone(),
+                    file: file.display_path.clone(),
                     line: w.line,
                     why,
                 });
@@ -864,69 +947,12 @@ fn skip_attr_bang(toks: &[Tok], code: &[usize], p: usize) -> usize {
     j
 }
 
-/// Extracts per-function ordered lock-acquisition sequences (LOCK-01).
-fn extract_lock_sequences(ctx: &FileCtx<'_>) -> Vec<Vec<LockAcq>> {
-    let code: Vec<usize> = (0..ctx.toks.len())
-        .filter(|&i| !ctx.toks[i].is_comment())
-        .collect();
-    let mut seqs: Vec<Vec<LockAcq>> = Vec::new();
-    // Stack of (function name, brace depth at body open).
-    let mut fn_stack: Vec<(String, i32, usize)> = Vec::new(); // (name, depth, seq index)
-    let mut depth = 0i32;
-    let mut pending_fn: Option<String> = None;
-    for (p, &i) in code.iter().enumerate() {
-        if ctx.in_test[i] {
-            continue;
-        }
-        let tok = &ctx.toks[i];
-        match tok.text.as_str() {
-            "fn" => {
-                if let Some(&j) = code.get(p + 1) {
-                    if ctx.toks[j].kind == TokKind::Ident {
-                        pending_fn = Some(ctx.toks[j].text.clone());
-                    }
-                }
-            }
-            "{" => {
-                depth += 1;
-                if let Some(name) = pending_fn.take() {
-                    seqs.push(Vec::new());
-                    fn_stack.push((name, depth, seqs.len() - 1));
-                }
-            }
-            "}" => {
-                if fn_stack.last().is_some_and(|(_, d, _)| *d == depth) {
-                    fn_stack.pop();
-                }
-                depth -= 1;
-            }
-            ";" => {
-                // `fn f(...);` in a trait: discard the pending name.
-                pending_fn = None;
-            }
-            _ => {}
-        }
-        let Some((fn_name, _, seq_idx)) = fn_stack.last() else {
-            continue;
-        };
-        let label = lock_label(ctx, &code, p);
-        if let Some(label) = label {
-            seqs[*seq_idx].push(LockAcq {
-                file: ctx.file.display_path.clone(),
-                line: tok.line,
-                func: fn_name.clone(),
-                label,
-            });
-        }
-    }
-    seqs
-}
-
-/// If the code token at position `p` is a lock acquisition, returns its
-/// normalized label.
-fn lock_label(ctx: &FileCtx<'_>, code: &[usize], p: usize) -> Option<String> {
-    let tok = &ctx.toks[code[p]];
-    let next_is = |off: usize, s: &str| code.get(p + off).is_some_and(|&j| ctx.toks[j].text == s);
+/// If the code token at position `p` (an index into `code`) is a lock
+/// acquisition, returns its normalized label. Shared by LOCK-01 (via
+/// the facts event stream) and the facts builder.
+pub(crate) fn lock_label(toks: &[Tok], code: &[usize], p: usize) -> Option<String> {
+    let tok = &toks[code[p]];
+    let next_is = |off: usize, s: &str| code.get(p + off).is_some_and(|&j| toks[j].text == s);
     if tok.kind == TokKind::Ident
         && (tok.text == "lock_recover" || tok.text == "lock_shard")
         && next_is(1, "(")
@@ -936,7 +962,7 @@ fn lock_label(ctx: &FileCtx<'_>, code: &[usize], p: usize) -> Option<String> {
         let mut j = p + 2;
         let mut depth = 1i32;
         while let Some(&ti) = code.get(j) {
-            match ctx.toks[ti].text.as_str() {
+            match toks[ti].text.as_str() {
                 "(" => depth += 1,
                 ")" => {
                     depth -= 1;
@@ -950,7 +976,7 @@ fn lock_label(ctx: &FileCtx<'_>, code: &[usize], p: usize) -> Option<String> {
                     let mut d = 1i32;
                     j += 1;
                     while let Some(&ui) = code.get(j) {
-                        match ctx.toks[ui].text.as_str() {
+                        match toks[ui].text.as_str() {
                             "[" => d += 1,
                             "]" => {
                                 d -= 1;
@@ -975,7 +1001,7 @@ fn lock_label(ctx: &FileCtx<'_>, code: &[usize], p: usize) -> Option<String> {
     }
     // Method form: `<receiver>.lock()` / `.read()` / `.write()`.
     if tok.kind == TokKind::Punct && tok.text == "." {
-        let method = code.get(p + 1).map(|&j| &ctx.toks[j]);
+        let method = code.get(p + 1).map(|&j| &toks[j]);
         let is_acq = method.is_some_and(|m| {
             m.kind == TokKind::Ident && matches!(m.text.as_str(), "lock" | "read" | "write")
         });
@@ -984,7 +1010,7 @@ fn lock_label(ctx: &FileCtx<'_>, code: &[usize], p: usize) -> Option<String> {
             let mut parts: Vec<String> = Vec::new();
             let mut j = p;
             while j > 0 {
-                let prev = &ctx.toks[code[j - 1]];
+                let prev = &toks[code[j - 1]];
                 match (prev.kind, prev.text.as_str()) {
                     (TokKind::Ident, t) => {
                         parts.push(t.to_string());
@@ -999,7 +1025,7 @@ fn lock_label(ctx: &FileCtx<'_>, code: &[usize], p: usize) -> Option<String> {
                         let mut d = 1i32;
                         j -= 1;
                         while j > 0 {
-                            let t = &ctx.toks[code[j - 1]];
+                            let t = &toks[code[j - 1]];
                             match t.text.as_str() {
                                 "]" => d += 1,
                                 "[" => {
@@ -1059,6 +1085,7 @@ fn lock01(seqs: &[Vec<LockAcq>]) -> Vec<Finding> {
                         site.func, site.file, site.line, rev.func, rev.file, rev.line
                     ),
                     waiver_reason: None,
+                    path: Vec::new(),
                 });
             }
         }

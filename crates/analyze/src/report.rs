@@ -1,40 +1,53 @@
-//! Text and machine-readable (`soctam-analyze/1`) report rendering.
+//! Text and machine-readable (`soctam-analyze/2`) report rendering.
+//!
+//! v2 adds two things over v1: every interprocedural finding carries a
+//! `"path"` array of `{fn, file, line}` hops (source → sink call-path
+//! evidence), and the top level carries a `"cache"` object with the
+//! parse-cache hit/miss counts so CI can assert the incremental path
+//! was actually exercised on a warm re-run.
 
 use std::fmt::Write as _;
 
 use crate::lints::{lint_info, Analysis, Finding, Severity, LINTS};
+use crate::CheckReport;
 
 /// Output format selected by `--format`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Format {
-    /// Human-readable, one finding per line.
+    /// Human-readable, one finding per line (call paths indented).
     Text,
-    /// The `soctam-analyze/1` JSON schema (the `soctam-bench/1`
+    /// The `soctam-analyze/2` JSON schema (the `soctam-bench/1`
     /// precedent: a top-level `schema` tag plus flat arrays).
     Json,
 }
 
-/// Renders the analysis in the requested format.
+/// Renders the check report in the requested format.
 #[must_use]
-pub fn render(analysis: &Analysis, files_scanned: usize, format: Format) -> String {
+pub fn render(report: &CheckReport, format: Format) -> String {
     match format {
-        Format::Text => render_text(analysis, files_scanned),
-        Format::Json => render_json(analysis, files_scanned),
+        Format::Text => render_text(report),
+        Format::Json => render_json(report),
     }
 }
 
-fn render_text(analysis: &Analysis, files_scanned: usize) -> String {
+fn render_text(report: &CheckReport) -> String {
+    let analysis = &report.analysis;
     let mut out = String::new();
     for f in &analysis.findings {
         let sev = lint_info(f.lint).map_or("error", |l| l.severity.name());
         let _ = writeln!(out, "{sev}[{}] {}:{} {}", f.lint, f.file, f.line, f.message);
+        for step in &f.path {
+            let _ = writeln!(out, "    via {} ({}:{})", step.func, step.file, step.line);
+        }
     }
     let errors = count(analysis, Severity::Error);
     let warnings = count(analysis, Severity::Warning);
     let _ = writeln!(
         out,
-        "soctam-analyze: {files_scanned} files scanned, {errors} errors, \
+        "soctam-analyze: {} files scanned ({} cached), {errors} errors, \
          {warnings} warnings, {} waived",
+        report.files_scanned,
+        report.cache_hits,
         analysis.waived.len()
     );
     out
@@ -48,10 +61,16 @@ fn count(analysis: &Analysis, sev: Severity) -> usize {
         .count()
 }
 
-fn render_json(analysis: &Analysis, files_scanned: usize) -> String {
+fn render_json(report: &CheckReport) -> String {
+    let analysis = &report.analysis;
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"soctam-analyze/1\",\n");
-    let _ = writeln!(out, "  \"files_scanned\": {files_scanned},");
+    out.push_str("{\n  \"schema\": \"soctam-analyze/2\",\n");
+    let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
+    let _ = writeln!(
+        out,
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}}},",
+        report.cache_hits, report.cache_misses
+    );
     out.push_str("  \"lints\": [\n");
     for (i, l) in LINTS.iter().enumerate() {
         let _ = write!(
@@ -93,6 +112,22 @@ fn json_findings(out: &mut String, key: &str, findings: &[Finding]) {
             f.line,
             json_str(&f.message)
         );
+        if !f.path.is_empty() {
+            out.push_str(", \"path\": [");
+            for (j, step) in f.path.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{{\"fn\": {}, \"file\": {}, \"line\": {}}}",
+                    json_str(&step.func),
+                    json_str(&step.file),
+                    step.line
+                );
+            }
+            out.push(']');
+        }
         if let Some(reason) = &f.waiver_reason {
             let _ = write!(out, ", \"waiver_reason\": {}", json_str(reason));
         }
@@ -130,34 +165,68 @@ fn json_str(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lints::Finding;
+    use crate::lints::{Finding, PathStep};
 
-    fn sample() -> Analysis {
-        Analysis {
-            findings: vec![Finding {
-                lint: "DET-01",
-                file: "crates/x/src/a.rs".into(),
-                line: 3,
-                message: "a \"quoted\" hazard".into(),
-                waiver_reason: None,
-            }],
-            waived: Vec::new(),
-            stale: Vec::new(),
+    fn sample() -> CheckReport {
+        CheckReport {
+            files_scanned: 10,
+            cache_hits: 4,
+            cache_misses: 6,
+            analysis: Analysis {
+                findings: vec![
+                    Finding {
+                        lint: "DET-01",
+                        file: "crates/x/src/a.rs".into(),
+                        line: 3,
+                        message: "a \"quoted\" hazard".into(),
+                        waiver_reason: None,
+                        path: Vec::new(),
+                    },
+                    Finding {
+                        lint: "DET-10",
+                        file: "crates/x/src/a.rs".into(),
+                        line: 9,
+                        message: "source reaches sink".into(),
+                        waiver_reason: None,
+                        path: vec![
+                            PathStep {
+                                func: "sinky".into(),
+                                file: "crates/x/src/a.rs".into(),
+                                line: 9,
+                            },
+                            PathStep {
+                                func: "srcy".into(),
+                                file: "crates/x/src/b.rs".into(),
+                                line: 4,
+                            },
+                        ],
+                    },
+                ],
+                waived: Vec::new(),
+                stale: Vec::new(),
+            },
         }
     }
 
     #[test]
     fn json_has_schema_tag_and_escapes() {
-        let json = render(&sample(), 10, Format::Json);
-        assert!(json.contains("\"schema\": \"soctam-analyze/1\""));
+        let json = render(&sample(), Format::Json);
+        assert!(json.contains("\"schema\": \"soctam-analyze/2\""));
         assert!(json.contains("a \\\"quoted\\\" hazard"));
         assert!(json.contains("\"files_scanned\": 10"));
+        assert!(json.contains("\"cache\": {\"hits\": 4, \"misses\": 6}"));
+        assert!(json.contains(
+            "\"path\": [{\"fn\": \"sinky\", \"file\": \"crates/x/src/a.rs\", \"line\": 9}, \
+             {\"fn\": \"srcy\", \"file\": \"crates/x/src/b.rs\", \"line\": 4}]"
+        ));
     }
 
     #[test]
-    fn text_counts_errors() {
-        let text = render(&sample(), 10, Format::Text);
-        assert!(text.contains("1 errors"));
+    fn text_counts_errors_and_prints_paths() {
+        let text = render(&sample(), Format::Text);
+        assert!(text.contains("2 errors"));
         assert!(text.contains("DET-01"));
+        assert!(text.contains("    via srcy (crates/x/src/b.rs:4)"));
+        assert!(text.contains("(4 cached)"));
     }
 }

@@ -105,3 +105,36 @@ fn waived_fixture_records_the_justification() {
         Some("insert/len only, never iterated")
     );
 }
+
+#[test]
+fn det10_fixture_reports_the_full_call_path() {
+    let path = corpus_dir().join("det10_taint.rs");
+    let source = fs::read_to_string(&path).expect("fixture readable");
+    let file = SourceFile {
+        display_path: "crates/serve/src/det10.rs".to_string(),
+        crate_dir: directive(&source, "crate"),
+        rel_path: directive(&source, "path"),
+        source,
+    };
+    let analysis = analyze(std::slice::from_ref(&file));
+    let det10 = analysis
+        .findings
+        .iter()
+        .find(|f| f.lint == "DET-10")
+        .expect("DET-10 finding");
+    let funcs: Vec<&str> = det10.path.iter().map(|s| s.func.as_str()).collect();
+    assert_eq!(
+        funcs,
+        ["fingerprint_job", "jitter", "now_ms", "stamp"],
+        "source→sink evidence must walk the whole chain"
+    );
+    assert!(
+        det10.path.len() >= 3,
+        "the taint must cross at least two function boundaries"
+    );
+    assert_eq!(
+        det10.path.last().expect("steps").line,
+        12,
+        "last step sits on the source"
+    );
+}

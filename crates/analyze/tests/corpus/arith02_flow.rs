@@ -1,0 +1,15 @@
+//@ crate: tam
+//@ path: src/arith02.rs
+//! ARITH-02: unchecked arithmetic on a quantity-function result,
+//! across a function boundary (ARITH-01 cannot see the callee).
+
+/// Patterns in the compacted set.
+pub fn pattern_count(set: &[u32]) -> u64 {
+    set.len() as u64
+}
+
+/// Total stimulus slots: four words per pattern. The `*` is unchecked
+/// and the operand is a pattern count produced one call away.
+pub fn stimulus_slots(set: &[u32]) -> u64 {
+    pattern_count(set) * 4
+}

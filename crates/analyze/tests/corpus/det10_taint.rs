@@ -1,0 +1,24 @@
+//@ crate: serve
+//@ path: src/det10.rs
+//! DET-10: a wall-clock read two calls away taints a fingerprint.
+use soctam_exec::FpKey;
+use std::time::Instant;
+
+fn now_ms(epoch: Instant) -> u64 {
+    epoch.elapsed().as_millis() as u64 ^ stamp()
+}
+
+fn stamp() -> u64 {
+    let _t = Instant::now();
+    0
+}
+
+fn jitter(epoch: Instant) -> u64 {
+    now_ms(epoch) % 7
+}
+
+/// Fingerprints a job id mixed with clock jitter: the taint crosses
+/// `jitter` and `now_ms` before reaching the sink here.
+pub fn fingerprint_job(id: u64, epoch: Instant) -> FpKey {
+    FpKey::new(&(id ^ jitter(epoch)))
+}

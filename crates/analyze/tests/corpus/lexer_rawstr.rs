@@ -1,0 +1,24 @@
+//@ crate: compaction
+//@ path: src/rawstr.rs
+//! Pins the lexer against phantom comments: the raw strings below
+//! contain `//` and `/*`, which a comment-scanner bug would treat as
+//! comment openers, swallowing the `HashMap` declaration that must
+//! still produce DET-01.
+
+/// A raw string whose body contains `//`.
+pub fn doc_url() -> &'static str {
+    r#"see https://example.com//docs"#
+}
+
+/// A raw string with a longer delimiter and an unbalanced `/*`.
+pub fn tricky() -> &'static str {
+    r##"quote "#end"# and /* half a block"##
+}
+
+use std::collections::HashMap;
+
+/// DET-01 must still fire after the raw strings above.
+pub fn leak() -> Vec<u32> {
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.into_keys().collect()
+}

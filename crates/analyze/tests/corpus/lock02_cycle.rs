@@ -1,0 +1,29 @@
+//@ crate: exec
+//@ path: src/lock02.rs
+//! LOCK-02: an acquisition held across a call closes a lock-order
+//! cycle that no single function exhibits (LOCK-01 stays silent).
+use std::sync::Mutex;
+
+/// Two independent locks.
+pub struct Store {
+    jobs: Mutex<u32>,
+    journal: Mutex<u32>,
+}
+
+impl Store {
+    /// Holds `jobs` while flushing, which takes `journal` inside.
+    pub fn submit(&self) {
+        let _g = self.jobs.lock();
+        self.flush();
+    }
+
+    fn flush(&self) {
+        let _g = self.journal.lock();
+    }
+
+    /// Reverse order: holds `journal`, then takes `jobs` directly.
+    pub fn drain(&self) {
+        let _g = self.journal.lock();
+        let _h = self.jobs.lock();
+    }
+}

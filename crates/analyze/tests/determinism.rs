@@ -1,0 +1,81 @@
+//! The analyzer obeys its own DET lints: the `soctam-analyze/2` JSON
+//! report is bit-identical for any parse fan-out width, and a warm
+//! re-run serves every file from the incremental cache without
+//! changing a single finding.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use soctam_analyze::{engine, render, Format, Options};
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+}
+
+fn fresh_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("soctam-analyze-det-{tag}"));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The report minus the cache-counter line (the one part that is
+/// *supposed* to differ between cold and warm runs).
+fn without_cache_line(json: &str) -> String {
+    json.lines()
+        .filter(|l| !l.trim_start().starts_with("\"cache\""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn report_is_bit_identical_across_job_counts() {
+    let root = workspace_root();
+    let mut reports = Vec::new();
+    for jobs in [1usize, 4, 8] {
+        let cache = fresh_cache(&format!("jobs{jobs}"));
+        let report = engine::run(
+            root,
+            &Options {
+                jobs,
+                cache_dir: Some(cache.clone()),
+            },
+        )
+        .expect("engine run");
+        assert_eq!(report.cache_hits, 0, "fresh cache must miss everywhere");
+        reports.push(render(&report, Format::Json));
+        let _ = fs::remove_dir_all(&cache);
+    }
+    assert_eq!(reports[0], reports[1], "--jobs 1 vs 4 diverged");
+    assert_eq!(reports[1], reports[2], "--jobs 4 vs 8 diverged");
+}
+
+#[test]
+fn warm_rerun_hits_the_cache_and_preserves_findings() {
+    let root = workspace_root();
+    let cache = fresh_cache("warm");
+    let opts = Options {
+        jobs: 0,
+        cache_dir: Some(cache.clone()),
+    };
+    let cold = engine::run(root, &opts).expect("cold run");
+    assert_eq!(cold.cache_hits, 0);
+    assert!(cold.cache_misses > 100, "cold run should parse everything");
+
+    let warm = engine::run(root, &opts).expect("warm run");
+    assert_eq!(
+        warm.cache_hits, cold.cache_misses,
+        "warm run must reload every file from the cache"
+    );
+    assert_eq!(warm.cache_misses, 0);
+    assert_eq!(
+        without_cache_line(&render(&cold, Format::Json)),
+        without_cache_line(&render(&warm, Format::Json)),
+        "cached facts changed the findings"
+    );
+    let _ = fs::remove_dir_all(&cache);
+}

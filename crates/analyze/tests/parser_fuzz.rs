@@ -1,0 +1,125 @@
+//! Property test: the analyzer's lexer and parser survive hostile
+//! inputs and never lose bytes.
+//!
+//! Deterministic byte-level fuzzing (fixed seeds, splitmix64 stream —
+//! no RNG dependency) over every `.rs` file in the workspace: random
+//! mutations and truncations must never panic, and on the pristine
+//! files the token stream must round-trip losslessly — every token's
+//! span slices its exact text back out of the source, the gaps between
+//! tokens are whitespace only, and every parsed `fn` span starts with
+//! the `fn` keyword.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::Path;
+
+use soctam_analyze::ast;
+use soctam_analyze::lexer::lex;
+use soctam_analyze::workspace::collect_workspace;
+
+/// splitmix64 — the same generator the optimizer uses for deterministic
+/// shuffles; good enough for byte fuzzing, zero dependencies.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+}
+
+/// Lex + parse must be total: any input produces an AST, never a panic.
+fn parse_hostile(source: &str) {
+    let toks = lex(source);
+    let _ = ast::parse(&toks);
+}
+
+#[test]
+fn spans_round_trip_losslessly_on_every_workspace_file() {
+    let files = collect_workspace(workspace_root()).expect("workspace walk");
+    assert!(files.len() > 100, "workspace walk looks too small");
+    for file in &files {
+        let toks = lex(&file.source);
+        let mut cursor = 0usize;
+        for tok in &toks {
+            assert!(
+                tok.lo >= cursor && tok.hi() <= file.source.len(),
+                "{}: token span out of order or out of bounds",
+                file.display_path
+            );
+            assert_eq!(
+                &file.source[tok.lo..tok.hi()],
+                tok.text,
+                "{}: span does not slice the token text back out",
+                file.display_path
+            );
+            assert!(
+                file.source[cursor..tok.lo].chars().all(char::is_whitespace),
+                "{}: non-whitespace bytes lost between tokens near offset {cursor}",
+                file.display_path
+            );
+            cursor = tok.hi();
+        }
+        assert!(
+            file.source[cursor..].chars().all(char::is_whitespace),
+            "{}: trailing bytes lost after the last token",
+            file.display_path
+        );
+        let parsed = ast::parse(&toks);
+        for f in &parsed.fns {
+            assert!(
+                file.source[f.span.lo..].starts_with("fn"),
+                "{}: fn `{}` span does not start at the `fn` keyword",
+                file.display_path,
+                f.name
+            );
+        }
+    }
+}
+
+#[test]
+fn random_byte_mutations_never_panic() {
+    let files = collect_workspace(workspace_root()).expect("workspace walk");
+    // The analyzer's own sources lead the walk order and contain every
+    // token shape the lexer knows; fuzz a deterministic sample of the
+    // whole workspace to keep the test inside the tier-1 budget.
+    let mut state = 0x0BAD_5EED_u64;
+    for file in files.iter().step_by(7) {
+        let bytes = file.source.as_bytes();
+        if bytes.is_empty() {
+            continue;
+        }
+        for _ in 0..40 {
+            let mut mutated = bytes.to_vec();
+            let flips = 1 + (splitmix(&mut state) % 8) as usize;
+            for _ in 0..flips {
+                let pos = (splitmix(&mut state) as usize) % mutated.len();
+                mutated[pos] = (splitmix(&mut state) & 0xff) as u8;
+            }
+            // Lossy conversion keeps invalid UTF-8 in play as U+FFFD.
+            parse_hostile(&String::from_utf8_lossy(&mutated));
+        }
+    }
+}
+
+#[test]
+fn truncations_never_panic() {
+    let files = collect_workspace(workspace_root()).expect("workspace walk");
+    let mut state = 0xF00D_u64;
+    for file in files.iter().step_by(11) {
+        let len = file.source.len();
+        for _ in 0..25 {
+            let mut end = (splitmix(&mut state) as usize) % (len + 1);
+            while !file.source.is_char_boundary(end) {
+                end -= 1;
+            }
+            parse_hostile(&file.source[..end]);
+        }
+    }
+}

@@ -149,6 +149,7 @@ pub fn compact_two_dimensional_with(
     let mut dedup = |indices: &[usize]| -> Vec<u32> {
         seen.clear();
         indices
+            // soctam-analyze: allow(DET-10) -- iterates the index slice, not the HashSet; the set is insert-only (see the DET-01 waiver above)
             .iter()
             .filter(|&&i| seen.insert(&raw.as_slice()[i]))
             .map(|&i| i as u32)

@@ -308,7 +308,10 @@ pub fn run_table_opts(
                 progress: opts.progress.as_ref().map(Arc::clone),
                 cancel: opts.cancel.clone(),
             };
-            Ok(backend_for(opts.backend).optimize(&ctx)?.evaluation().t_total())
+            Ok(backend_for(opts.backend)
+                .optimize(&ctx)?
+                .evaluation()
+                .t_total())
         })
         .into_iter()
         .collect()

@@ -95,9 +95,7 @@ impl FromStr for BackendKind {
                 return Ok(kind);
             }
         }
-        Err(TamError::UnknownBackend {
-            name: s.to_owned(),
-        })
+        Err(TamError::UnknownBackend { name: s.to_owned() })
     }
 }
 

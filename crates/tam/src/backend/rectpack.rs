@@ -305,7 +305,10 @@ mod tests {
             .optimize(&BackendCtx::new(&soc, 16, &groups))
             .expect("packs");
         let referee = Evaluator::new(&soc, 16, groups.clone()).expect("evaluator");
-        assert_eq!(&referee.evaluate(result.architecture()), result.evaluation());
+        assert_eq!(
+            &referee.evaluate(result.architecture()),
+            result.evaluation()
+        );
     }
 
     #[test]

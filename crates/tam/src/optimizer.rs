@@ -488,7 +488,7 @@ impl<'a> TamOptimizer<'a> {
                 // rail `i`'s width, so the width-swap fast path applies.
                 let ctx = self.evaluator.probe_ctx(&incumbent);
                 let costed = self.probe(tracker, speculative, &candidates, |&(i, d, _)| {
-                    let comp = components[slot_of(i, rails[i].width() + d)]
+                    let comp = components[slot_of(i, rails[i].width().saturating_add(d))]
                         .as_deref()
                         .expect("prefetched during enumeration");
                     self.cost_of_delta(&self.evaluator.cost_swap_with(&ctx, i, comp))
@@ -506,7 +506,7 @@ impl<'a> TamOptimizer<'a> {
                 // context is still alive: patching the incumbent beats
                 // re-reducing all components on every accepted step.
                 if let Some((i, d)) = best {
-                    let comp = components[slot_of(i, rails[i].width() + d)]
+                    let comp = components[slot_of(i, rails[i].width().saturating_add(d))]
                         .clone()
                         .expect("prefetched during enumeration");
                     staged = Some(self.evaluator.evaluate_swap_with(&ctx, i, comp));
@@ -515,7 +515,7 @@ impl<'a> TamOptimizer<'a> {
             match best {
                 Some((i, d)) => {
                     rails[i] = rails[i]
-                        .with_width(rails[i].width() + d)
+                        .with_width(rails[i].width().saturating_add(d))
                         .expect("width > 0");
                     remaining -= d;
                     incumbent = staged.expect("staged alongside best");
@@ -536,7 +536,7 @@ impl<'a> TamOptimizer<'a> {
                 .find(|&i| rails[i].width() < self.max_width);
             let Some(i) = target else { break };
             rails[i] = rails[i]
-                .with_width(rails[i].width() + 1)
+                .with_width(rails[i].width().saturating_add(1))
                 .expect("width > 0");
             remaining -= 1;
             incumbent = self.eval_from(&incumbent, &[i], &rails);
@@ -628,7 +628,7 @@ impl<'a> TamOptimizer<'a> {
                 continue;
             }
             let w_lo = rails[r1].width().max(rails[i].width());
-            let w_hi = rails[r1].width() + rails[i].width();
+            let w_hi = rails[r1].width().saturating_add(rails[i].width());
             let merged = rails[r1]
                 .merged(&rails[i], w_lo)
                 .expect("merged width >= 1");
@@ -656,7 +656,7 @@ impl<'a> TamOptimizer<'a> {
         let parent_state = self.evaluator.swap_state(&current_eval);
         let l_max = candidates
             .iter()
-            .map(|&(i, w)| rails[r1].width() + rails[i].width() - w)
+            .map(|&(i, w)| rails[r1].width().saturating_add(rails[i].width()) - w)
             .max()
             .unwrap_or(0);
         let mut rail_drops: Vec<Vec<(u32, u128)>> = Vec::with_capacity(rails.len());
@@ -674,7 +674,7 @@ impl<'a> TamOptimizer<'a> {
             rail_comps.push(comps);
         }
         let costed = self.probe(tracker, false, &candidates, |&(i, w)| {
-            let leftover = rails[r1].width() + rails[i].width() - w;
+            let leftover = rails[r1].width().saturating_add(rails[i].width()) - w;
             // Admissible prune (Total objective only): groups sharing a
             // rail are serialized (SCH-V02), so `T_soc >= time_used(j)`
             // for every rail j of the final architecture, and the used
@@ -698,7 +698,7 @@ impl<'a> TamOptimizer<'a> {
                     if j == r1 || j == i {
                         continue;
                     }
-                    let wj = (rail.width() + leftover).min(self.max_width);
+                    let wj = rail.width().saturating_add(leftover).min(self.max_width);
                     lb = lb.max(stairs[k][(wj - 1) as usize]);
                     k += 1;
                 }
@@ -771,7 +771,7 @@ impl<'a> TamOptimizer<'a> {
             Some((idx, cost)) if cost < current => {
                 let (i, w) = candidates[idx];
                 let (source, cand) = build(i, w);
-                let leftover = rails[r1].width() + rails[i].width() - w;
+                let leftover = rails[r1].width().saturating_add(rails[i].width()) - w;
                 if leftover > 0 {
                     let eval = self
                         .evaluator
@@ -964,7 +964,7 @@ impl<'a> TamOptimizer<'a> {
                     return None; // not enough donor wires
                 }
                 cand[b] = cand[b]
-                    .with_width(cand[b].width() + delta)
+                    .with_width(cand[b].width().saturating_add(delta))
                     .expect("width > 0");
                 touched.insert(b);
                 let changed: Vec<usize> = touched.into_iter().collect();
